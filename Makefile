@@ -1,0 +1,30 @@
+# Convenience targets; everything is plain `go` underneath.
+
+.PHONY: test race bench verify paper examples tidy
+
+test:                 ## full test suite
+	go build ./... && go vet ./... && go test ./...
+
+race:                 ## race-detector pass over the concurrent packages
+	go test -race ./internal/vine/ ./internal/daskvine/ ./internal/xrootd/
+
+bench:                ## one benchmark per table/figure, reduced scale
+	go test -bench=. -benchmem ./...
+
+verify:               ## assert every reproduced shape claim at paper scale
+	go run ./cmd/vinebench -scale 1 verify
+
+paper:                ## regenerate every table and figure at paper scale
+	go run ./cmd/vinebench -scale 1 all
+
+examples:             ## run every example end to end
+	go run ./examples/quickstart
+	go run ./examples/dv3
+	go run ./examples/triphoton
+	go run ./examples/serverless
+	go run ./examples/remotedata
+	go run ./examples/systematics
+
+tidy:
+	gofmt -w .
+	go vet ./...

@@ -1,0 +1,79 @@
+// Package benchrun hosts one testing.B benchmark per table and figure of
+// the paper's evaluation, at a reduced scale so `go test -bench=.` finishes
+// in minutes. Full paper-scale artifacts come from `go run ./cmd/vinebench
+// -scale 1 all`; EXPERIMENTS.md records the paper-vs-measured comparison.
+package benchrun
+
+import (
+	"io"
+	"testing"
+
+	"hepvine/internal/bench"
+)
+
+// benchScale keeps each regeneration under a few hundred milliseconds while
+// preserving the qualitative shapes.
+const benchScale = 0.04
+
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, err := bench.ByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := bench.Options{Scale: benchScale, Seed: 42}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := bench.RunOne(e, opts, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable1Stacks regenerates Table I: the four-stack evolution of
+// DV3-Large (3545s → 272s in the paper).
+func BenchmarkTable1Stacks(b *testing.B) { runExperiment(b, "table1") }
+
+// BenchmarkTable2Workloads regenerates Table II: the application
+// configuration inventory.
+func BenchmarkTable2Workloads(b *testing.B) { runExperiment(b, "table2") }
+
+// BenchmarkFig7Heatmap regenerates Fig. 7: pairwise transfer volumes under
+// Work Queue vs TaskVine peer transfers.
+func BenchmarkFig7Heatmap(b *testing.B) { runExperiment(b, "fig7") }
+
+// BenchmarkFig8TaskTimes regenerates Fig. 8: the task-execution-time
+// distribution for standard tasks vs function calls.
+func BenchmarkFig8TaskTimes(b *testing.B) { runExperiment(b, "fig8") }
+
+// BenchmarkFig9Hoisting demonstrates Fig. 9's import-hoisting structure on
+// the live TCP engine (setup-count instrumentation).
+func BenchmarkFig9Hoisting(b *testing.B) { runExperiment(b, "fig9") }
+
+// BenchmarkFig10HoistingSweep regenerates Fig. 10: the hoisting ×
+// filesystem × task-granularity sweep.
+func BenchmarkFig10Hoisting(b *testing.B) { runExperiment(b, "fig10") }
+
+// BenchmarkFig11Reduction regenerates Fig. 11: naive single-task reduction
+// vs binary-tree reduction and their worker storage footprints.
+func BenchmarkFig11Reduction(b *testing.B) { runExperiment(b, "fig11") }
+
+// BenchmarkFig12Timeline regenerates Fig. 12: the first-300-seconds
+// running/waiting timeline of each stack.
+func BenchmarkFig12Timeline(b *testing.B) { runExperiment(b, "fig12") }
+
+// BenchmarkFig13Occupancy regenerates Fig. 13: worker occupancy for stacks
+// 3 and 4 at two pool sizes.
+func BenchmarkFig13Occupancy(b *testing.B) { runExperiment(b, "fig13") }
+
+// BenchmarkFig14aScaling regenerates Fig. 14a: TaskVine vs Dask.Distributed
+// on DV3-Small/Medium.
+func BenchmarkFig14aScaling(b *testing.B) { runExperiment(b, "fig14a") }
+
+// BenchmarkFig14bScaling regenerates Fig. 14b: DV3-Large and RS-TriPhoton
+// scaling, with the Dask.Distributed failure at 1200 cores.
+func BenchmarkFig14bScaling(b *testing.B) { runExperiment(b, "fig14b") }
+
+// BenchmarkFig15Huge regenerates Fig. 15: the 185k-task DV3-Huge run.
+func BenchmarkFig15Huge(b *testing.B) { runExperiment(b, "fig15") }

@@ -1,0 +1,56 @@
+// Command vinebench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	vinebench [-scale f] [-seed n] [-v] [experiment ...]
+//
+// With no arguments it lists experiments. "all" runs everything in paper
+// order. -scale 1 (default) is paper scale: DV3-Large on 200 12-core
+// workers, DV3-Huge on 600; smaller scales shrink both the workload and the
+// pool proportionally for quick looks.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hepvine/internal/bench"
+)
+
+func main() {
+	scale := flag.Float64("scale", 1.0, "workload/pool scale factor (0-1]; 1 = paper scale")
+	seed := flag.Uint64("seed", 42, "random seed for workload synthesis and the cluster model")
+	verbose := flag.Bool("v", false, "print per-series detail (heatmap rows, cache timelines)")
+	csvDir := flag.String("csv", "", "also write raw series (timelines, distributions, matrices) as CSV under this directory")
+	flag.Parse()
+
+	opts := bench.Options{Scale: *scale, Seed: *seed, Verbose: *verbose, CSVDir: *csvDir}
+
+	args := flag.Args()
+	if len(args) == 0 {
+		fmt.Println("experiments (pass ids, or \"all\"):")
+		for _, e := range bench.All() {
+			fmt.Printf("  %-8s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+	if len(args) == 1 && args[0] == "all" {
+		if err := bench.RunAll(opts, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "vinebench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	for _, id := range args {
+		e, err := bench.ByID(id)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vinebench:", err)
+			os.Exit(1)
+		}
+		if err := bench.RunOne(e, opts, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "vinebench:", err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,182 @@
+// Command vinerun executes a complete analysis workflow on the live
+// TaskVine engine: it takes (or synthesizes) a dataset of .vrt event files,
+// partitions it into chunks, lowers the chosen processor into a task graph,
+// and runs it with either in-process workers or external vineworker
+// processes that dial in.
+//
+// Self-contained run, 4 local workers:
+//
+//	vinerun -processor dv3 -generate 8x20000 -workers 4
+//
+// With external workers (start vineworker against the printed address):
+//
+//	vinerun -processor met -data ./mydata -workers 0 -min-workers 2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"hepvine/internal/apps"
+	"hepvine/internal/coffea"
+	"hepvine/internal/dag"
+	"hepvine/internal/daskvine"
+	"hepvine/internal/rootio"
+	"hepvine/internal/vine"
+)
+
+func main() {
+	processor := flag.String("processor", "met", "registered processor: met, dv3, rs-triphoton")
+	data := flag.String("data", "", "directory of .vrt files (omit with -generate)")
+	fileset := flag.String("fileset", "", "fileset JSON manifest (overrides -data/-generate)")
+	generate := flag.String("generate", "", "synthesize a dataset, e.g. 8x20000 (files x events)")
+	chunk := flag.Int64("chunk", 5000, "events per chunk")
+	fanIn := flag.Int("fanin", 2, "accumulation fan-in; <2 = single reduction task")
+	workers := flag.Int("workers", 4, "in-process workers to start (0 = external only)")
+	cores := flag.Int("cores", 4, "cores per in-process worker")
+	minWorkers := flag.Int("min-workers", 1, "wait for this many workers before running")
+	mode := flag.String("mode", "function-calls", "execution mode: tasks or function-calls")
+	hoist := flag.Bool("hoist", true, "hoist library imports")
+	timeout := flag.Duration("timeout", 10*time.Minute, "workflow timeout")
+	flag.Parse()
+
+	if err := run(*processor, *data, *generate, *fileset, *chunk, *fanIn, *workers, *cores, *minWorkers, *mode, *hoist, *timeout); err != nil {
+		log.Fatalf("vinerun: %v", err)
+	}
+}
+
+func run(processor, data, generate, filesetPath string, chunkSize int64, fanIn, nWorkers, cores, minWorkers int,
+	mode string, hoist bool, timeout time.Duration) error {
+
+	apps.RegisterProcessors()
+	if err := vine.RegisterLibrary(daskvine.NewLibrary(100 * time.Millisecond)); err != nil {
+		return err
+	}
+	if _, err := coffea.Lookup(processor); err != nil {
+		return fmt.Errorf("%w (registered: %s)", err, strings.Join(coffea.RegisteredProcessors(), ", "))
+	}
+	var taskMode vine.TaskMode
+	switch mode {
+	case "tasks", "task":
+		taskMode = vine.ModeTask
+	case "function-calls", "function-call", "functions":
+		taskMode = vine.ModeFunctionCall
+	default:
+		return fmt.Errorf("unknown mode %q", mode)
+	}
+
+	// Locate or synthesize the dataset.
+	if filesetPath == "" && data == "" && generate == "" {
+		generate = "4x10000"
+	}
+	if filesetPath == "" && generate != "" {
+		var nFiles, nEvents int
+		if _, err := fmt.Sscanf(generate, "%dx%d", &nFiles, &nEvents); err != nil || nFiles <= 0 || nEvents <= 0 {
+			return fmt.Errorf("bad -generate %q, want FILESxEVENTS", generate)
+		}
+		dir, err := os.MkdirTemp("", "vinerun-")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+		fmt.Printf("synthesizing %d files x %d events...\n", nFiles, nEvents)
+		if _, err := rootio.WriteDataset(dir, rootio.DatasetSpec{
+			Name: "generated", Files: nFiles, EventsPerFile: nEvents,
+			Gen: rootio.GenOptions{Seed: 1, SignalFrac: 0.03, MeanPhot: 1.0},
+		}); err != nil {
+			return err
+		}
+		data = dir
+	}
+
+	// Build the fileset: explicit manifest, or a scan of the data dir.
+	var fset *coffea.Fileset
+	var err error
+	if filesetPath != "" {
+		fset, err = coffea.LoadFileset(filesetPath)
+	} else {
+		fset, err = coffea.ScanDirFileset("dataset", data)
+	}
+	if err != nil {
+		return err
+	}
+	datasets, err := fset.Chunks(chunkSize)
+	if err != nil {
+		return err
+	}
+	nChunks, nFiles := 0, 0
+	for _, name := range fset.Names() {
+		nChunks += len(datasets[name])
+		nFiles += len(fset.Datasets[name])
+	}
+	var graph *dag.Graph
+	var root dag.Key
+	if len(datasets) == 1 {
+		graph, root, err = coffea.BuildGraph(processor, datasets[fset.Names()[0]], coffea.GraphOptions{FanIn: fanIn})
+	} else {
+		graph, root, err = coffea.BuildMultiDatasetGraph(processor, datasets, coffea.GraphOptions{FanIn: fanIn})
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("workflow: %s over %d events in %d files / %d datasets -> %d chunks, %d tasks (width %d, depth %d)\n",
+		processor, fset.TotalEvents(), nFiles, len(datasets), nChunks, graph.Len(), graph.MaxWidth(), graph.CriticalPathLen())
+
+	mgr, err := vine.NewManager(vine.ManagerOptions{
+		PeerTransfers:    true,
+		InstallLibraries: []vine.LibrarySpec{{Name: daskvine.LibraryName, Hoist: hoist}},
+	})
+	if err != nil {
+		return err
+	}
+	defer mgr.Stop()
+	fmt.Printf("manager listening at %s\n", mgr.Addr())
+	for i := 0; i < nWorkers; i++ {
+		w, err := vine.NewWorker(mgr.Addr(), vine.WorkerOptions{
+			Name: fmt.Sprintf("local-%d", i), Cores: cores,
+		})
+		if err != nil {
+			return err
+		}
+		defer w.Stop()
+	}
+	need := minWorkers
+	if nWorkers > need {
+		need = nWorkers
+	}
+	if nWorkers == 0 {
+		fmt.Printf("waiting for %d external vineworker(s) to connect...\n", need)
+	}
+	if err := mgr.WaitForWorkers(need, 10*time.Minute); err != nil {
+		return err
+	}
+	fmt.Printf("%d workers connected; running in %s mode (hoist=%v)\n", mgr.WorkerCount(), taskMode, hoist)
+
+	start := time.Now()
+	result, err := daskvine.Run(mgr, graph, root, daskvine.Options{Mode: taskMode, Timeout: timeout})
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+	st := mgr.Stats()
+	fmt.Printf("\ncompleted in %v: %d tasks (%d retries), %d peer transfers (%.1f MB), %d manager transfers, %d workers lost\n",
+		elapsed.Round(time.Millisecond), st.TasksDone, st.Retries,
+		st.PeerTransfers, float64(st.PeerBytes)/1e6, st.ManagerTransfers, st.WorkersLost)
+
+	for _, name := range result.Names() {
+		h := result.H[name]
+		fmt.Printf("\n%s: %s\n", name, h)
+		coarse := h
+		if h.Axes[0].Bins%4 == 0 {
+			if c, err := h.Rebin(4); err == nil {
+				coarse = c
+			}
+		}
+		fmt.Println(coarse.ASCII(50))
+	}
+	return nil
+}

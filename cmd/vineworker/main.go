@@ -1,0 +1,68 @@
+// Command vineworker is a standalone TaskVine worker: it connects to a
+// manager (e.g. one started by cmd/vinerun with -listen-only workers), holds
+// a content-addressed cache on local disk, serves peer transfers, and hosts
+// the coffea serverless library — the role the paper's workers play on
+// HTCondor execute nodes.
+//
+//	vineworker -manager 127.0.0.1:9123 [-cores 12] [-name nodeA] [-dir /tmp/cache] [-disk 108e9]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"hepvine/internal/apps"
+	"hepvine/internal/daskvine"
+	"hepvine/internal/vine"
+)
+
+func main() {
+	manager := flag.String("manager", "", "manager control address (host:port), required")
+	cores := flag.Int("cores", 12, "advertised execution slots")
+	name := flag.String("name", "", "worker name (default: local address)")
+	dir := flag.String("dir", "", "cache directory (default: a temp dir)")
+	disk := flag.Int64("disk", 0, "cache byte limit; 0 = unlimited")
+	flag.Parse()
+
+	if *manager == "" {
+		fmt.Fprintln(os.Stderr, "vineworker: -manager is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	// The worker binary must know every library the manager may install.
+	apps.RegisterProcessors()
+	if err := vine.RegisterLibrary(daskvine.NewLibrary(100 * time.Millisecond)); err != nil {
+		log.Fatal(err)
+	}
+
+	w, err := vine.NewWorker(*manager, vine.WorkerOptions{
+		Name:      *name,
+		Cores:     *cores,
+		Dir:       *dir,
+		DiskLimit: *disk,
+	})
+	if err != nil {
+		log.Fatalf("vineworker: %v", err)
+	}
+	log.Printf("worker %s: %d cores, transfer server %s, manager %s",
+		w.Name, *cores, w.TransferAddr(), *manager)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case <-w.Done():
+		log.Printf("worker %s: manager disconnected", w.Name)
+	case s := <-sig:
+		log.Printf("worker %s: %v, shutting down", w.Name, s)
+		w.Stop()
+	}
+	st := w.Stats()
+	log.Printf("worker %s: ran %d tasks + %d function calls, %d transfers in (%d bytes), cache high water %d bytes",
+		w.Name, st.TasksRun, st.FunctionCalls, st.TransfersIn, st.BytesIn, st.CacheHighWater)
+}

@@ -1,0 +1,168 @@
+// Remote-data example: why the paper stages datasets onto facility storage
+// instead of reading the wide-area XRootD federation every run (§IV.A:
+// "it was impractical to rely on the wide area XROOTD federation to
+// deliver data to each run").
+//
+// The same MET analysis runs twice:
+//
+//  1. reading columns directly from a remote xrootd server with injected
+//     WAN latency per request, and
+//  2. staging the files once to local disk, then reading locally.
+//
+// Column-selective access keeps the remote path usable (only the branches
+// the analysis touches travel), but per-request WAN latency still loses to
+// staged local reads for repeated analysis — the paper's §IV.A conclusion.
+//
+//	go run ./examples/remotedata [-wan 25ms] [-files 4] [-events 8000]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"path/filepath"
+	"time"
+
+	"hepvine/internal/hist"
+	"hepvine/internal/rootio"
+	"hepvine/internal/xrootd"
+)
+
+func main() {
+	wan := flag.Duration("wan", 25*time.Millisecond, "injected WAN latency per request")
+	files := flag.Int("files", 4, "dataset files")
+	events := flag.Int("events", 8000, "events per file")
+	flag.Parse()
+	if err := run(*wan, *files, *events); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(wan time.Duration, nFiles, events int) error {
+	remoteDir, err := os.MkdirTemp("", "federation-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(remoteDir)
+	fmt.Printf("synthesizing %d files x %d events at the 'remote site'...\n", nFiles, events)
+	paths, err := rootio.WriteDataset(remoteDir, rootio.DatasetSpec{
+		Name: "FedData", Files: nFiles, EventsPerFile: events,
+		Gen: rootio.GenOptions{Seed: 77},
+	})
+	if err != nil {
+		return err
+	}
+
+	srv, err := xrootd.NewServer(remoteDir, wan)
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	fmt.Printf("xrootd server at %s (WAN latency %v per request)\n\n", srv.Addr(), wan)
+
+	const chunkEvents = 1000
+	metHist := func() *hist.Hist { return hist.New(hist.Reg(100, 0, 200, "met")) }
+
+	// --- path 1: remote column reads over the federation ---
+	start := time.Now()
+	hRemote := metHist()
+	client, err := xrootd.Dial(srv.Addr())
+	if err != nil {
+		return err
+	}
+	defer client.Close()
+	for _, p := range paths {
+		name := filepath.Base(p)
+		n, _, err := client.Open(name)
+		if err != nil {
+			return err
+		}
+		for lo := int64(0); lo < n; lo += chunkEvents {
+			hi := lo + chunkEvents
+			if hi > n {
+				hi = n
+			}
+			met, err := client.ReadFlat(name, "MET_pt", lo, hi)
+			if err != nil {
+				return err
+			}
+			hRemote.FillN(met)
+		}
+	}
+	remoteTime := time.Since(start)
+	st := srv.Stats()
+	fmt.Printf("remote federation reads: %v (%d requests, %.1f MB moved — columns only)\n",
+		remoteTime.Round(time.Millisecond), st.Reads+st.Opens, float64(st.BytesSent)/1e6)
+
+	// --- path 2: stage whole files to the facility once, read locally ---
+	localDir, err := os.MkdirTemp("", "staged-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(localDir)
+	start = time.Now()
+	var stagedBytes int64
+	for _, p := range paths {
+		dst := filepath.Join(localDir, filepath.Base(p))
+		n, err := copyFile(p, dst)
+		if err != nil {
+			return err
+		}
+		stagedBytes += n
+	}
+	stageTime := time.Since(start)
+
+	start = time.Now()
+	hLocal := metHist()
+	for _, p := range paths {
+		rd, closer, err := rootio.Open(filepath.Join(localDir, filepath.Base(p)))
+		if err != nil {
+			return err
+		}
+		n := rd.NEvents()
+		for lo := int64(0); lo < n; lo += chunkEvents {
+			hi := lo + chunkEvents
+			if hi > n {
+				hi = n
+			}
+			met, err := rd.ReadFlat("MET_pt", lo, hi)
+			if err != nil {
+				closer.Close()
+				return err
+			}
+			hLocal.FillN(met)
+		}
+		closer.Close()
+	}
+	localTime := time.Since(start)
+	fmt.Printf("staged to facility:      %v staging (%.1f MB, whole files) + %v analysis\n",
+		stageTime.Round(time.Millisecond), float64(stagedBytes)/1e6, localTime.Round(time.Millisecond))
+
+	// Identical physics either way.
+	for i := range hRemote.Counts {
+		if hRemote.Counts[i] != hLocal.Counts[i] {
+			return fmt.Errorf("remote and local disagree at bin %d", i)
+		}
+	}
+	fmt.Println("\nvalidation: identical histograms from both paths ✓")
+	runs := remoteTime.Seconds() / localTime.Seconds()
+	fmt.Printf("one analysis pass over the WAN costs %.1fx the staged pass; after staging,\n", runs)
+	fmt.Println("every re-run (and analyses iterate constantly, §I) reads at facility speed.")
+	return nil
+}
+
+func copyFile(src, dst string) (int64, error) {
+	in, err := os.Open(src)
+	if err != nil {
+		return 0, err
+	}
+	defer in.Close()
+	out, err := os.Create(dst)
+	if err != nil {
+		return 0, err
+	}
+	defer out.Close()
+	return io.Copy(out, in)
+}

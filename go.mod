@@ -1,0 +1,3 @@
+module hepvine
+
+go 1.22

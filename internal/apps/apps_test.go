@@ -1,0 +1,312 @@
+package apps
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"hepvine/internal/coffea"
+	"hepvine/internal/core"
+	"hepvine/internal/dag"
+	"hepvine/internal/rootio"
+	"hepvine/internal/units"
+)
+
+// ---- live processors ----
+
+func writeEvents(t *testing.T, n int, signal float64) []coffea.Chunk {
+	t.Helper()
+	paths, err := rootio.WriteDataset(t.TempDir(), rootio.DatasetSpec{
+		Name: "t", Files: 1, EventsPerFile: n, BasketSize: 500,
+		Gen: rootio.GenOptions{Seed: 99, SignalFrac: signal},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []coffea.Chunk{{Dataset: "t", Path: paths[0], Lo: 0, Hi: int64(n)}}
+}
+
+func TestDV3ProcessorProducesPhysics(t *testing.T) {
+	chunks := writeEvents(t, 3000, 0)
+	hs, err := coffea.RunLocal(DV3Processor{}, chunks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"dijet_mass", "met", "jet_pt", "njet_sel"} {
+		if hs.H[name] == nil {
+			t.Fatalf("missing histogram %q", name)
+		}
+	}
+	if hs.H["met"].Entries != 3000 {
+		t.Fatalf("met entries = %d", hs.H["met"].Entries)
+	}
+	// Some events have two b-tagged jets; dijet masses must be physical.
+	if hs.H["dijet_mass"].Sum() == 0 {
+		t.Fatal("no dijet candidates found")
+	}
+	if hs.H["jet_pt"].Underflow() != 0 {
+		t.Fatal("selected jets below pt threshold")
+	}
+}
+
+func TestDV3SelectionRespectsThresholds(t *testing.T) {
+	chunks := writeEvents(t, 2000, 0)
+	hs, err := coffea.RunLocal(DV3Processor{}, chunks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// njet_sel counts only jets above threshold: mean must be below the
+	// raw jet multiplicity (~4).
+	if m := hs.H["njet_sel"].Mean(); m <= 0 || m >= 4 {
+		t.Fatalf("selected-jet multiplicity mean = %v", m)
+	}
+}
+
+func TestTriPhotonProcessorFindsSignal(t *testing.T) {
+	bg, err := coffea.RunLocal(TriPhotonProcessor{}, writeEvents(t, 4000, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sig, err := coffea.RunLocal(TriPhotonProcessor{}, writeEvents(t, 4000, 0.3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Signal injection adds tri-photon events, so the signal run must see
+	// substantially more tri-photon candidates.
+	if sig.H["triphoton_mass"].Sum() <= bg.H["triphoton_mass"].Sum()*2 {
+		t.Fatalf("signal %v not >> background %v",
+			sig.H["triphoton_mass"].Sum(), bg.H["triphoton_mass"].Sum())
+	}
+}
+
+func TestInvariantMassProperties(t *testing.T) {
+	// Two back-to-back massless particles of equal pt: m = 2*pt.
+	m := invariantMass2(50, 0, 0, 0, 50, 0, math.Pi, 0)
+	if math.Abs(m-100) > 1e-9 {
+		t.Fatalf("back-to-back mass = %v", m)
+	}
+	// Collinear massless particles have zero invariant mass.
+	m = invariantMass2(50, 1.0, 0.5, 0, 30, 1.0, 0.5, 0)
+	if m > 1e-6 {
+		t.Fatalf("collinear mass = %v", m)
+	}
+	// Mass is symmetric under argument exchange.
+	a := invariantMass2(40, 0.3, 1.0, 5, 60, -0.7, -2.0, 10)
+	b := invariantMass2(60, -0.7, -2.0, 10, 40, 0.3, 1.0, 5)
+	if math.Abs(a-b) > 1e-9 {
+		t.Fatalf("asymmetric: %v vs %v", a, b)
+	}
+	// Three-body ≥ any pair (massless).
+	m3 := invariantMass3(50, 0, 0, 50, 0, math.Pi, 50, 1.0, math.Pi/2)
+	if m3 < 100 {
+		t.Fatalf("three-body %v < pair 100", m3)
+	}
+}
+
+func TestLeadingThree(t *testing.T) {
+	sel := []pho{{10, 0, 0}, {50, 0, 0}, {30, 0, 0}, {40, 0, 0}}
+	top := leadingThree(sel)
+	if top[0].pt != 50 || top[1].pt != 40 || top[2].pt != 30 {
+		t.Fatalf("top3 = %v", top)
+	}
+}
+
+func TestRegisterProcessors(t *testing.T) {
+	RegisterProcessors()
+	for _, name := range []string{"dv3", "rs-triphoton"} {
+		if _, err := coffea.Lookup(name); err != nil {
+			t.Fatalf("%s not registered: %v", name, err)
+		}
+	}
+}
+
+// ---- simulation workloads ----
+
+func TestDV3WorkloadShapes(t *testing.T) {
+	cases := []struct {
+		size      DV3Size
+		minTasks  int
+		maxTasks  int
+		wantBytes units.Bytes
+	}{
+		{DV3Small, 300, 400, units.GBf(25)},
+		{DV3Medium, 2500, 3000, units.GBf(200)},
+		{DV3Large, 16000, 18000, units.TBf(1.2)},
+	}
+	for _, c := range cases {
+		wl := DV3(c.size, 1)
+		if err := wl.Validate(); err != nil {
+			t.Fatalf("%v: %v", c.size, err)
+		}
+		if n := wl.TaskCount(); n < c.minTasks || n > c.maxTasks {
+			t.Fatalf("%v: %d tasks", c.size, n)
+		}
+		got := wl.InputBytes()
+		if got < c.wantBytes*9/10 || got > c.wantBytes*11/10 {
+			t.Fatalf("%v: input %v, want ~%v", c.size, got, c.wantBytes)
+		}
+	}
+}
+
+func TestDV3LargeMatchesPaper(t *testing.T) {
+	// "consisting of 17,000 tasks consuming 1.2TB of data" (§IV).
+	wl := DV3(DV3Large, 42)
+	if n := wl.TaskCount(); n < 16500 || n > 17500 {
+		t.Fatalf("DV3-Large has %d tasks, want ≈17000", n)
+	}
+}
+
+func TestDV3HugeMatchesPaper(t *testing.T) {
+	// "185,000 tasks with 10,000 initial executable tasks" (Fig. 15).
+	wl := DV3(DV3Huge, 42)
+	if n := wl.TaskCount(); n < 180000 || n > 200000 {
+		t.Fatalf("DV3-Huge has %d tasks", n)
+	}
+	roots := 0
+	for _, k := range wl.Graph.Keys() {
+		if len(wl.Graph.Task(k).Deps) == 0 {
+			roots++
+		}
+	}
+	if roots != 10000 {
+		t.Fatalf("initially-executable tasks = %d, want 10000", roots)
+	}
+}
+
+func TestTriPhotonMatchesPaper(t *testing.T) {
+	// "RS-TriPhoton (4K tasks and 500GB data)" over 20 datasets.
+	wl := TriPhoton(2, 42)
+	if err := wl.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	procs := 0
+	for _, cc := range wl.Graph.CountByCategory() {
+		if cc.Category == "processor" {
+			procs = cc.Count
+		}
+	}
+	if procs != 4000 {
+		t.Fatalf("processors = %d", procs)
+	}
+	in := wl.InputBytes()
+	if in < units.GBf(450) || in > units.GBf(550) {
+		t.Fatalf("input = %v", in)
+	}
+	// Intermediates larger than input (§III).
+	var interm units.Bytes
+	for _, k := range wl.Graph.Keys() {
+		interm += wl.Graph.Task(k).Spec.(*core.SimSpec).OutputSize
+	}
+	if interm <= in {
+		t.Fatalf("intermediates %v not larger than input %v", interm, in)
+	}
+}
+
+func TestTriPhotonReductionShapes(t *testing.T) {
+	naive := TriPhoton(0, 42)
+	tree := TriPhoton(2, 42)
+	maxFan := func(wl *core.Workload) int {
+		m := 0
+		for _, k := range wl.Graph.Keys() {
+			if n := len(wl.Graph.Task(k).Deps); n > m {
+				m = n
+			}
+		}
+		return m
+	}
+	if f := maxFan(naive); f != 200 {
+		t.Fatalf("naive max fan-in = %d, want 200 (one task per dataset)", f)
+	}
+	if f := maxFan(tree); f > 2 {
+		t.Fatalf("tree max fan-in = %d", f)
+	}
+	// Same processor set; tree adds more (smaller) reduce tasks.
+	if tree.TaskCount() <= naive.TaskCount() {
+		t.Fatal("tree should have more tasks than naive")
+	}
+}
+
+func TestWorkloadDeterminism(t *testing.T) {
+	a := DV3(DV3Small, 7)
+	b := DV3(DV3Small, 7)
+	if a.TaskCount() != b.TaskCount() || a.TotalCompute() != b.TotalCompute() {
+		t.Fatal("same seed produced different workloads")
+	}
+	c := DV3(DV3Small, 8)
+	if a.TotalCompute() == c.TotalCompute() {
+		t.Fatal("different seeds produced identical compute")
+	}
+}
+
+func TestComputeDistributionShape(t *testing.T) {
+	// Fig. 8: "a majority of tasks have execution times between 1s and
+	// 10s (with some outliers on either side)".
+	wl := DV3(DV3Large, 42)
+	in, total := 0, 0
+	var under, over bool
+	for _, k := range wl.Graph.Keys() {
+		task := wl.Graph.Task(k)
+		if task.Category != "processor" {
+			continue
+		}
+		c := task.Spec.(*core.SimSpec).Compute
+		total++
+		if c >= time.Second && c <= 10*time.Second {
+			in++
+		}
+		if c < time.Second {
+			under = true
+		}
+		if c > 10*time.Second {
+			over = true
+		}
+	}
+	frac := float64(in) / float64(total)
+	if frac < 0.5 {
+		t.Fatalf("only %.0f%% of tasks in 1-10s", frac*100)
+	}
+	if !under || !over {
+		t.Fatal("no outliers on both sides")
+	}
+}
+
+func TestHoistSweep(t *testing.T) {
+	wl := HoistSweep(100, 500*time.Millisecond, 1)
+	if err := wl.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	fns := 0
+	for _, cc := range wl.Graph.CountByCategory() {
+		if cc.Category == "function" {
+			fns = cc.Count
+		}
+	}
+	if fns != 100 {
+		t.Fatalf("functions = %d", fns)
+	}
+	if wl.Graph.Task(wl.Root) == nil {
+		t.Fatal("no root")
+	}
+}
+
+func TestChunksTileDatasets(t *testing.T) {
+	// Every processor reads exactly one dataset file; every dataset file
+	// is read by exactly one processor.
+	wl := DV3(DV3Medium, 3)
+	used := map[string]int{}
+	for _, k := range wl.Graph.Keys() {
+		spec := wl.Graph.Task(k).Spec.(*core.SimSpec)
+		for _, f := range spec.Inputs {
+			used[string(f)]++
+		}
+	}
+	if len(used) != len(wl.DatasetFiles) {
+		t.Fatalf("%d files used of %d declared", len(used), len(wl.DatasetFiles))
+	}
+	for f, n := range used {
+		if n != 1 {
+			t.Fatalf("file %s read by %d tasks", f, n)
+		}
+	}
+	_ = dag.Key("")
+}

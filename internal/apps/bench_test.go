@@ -1,0 +1,46 @@
+package apps
+
+import (
+	"testing"
+
+	"hepvine/internal/coffea"
+	"hepvine/internal/rootio"
+)
+
+// BenchmarkDV3Kernel measures the physics kernel itself: the columnar
+// selection + dijet-mass computation over one 5000-event chunk.
+func BenchmarkDV3Kernel(b *testing.B) {
+	dir := b.TempDir()
+	paths, err := rootio.WriteDataset(dir, rootio.DatasetSpec{
+		Name: "bench", Files: 1, EventsPerFile: 5000,
+		Gen: rootio.GenOptions{Seed: 1, MeanJets: 5},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rd, closer, err := rootio.Open(paths[0])
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { closer.Close() })
+	chunk := coffea.Chunk{Dataset: "bench", Path: paths[0], Lo: 0, Hi: 5000}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := coffea.ProcessChunkFrom(DV3Processor{}, rd, chunk); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWorkloadSynthesis measures DV3-Large workload construction
+// (graph of ≈17k tasks with sampled costs).
+func BenchmarkWorkloadSynthesis(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		wl := DV3(DV3Large, uint64(i)+1)
+		if wl.TaskCount() < 17000 {
+			b.Fatal("workload too small")
+		}
+	}
+}

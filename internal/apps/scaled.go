@@ -1,0 +1,78 @@
+package apps
+
+import (
+	"fmt"
+	"time"
+
+	"hepvine/internal/core"
+	"hepvine/internal/units"
+)
+
+// Scaled workload builders: the bench harness regenerates every figure at
+// paper scale through cmd/vinebench, but `go test -bench` needs the same
+// experiments at a fraction of the size to stay fast. Scaling multiplies
+// the task count and the input volume together, so per-task costs and data
+// ratios (and therefore the qualitative shapes) are preserved.
+
+// DV3Scaled builds a DV3 workload with task count and input bytes scaled by
+// the given factor (clamped to at least 8 processors). DV3Huge scales its
+// preprocessing width instead.
+func DV3Scaled(size DV3Size, scale float64, seed uint64) *core.Workload {
+	if scale <= 0 || scale > 1 {
+		scale = 1
+	}
+	if size == DV3Huge {
+		return dv3HugeScaled(scale, seed)
+	}
+	p := dv3ParamsFor(size)
+	procs := int(float64(p.processors) * scale)
+	if procs < 8 {
+		procs = 8
+	}
+	return buildMapReduce(mapReduceSpec{
+		name:       fmt.Sprintf("%s(x%.3g)", size, scale),
+		datasets:   1,
+		processors: procs,
+		inputBytes: units.Bytes(float64(p.inputBytes) * scale),
+		outputSize: p.outputSize,
+		fanIn:      p.fanIn,
+		computeMu:  p.computeMu,
+		computeSig: p.computeSig,
+		accBase:    300 * time.Millisecond,
+		accPerIn:   500 * time.Millisecond,
+		seed:       seed,
+	})
+}
+
+// TriPhotonScaled builds an RS-TriPhoton workload scaled by the factor,
+// keeping the 20-dataset structure (so the naive-reduce shape survives).
+func TriPhotonScaled(fanIn int, scale float64, seed uint64) *core.Workload {
+	if scale <= 0 || scale > 1 {
+		scale = 1
+	}
+	procs := int(4000 * scale)
+	if procs < 40 {
+		procs = 40
+	}
+	return buildMapReduce(mapReduceSpec{
+		name:       fmt.Sprintf("RS-TriPhoton(x%.3g)", scale),
+		datasets:   20,
+		processors: procs,
+		inputBytes: units.Bytes(float64(units.GBf(500)) * scale),
+		outputSize: units.Bytes(float64(units.GBf(1.25)) * scale * 4000 / float64(procs)),
+		fanIn:      fanIn,
+		computeMu:  1.8,
+		computeSig: 0.6,
+		accBase:    2 * time.Second,
+		accPerIn:   1500 * time.Millisecond,
+		seed:       seed,
+	})
+}
+
+func dv3HugeScaled(scale float64, seed uint64) *core.Workload {
+	if scale >= 1 {
+		return dv3Huge(seed)
+	}
+	// A scaled Huge keeps the 16-variation structure over fewer chunks.
+	return dv3HugeCustom(int(10000*scale), seed)
+}

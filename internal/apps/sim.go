@@ -1,0 +1,344 @@
+package apps
+
+import (
+	"fmt"
+	"time"
+
+	"hepvine/internal/core"
+	"hepvine/internal/dag"
+	"hepvine/internal/randx"
+	"hepvine/internal/storage"
+	"hepvine/internal/units"
+)
+
+// Simulation workloads calibrated to Table II:
+//
+//	DV3-Small      25 GB input
+//	DV3-Medium    200 GB input
+//	DV3-Large     1.2 TB input, ≈17k tasks  (the "standard" run)
+//	DV3-Huge      same 1.2 TB, ≈185k tasks, 10k initially-executable
+//	RS-TriPhoton  500 GB input, ≈4k tasks, 20 datasets, huge intermediates
+//
+// Task durations follow the Fig. 8 shape: lognormal with most mass between
+// 1s and 10s and outliers both sides. All sampling is seeded.
+
+// DV3Size selects a Table II configuration.
+type DV3Size int
+
+// Table II DV3 sizes.
+const (
+	DV3Small DV3Size = iota
+	DV3Medium
+	DV3Large
+	DV3Huge
+)
+
+func (s DV3Size) String() string {
+	switch s {
+	case DV3Small:
+		return "DV3-Small"
+	case DV3Medium:
+		return "DV3-Medium"
+	case DV3Large:
+		return "DV3-Large"
+	case DV3Huge:
+		return "DV3-Huge"
+	default:
+		return fmt.Sprintf("DV3Size(%d)", int(s))
+	}
+}
+
+// dv3Params shapes a DV3 workload.
+type dv3Params struct {
+	processors int
+	inputBytes units.Bytes
+	outputSize units.Bytes // per-processor partial-result size
+	fanIn      int
+	computeMu  float64 // lognormal seconds
+	computeSig float64
+}
+
+func dv3ParamsFor(size DV3Size) dv3Params {
+	switch size {
+	case DV3Small:
+		return dv3Params{processors: 310, inputBytes: units.GBf(25), outputSize: units.MBf(85), fanIn: 8, computeMu: 1.6, computeSig: 0.75}
+	case DV3Medium:
+		return dv3Params{processors: 2480, inputBytes: units.GBf(200), outputSize: units.MBf(85), fanIn: 8, computeMu: 1.6, computeSig: 0.75}
+	case DV3Large:
+		return dv3Params{processors: 15000, inputBytes: units.TBf(1.2), outputSize: units.MBf(85), fanIn: 8, computeMu: 1.6, computeSig: 0.75}
+	case DV3Huge:
+		// Built by DV3 below via the dedicated huge builder.
+		return dv3Params{}
+	default:
+		panic("apps: unknown DV3 size")
+	}
+}
+
+// DV3 builds the simulation workload for the given Table II size.
+func DV3(size DV3Size, seed uint64) *core.Workload {
+	if size == DV3Huge {
+		return dv3Huge(seed)
+	}
+	p := dv3ParamsFor(size)
+	return buildMapReduce(mapReduceSpec{
+		name:       size.String(),
+		datasets:   1,
+		processors: p.processors,
+		inputBytes: p.inputBytes,
+		outputSize: p.outputSize,
+		fanIn:      p.fanIn,
+		computeMu:  p.computeMu,
+		computeSig: p.computeSig,
+		accBase:    300 * time.Millisecond,
+		accPerIn:   500 * time.Millisecond,
+		seed:       seed,
+	})
+}
+
+// TriPhoton builds the RS-TriPhoton workload: 20 datasets, ≈4k processor
+// tasks over 500 GB, and intermediate results larger than the input
+// (§III: "intermediate data ... may be even larger than the initial set of
+// data"). fanIn < 2 reproduces the naive single-task-per-dataset reduction
+// of Fig. 11a; fanIn = 2 the binary tree of Fig. 11b.
+func TriPhoton(fanIn int, seed uint64) *core.Workload {
+	return buildMapReduce(mapReduceSpec{
+		name:       "RS-TriPhoton",
+		datasets:   20,
+		processors: 4000,
+		inputBytes: units.GBf(500),
+		outputSize: units.GBf(1.25),
+		fanIn:      fanIn,
+		computeMu:  1.8,
+		computeSig: 0.6,
+		accBase:    2 * time.Second,
+		accPerIn:   1500 * time.Millisecond,
+		seed:       seed,
+	})
+}
+
+// mapReduceSpec parameterizes the common map+hierarchical-reduce topology
+// of Fig. 3.
+type mapReduceSpec struct {
+	name       string
+	datasets   int
+	processors int // total across datasets
+	inputBytes units.Bytes
+	outputSize units.Bytes
+	fanIn      int
+	computeMu  float64
+	computeSig float64
+	accBase    time.Duration
+	accPerIn   time.Duration
+	seed       uint64
+}
+
+func buildMapReduce(spec mapReduceSpec) *core.Workload {
+	rng := randx.NewStream(spec.seed, 7)
+	g := dag.NewGraph()
+	files := make(map[storage.FileID]units.Bytes)
+	chunk := spec.inputBytes / units.Bytes(spec.processors)
+
+	perDS := spec.processors / spec.datasets
+	var dsRoots []dag.Key
+	idx := 0
+	for d := 0; d < spec.datasets; d++ {
+		nproc := perDS
+		if d == spec.datasets-1 {
+			nproc = spec.processors - perDS*(spec.datasets-1)
+		}
+		var procKeys []dag.Key
+		for i := 0; i < nproc; i++ {
+			k := dag.Key(fmt.Sprintf("proc-%d", idx))
+			f := storage.FileID(fmt.Sprintf("ds:%s-%d", spec.name, idx))
+			files[f] = jitterBytes(rng, chunk, 0.25)
+			compute := time.Duration(rng.BoundedLogNormal(spec.computeMu, spec.computeSig, 0.3, 150) * float64(time.Second))
+			g.MustAdd(&dag.Task{
+				Key:      k,
+				Category: "processor",
+				Spec: &core.SimSpec{
+					Compute:    compute,
+					Inputs:     []storage.FileID{f},
+					OutputSize: jitterBytes(rng, spec.outputSize, 0.15),
+				},
+			})
+			procKeys = append(procKeys, k)
+			idx++
+		}
+		root, err := dag.TreeReduce(g, fmt.Sprintf("acc-ds%d", d), procKeys, spec.fanIn,
+			func(level, index int, inputs []dag.Key) *dag.Task {
+				return &dag.Task{
+					Category: "accumulate",
+					Spec: &core.SimSpec{
+						Compute:    spec.accBase + time.Duration(len(inputs))*spec.accPerIn,
+						OutputSize: spec.outputSize,
+					},
+				}
+			})
+		if err != nil {
+			panic(err)
+		}
+		dsRoots = append(dsRoots, root)
+	}
+	root := dsRoots[0]
+	if len(dsRoots) > 1 {
+		var err error
+		// The cross-dataset merge is small; always tree it.
+		fan := spec.fanIn
+		if fan < 2 {
+			fan = 0 // keep naive shape end-to-end for the Fig. 11a case
+		}
+		root, err = dag.TreeReduce(g, "acc-final", dsRoots, fan,
+			func(level, index int, inputs []dag.Key) *dag.Task {
+				return &dag.Task{
+					Category: "accumulate",
+					Spec: &core.SimSpec{
+						Compute:    spec.accBase + time.Duration(len(inputs))*spec.accPerIn,
+						OutputSize: spec.outputSize,
+					},
+				}
+			})
+		if err != nil {
+			panic(err)
+		}
+	}
+	if err := g.Finalize(); err != nil {
+		panic(err)
+	}
+	wl := &core.Workload{Name: spec.name, Graph: g, Root: root, DatasetFiles: files}
+	if err := wl.Validate(); err != nil {
+		panic(err)
+	}
+	return wl
+}
+
+// dv3Huge builds the 185k-task configuration of Fig. 15: the same 1.2 TB
+// dataset, but 10k initially-executable preprocessing tasks feeding 16
+// systematic-variation passes, each with its own accumulation tree.
+func dv3Huge(seed uint64) *core.Workload {
+	return dv3HugeCustom(10000, seed)
+}
+
+// dv3HugeCustom builds the Huge topology over a custom preprocessing width.
+func dv3HugeCustom(prepro int, seed uint64) *core.Workload {
+	const (
+		variations = 16
+		fanIn      = 8
+	)
+	if prepro < 8 {
+		prepro = 8
+	}
+	rng := randx.NewStream(seed, 7)
+	g := dag.NewGraph()
+	files := make(map[storage.FileID]units.Bytes)
+	input := units.Bytes(float64(units.TBf(1.2)) * float64(prepro) / 10000)
+	chunk := input / units.Bytes(prepro)
+
+	var varRoots []dag.Key
+	preKeys := make([]dag.Key, prepro)
+	for i := 0; i < prepro; i++ {
+		k := dag.Key(fmt.Sprintf("pre-%d", i))
+		f := storage.FileID(fmt.Sprintf("ds:DV3-Huge-%d", i))
+		files[f] = jitterBytes(rng, chunk, 0.25)
+		g.MustAdd(&dag.Task{
+			Key:      k,
+			Category: "preprocess",
+			Spec: &core.SimSpec{
+				Compute:    time.Duration(rng.BoundedLogNormal(1.0, 0.6, 0.3, 60) * float64(time.Second)),
+				Inputs:     []storage.FileID{f},
+				OutputSize: units.MBf(60),
+			},
+		})
+		preKeys[i] = k
+	}
+	for v := 0; v < variations; v++ {
+		var procKeys []dag.Key
+		for i := 0; i < prepro; i++ {
+			k := dag.Key(fmt.Sprintf("var%d-%d", v, i))
+			g.MustAdd(&dag.Task{
+				Key:      k,
+				Category: "processor",
+				Deps:     []dag.Key{preKeys[i]},
+				Spec: &core.SimSpec{
+					Compute:    time.Duration(rng.BoundedLogNormal(0.3, 0.6, 0.2, 30) * float64(time.Second)),
+					OutputSize: units.MBf(12),
+				},
+			})
+			procKeys = append(procKeys, k)
+		}
+		root, err := dag.TreeReduce(g, fmt.Sprintf("acc-v%d", v), procKeys, fanIn,
+			func(level, index int, inputs []dag.Key) *dag.Task {
+				return &dag.Task{
+					Category: "accumulate",
+					Spec: &core.SimSpec{
+						Compute:    200*time.Millisecond + time.Duration(len(inputs))*50*time.Millisecond,
+						OutputSize: units.MBf(12),
+					},
+				}
+			})
+		if err != nil {
+			panic(err)
+		}
+		varRoots = append(varRoots, root)
+	}
+	root, err := dag.TreeReduce(g, "acc-final", varRoots, fanIn,
+		func(level, index int, inputs []dag.Key) *dag.Task {
+			return &dag.Task{
+				Category: "accumulate",
+				Spec: &core.SimSpec{
+					Compute:    500 * time.Millisecond,
+					OutputSize: units.MBf(12),
+				},
+			}
+		})
+	if err != nil {
+		panic(err)
+	}
+	if err := g.Finalize(); err != nil {
+		panic(err)
+	}
+	wl := &core.Workload{Name: "DV3-Huge", Graph: g, Root: root, DatasetFiles: files}
+	if err := wl.Validate(); err != nil {
+		panic(err)
+	}
+	return wl
+}
+
+// HoistSweep builds the Fig. 10 microbenchmark: n independent function
+// calls of the given per-task compute time, no meaningful data movement.
+func HoistSweep(n int, compute time.Duration, seed uint64) *core.Workload {
+	g := dag.NewGraph()
+	files := make(map[storage.FileID]units.Bytes)
+	keys := make([]dag.Key, n)
+	for i := 0; i < n; i++ {
+		k := dag.Key(fmt.Sprintf("fn-%d", i))
+		g.MustAdd(&dag.Task{
+			Key:      k,
+			Category: "function",
+			Spec:     &core.SimSpec{Compute: compute, OutputSize: units.KBf(64)},
+		})
+		keys[i] = k
+	}
+	root, err := dag.TreeReduce(g, "gather", keys, 64, func(level, index int, inputs []dag.Key) *dag.Task {
+		return &dag.Task{
+			Category: "accumulate",
+			Spec:     &core.SimSpec{Compute: 50 * time.Millisecond, OutputSize: units.KBf(64)},
+		}
+	})
+	if err != nil {
+		panic(err)
+	}
+	if err := g.Finalize(); err != nil {
+		panic(err)
+	}
+	wl := &core.Workload{Name: fmt.Sprintf("hoist-sweep-%v", compute), Graph: g, Root: root, DatasetFiles: files}
+	if err := wl.Validate(); err != nil {
+		panic(err)
+	}
+	return wl
+}
+
+// jitterBytes perturbs a size by ±frac, uniformly.
+func jitterBytes(rng *randx.RNG, base units.Bytes, frac float64) units.Bytes {
+	f := 1 + rng.Range(-frac, frac)
+	return units.Bytes(float64(base) * f)
+}

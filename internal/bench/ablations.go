@@ -1,0 +1,76 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"hepvine/internal/apps"
+	"hepvine/internal/units"
+	"hepvine/internal/vinesim"
+)
+
+// Ablations of the design choices DESIGN.md §5 calls out. These are not
+// paper artifacts; they probe how sensitive the headline results are to two
+// tunables: the peer-transfer governor's per-source cap and the reduction
+// fan-in.
+
+func init() {
+	register(Experiment{
+		ID:    "ablation-cap",
+		Title: "Ablation: peer-transfer concurrency cap per source (RS-TriPhoton, GB-scale intermediates)",
+		Paper: "§IV.B caps concurrent peer transfers so 'uncontrolled peer transfers do not create network contention'",
+		Run:   runAblationCap,
+	})
+	register(Experiment{
+		ID:    "ablation-fanin",
+		Title: "Ablation: reduction fan-in vs runtime and peak worker storage (RS-TriPhoton)",
+		Paper: "Fig. 11 contrasts fan-in=all vs 2; the full trade-off curve lives between them",
+		Run:   runAblationFanIn,
+	})
+}
+
+func runAblationCap(opts Options, w io.Writer) error {
+	workers := opts.scaled(20, 4)
+	row(w, "Cap", "Runtime", "Completed", "Peer transfers", "Max pair")
+	for _, cap := range []int{1, 3, 10, 1 << 20} {
+		wl := apps.TriPhotonScaled(2, opts.Scale, opts.Seed)
+		cfg := vinesim.StackConfig(4, workers, 12, opts.Seed)
+		cfg.WorkerDisk = triPhotonDisk(opts, workers)
+		cfg.TransferCap = cap
+		res := vinesim.Run(cfg, wl)
+		label := fmt.Sprintf("%d", cap)
+		if cap >= 1<<20 {
+			label = "unbounded"
+		}
+		row(w, label, secs(res.Runtime), fmt.Sprintf("%v", res.Completed),
+			fmt.Sprintf("%d", res.PeerCount), res.MaxPairBytes.String())
+	}
+	return nil
+}
+
+func runAblationFanIn(opts Options, w io.Writer) error {
+	workers := opts.scaled(20, 4)
+	row(w, "Fan-in", "Runtime", "Completed", "Disk fails", "Peak cache", "Graph size")
+	for _, fanIn := range []int{2, 4, 8, 0} {
+		wl := apps.TriPhotonScaled(fanIn, opts.Scale, opts.Seed)
+		cfg := vinesim.StackConfig(4, workers, 12, opts.Seed)
+		cfg.WorkerDisk = triPhotonDisk(opts, workers)
+		cfg.RecordPerWorker = true
+		res := vinesim.Run(cfg, wl)
+		var peak units.Bytes
+		for _, p := range res.PeakCachePerWorker {
+			if p > peak {
+				peak = p
+			}
+		}
+		label := fmt.Sprintf("%d", fanIn)
+		if fanIn == 0 {
+			label = "all (naive)"
+		}
+		row(w, label, secs(res.Runtime), fmt.Sprintf("%v", res.Completed),
+			fmt.Sprintf("%d", res.DiskFailures), peak.String(),
+			fmt.Sprintf("%d", wl.TaskCount()))
+	}
+	fmt.Fprintln(w, "   (small fan-in bounds per-node storage at the cost of tree depth)")
+	return nil
+}

@@ -1,0 +1,187 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"time"
+
+	"hepvine/internal/units"
+	"hepvine/internal/vinesim"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "fig7",
+		Title: "Pairwise transfer heatmap: Work Queue vs TaskVine peer transfers (DV3-Large)",
+		Paper: "WQ: manager sends upwards of 40GB to individual workers; TaskVine: max between any two nodes ~4GB",
+		Run:   runFig7,
+	})
+	register(Experiment{
+		ID:    "fig8",
+		Title: "Task execution time distribution: standard tasks vs function calls (DV3-Large)",
+		Paper: "majority of tasks between 1s and 10s; function calls strictly faster per task",
+		Run:   runFig8,
+	})
+}
+
+func runFig7(opts Options, w io.Writer) error {
+	type caseRes struct {
+		label string
+		res   *vinesim.Result
+	}
+	var cases []caseRes
+	for _, c := range []struct {
+		label string
+		stack int
+	}{
+		{"Work Queue (stack 2)", 2},
+		{"TaskVine peers (stack 4)", 4},
+	} {
+		wl, workers := dv3LargeAt(opts)
+		cfg := vinesim.StackConfig(c.stack, workers, 12, opts.Seed)
+		res := vinesim.Run(cfg, wl)
+		if !res.Completed {
+			return fmt.Errorf("%s failed: %s", c.label, res.Failure)
+		}
+		cases = append(cases, caseRes{c.label, res})
+		if f, err := opts.csvFile(fmt.Sprintf("fig7_%s_matrix", map[int]string{2: "wq", 4: "vine"}[c.stack])); err != nil {
+			return err
+		} else if f != nil {
+			fmt.Fprintln(f, "src,dst,bytes")
+			for src, rowm := range res.TransferMatrix {
+				for dst, b := range rowm {
+					fmt.Fprintf(f, "%s,%s,%d\n", src, dst, int64(b))
+				}
+			}
+			f.Close()
+		}
+	}
+
+	row(w, "Configuration", "mgr moved", "max pair", "peer xfers", "mgr xfers")
+	for _, c := range cases {
+		row(w, c.label,
+			c.res.ManagerMoved.String(),
+			c.res.MaxPairBytes.String(),
+			fmt.Sprintf("%d", c.res.PeerCount),
+			fmt.Sprintf("%d", c.res.ManagerCount))
+	}
+
+	// The headline ratio: how much the manager hot-spot shrinks.
+	wqMax, tvMax := cases[0].res.MaxPairBytes, cases[1].res.MaxPairBytes
+	if tvMax > 0 {
+		fmt.Fprintf(w, "   hottest pair shrinks %.1fx with peer transfers\n",
+			float64(wqMax)/float64(tvMax))
+	}
+
+	if opts.Verbose {
+		for _, c := range cases {
+			fmt.Fprintf(w, "   -- %s: top transfer pairs --\n", c.label)
+			writeTopPairs(w, c.res, 8)
+		}
+	}
+	return nil
+}
+
+// writeTopPairs prints the largest pairwise volumes of a run.
+func writeTopPairs(w io.Writer, res *vinesim.Result, n int) {
+	type pair struct {
+		src, dst string
+		b        units.Bytes
+	}
+	var pairs []pair
+	for s, rowm := range res.TransferMatrix {
+		for d, b := range rowm {
+			pairs = append(pairs, pair{s, d, b})
+		}
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].b != pairs[j].b {
+			return pairs[i].b > pairs[j].b
+		}
+		if pairs[i].src != pairs[j].src {
+			return pairs[i].src < pairs[j].src
+		}
+		return pairs[i].dst < pairs[j].dst
+	})
+	if n > len(pairs) {
+		n = len(pairs)
+	}
+	max := float64(pairs[0].b)
+	for _, p := range pairs[:n] {
+		fmt.Fprintf(w, "   %12s -> %-12s %10s %s\n", p.src, p.dst, p.b, bar(float64(p.b), max, 30))
+	}
+}
+
+func runFig8(opts Options, w io.Writer) error {
+	// Stack 3 = standard tasks, stack 4 = function calls; same workload.
+	var dists [2][]time.Duration
+	labels := [2]string{"Standard Tasks", "Function Calls"}
+	for i, stack := range []int{3, 4} {
+		wl, workers := dv3LargeAt(opts)
+		cfg := vinesim.StackConfig(stack, workers, 12, opts.Seed)
+		res := vinesim.Run(cfg, wl)
+		if !res.Completed {
+			return fmt.Errorf("%s failed: %s", labels[i], res.Failure)
+		}
+		dists[i] = res.TaskExec
+		if f, err := opts.csvFile(fmt.Sprintf("fig8_%s", map[int]string{3: "standard", 4: "functioncalls"}[stack])); err != nil {
+			return err
+		} else if f != nil {
+			fmt.Fprintln(f, "exec_seconds")
+			for _, d := range res.TaskExec {
+				fmt.Fprintf(f, "%.3f\n", d.Seconds())
+			}
+			f.Close()
+		}
+	}
+
+	// Log-spaced buckets from 0.1s to 100s, as in the paper's figure.
+	edges := []float64{0.1, 0.3, 1, 3, 10, 30, 100, math.Inf(1)}
+	names := []string{"<0.3s", "0.3-1s", "1-3s", "3-10s", "10-30s", "30-100s", ">100s"}
+	row(w, "Bucket", labels[0], labels[1])
+	counts := [2][]int{make([]int, len(names)), make([]int, len(names))}
+	for i := range dists {
+		for _, d := range dists[i] {
+			s := d.Seconds()
+			for b := 0; b < len(names); b++ {
+				if s >= edges[b] && s < edges[b+1] {
+					counts[i][b]++
+					break
+				}
+			}
+		}
+	}
+	for b, name := range names {
+		row(w, name, fmt.Sprintf("%d", counts[0][b]), fmt.Sprintf("%d", counts[1][b]))
+	}
+	med0, med1 := median(dists[0]), median(dists[1])
+	fmt.Fprintf(w, "   median task time: standard %.2fs, function calls %.2fs (%.2fx lighter)\n",
+		med0.Seconds(), med1.Seconds(), med0.Seconds()/med1.Seconds())
+	frac := inRangeFraction(dists[1], time.Second, 10*time.Second)
+	fmt.Fprintf(w, "   function calls within 1-10s: %.0f%%\n", frac*100)
+	return nil
+}
+
+func median(ds []time.Duration) time.Duration {
+	if len(ds) == 0 {
+		return 0
+	}
+	s := append([]time.Duration(nil), ds...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	return s[len(s)/2]
+}
+
+func inRangeFraction(ds []time.Duration, lo, hi time.Duration) float64 {
+	if len(ds) == 0 {
+		return 0
+	}
+	n := 0
+	for _, d := range ds {
+		if d >= lo && d <= hi {
+			n++
+		}
+	}
+	return float64(n) / float64(len(ds))
+}

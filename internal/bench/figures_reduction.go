@@ -1,0 +1,148 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"hepvine/internal/apps"
+	"hepvine/internal/core"
+	"hepvine/internal/units"
+	"hepvine/internal/vinesim"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "fig11",
+		Title: "Single-task vs hierarchical reduction: worker storage consumption (RS-TriPhoton)",
+		Paper: "naive: workers grow ~200GB, outliers 700GB+ → failures; tree: reduced, uniform, completes",
+		Run:   runFig11,
+	})
+}
+
+func runFig11(opts Options, w io.Writer) error {
+	workers := opts.scaled(20, 4)
+	// Worker disk scales with the per-worker intermediate volume so the
+	// naive/tree contrast survives scaling: at paper scale (5 TB of
+	// intermediates over 20 workers) this reproduces the 700 GB
+	// allocation of §V.B exactly.
+	probe := apps.TriPhotonScaled(2, opts.Scale, opts.Seed)
+	var interm units.Bytes
+	for _, k := range probe.Graph.Keys() {
+		if probe.Graph.Task(k).Category == "processor" {
+			interm += probe.Graph.Task(k).Spec.(*core.SimSpec).OutputSize
+		}
+	}
+	disk := units.Bytes(float64(interm) / float64(workers) * 2.8)
+
+	type outcome struct {
+		label string
+		res   *vinesim.Result
+	}
+	var outs []outcome
+	for _, c := range []struct {
+		label string
+		fanIn int
+	}{
+		{"single-task reduce", 0},
+		{"binary-tree reduce", 2},
+	} {
+		wl := apps.TriPhotonScaled(c.fanIn, opts.Scale, opts.Seed)
+		cfg := vinesim.StackConfig(4, workers, 12, opts.Seed)
+		cfg.WorkerDisk = disk
+		cfg.RecordPerWorker = true
+		res := vinesim.Run(cfg, wl)
+		outs = append(outs, outcome{c.label, res})
+		name := "fig11_tree"
+		if c.fanIn < 2 {
+			name = "fig11_naive"
+		}
+		if f, err := opts.csvFile(name); err != nil {
+			return err
+		} else if f != nil {
+			fmt.Fprintln(f, "t_seconds,max_cache_bytes,median_cache_bytes")
+			for i, snap := range res.CacheSeries {
+				sorted := append([]units.Bytes(nil), snap...)
+				sort.Slice(sorted, func(a, b int) bool { return sorted[a] < sorted[b] })
+				var max, med units.Bytes
+				if len(sorted) > 0 {
+					max, med = sorted[len(sorted)-1], sorted[len(sorted)/2]
+				}
+				fmt.Fprintf(f, "%.0f,%d,%d\n", res.Samples[i].T.Seconds(), int64(max), int64(med))
+			}
+			f.Close()
+		}
+	}
+
+	row(w, "Reduction", "Runtime", "Completed", "Disk fails", "Re-runs", "Peak cache", "Median peak")
+	for _, o := range outs {
+		peaks := append([]units.Bytes(nil), o.res.PeakCachePerWorker...)
+		sort.Slice(peaks, func(i, j int) bool { return peaks[i] < peaks[j] })
+		var max, med units.Bytes
+		if len(peaks) > 0 {
+			max = peaks[len(peaks)-1]
+			med = peaks[len(peaks)/2]
+		}
+		row(w, o.label,
+			secs(o.res.Runtime),
+			fmt.Sprintf("%v", o.res.Completed),
+			fmt.Sprintf("%d", o.res.DiskFailures),
+			fmt.Sprintf("%d", o.res.TasksRerun),
+			max.String(), med.String())
+	}
+
+	naive, tree := outs[0].res, outs[1].res
+	maxOf := func(r *vinesim.Result) units.Bytes {
+		var m units.Bytes
+		for _, p := range r.PeakCachePerWorker {
+			if p > m {
+				m = p
+			}
+		}
+		return m
+	}
+	if nm, tm := maxOf(naive), maxOf(tree); tm > 0 {
+		fmt.Fprintf(w, "   peak worker cache shrinks %.1fx with hierarchical reduction (disk limit %v)\n",
+			float64(nm)/float64(tm), disk)
+	}
+
+	if opts.Verbose {
+		fmt.Fprintln(w, "   -- per-worker cache usage over time (max across workers per sample) --")
+		for _, o := range outs {
+			fmt.Fprintf(w, "   %s:\n", o.label)
+			writeCacheTimeline(w, o.res, 12)
+		}
+	}
+	return nil
+}
+
+// writeCacheTimeline prints a coarse max/median cache curve.
+func writeCacheTimeline(w io.Writer, res *vinesim.Result, rows int) {
+	if len(res.CacheSeries) == 0 {
+		fmt.Fprintln(w, "    (no per-worker series)")
+		return
+	}
+	step := len(res.CacheSeries) / rows
+	if step < 1 {
+		step = 1
+	}
+	var globalMax units.Bytes
+	for _, snap := range res.CacheSeries {
+		for _, c := range snap {
+			if c > globalMax {
+				globalMax = c
+			}
+		}
+	}
+	for i := 0; i < len(res.CacheSeries); i += step {
+		snap := res.CacheSeries[i]
+		var max units.Bytes
+		for _, c := range snap {
+			if c > max {
+				max = c
+			}
+		}
+		fmt.Fprintf(w, "   %8s max=%-10s %s\n",
+			res.Samples[i].T.Round(1e9), max, bar(float64(max), float64(globalMax), 40))
+	}
+}

@@ -1,0 +1,139 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"hepvine/internal/apps"
+	"hepvine/internal/core"
+	"hepvine/internal/params"
+	"hepvine/internal/units"
+	"hepvine/internal/vinesim"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "fig14a",
+		Title: "Scaling: TaskVine vs Dask.Distributed (DV3-Small / DV3-Medium, 60-300 cores)",
+		Paper: "similar at small scale; TaskVine completes in ~1/2 the time approaching 300 cores",
+		Run:   runFig14a,
+	})
+	register(Experiment{
+		ID:    "fig14b",
+		Title: "Scaling: DV3-Large and RS-TriPhoton, 120-2400 cores",
+		Paper: "DV3-Large peaks ~1200 cores; RS-TriPhoton keeps small gains to 2400; Dask.Distributed fails at this scale",
+		Run:   runFig14b,
+	})
+}
+
+func runFig14a(opts Options, w io.Writer) error {
+	workerCounts := scaledLadder([]int{5, 10, 15, 20, 25}, opts.Scale) // ×12 cores = 60..300
+	for _, size := range []apps.DV3Size{apps.DV3Small, apps.DV3Medium} {
+		fmt.Fprintf(w, "   %s:\n", size)
+		row(w, "Cores", "TaskVine", "Dask.Distributed", "dask/vine")
+		for _, sw := range workerCounts {
+			vcfg := vinesim.StackConfig(4, sw, 12, opts.Seed)
+			vcfg.PreemptFraction = 0
+			vres := vinesim.Run(vcfg, apps.DV3Scaled(size, opts.Scale, opts.Seed))
+			dcfg := vinesim.DaskConfig(sw, 12, opts.Seed)
+			dcfg.PreemptFraction = 0
+			dres := vinesim.Run(dcfg, apps.DV3Scaled(size, opts.Scale, opts.Seed))
+			if !vres.Completed {
+				return fmt.Errorf("taskvine %s @ %d failed: %s", size, sw*12, vres.Failure)
+			}
+			dcol, ratio := "FAILED", "-"
+			if dres.Completed {
+				dcol = secs(dres.Runtime)
+				ratio = fmt.Sprintf("%.2fx", dres.Runtime.Seconds()/vres.Runtime.Seconds())
+			}
+			row(w, fmt.Sprintf("%d", sw*12), secs(vres.Runtime), dcol, ratio)
+		}
+	}
+	return nil
+}
+
+func runFig14b(opts Options, w io.Writer) error {
+	workerCounts := scaledLadder([]int{10, 25, 50, 100, 200}, opts.Scale) // ×12 = 120..2400
+	fmt.Fprintln(w, "   DV3-Large (TaskVine):")
+	row(w, "Cores", "Runtime", "Speed vs 120c")
+	var base float64
+	for i, sw := range workerCounts {
+		cfg := vinesim.StackConfig(4, sw, 12, opts.Seed)
+		res := vinesim.Run(cfg, apps.DV3Scaled(apps.DV3Large, opts.Scale, opts.Seed))
+		if !res.Completed {
+			return fmt.Errorf("DV3-Large @ %d cores failed: %s", sw*12, res.Failure)
+		}
+		if i == 0 {
+			base = res.Runtime.Seconds()
+		}
+		row(w, fmt.Sprintf("%d", sw*12), secs(res.Runtime), fmt.Sprintf("%.2fx", base/res.Runtime.Seconds()))
+	}
+
+	fmt.Fprintln(w, "   RS-TriPhoton (TaskVine):")
+	row(w, "Cores", "Runtime", "Speed vs 120c")
+	for i, sw := range workerCounts {
+		cfg := vinesim.StackConfig(4, sw, 12, opts.Seed)
+		cfg.WorkerDisk = triPhotonDisk(opts, sw)
+		res := vinesim.Run(cfg, apps.TriPhotonScaled(2, opts.Scale, opts.Seed))
+		if !res.Completed {
+			return fmt.Errorf("TriPhoton @ %d cores failed: %s", sw*12, res.Failure)
+		}
+		if i == 0 {
+			base = res.Runtime.Seconds()
+		}
+		row(w, fmt.Sprintf("%d", sw*12), secs(res.Runtime), fmt.Sprintf("%.2fx", base/res.Runtime.Seconds()))
+	}
+
+	// Dask.Distributed at this scale (paper: consistently fails).
+	dcfg := vinesim.DaskConfig(100, 12, opts.Seed)
+	dres := vinesim.Run(dcfg, apps.DV3Scaled(apps.DV3Large, opts.Scale, opts.Seed))
+	if dres.Completed {
+		fmt.Fprintln(w, "   WARNING: dask.distributed unexpectedly completed at 1200 cores")
+	} else {
+		fmt.Fprintf(w, "   Dask.Distributed at 1200 cores: FAILED (%s)\n", dres.Failure)
+	}
+	return nil
+}
+
+// scaledLadder scales a worker-count ladder, keeping it strictly increasing
+// so scaling curves remain curves at small scale factors.
+func scaledLadder(counts []int, scale float64) []int {
+	out := make([]int, len(counts))
+	prev := 0
+	for i, c := range counts {
+		v := int(math.Ceil(float64(c) * scale))
+		if v <= prev {
+			v = prev + 1
+		}
+		out[i] = v
+		prev = v
+	}
+	return out
+}
+
+// triPhotonDisk sizes TriPhoton worker disks to the scaled workload: 2.8x
+// the per-worker intermediate volume (the paper's 700GB allocation at its
+// 20-worker shape), floored at 64 task outputs of headroom and capped at
+// the paper's allocation.
+func triPhotonDisk(opts Options, workers int) units.Bytes {
+	probe := apps.TriPhotonScaled(2, opts.Scale, opts.Seed)
+	var interm, maxOut units.Bytes
+	for _, k := range probe.Graph.Keys() {
+		if probe.Graph.Task(k).Category == "processor" {
+			out := probe.Graph.Task(k).Spec.(*core.SimSpec).OutputSize
+			interm += out
+			if out > maxOut {
+				maxOut = out
+			}
+		}
+	}
+	base := units.Bytes(float64(interm) / float64(workers) * 2.8)
+	if floor := 64 * maxOut; base < floor {
+		base = floor
+	}
+	if base > params.TriPhotonWorkerDisk {
+		base = params.TriPhotonWorkerDisk
+	}
+	return base
+}

@@ -1,0 +1,154 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"hepvine/internal/apps"
+	"hepvine/internal/params"
+	"hepvine/internal/vine"
+	"hepvine/internal/vinesim"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "fig9",
+		Title: "Import hoisting structure (live engine demonstration)",
+		Paper: "hoisted: libraries load once per LibraryTask; unhoisted: once per FunctionCall",
+		Run:   runFig9,
+	})
+	register(Experiment{
+		ID:    "fig10",
+		Title: "Import hoisting sweep: 15k function calls, complexity 0.125-64, local vs shared FS",
+		Paper: "large speedup for fine-grained tasks, fading as tasks lengthen; local imports slightly beat VAST",
+		Run:   runFig10,
+	})
+}
+
+// runFig9 demonstrates the Fig. 9 structure on the real engine: the same
+// burst of function calls against a hoisted and an unhoisted library
+// instance, counting how many times the library environment was built.
+func runFig9(opts Options, w io.Writer) error {
+	const calls = 24
+	setupDelay := 30 * time.Millisecond
+
+	runMode := func(hoist bool) (setups int, wall time.Duration, err error) {
+		lib := &vine.Library{
+			Name:       fmt.Sprintf("fig9-%v", hoist),
+			SetupDelay: setupDelay,
+			Setup:      func() (any, error) { return "imports", nil },
+			Funcs: map[string]vine.Function{
+				"work": func(c *vine.Call) error {
+					c.SetOutput("out", c.Args)
+					return nil
+				},
+			},
+		}
+		if err := vine.RegisterLibrary(lib); err != nil {
+			return 0, 0, err
+		}
+		m, err := vine.NewManager(vine.ManagerOptions{
+			PeerTransfers:    true,
+			InstallLibraries: []vine.LibrarySpec{{Name: lib.Name, Hoist: hoist}},
+		})
+		if err != nil {
+			return 0, 0, err
+		}
+		defer m.Stop()
+		worker, err := vine.NewWorker(m.Addr(), vine.WorkerOptions{Cores: 4})
+		if err != nil {
+			return 0, 0, err
+		}
+		defer worker.Stop()
+		if err := m.WaitForWorkers(1, 5*time.Second); err != nil {
+			return 0, 0, err
+		}
+		start := time.Now()
+		var handles []*vine.TaskHandle
+		for i := 0; i < calls; i++ {
+			h, err := m.SubmitFunc(vine.ModeFunctionCall, lib.Name, "work", []byte{byte(i)}, "out")
+			if err != nil {
+				return 0, 0, err
+			}
+			handles = append(handles, h)
+		}
+		for _, h := range handles {
+			if err := h.Wait(30 * time.Second); err != nil {
+				return 0, 0, err
+			}
+		}
+		return worker.LibrarySetupCount(lib.Name), time.Since(start), nil
+	}
+
+	row(w, "Mode", "setup runs", "wall time")
+	hs, hw, err := runMode(true)
+	if err != nil {
+		return err
+	}
+	row(w, "hoisted imports", fmt.Sprintf("%d", hs), hw.Round(time.Millisecond).String())
+	us, uw, err := runMode(false)
+	if err != nil {
+		return err
+	}
+	row(w, "unhoisted imports", fmt.Sprintf("%d", us), uw.Round(time.Millisecond).String())
+	fmt.Fprintf(w, "   %d function calls: environment built %d vs %d times (live TCP engine)\n", calls, hs, us)
+	return nil
+}
+
+func runFig10(opts Options, w io.Writer) error {
+	// Paper setup: 15,000 function calls on 16 32-core workers; task time
+	// scales linearly with "complexity": 0.125 → ~0.1s, 64 → ~35s.
+	nCalls := opts.scaled(15000, 200)
+	workers := opts.scaled(16, 2)
+	complexities := []float64{0.125, 0.5, 2, 8, 32, 64}
+	if opts.Scale < 0.2 {
+		complexities = []float64{0.125, 2, 64} // keep quick runs quick
+	}
+
+	type variant struct {
+		label string
+		hoist bool
+		local bool
+	}
+	variants := []variant{
+		{"hoisted/local", true, true},
+		{"hoisted/VAST", true, false},
+		{"unhoisted/local", false, true},
+		{"unhoisted/VAST", false, false},
+	}
+	header := []string{"Complexity"}
+	for _, v := range variants {
+		header = append(header, v.label)
+	}
+	row(w, header...)
+	for _, c := range complexities {
+		compute := time.Duration(c * 0.55 * float64(time.Second))
+		cols := []string{fmt.Sprintf("%g (%.2gs)", c, compute.Seconds())}
+		for _, v := range variants {
+			cfg := vinesim.Config{
+				Label:          "fig10",
+				Workers:        workers,
+				CoresPerWorker: 32,
+				WorkerDisk:     params.WorkerDisk,
+				Flow:           vinesim.FlowPeer,
+				Serverless:     true,
+				Hoist:          v.hoist,
+				FS:             params.VAST,
+				Seed:           opts.Seed,
+			}
+			if v.local {
+				cfg.ImportFS = params.LocalDisk
+			} else {
+				cfg.ImportFS = params.VAST
+			}
+			res := vinesim.Run(cfg, apps.HoistSweep(nCalls, compute, opts.Seed))
+			if !res.Completed {
+				return fmt.Errorf("fig10 %s c=%g failed: %s", v.label, c, res.Failure)
+			}
+			cols = append(cols, secs(res.Runtime))
+		}
+		row(w, cols...)
+	}
+	return nil
+}

@@ -1,0 +1,148 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"hepvine/internal/apps"
+	"hepvine/internal/vinesim"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "fig12",
+		Title: "Workflow timeline, first 300s of each stack (running / waiting tasks)",
+		Paper: "stack 1 long accumulation tail; stack 3 oscillates on dispatch; stack 4 drains fastest",
+		Run:   runFig12,
+	})
+	register(Experiment{
+		ID:    "fig13",
+		Title: "Worker occupancy: stack 3 vs stack 4 at 20 and 200 workers",
+		Paper: "stack 3 keeps 20 workers busy but starves 200; stack 4 keeps 200 busy",
+		Run:   runFig13,
+	})
+	register(Experiment{
+		ID:    "fig15",
+		Title: "DV3-Huge: 185k tasks on 600 12-core workers (7200 cores)",
+		Paper: "10k initially-executable tasks; high concurrency until the final reduction",
+		Run:   runFig15,
+	})
+}
+
+func runFig12(opts Options, w io.Writer) error {
+	window := time.Duration(float64(300*time.Second) * opts.Scale)
+	if window < 30*time.Second {
+		window = 30 * time.Second
+	}
+	stride := window / 10
+
+	for s := 1; s <= 4; s++ {
+		wl, workers := dv3LargeAt(opts)
+		cfg := vinesim.StackConfig(s, workers, 12, opts.Seed)
+		res := vinesim.Run(cfg, wl)
+		if !res.Completed {
+			return fmt.Errorf("stack %d failed: %s", s, res.Failure)
+		}
+		if err := writeTimelineCSV(opts, fmt.Sprintf("fig12_stack%d", s), res); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "   Stack %d (total runtime %s):\n", s, secs(res.Runtime))
+		fmt.Fprintf(w, "   %10s %10s %10s %10s\n", "t", "running", "waiting", "done")
+		next := time.Duration(0)
+		for _, sm := range res.Samples {
+			if sm.T > window {
+				break
+			}
+			if sm.T >= next {
+				fmt.Fprintf(w, "   %10s %10d %10d %10d\n", secs(sm.T), sm.Running, sm.Waiting, sm.Done)
+				next += stride
+			}
+		}
+	}
+	return nil
+}
+
+func runFig13(opts Options, w io.Writer) error {
+	scales := []int{opts.scaled(20, 2), opts.scaled(200, 4)}
+	row(w, "Configuration", "Runtime", "Utilization", "Throughput")
+	for _, stack := range []int{3, 4} {
+		for _, workers := range scales {
+			wl := apps.DV3Scaled(apps.DV3Large, opts.Scale, opts.Seed)
+			cfg := vinesim.StackConfig(stack, workers, 12, opts.Seed)
+			cfg.RecordPerWorker = true
+			cfg.RecordTrace = opts.CSVDir != ""
+			res := vinesim.Run(cfg, wl)
+			if !res.Completed {
+				return fmt.Errorf("stack %d @ %d workers failed: %s", stack, workers, res.Failure)
+			}
+			// Gantt-level export: one row per task execution, Fig. 13's
+			// raw "colored bars".
+			if f, err := opts.csvFile(fmt.Sprintf("fig13_stack%d_%dworkers", stack, workers)); err != nil {
+				return err
+			} else if f != nil {
+				fmt.Fprintln(f, "key,worker,attempt,dispatch_s,start_s,end_s")
+				for _, ev := range res.Trace {
+					fmt.Fprintf(f, "%s,%d,%d,%.3f,%.3f,%.3f\n",
+						ev.Key, ev.Worker, ev.Attempt,
+						ev.Dispatch.Seconds(), ev.Start.Seconds(), ev.End.Seconds())
+				}
+				f.Close()
+			}
+			row(w, fmt.Sprintf("stack %d, %d workers", stack, workers),
+				secs(res.Runtime),
+				fmt.Sprintf("%.0f%%", res.Utilization()*100),
+				fmt.Sprintf("%.0f tasks/s", res.Throughput()))
+		}
+	}
+	fmt.Fprintln(w, "   (stack 4's gain concentrates at the larger pool: dispatch no longer starves workers)")
+	return nil
+}
+
+func runFig15(opts Options, w io.Writer) error {
+	wl := apps.DV3Scaled(apps.DV3Huge, opts.Scale, opts.Seed)
+	workers := opts.scaled(600, 4)
+	cfg := vinesim.StackConfig(4, workers, 12, opts.Seed)
+	res := vinesim.Run(cfg, wl)
+	if !res.Completed {
+		return fmt.Errorf("DV3-Huge failed: %s", res.Failure)
+	}
+	if err := writeTimelineCSV(opts, "fig15_dv3huge", res); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "   %d tasks on %d workers (%d cores): runtime %s, utilization %.0f%%\n",
+		wl.TaskCount(), workers, workers*12, secs(res.Runtime), res.Utilization()*100)
+
+	// Concurrency timeline, 12 rows.
+	maxRunning := 0
+	for _, sm := range res.Samples {
+		if sm.Running > maxRunning {
+			maxRunning = sm.Running
+		}
+	}
+	step := len(res.Samples) / 12
+	if step < 1 {
+		step = 1
+	}
+	fmt.Fprintf(w, "   %10s %10s  concurrency\n", "t", "running")
+	for i := 0; i < len(res.Samples); i += step {
+		sm := res.Samples[i]
+		fmt.Fprintf(w, "   %10s %10d  %s\n", secs(sm.T), sm.Running, bar(float64(sm.Running), float64(maxRunning), 40))
+	}
+	fmt.Fprintf(w, "   peak concurrency %d of %d cores\n", maxRunning, workers*12)
+	return nil
+}
+
+// writeTimelineCSV exports a run's running/waiting/done series.
+func writeTimelineCSV(opts Options, name string, res *vinesim.Result) error {
+	f, err := opts.csvFile(name)
+	if err != nil || f == nil {
+		return err
+	}
+	defer f.Close()
+	fmt.Fprintln(f, "t_seconds,running,waiting,done")
+	for _, sm := range res.Samples {
+		fmt.Fprintf(f, "%.0f,%d,%d,%d\n", sm.T.Seconds(), sm.Running, sm.Waiting, sm.Done)
+	}
+	return nil
+}

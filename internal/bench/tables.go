@@ -1,0 +1,71 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"hepvine/internal/apps"
+	"hepvine/internal/core"
+	"hepvine/internal/vinesim"
+)
+
+// dv3LargeAt builds DV3-Large and its standard pool at the given scale.
+func dv3LargeAt(opts Options) (*core.Workload, int) {
+	return apps.DV3Scaled(apps.DV3Large, opts.Scale, opts.Seed), opts.scaled(200, 2)
+}
+
+func init() {
+	register(Experiment{
+		ID:    "table1",
+		Title: "Overall stack performance (DV3-Large, 200x12-core workers)",
+		Paper: "3545s / 3378s / 730s / 272s → 1.00x / 1.05x / 4.86x / 13.03x",
+		Run:   runTable1,
+	})
+	register(Experiment{
+		ID:    "table2",
+		Title: "Application configurations",
+		Paper: "DV3 Small 25GB / Medium 200GB / Large 1.2TB,17k tasks / Huge 185k tasks; RS-TriPhoton 500GB, 4k tasks",
+		Run:   runTable2,
+	})
+}
+
+func runTable1(opts Options, w io.Writer) error {
+	names := []string{"", "Original (WQ+HDFS)", "HDFS -> VAST", "WQ -> TaskVine", "Tasks -> Functions"}
+	row(w, "Stack", "Change", "Runtime", "Speedup")
+	var base float64
+	for s := 1; s <= 4; s++ {
+		wl, workers := dv3LargeAt(opts)
+		cfg := vinesim.StackConfig(s, workers, 12, opts.Seed)
+		res := vinesim.Run(cfg, wl)
+		if !res.Completed {
+			return fmt.Errorf("stack %d failed: %s", s, res.Failure)
+		}
+		if s == 1 {
+			base = res.Runtime.Seconds()
+		}
+		row(w, fmt.Sprintf("Stack %d", s), names[s], secs(res.Runtime),
+			fmt.Sprintf("%.2fx", base/res.Runtime.Seconds()))
+	}
+	return nil
+}
+
+func runTable2(opts Options, w io.Writer) error {
+	row(w, "Application", "Tasks", "Input", "Compute")
+	specs := []struct {
+		name string
+		wl   *core.Workload
+	}{
+		{"DV3-Small", apps.DV3Scaled(apps.DV3Small, opts.Scale, opts.Seed)},
+		{"DV3-Medium", apps.DV3Scaled(apps.DV3Medium, opts.Scale, opts.Seed)},
+		{"DV3-Large", apps.DV3Scaled(apps.DV3Large, opts.Scale, opts.Seed)},
+		{"DV3-Huge", apps.DV3Scaled(apps.DV3Huge, opts.Scale, opts.Seed)},
+		{"RS-TriPhoton", apps.TriPhotonScaled(2, opts.Scale, opts.Seed)},
+	}
+	for _, s := range specs {
+		row(w, s.name,
+			fmt.Sprintf("%d", s.wl.TaskCount()),
+			s.wl.InputBytes().String(),
+			fmt.Sprintf("%.0f core-h", s.wl.TotalCompute().Hours()))
+	}
+	return nil
+}

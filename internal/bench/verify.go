@@ -1,0 +1,171 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"hepvine/internal/apps"
+	"hepvine/internal/params"
+	"hepvine/internal/units"
+	"hepvine/internal/vinesim"
+)
+
+// The verify experiment asserts the paper's qualitative claims
+// programmatically — the reproduction's self-check. Each check encodes a
+// *shape* (ordering, factor band, crossover), not an absolute number, and
+// the bands are deliberately generous: they must hold at paper scale and at
+// the reduced scales used by `go test -bench`.
+
+func init() {
+	register(Experiment{
+		ID:    "verify",
+		Title: "Self-check: assert every reproduced shape claim",
+		Paper: "all of Table I / Figs. 7-15, as PASS/FAIL checks",
+		Run:   runVerify,
+	})
+}
+
+type check struct {
+	name    string
+	ok      bool
+	skipped bool
+	got     string
+}
+
+func runVerify(opts Options, w io.Writer) error {
+	var checks []check
+	add := func(name string, ok bool, format string, args ...any) {
+		checks = append(checks, check{name: name, ok: ok, got: fmt.Sprintf(format, args...)})
+	}
+	// Some claims are about overhead ceilings that only bind with large
+	// pools and task counts (dispatch starvation, import amortization);
+	// below the gating scale they are reported as skipped, not failed.
+	addScaled := func(minScale float64, name string, ok bool, format string, args ...any) {
+		c := check{name: name, ok: ok, got: fmt.Sprintf(format, args...)}
+		if opts.Scale < minScale {
+			c.skipped = true
+			c.got += fmt.Sprintf(" (needs -scale ≥ %g)", minScale)
+		}
+		checks = append(checks, c)
+	}
+
+	// --- Table I: stack ordering and factors ---
+	stacks := make([]*vinesim.Result, 5)
+	for s := 1; s <= 4; s++ {
+		wl, workers := dv3LargeAt(opts)
+		res := vinesim.Run(vinesim.StackConfig(s, workers, 12, opts.Seed), wl)
+		if !res.Completed {
+			return fmt.Errorf("verify: stack %d failed: %s", s, res.Failure)
+		}
+		stacks[s] = res
+	}
+	r := func(i, j int) float64 { return stacks[i].Runtime.Seconds() / stacks[j].Runtime.Seconds() }
+	add("T1: storage swap alone ≈ no gain (0.8-1.3x)", r(1, 2) > 0.8 && r(1, 2) < 1.3, "stack1/stack2 = %.2fx", r(1, 2))
+	addScaled(0.08, "T1: TaskVine ≥2x over Work Queue", r(2, 3) >= 2, "stack2/stack3 = %.2fx", r(2, 3))
+	addScaled(0.5, "T1: functions beat standard tasks", r(3, 4) > 1.2, "stack3/stack4 = %.2fx", r(3, 4))
+	addScaled(0.5, "T1: end-to-end ≥6x", r(1, 4) >= 6, "stack1/stack4 = %.2fx", r(1, 4))
+
+	// --- Fig. 7: the manager hot-spot disappears under peer transfers ---
+	wq, tv := stacks[2], stacks[4]
+	add("F7: WQ routes everything via manager", tv.ManagerMoved < wq.ManagerMoved/10,
+		"manager bytes %v vs %v", wq.ManagerMoved, tv.ManagerMoved)
+	add("F7: hottest pair shrinks ≥4x", float64(wq.MaxPairBytes) >= 4*float64(tv.MaxPairBytes),
+		"max pair %v vs %v", wq.MaxPairBytes, tv.MaxPairBytes)
+	add("F7: peers used only by TaskVine", wq.PeerCount == 0 && tv.PeerCount > 0,
+		"peer transfers %d vs %d", wq.PeerCount, tv.PeerCount)
+
+	// --- Fig. 8: task-time distribution ---
+	fc := inRangeFraction(stacks[4].TaskExec, time.Second, 10*time.Second)
+	med3, med4 := median(stacks[3].TaskExec), median(stacks[4].TaskExec)
+	add("F8: majority of function calls in 1-10s", fc >= 0.5, "%.0f%% in 1-10s", fc*100)
+	add("F8: function calls lighter per task", med4 < med3, "median %v vs %v", med4, med3)
+
+	// --- Fig. 10: hoisting matters only for fine-grained tasks ---
+	hoistRatio := func(compute float64) float64 {
+		run := func(hoist bool) float64 {
+			cfg := vinesim.StackConfig(4, opts.scaled(16, 2), 32, opts.Seed)
+			cfg.Hoist = hoist
+			cfg.ImportFS = params.VAST // the Fig. 10 shared-FS axis, where imports are dearest
+			cfg.PreemptFraction = 0
+			res := vinesim.Run(cfg, apps.HoistSweep(opts.scaled(15000, 200),
+				time.Duration(compute*float64(time.Second)), opts.Seed))
+			return res.Runtime.Seconds()
+		}
+		return run(false) / run(true)
+	}
+	fine, coarse := hoistRatio(0.07), hoistRatio(19)
+	addScaled(0.5, "F10: hoisting ≥1.5x for fine tasks", fine >= 1.5, "fine-task speedup %.2fx", fine)
+	add("F10: hoisting ≈1x for coarse tasks", coarse < 1.3, "coarse-task speedup %.2fx", coarse)
+	add("F10: effect shrinks with granularity", fine > coarse, "%.2fx vs %.2fx", fine, coarse)
+
+	// --- Fig. 11: naive reduce spikes storage; tree stays bounded ---
+	workers := opts.scaled(20, 4)
+	fig11 := func(fanIn int) *vinesim.Result {
+		wl := apps.TriPhotonScaled(fanIn, opts.Scale, opts.Seed)
+		cfg := vinesim.StackConfig(4, workers, 12, opts.Seed)
+		cfg.WorkerDisk = triPhotonDisk(opts, workers)
+		cfg.RecordPerWorker = true
+		return vinesim.Run(cfg, wl)
+	}
+	naive, tree := fig11(0), fig11(2)
+	peak := func(res *vinesim.Result) units.Bytes {
+		var m units.Bytes
+		for _, p := range res.PeakCachePerWorker {
+			if p > m {
+				m = p
+			}
+		}
+		return m
+	}
+	add("F11: tree reduce completes", tree.Completed, "completed=%v", tree.Completed)
+	addScaled(0.08, "F11: naive peak cache ≥2x tree", float64(peak(naive)) >= 2*float64(peak(tree)),
+		"peak %v vs %v", peak(naive), peak(tree))
+	add("F11: naive pays (failures or slower)", naive.DiskFailures > 0 || !naive.Completed ||
+		naive.Runtime > tree.Runtime, "fails=%d runtime %v vs %v", naive.DiskFailures, naive.Runtime, tree.Runtime)
+
+	// --- Fig. 13: function calls feed the large pool ---
+	addScaled(0.5, "F13: stack4 ≥2x stack3 throughput at full pool",
+		stacks[4].Throughput() >= 2*stacks[3].Throughput(),
+		"%.0f vs %.0f tasks/s", stacks[4].Throughput(), stacks[3].Throughput())
+
+	// --- Fig. 14: dask slower and dead at scale ---
+	vcfg := vinesim.StackConfig(4, opts.scaled(25, 3), 12, opts.Seed)
+	vcfg.PreemptFraction = 0
+	vres := vinesim.Run(vcfg, apps.DV3Scaled(apps.DV3Medium, opts.Scale, opts.Seed))
+	dcfg := vinesim.DaskConfig(opts.scaled(25, 3), 12, opts.Seed)
+	dcfg.PreemptFraction = 0
+	dres := vinesim.Run(dcfg, apps.DV3Scaled(apps.DV3Medium, opts.Scale, opts.Seed))
+	add("F14a: dask slower at scale", dres.Completed && dres.Runtime > vres.Runtime,
+		"dask %v vs vine %v", dres.Runtime, vres.Runtime)
+	crash := vinesim.Run(vinesim.DaskConfig(100, 12, opts.Seed), apps.DV3Scaled(apps.DV3Large, opts.Scale, opts.Seed))
+	add("F14b: dask fails at 1200 cores", !crash.Completed, "completed=%v", crash.Completed)
+
+	// --- Fig. 15: huge graph sustains concurrency and finishes ---
+	huge := vinesim.Run(vinesim.StackConfig(4, opts.scaled(600, 4), 12, opts.Seed),
+		apps.DV3Scaled(apps.DV3Huge, opts.Scale, opts.Seed))
+	add("F15: DV3-Huge completes", huge.Completed, "runtime %v", huge.Runtime)
+
+	// Report.
+	pass, failed, skipped := 0, 0, 0
+	for _, c := range checks {
+		status := "FAIL"
+		switch {
+		case c.skipped:
+			status = "skip"
+			skipped++
+		case c.ok:
+			status = "ok  "
+			pass++
+		default:
+			failed++
+		}
+		fmt.Fprintf(w, "   [%s] %-46s %s\n", status, c.name, c.got)
+	}
+	fmt.Fprintf(w, "   %d passed, %d failed, %d skipped (of %d shape checks)\n",
+		pass, failed, skipped, len(checks))
+	if failed > 0 {
+		return fmt.Errorf("verify: %d shape checks failed", failed)
+	}
+	return nil
+}

@@ -1,0 +1,201 @@
+// Package cluster models the facility layer: compute nodes on a campus
+// fabric, batch-style worker arrival, and the opportunistic preemption of
+// an HTCondor pool (§IV: "heterogeneous campus HTCondor cluster with
+// opportunistic scheduling, resulting in the preemption of up to 1% of
+// workers in each run").
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"hepvine/internal/netsim"
+	"hepvine/internal/params"
+	"hepvine/internal/randx"
+	"hepvine/internal/sim"
+	"hepvine/internal/storage"
+	"hepvine/internal/units"
+)
+
+// Node is one compute node (or the manager's host).
+type Node struct {
+	ID    int
+	Name  string
+	Cores int
+	RAM   units.Bytes
+	// Speed is the node's relative CPU speed (1.0 = nominal). The campus
+	// pool is heterogeneous (§IV); compute times divide by Speed.
+	Speed float64
+
+	EP   *netsim.Endpoint
+	Disk *storage.LocalDisk
+
+	FreeCores int
+	Alive     bool
+	// ArrivedAt is when the batch system started the worker.
+	ArrivedAt time.Duration
+	// PreemptedAt is when it was lost (0 = never).
+	PreemptedAt time.Duration
+}
+
+// Busy reserves n cores.
+func (n *Node) Busy(cores int) error {
+	if cores > n.FreeCores {
+		return fmt.Errorf("cluster: node %s has %d free cores, need %d", n.Name, n.FreeCores, cores)
+	}
+	n.FreeCores -= cores
+	return nil
+}
+
+// Release returns n cores.
+func (n *Node) Release(cores int) {
+	n.FreeCores += cores
+	if n.FreeCores > n.Cores {
+		n.FreeCores = n.Cores
+	}
+}
+
+// Config describes a pool to build.
+type Config struct {
+	Workers        int
+	CoresPerWorker int
+	WorkerDisk     units.Bytes
+	WorkerRAM      units.Bytes
+	WorkerNIC      units.BytesPerSec // default params.WorkerNIC
+	ManagerNIC     units.BytesPerSec // default params.ManagerNIC
+	// StartupSpread staggers worker arrival over this window (batch
+	// submission); 0 = all present at t=0.
+	StartupSpread time.Duration
+	// SpeedSpread makes the pool heterogeneous: node speeds are drawn
+	// uniformly from [1-s, 1+s]. 0 = homogeneous.
+	SpeedSpread float64
+	Seed        uint64
+}
+
+// Pool is a simulated facility: manager node, worker nodes, network, and
+// any attached shared filesystems.
+type Pool struct {
+	Eng *sim.Engine
+	Net *netsim.Network
+
+	Manager *Node
+	Workers []*Node
+
+	rng *randx.RNG
+}
+
+// New builds a pool on a fresh simulation engine.
+func New(cfg Config) *Pool {
+	if cfg.WorkerNIC == 0 {
+		cfg.WorkerNIC = params.WorkerNIC
+	}
+	if cfg.ManagerNIC == 0 {
+		cfg.ManagerNIC = params.ManagerNIC
+	}
+	eng := sim.NewEngine()
+	net := netsim.New(eng)
+	p := &Pool{
+		Eng: eng,
+		Net: net,
+		rng: randx.NewStream(cfg.Seed, 77),
+	}
+	p.Manager = &Node{
+		ID:    0,
+		Name:  "manager",
+		Cores: 1,
+		Speed: 1,
+		EP:    net.AddEndpoint("manager", cfg.ManagerNIC, cfg.ManagerNIC, params.NetLatency),
+		Disk:  storage.NewLocalDisk(0),
+		Alive: true,
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		n := &Node{
+			ID:        i + 1,
+			Name:      fmt.Sprintf("worker%03d", i),
+			Cores:     cfg.CoresPerWorker,
+			FreeCores: cfg.CoresPerWorker,
+			RAM:       cfg.WorkerRAM,
+			Speed:     1,
+			EP:        net.AddEndpoint(fmt.Sprintf("worker%03d", i), cfg.WorkerNIC, cfg.WorkerNIC, params.NetLatency),
+			Disk:      storage.NewLocalDisk(cfg.WorkerDisk),
+		}
+		if cfg.SpeedSpread > 0 {
+			n.Speed = 1 + p.rng.Range(-cfg.SpeedSpread, cfg.SpeedSpread)
+		}
+		if cfg.StartupSpread > 0 {
+			n.ArrivedAt = time.Duration(p.rng.Float64() * float64(cfg.StartupSpread))
+		}
+		p.Workers = append(p.Workers, n)
+	}
+	return p
+}
+
+// Start schedules worker arrivals; onArrive fires as each worker comes
+// online (Alive=true).
+func (p *Pool) Start(onArrive func(*Node)) {
+	for _, w := range p.Workers {
+		w := w
+		p.Eng.Schedule(w.ArrivedAt, func() {
+			w.Alive = true
+			if onArrive != nil {
+				onArrive(w)
+			}
+		})
+	}
+}
+
+// SchedulePreemptions kills approximately frac of the workers at uniform
+// random times within the window, invoking onPreempt for each. It reports
+// how many preemptions were scheduled.
+func (p *Pool) SchedulePreemptions(frac float64, window time.Duration, onPreempt func(*Node)) int {
+	n := 0
+	for _, w := range p.Workers {
+		if !p.rng.Bool(frac) {
+			continue
+		}
+		n++
+		w := w
+		at := w.ArrivedAt + time.Duration(p.rng.Float64()*float64(window-w.ArrivedAt))
+		if at <= w.ArrivedAt {
+			at = w.ArrivedAt + time.Second
+		}
+		p.Eng.Schedule(at, func() {
+			if !w.Alive {
+				return
+			}
+			p.Preempt(w)
+			if onPreempt != nil {
+				onPreempt(w)
+			}
+		})
+	}
+	return n
+}
+
+// Preempt kills a worker immediately: its cache is lost and its cores gone.
+func (p *Pool) Preempt(w *Node) {
+	w.Alive = false
+	w.PreemptedAt = p.Eng.Now()
+	w.FreeCores = 0
+	w.Disk.Clear()
+}
+
+// AliveWorkers reports currently-live workers.
+func (p *Pool) AliveWorkers() int {
+	n := 0
+	for _, w := range p.Workers {
+		if w.Alive {
+			n++
+		}
+	}
+	return n
+}
+
+// TotalCores reports the pool's core count (alive or not).
+func (p *Pool) TotalCores() int {
+	n := 0
+	for _, w := range p.Workers {
+		n += w.Cores
+	}
+	return n
+}

@@ -1,0 +1,184 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"hepvine/internal/units"
+)
+
+func basicConfig(workers int) Config {
+	return Config{
+		Workers:        workers,
+		CoresPerWorker: 12,
+		WorkerDisk:     units.GBf(108),
+		Seed:           7,
+	}
+}
+
+func TestPoolShape(t *testing.T) {
+	p := New(basicConfig(10))
+	if len(p.Workers) != 10 {
+		t.Fatalf("workers = %d", len(p.Workers))
+	}
+	if p.TotalCores() != 120 {
+		t.Fatalf("cores = %d", p.TotalCores())
+	}
+	if p.Manager == nil || p.Manager.ID != 0 {
+		t.Fatal("manager wrong")
+	}
+	for i, w := range p.Workers {
+		if w.ID != i+1 {
+			t.Fatalf("worker %d has id %d", i, w.ID)
+		}
+		if w.Disk.Capacity != units.GBf(108) {
+			t.Fatalf("disk cap = %v", w.Disk.Capacity)
+		}
+		if w.Alive {
+			t.Fatal("worker alive before Start")
+		}
+	}
+}
+
+func TestStartAllArrive(t *testing.T) {
+	p := New(basicConfig(20))
+	arrived := 0
+	p.Start(func(n *Node) { arrived++ })
+	p.Eng.Run(0)
+	if arrived != 20 || p.AliveWorkers() != 20 {
+		t.Fatalf("arrived=%d alive=%d", arrived, p.AliveWorkers())
+	}
+}
+
+func TestStartupSpread(t *testing.T) {
+	cfg := basicConfig(50)
+	cfg.StartupSpread = 30 * time.Second
+	p := New(cfg)
+	var first, last time.Duration = 1 << 62, 0
+	for _, w := range p.Workers {
+		if w.ArrivedAt < first {
+			first = w.ArrivedAt
+		}
+		if w.ArrivedAt > last {
+			last = w.ArrivedAt
+		}
+	}
+	if last <= first {
+		t.Fatal("no arrival spread")
+	}
+	if last > 30*time.Second {
+		t.Fatalf("arrival beyond spread: %v", last)
+	}
+}
+
+func TestBusyRelease(t *testing.T) {
+	p := New(basicConfig(1))
+	w := p.Workers[0]
+	if err := w.Busy(12); err != nil {
+		t.Fatal(err)
+	}
+	if w.FreeCores != 0 {
+		t.Fatalf("free = %d", w.FreeCores)
+	}
+	if err := w.Busy(1); err == nil {
+		t.Fatal("overcommit accepted")
+	}
+	w.Release(12)
+	if w.FreeCores != 12 {
+		t.Fatalf("free = %d", w.FreeCores)
+	}
+	// Release clamps at capacity.
+	w.Release(5)
+	if w.FreeCores != 12 {
+		t.Fatalf("release overflowed: %d", w.FreeCores)
+	}
+}
+
+func TestPreempt(t *testing.T) {
+	p := New(basicConfig(2))
+	p.Start(nil)
+	p.Eng.Run(0)
+	w := p.Workers[0]
+	w.Disk.Put("f", units.GB)
+	p.Preempt(w)
+	if w.Alive || w.FreeCores != 0 {
+		t.Fatal("preempt incomplete")
+	}
+	if w.Disk.Used() != 0 {
+		t.Fatal("preempted cache survived")
+	}
+	if p.AliveWorkers() != 1 {
+		t.Fatalf("alive = %d", p.AliveWorkers())
+	}
+	if w.PreemptedAt != p.Eng.Now() {
+		t.Fatalf("preempted at %v", w.PreemptedAt)
+	}
+}
+
+func TestSchedulePreemptionsFraction(t *testing.T) {
+	cfg := basicConfig(1000)
+	p := New(cfg)
+	p.Start(nil)
+	hits := 0
+	n := p.SchedulePreemptions(0.01, time.Hour, func(*Node) { hits++ })
+	p.Eng.Run(0)
+	// ~1% of 1000 workers, allow 3x slack both ways but nonzero.
+	if n < 2 || n > 35 {
+		t.Fatalf("scheduled %d preemptions for 1%% of 1000", n)
+	}
+	if hits != n {
+		t.Fatalf("hits=%d scheduled=%d", hits, n)
+	}
+	if p.AliveWorkers() != 1000-n {
+		t.Fatalf("alive = %d", p.AliveWorkers())
+	}
+}
+
+func TestPreemptionsDeterministic(t *testing.T) {
+	count := func() int {
+		p := New(basicConfig(500))
+		p.Start(nil)
+		n := p.SchedulePreemptions(0.02, time.Hour, nil)
+		p.Eng.Run(0)
+		return n
+	}
+	if count() != count() {
+		t.Fatal("preemption schedule not deterministic")
+	}
+}
+
+func TestZeroPreemptions(t *testing.T) {
+	p := New(basicConfig(100))
+	p.Start(nil)
+	if n := p.SchedulePreemptions(0, time.Hour, nil); n != 0 {
+		t.Fatalf("scheduled %d for frac 0", n)
+	}
+}
+
+func TestSpeedSpread(t *testing.T) {
+	cfg := basicConfig(100)
+	cfg.SpeedSpread = 0.2
+	p := New(cfg)
+	var min, max float64 = 10, 0
+	for _, w := range p.Workers {
+		if w.Speed < min {
+			min = w.Speed
+		}
+		if w.Speed > max {
+			max = w.Speed
+		}
+	}
+	if min < 0.8 || max > 1.2 {
+		t.Fatalf("speeds out of [0.8,1.2]: %v..%v", min, max)
+	}
+	if max-min < 0.1 {
+		t.Fatalf("no meaningful spread: %v..%v", min, max)
+	}
+	// Homogeneous by default.
+	p2 := New(basicConfig(10))
+	for _, w := range p2.Workers {
+		if w.Speed != 1 {
+			t.Fatalf("default speed = %v", w.Speed)
+		}
+	}
+}

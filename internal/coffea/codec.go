@@ -1,0 +1,86 @@
+package coffea
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"hepvine/internal/hist"
+)
+
+// HistSet wire format, used to ship partial results between workers:
+//
+//	magic "HSET" | n u32 | per entry: nameLen u32, name, blobLen u32, hist blob
+var histSetMagic = [4]byte{'H', 'S', 'E', 'T'}
+
+// Marshal encodes the set with names sorted for determinism.
+func (s *HistSet) Marshal() []byte {
+	var b bytes.Buffer
+	b.Write(histSetMagic[:])
+	names := s.Names()
+	var n4 [4]byte
+	binary.LittleEndian.PutUint32(n4[:], uint32(len(names)))
+	b.Write(n4[:])
+	for _, name := range names {
+		binary.LittleEndian.PutUint32(n4[:], uint32(len(name)))
+		b.Write(n4[:])
+		b.WriteString(name)
+		blob := s.H[name].Marshal()
+		binary.LittleEndian.PutUint32(n4[:], uint32(len(blob)))
+		b.Write(n4[:])
+		b.Write(blob)
+	}
+	return b.Bytes()
+}
+
+// UnmarshalHistSet decodes a set produced by Marshal.
+func UnmarshalHistSet(data []byte) (*HistSet, error) {
+	r := bytes.NewReader(data)
+	var magic [4]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil || magic != histSetMagic {
+		return nil, fmt.Errorf("coffea: bad histset magic")
+	}
+	var n4 [4]byte
+	if _, err := io.ReadFull(r, n4[:]); err != nil {
+		return nil, fmt.Errorf("coffea: truncated histset: %w", err)
+	}
+	n := binary.LittleEndian.Uint32(n4[:])
+	if n > 1<<16 {
+		return nil, fmt.Errorf("coffea: implausible histset size %d", n)
+	}
+	s := NewHistSet()
+	for i := uint32(0); i < n; i++ {
+		if _, err := io.ReadFull(r, n4[:]); err != nil {
+			return nil, fmt.Errorf("coffea: truncated histset name len: %w", err)
+		}
+		nameLen := binary.LittleEndian.Uint32(n4[:])
+		if nameLen > 1<<12 {
+			return nil, fmt.Errorf("coffea: implausible name length %d", nameLen)
+		}
+		name := make([]byte, nameLen)
+		if _, err := io.ReadFull(r, name); err != nil {
+			return nil, fmt.Errorf("coffea: truncated histset name: %w", err)
+		}
+		if _, err := io.ReadFull(r, n4[:]); err != nil {
+			return nil, fmt.Errorf("coffea: truncated histset blob len: %w", err)
+		}
+		blobLen := binary.LittleEndian.Uint32(n4[:])
+		if blobLen > 1<<28 {
+			return nil, fmt.Errorf("coffea: implausible blob length %d", blobLen)
+		}
+		blob := make([]byte, blobLen)
+		if _, err := io.ReadFull(r, blob); err != nil {
+			return nil, fmt.Errorf("coffea: truncated histset blob: %w", err)
+		}
+		h, err := hist.Unmarshal(blob)
+		if err != nil {
+			return nil, fmt.Errorf("coffea: histset entry %q: %w", name, err)
+		}
+		if _, dup := s.H[string(name)]; dup {
+			return nil, fmt.Errorf("coffea: duplicate histset entry %q", name)
+		}
+		s.H[string(name)] = h
+	}
+	return s, nil
+}

@@ -1,0 +1,307 @@
+// Package coffea is a columnar analysis framework modelled on Coffea
+// (§II.A): it maps event files into column-oriented structures (NanoEvents),
+// partitions datasets into chunks, applies user-defined processor functions,
+// and accumulates their histogram outputs — the map/accumulate structure of
+// Fig. 3 that both DV3 and RS-TriPhoton follow.
+//
+// A Processor is the unit of user code: it declares the columns it touches
+// (so the I/O layer reads only those branches) and transforms one chunk of
+// events into a HistSet. HistSets merge commutatively and associatively,
+// which legalizes arbitrary accumulation trees.
+package coffea
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"hepvine/internal/hist"
+	"hepvine/internal/rootio"
+)
+
+// Chunk identifies a contiguous event range of one file — the unit of work
+// a processor task consumes ("chunks_per_file" in Fig. 4).
+type Chunk struct {
+	Dataset string
+	Path    string
+	Lo, Hi  int64
+	// Index is the global chunk number within the workload, for stable
+	// task keys.
+	Index int
+}
+
+// NEvents reports the chunk's event count.
+func (c Chunk) NEvents() int64 { return c.Hi - c.Lo }
+
+// String renders "dataset:path[lo,hi)".
+func (c Chunk) String() string {
+	return fmt.Sprintf("%s:%s[%d,%d)", c.Dataset, c.Path, c.Lo, c.Hi)
+}
+
+// FileInfo describes one input file of a dataset.
+type FileInfo struct {
+	Path    string
+	NEvents int64
+}
+
+// Partition splits files into chunks of at most eventsPerChunk events,
+// never crossing file boundaries. It mirrors Coffea's uproot chunking.
+func Partition(dataset string, files []FileInfo, eventsPerChunk int64) ([]Chunk, error) {
+	if eventsPerChunk <= 0 {
+		return nil, fmt.Errorf("coffea: eventsPerChunk must be positive, got %d", eventsPerChunk)
+	}
+	var out []Chunk
+	idx := 0
+	for _, f := range files {
+		if f.NEvents < 0 {
+			return nil, fmt.Errorf("coffea: file %s has negative event count", f.Path)
+		}
+		for lo := int64(0); lo < f.NEvents; lo += eventsPerChunk {
+			hi := lo + eventsPerChunk
+			if hi > f.NEvents {
+				hi = f.NEvents
+			}
+			out = append(out, Chunk{Dataset: dataset, Path: f.Path, Lo: lo, Hi: hi, Index: idx})
+			idx++
+		}
+	}
+	return out, nil
+}
+
+// PartitionPerFile splits each file into exactly chunksPerFile equal chunks
+// (the "chunks_per_file" knob from the sample application in Fig. 4).
+func PartitionPerFile(dataset string, files []FileInfo, chunksPerFile int) ([]Chunk, error) {
+	if chunksPerFile <= 0 {
+		return nil, fmt.Errorf("coffea: chunksPerFile must be positive, got %d", chunksPerFile)
+	}
+	var out []Chunk
+	idx := 0
+	for _, f := range files {
+		per := f.NEvents / int64(chunksPerFile)
+		if per == 0 {
+			per = f.NEvents
+		}
+		for c := 0; c < chunksPerFile; c++ {
+			lo := int64(c) * per
+			hi := lo + per
+			if c == chunksPerFile-1 {
+				hi = f.NEvents
+			}
+			if lo >= f.NEvents {
+				break
+			}
+			out = append(out, Chunk{Dataset: dataset, Path: f.Path, Lo: lo, Hi: hi, Index: idx})
+			idx++
+		}
+	}
+	return out, nil
+}
+
+// ColumnReader is the event-data access contract NanoEvents reads through:
+// column-selective, range-selective reads. *rootio.Reader satisfies it for
+// local files; xrootd-backed adapters satisfy it for remote federation
+// access (§III.A) — processors never know the difference.
+type ColumnReader interface {
+	NEvents() int64
+	ReadFlat(name string, lo, hi int64) ([]float64, error)
+	ReadJagged(name string, lo, hi int64) (rootio.Jagged, error)
+}
+
+// NanoEvents is a columnar view over one chunk, lazily reading and caching
+// the branches a processor touches.
+type NanoEvents struct {
+	Dataset string
+	reader  ColumnReader
+	lo, hi  int64
+
+	flatCache   map[string][]float64
+	jaggedCache map[string]rootio.Jagged
+}
+
+// NewNanoEvents opens a chunk view over any column reader.
+func NewNanoEvents(rd ColumnReader, chunk Chunk) (*NanoEvents, error) {
+	if chunk.Lo < 0 || chunk.Hi < chunk.Lo || chunk.Hi > rd.NEvents() {
+		return nil, fmt.Errorf("coffea: chunk %v out of file bounds (%d events)", chunk, rd.NEvents())
+	}
+	return &NanoEvents{
+		Dataset:     chunk.Dataset,
+		reader:      rd,
+		lo:          chunk.Lo,
+		hi:          chunk.Hi,
+		flatCache:   make(map[string][]float64),
+		jaggedCache: make(map[string]rootio.Jagged),
+	}, nil
+}
+
+// Len reports the number of events in the view.
+func (ev *NanoEvents) Len() int64 { return ev.hi - ev.lo }
+
+// Flat returns a flat or counts branch for all events in the chunk.
+func (ev *NanoEvents) Flat(name string) ([]float64, error) {
+	if v, ok := ev.flatCache[name]; ok {
+		return v, nil
+	}
+	v, err := ev.reader.ReadFlat(name, ev.lo, ev.hi)
+	if err != nil {
+		return nil, err
+	}
+	ev.flatCache[name] = v
+	return v, nil
+}
+
+// Jagged returns a jagged branch for all events in the chunk.
+func (ev *NanoEvents) Jagged(name string) (rootio.Jagged, error) {
+	if v, ok := ev.jaggedCache[name]; ok {
+		return v, nil
+	}
+	v, err := ev.reader.ReadJagged(name, ev.lo, ev.hi)
+	if err != nil {
+		return rootio.Jagged{}, err
+	}
+	ev.jaggedCache[name] = v
+	return v, nil
+}
+
+// HistSet is a named collection of histograms — the accumulator type every
+// processor returns. Merging is commutative and associative.
+type HistSet struct {
+	H map[string]*hist.Hist
+}
+
+// NewHistSet returns an empty set.
+func NewHistSet() *HistSet {
+	return &HistSet{H: make(map[string]*hist.Hist)}
+}
+
+// Add merges other into s. Histograms present in only one side are adopted
+// (cloned).
+func (s *HistSet) Add(other *HistSet) error {
+	for name, oh := range other.H {
+		if mine, ok := s.H[name]; ok {
+			if err := mine.Add(oh); err != nil {
+				return fmt.Errorf("coffea: merging %q: %w", name, err)
+			}
+		} else {
+			s.H[name] = oh.Clone()
+		}
+	}
+	return nil
+}
+
+// Clone deep-copies the set.
+func (s *HistSet) Clone() *HistSet {
+	ns := NewHistSet()
+	for name, h := range s.H {
+		ns.H[name] = h.Clone()
+	}
+	return ns
+}
+
+// Names lists histogram names, sorted.
+func (s *HistSet) Names() []string {
+	out := make([]string, 0, len(s.H))
+	for n := range s.H {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TotalEntries sums entries over all histograms.
+func (s *HistSet) TotalEntries() uint64 {
+	var n uint64
+	for _, h := range s.H {
+		n += h.Entries
+	}
+	return n
+}
+
+// Processor is the user-defined analysis function (§III.C "processor"
+// functions): it declares its input columns and maps one chunk of events to
+// a HistSet.
+type Processor interface {
+	// Name identifies the processor in registries and task specs.
+	Name() string
+	// Columns lists every branch the processor reads, enabling
+	// column-selective I/O.
+	Columns() []string
+	// Process analyzes one chunk.
+	Process(ev *NanoEvents) (*HistSet, error)
+}
+
+// registry maps processor names to implementations so task specs can travel
+// between processes as plain strings (the live engine's workers look
+// processors up by name, the analogue of serverless functions hosted in a
+// library).
+var (
+	regMu    sync.RWMutex
+	registry = make(map[string]Processor)
+)
+
+// Register installs a processor under its name. Re-registering the same
+// name replaces the old entry (convenient for tests).
+func Register(p Processor) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	registry[p.Name()] = p
+}
+
+// Lookup finds a registered processor.
+func Lookup(name string) (Processor, error) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	p, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("coffea: no processor registered as %q", name)
+	}
+	return p, nil
+}
+
+// RegisteredProcessors lists registered names, sorted.
+func RegisteredProcessors() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ProcessChunk opens the chunk's local file, builds the view, and runs the
+// processor — the body of one map task.
+func ProcessChunk(p Processor, chunk Chunk) (*HistSet, error) {
+	rd, closer, err := rootio.Open(chunk.Path)
+	if err != nil {
+		return nil, fmt.Errorf("coffea: opening %s: %w", chunk.Path, err)
+	}
+	defer closer.Close()
+	return ProcessChunkFrom(p, rd, chunk)
+}
+
+// ProcessChunkFrom runs the processor over a chunk served by any column
+// reader — a local file, or a remote xrootd-backed adapter.
+func ProcessChunkFrom(p Processor, rd ColumnReader, chunk Chunk) (*HistSet, error) {
+	ev, err := NewNanoEvents(rd, chunk)
+	if err != nil {
+		return nil, err
+	}
+	return p.Process(ev)
+}
+
+// RunLocal processes all chunks serially and merges the results — the
+// single-machine ground truth the distributed planes are validated against.
+func RunLocal(p Processor, chunks []Chunk) (*HistSet, error) {
+	total := NewHistSet()
+	for _, c := range chunks {
+		hs, err := ProcessChunk(p, c)
+		if err != nil {
+			return nil, fmt.Errorf("coffea: chunk %v: %w", c, err)
+		}
+		if err := total.Add(hs); err != nil {
+			return nil, err
+		}
+	}
+	return total, nil
+}

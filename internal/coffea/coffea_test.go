@@ -1,0 +1,526 @@
+package coffea
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"hepvine/internal/dag"
+	"hepvine/internal/hist"
+	"hepvine/internal/randx"
+	"hepvine/internal/rootio"
+)
+
+// metProc is a minimal processor: histogram of MET_pt, the Fig. 4 example.
+type metProc struct{}
+
+func (metProc) Name() string      { return "met-test" }
+func (metProc) Columns() []string { return []string{"MET_pt"} }
+func (metProc) Process(ev *NanoEvents) (*HistSet, error) {
+	met, err := ev.Flat("MET_pt")
+	if err != nil {
+		return nil, err
+	}
+	hs := NewHistSet()
+	h := hist.New(hist.Reg(100, 0, 200, "met"))
+	h.FillN(met)
+	hs.H["met"] = h
+	return hs, nil
+}
+
+// photonProc exercises jagged reads.
+type photonProc struct{}
+
+func (photonProc) Name() string      { return "photon-test" }
+func (photonProc) Columns() []string { return []string{"nPhoton", "Photon_pt"} }
+func (photonProc) Process(ev *NanoEvents) (*HistSet, error) {
+	pts, err := ev.Jagged("Photon_pt")
+	if err != nil {
+		return nil, err
+	}
+	hs := NewHistSet()
+	h := hist.New(hist.Reg(50, 0, 500, "photon_pt"))
+	h.FillN(pts.Values)
+	hs.H["photon_pt"] = h
+	return hs, nil
+}
+
+func writeTestDataset(t *testing.T, files, evPerFile int) []string {
+	t.Helper()
+	paths, err := rootio.WriteDataset(t.TempDir(), rootio.DatasetSpec{
+		Name: "testds", Files: files, EventsPerFile: evPerFile,
+		BasketSize: 64, Gen: rootio.GenOptions{Seed: 11},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return paths
+}
+
+func fileInfos(paths []string, n int64) []FileInfo {
+	out := make([]FileInfo, len(paths))
+	for i, p := range paths {
+		out[i] = FileInfo{Path: p, NEvents: n}
+	}
+	return out
+}
+
+func TestPartition(t *testing.T) {
+	files := []FileInfo{{Path: "a", NEvents: 100}, {Path: "b", NEvents: 45}}
+	chunks, err := Partition("ds", files, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// a: [0,30),[30,60),[60,90),[90,100); b: [0,30),[30,45) → 6 chunks.
+	if len(chunks) != 6 {
+		t.Fatalf("chunks = %d", len(chunks))
+	}
+	var total int64
+	for i, c := range chunks {
+		total += c.NEvents()
+		if c.Index != i {
+			t.Fatalf("chunk %d has index %d", i, c.Index)
+		}
+		if c.NEvents() > 30 || c.NEvents() <= 0 {
+			t.Fatalf("chunk size %d", c.NEvents())
+		}
+	}
+	if total != 145 {
+		t.Fatalf("total events = %d", total)
+	}
+	if _, err := Partition("ds", files, 0); err == nil {
+		t.Fatal("zero chunk size accepted")
+	}
+}
+
+func TestPartitionPerFile(t *testing.T) {
+	files := []FileInfo{{Path: "a", NEvents: 100}}
+	chunks, err := PartitionPerFile("ds", files, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chunks) != 5 {
+		t.Fatalf("chunks = %d", len(chunks))
+	}
+	var total int64
+	for _, c := range chunks {
+		total += c.NEvents()
+	}
+	if total != 100 {
+		t.Fatalf("total = %d", total)
+	}
+	// Uneven division: remainder goes to last chunk.
+	chunks, _ = PartitionPerFile("ds", []FileInfo{{Path: "a", NEvents: 103}}, 5)
+	if chunks[len(chunks)-1].Hi != 103 {
+		t.Fatalf("last chunk ends at %d", chunks[len(chunks)-1].Hi)
+	}
+}
+
+func TestPartitionProperty(t *testing.T) {
+	// Chunks tile files exactly: disjoint, ordered, covering.
+	check := func(n1, n2 uint16, size uint8) bool {
+		files := []FileInfo{
+			{Path: "a", NEvents: int64(n1) % 1000},
+			{Path: "b", NEvents: int64(n2) % 1000},
+		}
+		per := int64(size)%100 + 1
+		chunks, err := Partition("ds", files, per)
+		if err != nil {
+			return false
+		}
+		covered := map[string]int64{}
+		for _, c := range chunks {
+			if c.Lo >= c.Hi {
+				return false
+			}
+			if c.Lo != covered[c.Path] {
+				return false // gap or overlap
+			}
+			covered[c.Path] = c.Hi
+		}
+		for _, f := range files {
+			if covered[f.Path] != f.NEvents {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProcessChunkMatchesWholeFile(t *testing.T) {
+	paths := writeTestDataset(t, 1, 1000)
+	files := fileInfos(paths, 1000)
+	// Whole file in one chunk.
+	whole, err := RunLocal(metProc{}, []Chunk{{Dataset: "ds", Path: files[0].Path, Lo: 0, Hi: 1000}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same file in 7 chunks.
+	chunks, _ := Partition("ds", files, 150)
+	split, err := RunLocal(metProc{}, chunks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hw, hs := whole.H["met"], split.H["met"]
+	if hw.Entries != hs.Entries {
+		t.Fatalf("entries %d vs %d", hw.Entries, hs.Entries)
+	}
+	for i := range hw.Counts {
+		if hw.Counts[i] != hs.Counts[i] {
+			t.Fatalf("bin %d differs: %v vs %v", i, hw.Counts[i], hs.Counts[i])
+		}
+	}
+}
+
+func TestJaggedProcessor(t *testing.T) {
+	paths := writeTestDataset(t, 2, 500)
+	chunks, _ := Partition("ds", fileInfos(paths, 500), 100)
+	hs, err := RunLocal(photonProc{}, chunks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hs.H["photon_pt"].Sum() == 0 {
+		t.Fatal("no photons histogrammed")
+	}
+}
+
+func TestNanoEventsCaching(t *testing.T) {
+	paths := writeTestDataset(t, 1, 200)
+	rd, closer, err := rootio.Open(paths[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closer.Close()
+	ev, err := NewNanoEvents(rd, Chunk{Dataset: "ds", Path: paths[0], Lo: 0, Hi: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := ev.Flat("MET_pt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := ev.Flat("MET_pt")
+	if &a[0] != &b[0] {
+		t.Fatal("flat cache miss on second read")
+	}
+	j1, err := ev.Jagged("Jet_pt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, _ := ev.Jagged("Jet_pt")
+	if &j1.Values[0] != &j2.Values[0] {
+		t.Fatal("jagged cache miss")
+	}
+	if ev.Len() != 200 {
+		t.Fatalf("Len = %d", ev.Len())
+	}
+}
+
+func TestNanoEventsBounds(t *testing.T) {
+	paths := writeTestDataset(t, 1, 100)
+	rd, closer, _ := rootio.Open(paths[0])
+	defer closer.Close()
+	if _, err := NewNanoEvents(rd, Chunk{Lo: 0, Hi: 200}); err == nil {
+		t.Fatal("out-of-bounds chunk accepted")
+	}
+}
+
+func TestHistSetAddDisjointAndOverlap(t *testing.T) {
+	a := NewHistSet()
+	a.H["x"] = hist.New(hist.Reg(4, 0, 4, "x"))
+	a.H["x"].Fill(1)
+	b := NewHistSet()
+	b.H["x"] = hist.New(hist.Reg(4, 0, 4, "x"))
+	b.H["x"].Fill(1)
+	b.H["y"] = hist.New(hist.Reg(4, 0, 4, "y"))
+	b.H["y"].Fill(2)
+	if err := a.Add(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.H["x"].At(1) != 2 {
+		t.Fatalf("x merged wrong: %v", a.H["x"].At(1))
+	}
+	if a.H["y"] == nil || a.H["y"].At(2) != 1 {
+		t.Fatal("y not adopted")
+	}
+	// Adopted histogram must be independent of source.
+	b.H["y"].Fill(2)
+	if a.H["y"].At(2) != 1 {
+		t.Fatal("adopted histogram shares storage")
+	}
+}
+
+func TestHistSetAddIncompatible(t *testing.T) {
+	a := NewHistSet()
+	a.H["x"] = hist.New(hist.Reg(4, 0, 4, "x"))
+	b := NewHistSet()
+	b.H["x"] = hist.New(hist.Reg(5, 0, 4, "x"))
+	if err := a.Add(b); err == nil {
+		t.Fatal("incompatible merge accepted")
+	}
+}
+
+func TestHistSetMergeAssociativityProperty(t *testing.T) {
+	mk := func(seed uint64) *HistSet {
+		s := NewHistSet()
+		r := randx.New(seed + 1)
+		s.H["a"] = hist.New(hist.Reg(10, 0, 10, "a"))
+		for i := 0; i < 100; i++ {
+			s.H["a"].FillW(r.Float64(), r.Range(-1, 11))
+		}
+		if seed%2 == 0 {
+			s.H["b"] = hist.New(hist.Reg(5, 0, 5, "b"))
+			s.H["b"].Fill(r.Range(0, 5))
+		}
+		return s
+	}
+	check := func(x, y, z uint8) bool {
+		l := mk(uint64(x)).Clone()
+		if err := l.Add(mk(uint64(y))); err != nil {
+			return false
+		}
+		if err := l.Add(mk(uint64(z))); err != nil {
+			return false
+		}
+		r := mk(uint64(y))
+		if err := r.Add(mk(uint64(z))); err != nil {
+			return false
+		}
+		lhs := mk(uint64(x))
+		if err := lhs.Add(r); err != nil {
+			return false
+		}
+		if len(lhs.Names()) != len(l.Names()) {
+			return false
+		}
+		for _, n := range l.Names() {
+			for i := range l.H[n].Counts {
+				if math.Abs(l.H[n].Counts[i]-lhs.H[n].Counts[i]) > 1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistSetCodecRoundTrip(t *testing.T) {
+	s := NewHistSet()
+	s.H["met"] = hist.New(hist.Reg(100, 0, 200, "met"))
+	s.H["njet"] = hist.New(hist.Reg(20, 0, 20, "njet"))
+	r := randx.New(3)
+	for i := 0; i < 500; i++ {
+		s.H["met"].Fill(r.Range(0, 250))
+		s.H["njet"].Fill(r.Range(0, 22))
+	}
+	got, err := UnmarshalHistSet(s.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Names()) != 2 {
+		t.Fatalf("names = %v", got.Names())
+	}
+	for _, n := range s.Names() {
+		for i := range s.H[n].Counts {
+			if got.H[n].Counts[i] != s.H[n].Counts[i] {
+				t.Fatalf("%s bin %d differs", n, i)
+			}
+		}
+	}
+	if _, err := UnmarshalHistSet([]byte("junk")); err == nil {
+		t.Fatal("junk accepted")
+	}
+	blob := s.Marshal()
+	if _, err := UnmarshalHistSet(blob[:len(blob)-3]); err == nil {
+		t.Fatal("truncated accepted")
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	Register(metProc{})
+	p, err := Lookup("met-test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name() != "met-test" {
+		t.Fatalf("lookup returned %q", p.Name())
+	}
+	if _, err := Lookup("missing-proc"); err == nil {
+		t.Fatal("missing processor found")
+	}
+	found := false
+	for _, n := range RegisteredProcessors() {
+		if n == "met-test" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("registered name not listed")
+	}
+}
+
+func TestBuildGraphShape(t *testing.T) {
+	chunks := make([]Chunk, 16)
+	for i := range chunks {
+		chunks[i] = Chunk{Dataset: "ds", Path: "f", Lo: int64(i * 10), Hi: int64(i*10 + 10), Index: i}
+	}
+	g, root, err := BuildGraph("met-test", chunks, GraphOptions{FanIn: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Finalized() {
+		t.Fatal("graph not finalized")
+	}
+	// 16 processors + 15 binary accumulators.
+	if g.Len() != 31 {
+		t.Fatalf("graph len = %d", g.Len())
+	}
+	if len(g.Dependents(root)) != 0 {
+		t.Fatal("root has dependents")
+	}
+	cc := g.CountByCategory()
+	if cc[0].Category != "accumulate" || cc[0].Count != 15 {
+		t.Fatalf("categories = %v", cc)
+	}
+	// Every processor task's spec carries its chunk.
+	for _, k := range g.Keys() {
+		task := g.Task(k)
+		if task.Category == "processor" {
+			ps, ok := task.Spec.(*ProcessSpec)
+			if !ok || ps.Processor != "met-test" {
+				t.Fatalf("bad processor spec on %s: %#v", k, task.Spec)
+			}
+		}
+	}
+}
+
+func TestBuildGraphSingleShotReduction(t *testing.T) {
+	chunks := make([]Chunk, 10)
+	for i := range chunks {
+		chunks[i] = Chunk{Index: i, Hi: 1}
+	}
+	g, root, err := BuildGraph("met-test", chunks, GraphOptions{FanIn: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Len() != 11 {
+		t.Fatalf("len = %d", g.Len())
+	}
+	if len(g.Task(root).Deps) != 10 {
+		t.Fatalf("naive reduction fan-in = %d", len(g.Task(root).Deps))
+	}
+}
+
+func TestBuildGraphValidation(t *testing.T) {
+	if _, _, err := BuildGraph("p", nil, GraphOptions{}); err == nil {
+		t.Fatal("empty chunks accepted")
+	}
+}
+
+func TestBuildMultiDatasetGraph(t *testing.T) {
+	datasets := map[string][]Chunk{}
+	for d := 0; d < 4; d++ {
+		name := fmt.Sprintf("ds%d", d)
+		for i := 0; i < 8; i++ {
+			datasets[name] = append(datasets[name], Chunk{Dataset: name, Index: i, Hi: 1})
+		}
+	}
+	g, root, err := BuildMultiDatasetGraph("met-test", datasets, GraphOptions{FanIn: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Root depends transitively on every processor task.
+	anc := g.Ancestors(root)
+	procs := 0
+	for k := range anc {
+		if g.Task(k).Category == "processor" {
+			procs++
+		}
+	}
+	if procs != 32 {
+		t.Fatalf("root covers %d processors", procs)
+	}
+	if _, _, err := BuildMultiDatasetGraph("p", nil, GraphOptions{}); err == nil {
+		t.Fatal("empty datasets accepted")
+	}
+	if _, _, err := BuildMultiDatasetGraph("p", map[string][]Chunk{"x": nil}, GraphOptions{}); err == nil {
+		t.Fatal("empty dataset chunk list accepted")
+	}
+}
+
+// Executing a built graph locally (interpreting specs) matches RunLocal —
+// the graph lowering preserves semantics.
+func TestGraphExecutionMatchesLocal(t *testing.T) {
+	Register(metProc{})
+	paths := writeTestDataset(t, 2, 300)
+	chunks, _ := Partition("ds", fileInfos(paths, 300), 64)
+	want, err := RunLocal(metProc{}, chunks)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	g, root, err := BuildGraph("met-test", chunks, GraphOptions{FanIn: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := dag.NewTracker(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := map[dag.Key]*HistSet{}
+	for !tr.AllDone() {
+		keys := tr.NextReady(100)
+		if len(keys) == 0 {
+			t.Fatal("deadlock")
+		}
+		for _, k := range keys {
+			task := g.Task(k)
+			switch spec := task.Spec.(type) {
+			case *ProcessSpec:
+				p, err := Lookup(spec.Processor)
+				if err != nil {
+					t.Fatal(err)
+				}
+				hs, err := ProcessChunk(p, spec.Chunk)
+				if err != nil {
+					t.Fatal(err)
+				}
+				results[k] = hs
+			case *AccumSpec:
+				acc := NewHistSet()
+				for _, d := range task.Deps {
+					if err := acc.Add(results[d]); err != nil {
+						t.Fatal(err)
+					}
+					delete(results, d)
+				}
+				results[k] = acc
+			default:
+				t.Fatalf("unknown spec %T", task.Spec)
+			}
+			if _, err := tr.Complete(k); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	got := results[root]
+	if got == nil {
+		t.Fatal("no result at root")
+	}
+	hw, hg := want.H["met"], got.H["met"]
+	if hw.Entries != hg.Entries {
+		t.Fatalf("entries %d vs %d", hw.Entries, hg.Entries)
+	}
+	for i := range hw.Counts {
+		if math.Abs(hw.Counts[i]-hg.Counts[i]) > 1e-9 {
+			t.Fatalf("bin %d: %v vs %v", i, hw.Counts[i], hg.Counts[i])
+		}
+	}
+}

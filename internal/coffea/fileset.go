@@ -1,0 +1,149 @@
+package coffea
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"hepvine/internal/rootio"
+)
+
+// Fileset is the dataset manifest convention of Coffea analyses: named
+// datasets, each listing its event files. Analyses are usually launched
+// from a fileset JSON rather than raw paths (the `get_dataset("SingleMu")`
+// of Fig. 4 resolves through one).
+type Fileset struct {
+	// Datasets maps dataset name → files.
+	Datasets map[string][]FileInfo `json:"datasets"`
+}
+
+// NewFileset returns an empty manifest.
+func NewFileset() *Fileset {
+	return &Fileset{Datasets: make(map[string][]FileInfo)}
+}
+
+// Add appends a file to a dataset.
+func (fs *Fileset) Add(dataset string, file FileInfo) {
+	fs.Datasets[dataset] = append(fs.Datasets[dataset], file)
+}
+
+// Names lists dataset names, sorted.
+func (fs *Fileset) Names() []string {
+	out := make([]string, 0, len(fs.Datasets))
+	for n := range fs.Datasets {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TotalEvents sums event counts across every file.
+func (fs *Fileset) TotalEvents() int64 {
+	var n int64
+	for _, files := range fs.Datasets {
+		for _, f := range files {
+			n += f.NEvents
+		}
+	}
+	return n
+}
+
+// Validate checks the manifest's internal consistency.
+func (fs *Fileset) Validate() error {
+	if len(fs.Datasets) == 0 {
+		return fmt.Errorf("coffea: fileset has no datasets")
+	}
+	for name, files := range fs.Datasets {
+		if name == "" {
+			return fmt.Errorf("coffea: fileset has an unnamed dataset")
+		}
+		if len(files) == 0 {
+			return fmt.Errorf("coffea: dataset %q has no files", name)
+		}
+		for _, f := range files {
+			if f.Path == "" {
+				return fmt.Errorf("coffea: dataset %q has a file with no path", name)
+			}
+			if f.NEvents <= 0 {
+				return fmt.Errorf("coffea: file %s has %d events", f.Path, f.NEvents)
+			}
+		}
+	}
+	return nil
+}
+
+// Chunks partitions every dataset and returns the per-dataset chunk lists,
+// with chunk indices globally unique across the fileset (as the graph
+// builders require).
+func (fs *Fileset) Chunks(eventsPerChunk int64) (map[string][]Chunk, error) {
+	if err := fs.Validate(); err != nil {
+		return nil, err
+	}
+	out := make(map[string][]Chunk, len(fs.Datasets))
+	idx := 0
+	for _, name := range fs.Names() {
+		chunks, err := Partition(name, fs.Datasets[name], eventsPerChunk)
+		if err != nil {
+			return nil, err
+		}
+		for i := range chunks {
+			chunks[i].Index = idx
+			idx++
+		}
+		out[name] = chunks
+	}
+	return out, nil
+}
+
+// Save writes the manifest as JSON.
+func (fs *Fileset) Save(path string) error {
+	if err := fs.Validate(); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(fs, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// LoadFileset reads a manifest from JSON.
+func LoadFileset(path string) (*Fileset, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	fs := NewFileset()
+	if err := json.Unmarshal(data, fs); err != nil {
+		return nil, fmt.Errorf("coffea: parsing fileset %s: %w", path, err)
+	}
+	if err := fs.Validate(); err != nil {
+		return nil, fmt.Errorf("coffea: fileset %s: %w", path, err)
+	}
+	return fs, nil
+}
+
+// ScanDirFileset builds a single-dataset manifest by opening every .vrt
+// file under dir to read its event count.
+func ScanDirFileset(dataset, dir string) (*Fileset, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "*.vrt"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(paths)
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("coffea: no .vrt files under %s", dir)
+	}
+	fs := NewFileset()
+	for _, p := range paths {
+		rd, closer, err := rootio.Open(p)
+		if err != nil {
+			return nil, fmt.Errorf("coffea: opening %s: %w", p, err)
+		}
+		fs.Add(dataset, FileInfo{Path: p, NEvents: rd.NEvents()})
+		closer.Close()
+	}
+	return fs, nil
+}

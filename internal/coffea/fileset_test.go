@@ -1,0 +1,117 @@
+package coffea
+
+import (
+	"path/filepath"
+	"testing"
+
+	"hepvine/internal/rootio"
+)
+
+func sampleFileset() *Fileset {
+	fs := NewFileset()
+	fs.Add("dsB", FileInfo{Path: "/data/b1.vrt", NEvents: 100})
+	fs.Add("dsA", FileInfo{Path: "/data/a1.vrt", NEvents: 250})
+	fs.Add("dsA", FileInfo{Path: "/data/a2.vrt", NEvents: 250})
+	return fs
+}
+
+func TestFilesetBasics(t *testing.T) {
+	fs := sampleFileset()
+	if err := fs.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	names := fs.Names()
+	if len(names) != 2 || names[0] != "dsA" || names[1] != "dsB" {
+		t.Fatalf("names = %v", names)
+	}
+	if fs.TotalEvents() != 600 {
+		t.Fatalf("total = %d", fs.TotalEvents())
+	}
+}
+
+func TestFilesetValidation(t *testing.T) {
+	if err := NewFileset().Validate(); err == nil {
+		t.Fatal("empty fileset accepted")
+	}
+	fs := NewFileset()
+	fs.Datasets["x"] = nil
+	if err := fs.Validate(); err == nil {
+		t.Fatal("empty dataset accepted")
+	}
+	fs = NewFileset()
+	fs.Add("x", FileInfo{Path: "p", NEvents: 0})
+	if err := fs.Validate(); err == nil {
+		t.Fatal("zero-event file accepted")
+	}
+	fs = NewFileset()
+	fs.Add("x", FileInfo{Path: "", NEvents: 5})
+	if err := fs.Validate(); err == nil {
+		t.Fatal("empty path accepted")
+	}
+}
+
+func TestFilesetChunksGlobalIndices(t *testing.T) {
+	fs := sampleFileset()
+	chunks, err := fs.Chunks(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	total := int64(0)
+	for _, cs := range chunks {
+		for _, c := range cs {
+			if seen[c.Index] {
+				t.Fatalf("duplicate chunk index %d", c.Index)
+			}
+			seen[c.Index] = true
+			total += c.NEvents()
+		}
+	}
+	if total != 600 {
+		t.Fatalf("chunk events = %d", total)
+	}
+	// 250→3 chunks, 250→3, 100→1 ⇒ 7 indices 0..6.
+	if len(seen) != 7 {
+		t.Fatalf("chunks = %d", len(seen))
+	}
+}
+
+func TestFilesetSaveLoadRoundTrip(t *testing.T) {
+	fs := sampleFileset()
+	path := filepath.Join(t.TempDir(), "fileset.json")
+	if err := fs.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadFileset(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.TotalEvents() != fs.TotalEvents() || len(got.Names()) != 2 {
+		t.Fatalf("round trip lost data: %+v", got)
+	}
+	if _, err := LoadFileset(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("missing file loaded")
+	}
+}
+
+func TestScanDirFileset(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := rootio.WriteDataset(dir, rootio.DatasetSpec{
+		Name: "scan", Files: 3, EventsPerFile: 200, Gen: rootio.GenOptions{Seed: 2},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	fs, err := ScanDirFileset("scanned", dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fs.TotalEvents() != 600 {
+		t.Fatalf("scanned %d events", fs.TotalEvents())
+	}
+	if len(fs.Datasets["scanned"]) != 3 {
+		t.Fatalf("scanned %d files", len(fs.Datasets["scanned"]))
+	}
+	if _, err := ScanDirFileset("x", t.TempDir()); err == nil {
+		t.Fatal("empty dir scanned")
+	}
+}

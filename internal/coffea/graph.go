@@ -1,0 +1,136 @@
+package coffea
+
+import (
+	"fmt"
+	"sort"
+
+	"hepvine/internal/dag"
+)
+
+// This file is the analogue of the DaskVine bridge (§IV.C): it lowers a
+// Coffea analysis (processor × chunks → accumulated HistSet) into a dag.Graph
+// whose task payloads schedulers can execute. The reduction shape is a
+// parameter: FanIn=0 reproduces the naive single-node reduction that
+// overflowed workers in Fig. 11a; FanIn=2 the binary tree of Fig. 11b.
+
+// ProcessSpec is the payload of a map task: run the named processor over
+// one chunk.
+type ProcessSpec struct {
+	Processor string
+	Chunk     Chunk
+}
+
+// AccumSpec is the payload of a reduce task: merge the HistSets produced by
+// the task's dependencies.
+type AccumSpec struct {
+	Level int
+}
+
+// GraphOptions shape the lowered graph.
+type GraphOptions struct {
+	// FanIn bounds reduction fan-in; <2 means a single reduction task.
+	FanIn int
+	// KeyPrefix namespaces generated keys (default the processor name).
+	KeyPrefix string
+}
+
+// BuildGraph lowers processor × chunks into a finalized graph and returns
+// it with the key of the final accumulation task.
+func BuildGraph(processor string, chunks []Chunk, opts GraphOptions) (*dag.Graph, dag.Key, error) {
+	if len(chunks) == 0 {
+		return nil, "", fmt.Errorf("coffea: BuildGraph with no chunks")
+	}
+	prefix := opts.KeyPrefix
+	if prefix == "" {
+		prefix = processor
+	}
+	g := dag.NewGraph()
+	procKeys := make([]dag.Key, len(chunks))
+	for i, c := range chunks {
+		k := dag.Key(fmt.Sprintf("%s-proc-%d", prefix, c.Index))
+		procKeys[i] = k
+		if err := g.Add(&dag.Task{
+			Key:      k,
+			Category: "processor",
+			Spec:     &ProcessSpec{Processor: processor, Chunk: c},
+		}); err != nil {
+			return nil, "", err
+		}
+		_ = i
+	}
+	root, err := dag.TreeReduce(g, prefix+"-acc", procKeys, opts.FanIn, func(level, index int, inputs []dag.Key) *dag.Task {
+		return &dag.Task{Category: "accumulate", Spec: &AccumSpec{Level: level}}
+	})
+	if err != nil {
+		return nil, "", err
+	}
+	if err := g.Finalize(); err != nil {
+		return nil, "", err
+	}
+	return g, root, nil
+}
+
+// BuildMultiDatasetGraph lowers several datasets' chunk lists into one
+// graph: each dataset reduces independently (with opts.FanIn), then a final
+// cross-dataset accumulation merges the roots. This is the RS-TriPhoton
+// shape — "a single dataset, of 20, is reduced via a single task" in the
+// naive configuration of Fig. 11.
+func BuildMultiDatasetGraph(processor string, datasets map[string][]Chunk, opts GraphOptions) (*dag.Graph, dag.Key, error) {
+	if len(datasets) == 0 {
+		return nil, "", fmt.Errorf("coffea: BuildMultiDatasetGraph with no datasets")
+	}
+	prefix := opts.KeyPrefix
+	if prefix == "" {
+		prefix = processor
+	}
+	g := dag.NewGraph()
+	var rootKeys []dag.Key
+	// Deterministic dataset order.
+	names := make([]string, 0, len(datasets))
+	for name := range datasets {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		chunks := datasets[name]
+		if len(chunks) == 0 {
+			return nil, "", fmt.Errorf("coffea: dataset %q has no chunks", name)
+		}
+		procKeys := make([]dag.Key, len(chunks))
+		for i, c := range chunks {
+			k := dag.Key(fmt.Sprintf("%s-%s-proc-%d", prefix, name, c.Index))
+			procKeys[i] = k
+			if err := g.Add(&dag.Task{
+				Key:      k,
+				Category: "processor",
+				Spec:     &ProcessSpec{Processor: processor, Chunk: c},
+			}); err != nil {
+				return nil, "", err
+			}
+		}
+		root, err := dag.TreeReduce(g, fmt.Sprintf("%s-%s-acc", prefix, name), procKeys, opts.FanIn,
+			func(level, index int, inputs []dag.Key) *dag.Task {
+				return &dag.Task{Category: "accumulate", Spec: &AccumSpec{Level: level}}
+			})
+		if err != nil {
+			return nil, "", err
+		}
+		rootKeys = append(rootKeys, root)
+	}
+	final, err := dag.TreeReduce(g, prefix+"-final", rootKeys, opts.FanIn,
+		func(level, index int, inputs []dag.Key) *dag.Task {
+			return &dag.Task{Category: "accumulate", Spec: &AccumSpec{Level: level}}
+		})
+	if err != nil {
+		return nil, "", err
+	}
+	if len(rootKeys) == 1 {
+		// TreeReduce returns the lone input unchanged; ensure a final task
+		// exists so callers always find an accumulate root.
+		final = rootKeys[0]
+	}
+	if err := g.Finalize(); err != nil {
+		return nil, "", err
+	}
+	return g, final, nil
+}

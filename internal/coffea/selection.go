@@ -1,0 +1,189 @@
+package coffea
+
+import (
+	"fmt"
+	"sort"
+
+	"hepvine/internal/hist"
+)
+
+// Selection mirrors Coffea's PackedSelection: named boolean cuts over the
+// events of one chunk, packed into bitmasks, with cutflow accounting. HEP
+// analyses live and die by their cutflows — the per-cut survival counts
+// that document a selection — so the accumulator integrates with HistSet
+// and merges across chunks like any histogram.
+type Selection struct {
+	n     int
+	names []string
+	masks map[string][]uint64
+}
+
+// NewSelection creates a selection over n events.
+func NewSelection(n int) *Selection {
+	return &Selection{n: n, masks: make(map[string][]uint64)}
+}
+
+// Len reports the number of events covered.
+func (s *Selection) Len() int { return s.n }
+
+// Names lists cuts in insertion order.
+func (s *Selection) Names() []string {
+	out := make([]string, len(s.names))
+	copy(out, s.names)
+	return out
+}
+
+// Add registers a named cut from a per-event predicate slice.
+func (s *Selection) Add(name string, pass []bool) error {
+	if len(pass) != s.n {
+		return fmt.Errorf("coffea: cut %q has %d flags for %d events", name, len(pass), s.n)
+	}
+	if _, dup := s.masks[name]; dup {
+		return fmt.Errorf("coffea: duplicate cut %q", name)
+	}
+	mask := make([]uint64, (s.n+63)/64)
+	for i, p := range pass {
+		if p {
+			mask[i/64] |= 1 << (i % 64)
+		}
+	}
+	s.masks[name] = mask
+	s.names = append(s.names, name)
+	return nil
+}
+
+// AddFunc registers a cut computed per event index.
+func (s *Selection) AddFunc(name string, pass func(i int) bool) error {
+	flags := make([]bool, s.n)
+	for i := range flags {
+		flags[i] = pass(i)
+	}
+	return s.Add(name, flags)
+}
+
+// All returns the event mask passing every named cut (all cuts if none
+// given).
+func (s *Selection) All(names ...string) ([]bool, error) {
+	if len(names) == 0 {
+		names = s.names
+	}
+	acc := make([]uint64, (s.n+63)/64)
+	for i := range acc {
+		acc[i] = ^uint64(0)
+	}
+	for _, name := range names {
+		mask, ok := s.masks[name]
+		if !ok {
+			return nil, fmt.Errorf("coffea: unknown cut %q", name)
+		}
+		for i := range acc {
+			acc[i] &= mask[i]
+		}
+	}
+	out := make([]bool, s.n)
+	for i := range out {
+		out[i] = acc[i/64]&(1<<(i%64)) != 0
+	}
+	return out, nil
+}
+
+// Count reports how many events pass all the given cuts.
+func (s *Selection) Count(names ...string) (int, error) {
+	pass, err := s.All(names...)
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for _, p := range pass {
+		if p {
+			n++
+		}
+	}
+	return n, nil
+}
+
+// Cutflow reports the sequential survival counts: events passing the first
+// cut, the first two, and so on — the standard analysis bookkeeping table.
+func (s *Selection) Cutflow() ([]CutflowRow, error) {
+	out := make([]CutflowRow, 0, len(s.names)+1)
+	out = append(out, CutflowRow{Cut: "(all events)", Pass: s.n})
+	for i := range s.names {
+		n, err := s.Count(s.names[:i+1]...)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, CutflowRow{Cut: s.names[i], Pass: n})
+	}
+	return out, nil
+}
+
+// CutflowRow is one line of a cutflow table.
+type CutflowRow struct {
+	Cut  string
+	Pass int
+}
+
+// CutflowHist encodes a cutflow as a histogram (bin i = events surviving
+// the first i cuts) so it accumulates across chunks through the ordinary
+// HistSet machinery. The cut order must match across chunks.
+func (s *Selection) CutflowHist() (*hist.Hist, error) {
+	rows, err := s.Cutflow()
+	if err != nil {
+		return nil, err
+	}
+	h := hist.New(hist.Reg(len(rows), 0, float64(len(rows)), "cutflow"))
+	for i, r := range rows {
+		// One weighted entry per row carrying the survival count.
+		h.FillW(float64(r.Pass), float64(i)+0.5)
+	}
+	return h, nil
+}
+
+// FormatCutflow renders a cutflow table with efficiencies.
+func FormatCutflow(rows []CutflowRow) string {
+	if len(rows) == 0 {
+		return ""
+	}
+	out := fmt.Sprintf("%-24s %10s %8s %8s\n", "cut", "pass", "rel%", "abs%")
+	base := rows[0].Pass
+	for i, r := range rows {
+		rel := 100.0
+		if i > 0 && rows[i-1].Pass > 0 {
+			rel = 100 * float64(r.Pass) / float64(rows[i-1].Pass)
+		}
+		abs := 0.0
+		if base > 0 {
+			abs = 100 * float64(r.Pass) / float64(base)
+		}
+		out += fmt.Sprintf("%-24s %10d %7.1f%% %7.1f%%\n", r.Cut, r.Pass, rel, abs)
+	}
+	return out
+}
+
+// MergeCutflowRows sums compatible cutflow tables (same cut sequence),
+// for combining per-chunk results.
+func MergeCutflowRows(tables ...[]CutflowRow) ([]CutflowRow, error) {
+	if len(tables) == 0 {
+		return nil, nil
+	}
+	out := append([]CutflowRow(nil), tables[0]...)
+	for _, t := range tables[1:] {
+		if len(t) != len(out) {
+			return nil, fmt.Errorf("coffea: cutflow length mismatch: %d vs %d", len(t), len(out))
+		}
+		for i := range t {
+			if t[i].Cut != out[i].Cut {
+				return nil, fmt.Errorf("coffea: cutflow cut %d differs: %q vs %q", i, t[i].Cut, out[i].Cut)
+			}
+			out[i].Pass += t[i].Pass
+		}
+	}
+	return out, nil
+}
+
+// SortedCutNames is a test helper: cut names in lexical order.
+func (s *Selection) SortedCutNames() []string {
+	out := s.Names()
+	sort.Strings(out)
+	return out
+}

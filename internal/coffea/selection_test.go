@@ -1,0 +1,188 @@
+package coffea
+
+import (
+	"io"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"hepvine/internal/randx"
+	"hepvine/internal/rootio"
+)
+
+func TestSelectionBasics(t *testing.T) {
+	s := NewSelection(10)
+	if err := s.AddFunc("even", func(i int) bool { return i%2 == 0 }); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddFunc("low", func(i int) bool { return i < 6 }); err != nil {
+		t.Fatal(err)
+	}
+	n, err := s.Count("even")
+	if err != nil || n != 5 {
+		t.Fatalf("even = %d (%v)", n, err)
+	}
+	n, _ = s.Count("even", "low")
+	if n != 3 { // 0, 2, 4
+		t.Fatalf("even&low = %d", n)
+	}
+	all, _ := s.All()
+	for i, p := range all {
+		want := i%2 == 0 && i < 6
+		if p != want {
+			t.Fatalf("event %d: %v", i, p)
+		}
+	}
+}
+
+func TestSelectionValidation(t *testing.T) {
+	s := NewSelection(4)
+	if err := s.Add("short", []bool{true}); err == nil {
+		t.Fatal("wrong length accepted")
+	}
+	s.Add("a", make([]bool, 4))
+	if err := s.Add("a", make([]bool, 4)); err == nil {
+		t.Fatal("duplicate accepted")
+	}
+	if _, err := s.Count("missing"); err == nil {
+		t.Fatal("unknown cut accepted")
+	}
+}
+
+func TestCutflowMonotonic(t *testing.T) {
+	check := func(seed uint16) bool {
+		rng := randx.New(uint64(seed) + 1)
+		n := rng.Intn(100) + 1
+		s := NewSelection(n)
+		for c := 0; c < 4; c++ {
+			name := string(rune('a' + c))
+			flags := make([]bool, n)
+			for i := range flags {
+				flags[i] = rng.Bool(0.7)
+			}
+			if err := s.Add(name, flags); err != nil {
+				return false
+			}
+		}
+		rows, err := s.Cutflow()
+		if err != nil {
+			return false
+		}
+		if rows[0].Pass != n {
+			return false
+		}
+		for i := 1; i < len(rows); i++ {
+			if rows[i].Pass > rows[i-1].Pass {
+				return false // cutflow must be non-increasing
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCutflowHistAccumulates(t *testing.T) {
+	mk := func(n, mod int) *Selection {
+		s := NewSelection(n)
+		s.AddFunc("cut1", func(i int) bool { return i%mod == 0 })
+		s.AddFunc("cut2", func(i int) bool { return i < n/2 })
+		return s
+	}
+	h1, err := mk(100, 2).CutflowHist()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := mk(60, 3).CutflowHist()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h1.Add(h2); err != nil {
+		t.Fatal(err)
+	}
+	// Bin 0 = total events across chunks.
+	if h1.At(0) != 160 {
+		t.Fatalf("total = %v", h1.At(0))
+	}
+	// Bin 1 = pass cut1: 50 + 20.
+	if h1.At(1) != 70 {
+		t.Fatalf("cut1 = %v", h1.At(1))
+	}
+}
+
+func TestMergeCutflowRows(t *testing.T) {
+	a := []CutflowRow{{"(all events)", 100}, {"pt", 60}, {"eta", 40}}
+	b := []CutflowRow{{"(all events)", 50}, {"pt", 30}, {"eta", 10}}
+	merged, err := MergeCutflowRows(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged[0].Pass != 150 || merged[2].Pass != 50 {
+		t.Fatalf("merged = %v", merged)
+	}
+	// Original untouched.
+	if a[0].Pass != 100 {
+		t.Fatal("merge mutated input")
+	}
+	bad := []CutflowRow{{"(all events)", 1}, {"other", 1}, {"eta", 1}}
+	if _, err := MergeCutflowRows(a, bad); err == nil {
+		t.Fatal("mismatched cutflows merged")
+	}
+	if _, err := MergeCutflowRows(a, a[:2]); err == nil {
+		t.Fatal("length mismatch merged")
+	}
+}
+
+func TestFormatCutflow(t *testing.T) {
+	rows := []CutflowRow{{"(all events)", 200}, {"trigger", 100}, {"photons", 25}}
+	out := FormatCutflow(rows)
+	if !strings.Contains(out, "trigger") || !strings.Contains(out, "50.0%") {
+		t.Fatalf("format missing content:\n%s", out)
+	}
+	if !strings.Contains(out, "12.5%") { // 25/200 absolute
+		t.Fatalf("absolute efficiency missing:\n%s", out)
+	}
+	if FormatCutflow(nil) != "" {
+		t.Fatal("empty cutflow should render empty")
+	}
+}
+
+func TestSelectionOnRealEvents(t *testing.T) {
+	paths := writeTestDataset(t, 1, 500)
+	rd, closer, err := openFirst(paths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closer.Close()
+	ev, err := NewNanoEvents(rd, Chunk{Dataset: "ds", Path: paths[0], Lo: 0, Hi: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	met, err := ev.Flat("MET_pt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	nJet, err := ev.Flat("nJet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSelection(int(ev.Len()))
+	s.AddFunc("met>20", func(i int) bool { return met[i] > 20 })
+	s.AddFunc("njet>=2", func(i int) bool { return nJet[i] >= 2 })
+	rows, err := s.Cutflow()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[0].Pass != 500 {
+		t.Fatalf("base = %d", rows[0].Pass)
+	}
+	if rows[2].Pass <= 0 || rows[2].Pass >= 500 {
+		t.Fatalf("final cut pass = %d, expected a real selection", rows[2].Pass)
+	}
+}
+
+// openFirst opens the first dataset file, a tiny helper for selection tests.
+func openFirst(paths []string) (*rootio.Reader, io.Closer, error) {
+	return rootio.Open(paths[0])
+}

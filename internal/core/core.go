@@ -1,0 +1,282 @@
+// Package core holds the TaskVine scheduling core in transport-agnostic
+// form: the replica table that tracks where every file lives, the
+// data-locality placement policy, and the peer-transfer governor. The live
+// engine (internal/vine) implements the same policies over TCP; the
+// simulation plane (internal/vinesim) composes these directly. Keeping them
+// in one package makes the simulated scheduler's behaviour reviewable
+// against the live one.
+//
+// It also defines the workload vocabulary shared by the application models
+// (internal/apps) and the simulator: SimSpec task payloads and Workload
+// bundles.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"hepvine/internal/dag"
+	"hepvine/internal/storage"
+	"hepvine/internal/units"
+)
+
+// ---- replica table ----
+
+// ReplicaTable tracks which nodes hold which files (§IV.B: "The manager
+// maintains a mapping of the location of each file within the cluster").
+type ReplicaTable struct {
+	size  map[storage.FileID]units.Bytes
+	holds map[storage.FileID]map[int]bool // file → node ids
+}
+
+// NewReplicaTable returns an empty table.
+func NewReplicaTable() *ReplicaTable {
+	return &ReplicaTable{
+		size:  make(map[storage.FileID]units.Bytes),
+		holds: make(map[storage.FileID]map[int]bool),
+	}
+}
+
+// SetSize records a file's size (idempotent).
+func (rt *ReplicaTable) SetSize(f storage.FileID, size units.Bytes) {
+	rt.size[f] = size
+}
+
+// Size reports a file's size.
+func (rt *ReplicaTable) Size(f storage.FileID) units.Bytes { return rt.size[f] }
+
+// Add records that node holds f.
+func (rt *ReplicaTable) Add(f storage.FileID, node int) {
+	m := rt.holds[f]
+	if m == nil {
+		m = make(map[int]bool)
+		rt.holds[f] = m
+	}
+	m[node] = true
+}
+
+// Remove drops one replica.
+func (rt *ReplicaTable) Remove(f storage.FileID, node int) {
+	if m := rt.holds[f]; m != nil {
+		delete(m, node)
+	}
+}
+
+// DropNode removes every replica held by a (preempted) node and returns the
+// files that now have zero replicas.
+func (rt *ReplicaTable) DropNode(node int) []storage.FileID {
+	var orphaned []storage.FileID
+	for f, m := range rt.holds {
+		if m[node] {
+			delete(m, node)
+			if len(m) == 0 {
+				orphaned = append(orphaned, f)
+			}
+		}
+	}
+	sort.Slice(orphaned, func(i, j int) bool { return orphaned[i] < orphaned[j] })
+	return orphaned
+}
+
+// Holders lists nodes holding f, sorted.
+func (rt *ReplicaTable) Holders(f storage.FileID) []int {
+	m := rt.holds[f]
+	out := make([]int, 0, len(m))
+	for n := range m {
+		out = append(out, n)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// HasReplica reports whether any node holds f.
+func (rt *ReplicaTable) HasReplica(f storage.FileID) bool { return len(rt.holds[f]) > 0 }
+
+// Holds reports whether a specific node holds f.
+func (rt *ReplicaTable) Holds(f storage.FileID, node int) bool { return rt.holds[f][node] }
+
+// ---- placement policy ----
+
+// Candidate describes one schedulable worker to the placement policy.
+type Candidate struct {
+	Node      int
+	FreeCores int
+}
+
+// PickWorker chooses a worker for a task needing the given input files:
+// the candidate with the most input bytes already local wins; ties prefer
+// more free cores, then lower node id (determinism). Mirrors the live
+// manager's pickWorkerLocked. Returns -1 if candidates is empty.
+func (rt *ReplicaTable) PickWorker(candidates []Candidate, inputs []storage.FileID) int {
+	best := -1
+	var bestLocal units.Bytes = -1
+	bestFree := -1
+	for _, c := range candidates {
+		var local units.Bytes
+		for _, f := range inputs {
+			if rt.Holds(f, c.Node) {
+				local += rt.size[f]
+			}
+		}
+		if best == -1 || local > bestLocal || (local == bestLocal && c.FreeCores > bestFree) ||
+			(local == bestLocal && c.FreeCores == bestFree && c.Node < best) {
+			best, bestLocal, bestFree = c.Node, local, c.FreeCores
+		}
+	}
+	return best
+}
+
+// ---- peer-transfer governor ----
+
+// TransferRequest asks for file f to be copied to node Dest.
+type TransferRequest struct {
+	File storage.FileID
+	Dest int
+}
+
+// Governor caps concurrent outbound transfers per source node (§IV.B: "the
+// manager manages the number of concurrent peer transfers that a worker may
+// perform"). Requests that cannot start immediately are queued and retried
+// whenever a source frees up.
+type Governor struct {
+	Cap int
+
+	outbound map[int]int
+	queue    []*govRequest
+}
+
+type govRequest struct {
+	req    TransferRequest
+	choose func(maxLoad int) int
+	start  func(source int)
+}
+
+// NewGovernor returns a governor with the given per-source cap (<=0 means
+// uncapped).
+func NewGovernor(cap int) *Governor {
+	return &Governor{Cap: cap, outbound: make(map[int]int)}
+}
+
+// Outbound reports a node's active outbound transfers.
+func (g *Governor) Outbound(node int) int { return g.outbound[node] }
+
+// QueueLen reports deferred transfers.
+func (g *Governor) QueueLen() int { return len(g.queue) }
+
+// Request asks to transfer req.File to req.Dest. choose must return the
+// preferred source node whose load is below maxLoad, or a negative value if
+// none qualifies right now (the request queues and is retried on Done).
+// start is invoked — possibly later — with the granted source.
+func (g *Governor) Request(req TransferRequest, choose func(maxLoad int) int, start func(source int)) {
+	gr := &govRequest{req: req, choose: choose, start: start}
+	if !g.tryStart(gr) {
+		g.queue = append(g.queue, gr)
+	}
+}
+
+func (g *Governor) tryStart(gr *govRequest) bool {
+	maxLoad := g.Cap
+	if maxLoad <= 0 {
+		maxLoad = 1 << 30
+	}
+	src := gr.choose(maxLoad)
+	if src < 0 {
+		return false
+	}
+	g.outbound[src]++
+	gr.start(src)
+	return true
+}
+
+// Done releases one outbound slot on source and retries queued requests.
+func (g *Governor) Done(source int) {
+	if g.outbound[source] > 0 {
+		g.outbound[source]--
+	}
+	var still []*govRequest
+	for _, gr := range g.queue {
+		if !g.tryStart(gr) {
+			still = append(still, gr)
+		}
+	}
+	g.queue = still
+}
+
+// ---- workload vocabulary ----
+
+// SimSpec is the simulation-plane payload of a dag.Task: what the task
+// costs rather than what it computes.
+type SimSpec struct {
+	// Compute is the pure user-code execution time on one core.
+	Compute time.Duration
+	// Inputs lists dataset files read from shared storage (task outputs
+	// are implied by graph dependencies).
+	Inputs []storage.FileID
+	// OutputSize is the bytes the task's output occupies.
+	OutputSize units.Bytes
+}
+
+// OutputFileID names the output file of a graph task.
+func OutputFileID(k dag.Key) storage.FileID {
+	return storage.FileID("out:" + string(k))
+}
+
+// Workload bundles a simulation graph with its external dataset files.
+type Workload struct {
+	Name  string
+	Graph *dag.Graph
+	Root  dag.Key
+	// DatasetFiles maps external input files to their sizes; they live on
+	// the shared filesystem at t=0.
+	DatasetFiles map[storage.FileID]units.Bytes
+}
+
+// InputBytes totals the dataset size.
+func (w *Workload) InputBytes() units.Bytes {
+	var total units.Bytes
+	for _, s := range w.DatasetFiles {
+		total += s
+	}
+	return total
+}
+
+// TaskCount reports graph size.
+func (w *Workload) TaskCount() int { return w.Graph.Len() }
+
+// TotalCompute sums every task's compute time (core-seconds of real work).
+func (w *Workload) TotalCompute() time.Duration {
+	var total time.Duration
+	for _, k := range w.Graph.Keys() {
+		if spec, ok := w.Graph.Task(k).Spec.(*SimSpec); ok {
+			total += spec.Compute
+		}
+	}
+	return total
+}
+
+// Validate checks that every task carries a SimSpec and every referenced
+// dataset file is declared.
+func (w *Workload) Validate() error {
+	if !w.Graph.Finalized() {
+		return fmt.Errorf("core: workload %q graph not finalized", w.Name)
+	}
+	if w.Graph.Task(w.Root) == nil {
+		return fmt.Errorf("core: workload %q root %q missing", w.Name, w.Root)
+	}
+	for _, k := range w.Graph.Keys() {
+		spec, ok := w.Graph.Task(k).Spec.(*SimSpec)
+		if !ok {
+			return fmt.Errorf("core: task %q lacks a SimSpec", k)
+		}
+		for _, f := range spec.Inputs {
+			if _, ok := w.DatasetFiles[f]; !ok {
+				return fmt.Errorf("core: task %q reads undeclared dataset file %q", k, f)
+			}
+		}
+		if spec.Compute < 0 || spec.OutputSize < 0 {
+			return fmt.Errorf("core: task %q has negative cost", k)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,56 @@
+package dag
+
+import (
+	"fmt"
+	"testing"
+)
+
+func benchGraph(b *testing.B, n int) *Graph {
+	b.Helper()
+	g := NewGraph()
+	keys := make([]Key, n)
+	for i := 0; i < n; i++ {
+		keys[i] = Key(fmt.Sprintf("p%d", i))
+		g.MustAdd(&Task{Key: keys[i], Category: "p"})
+	}
+	if _, err := TreeReduce(g, "acc", keys, 8, func(l, i int, in []Key) *Task {
+		return &Task{Category: "a"}
+	}); err != nil {
+		b.Fatal(err)
+	}
+	if err := g.Finalize(); err != nil {
+		b.Fatal(err)
+	}
+	return g
+}
+
+func BenchmarkGraphBuildAndFinalize(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		benchGraph(b, 10000)
+	}
+}
+
+func BenchmarkTrackerDrain(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		g := benchGraph(b, 10000)
+		tr, err := NewTrackerPrio(g, g.Depths())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		for !tr.AllDone() {
+			ks := tr.NextReady(64)
+			if len(ks) == 0 {
+				b.Fatal("deadlock")
+			}
+			for _, k := range ks {
+				if _, err := tr.Complete(k); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+}

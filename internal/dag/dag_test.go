@@ -1,0 +1,678 @@
+package dag
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"hepvine/internal/randx"
+)
+
+func mustGraph(t *testing.T, edges map[Key][]Key) *Graph {
+	t.Helper()
+	g := NewGraph()
+	// Insert in key order after collecting all nodes.
+	nodes := map[Key]bool{}
+	for k, deps := range edges {
+		nodes[k] = true
+		for _, d := range deps {
+			nodes[d] = true
+		}
+	}
+	// Deterministic insertion: simple repeated passes until all inserted.
+	inserted := map[Key]bool{}
+	for len(inserted) < len(nodes) {
+		progress := false
+		for k := range nodes {
+			if inserted[k] {
+				continue
+			}
+			g.MustAdd(&Task{Key: k, Deps: edges[k]})
+			inserted[k] = true
+			progress = true
+		}
+		if !progress {
+			t.Fatal("could not insert all nodes")
+		}
+	}
+	if err := g.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestAddValidation(t *testing.T) {
+	g := NewGraph()
+	if err := g.Add(&Task{Key: ""}); err == nil {
+		t.Fatal("empty key accepted")
+	}
+	g.MustAdd(&Task{Key: "a"})
+	if err := g.Add(&Task{Key: "a"}); err == nil {
+		t.Fatal("duplicate accepted")
+	}
+	if err := g.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Add(&Task{Key: "b"}); err == nil {
+		t.Fatal("add after finalize accepted")
+	}
+}
+
+func TestFinalizeMissingDep(t *testing.T) {
+	g := NewGraph()
+	g.MustAdd(&Task{Key: "a", Deps: []Key{"ghost"}})
+	if err := g.Finalize(); err == nil {
+		t.Fatal("missing dep accepted")
+	}
+}
+
+func TestFinalizeCycle(t *testing.T) {
+	g := NewGraph()
+	g.MustAdd(&Task{Key: "a", Deps: []Key{"b"}})
+	g.MustAdd(&Task{Key: "b", Deps: []Key{"a"}})
+	if err := g.Finalize(); err == nil {
+		t.Fatal("cycle accepted")
+	}
+}
+
+func TestTopoOrderRespectsDeps(t *testing.T) {
+	g := mustGraph(t, map[Key][]Key{
+		"d": {"b", "c"},
+		"b": {"a"},
+		"c": {"a"},
+		"a": nil,
+	})
+	pos := map[Key]int{}
+	for i, k := range g.Topo() {
+		pos[k] = i
+	}
+	for _, k := range g.Keys() {
+		for _, d := range g.Task(k).Deps {
+			if pos[d] >= pos[k] {
+				t.Fatalf("topo violates %s -> %s", d, k)
+			}
+		}
+	}
+}
+
+func TestRootsLeaves(t *testing.T) {
+	g := mustGraph(t, map[Key][]Key{
+		"sum": {"x", "y"},
+		"x":   nil,
+		"y":   nil,
+	})
+	if len(g.Roots()) != 2 {
+		t.Fatalf("roots = %v", g.Roots())
+	}
+	leaves := g.Leaves()
+	if len(leaves) != 1 || leaves[0] != "sum" {
+		t.Fatalf("leaves = %v", leaves)
+	}
+}
+
+func TestAncestorsDescendants(t *testing.T) {
+	g := mustGraph(t, map[Key][]Key{
+		"e": {"d"},
+		"d": {"b", "c"},
+		"b": {"a"},
+		"c": nil,
+		"a": nil,
+	})
+	anc := g.Ancestors("d")
+	for _, k := range []Key{"a", "b", "c"} {
+		if !anc[k] {
+			t.Fatalf("ancestors missing %s: %v", k, anc)
+		}
+	}
+	if anc["e"] || anc["d"] {
+		t.Fatalf("ancestors include non-ancestor: %v", anc)
+	}
+	desc := g.Descendants("b")
+	if !desc["d"] || !desc["e"] || desc["c"] || desc["a"] {
+		t.Fatalf("descendants = %v", desc)
+	}
+}
+
+func TestWidthAndCriticalPath(t *testing.T) {
+	// Diamond: width 2, critical path 3.
+	g := mustGraph(t, map[Key][]Key{
+		"d": {"b", "c"},
+		"b": {"a"},
+		"c": {"a"},
+		"a": nil,
+	})
+	if w := g.MaxWidth(); w != 2 {
+		t.Fatalf("width = %d", w)
+	}
+	if c := g.CriticalPathLen(); c != 3 {
+		t.Fatalf("critical path = %d", c)
+	}
+}
+
+func TestCountByCategory(t *testing.T) {
+	g := NewGraph()
+	g.MustAdd(&Task{Key: "p1", Category: "processor"})
+	g.MustAdd(&Task{Key: "p2", Category: "processor"})
+	g.MustAdd(&Task{Key: "acc", Category: "accumulate", Deps: []Key{"p1", "p2"}})
+	cc := g.CountByCategory()
+	if len(cc) != 2 || cc[0].Category != "accumulate" || cc[1].Count != 2 {
+		t.Fatalf("categories = %v", cc)
+	}
+}
+
+// ---- Tracker ----
+
+func newDiamondTracker(t *testing.T) *Tracker {
+	g := mustGraph(t, map[Key][]Key{
+		"d": {"b", "c"},
+		"b": {"a"},
+		"c": {"a"},
+		"a": nil,
+	})
+	tr, err := NewTracker(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestTrackerBasicFlow(t *testing.T) {
+	tr := newDiamondTracker(t)
+	if tr.ReadyCount() != 1 {
+		t.Fatalf("initial ready = %d", tr.ReadyCount())
+	}
+	got := tr.NextReady(10)
+	if len(got) != 1 || got[0] != "a" {
+		t.Fatalf("dispatched %v", got)
+	}
+	newly, err := tr.Complete("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(newly) != 2 {
+		t.Fatalf("newly ready = %v", newly)
+	}
+	for _, k := range tr.NextReady(2) {
+		if _, err := tr.Complete(k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tr.ReadyCount() != 1 {
+		t.Fatalf("d not ready")
+	}
+	tr.NextReady(1)
+	if _, err := tr.Complete("d"); err != nil {
+		t.Fatal(err)
+	}
+	if !tr.AllDone() {
+		t.Fatal("not all done")
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTrackerStateErrors(t *testing.T) {
+	tr := newDiamondTracker(t)
+	if _, err := tr.Complete("a"); err == nil {
+		t.Fatal("Complete on non-running accepted")
+	}
+	if err := tr.Fail("d"); err == nil {
+		t.Fatal("Fail on waiting accepted")
+	}
+	if err := tr.Requeue("a"); err == nil {
+		t.Fatal("Requeue on ready accepted")
+	}
+}
+
+func TestTrackerRequeue(t *testing.T) {
+	tr := newDiamondTracker(t)
+	tr.NextReady(1)
+	if err := tr.Requeue("a"); err != nil {
+		t.Fatal(err)
+	}
+	if tr.ReadyCount() != 1 {
+		t.Fatal("requeue lost task")
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTrackerFail(t *testing.T) {
+	tr := newDiamondTracker(t)
+	tr.NextReady(1)
+	if err := tr.Fail("a"); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Count(Failed) != 1 {
+		t.Fatal("failed count wrong")
+	}
+	if tr.ReadyCount() != 0 {
+		t.Fatal("children of failed task became ready")
+	}
+}
+
+func TestTrackerInvalidateSimple(t *testing.T) {
+	tr := newDiamondTracker(t)
+	tr.NextReady(1)
+	tr.Complete("a")
+	// Lose a's output before b/c run.
+	changed, err := tr.Invalidate([]Key{"a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(changed) < 3 { // a + b + c rolled back
+		t.Fatalf("changed = %v", changed)
+	}
+	if tr.State("a") != Ready {
+		t.Fatalf("a state = %v", tr.State("a"))
+	}
+	if tr.State("b") != Waiting || tr.State("c") != Waiting {
+		t.Fatalf("b/c states = %v/%v", tr.State("b"), tr.State("c"))
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Re-run to completion.
+	for !tr.AllDone() {
+		ks := tr.NextReady(10)
+		if len(ks) == 0 {
+			t.Fatal("deadlock after invalidate")
+		}
+		for _, k := range ks {
+			if _, err := tr.Complete(k); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+func TestTrackerInvalidateKeepsDoneDescendants(t *testing.T) {
+	tr := newDiamondTracker(t)
+	// Run everything.
+	for !tr.AllDone() {
+		for _, k := range tr.NextReady(10) {
+			tr.Complete(k)
+		}
+	}
+	// Lose only b's output: d is Done and keeps its value; nothing re-runs
+	// except... nothing depends on b anymore, but b itself must re-run only
+	// if someone needs it. Conservative model: b returns to Ready.
+	changed, err := tr.Invalidate([]Key{"b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.State("d") != Done {
+		t.Fatal("done descendant rolled back unnecessarily")
+	}
+	if tr.State("b") != Ready {
+		t.Fatalf("b state = %v", tr.State("b"))
+	}
+	_ = changed
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTrackerInvalidateChain(t *testing.T) {
+	// a -> b -> c; lose a and b after all Done: a ready, b waits for a.
+	g := mustGraph(t, map[Key][]Key{"c": {"b"}, "b": {"a"}, "a": nil})
+	tr, _ := NewTracker(g)
+	for !tr.AllDone() {
+		for _, k := range tr.NextReady(10) {
+			tr.Complete(k)
+		}
+	}
+	if _, err := tr.Invalidate([]Key{"a", "b"}); err != nil {
+		t.Fatal(err)
+	}
+	if tr.State("a") != Ready || tr.State("b") != Waiting {
+		t.Fatalf("states a=%v b=%v", tr.State("a"), tr.State("b"))
+	}
+	if tr.State("c") != Done {
+		t.Fatal("c should keep its output")
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	tr.NextReady(1)
+	tr.Complete("a")
+	if tr.State("b") != Ready {
+		t.Fatalf("b not ready after a re-completes: %v", tr.State("b"))
+	}
+	tr.NextReady(1)
+	if _, err := tr.Complete("b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTrackerSnapshot(t *testing.T) {
+	tr := newDiamondTracker(t)
+	s := tr.Snapshot()
+	if s.Ready != 1 || s.Waiting != 3 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+	tr.NextReady(1)
+	s = tr.Snapshot()
+	if s.Running != 1 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+}
+
+// Random-workload property: dispatch/complete with random invalidations
+// always drains without deadlock and invariants hold throughout.
+func TestTrackerRandomizedDrain(t *testing.T) {
+	check := func(seed uint16) bool {
+		rng := randx.New(uint64(seed) + 1)
+		// Random layered DAG.
+		g := NewGraph()
+		layers := 3 + rng.Intn(3)
+		var prev []Key
+		for l := 0; l < layers; l++ {
+			n := 2 + rng.Intn(5)
+			var cur []Key
+			for i := 0; i < n; i++ {
+				k := Key(fmt.Sprintf("L%d-%d", l, i))
+				var deps []Key
+				for _, p := range prev {
+					if rng.Bool(0.5) {
+						deps = append(deps, p)
+					}
+				}
+				g.MustAdd(&Task{Key: k, Deps: deps})
+				cur = append(cur, k)
+			}
+			prev = cur
+		}
+		if err := g.Finalize(); err != nil {
+			return false
+		}
+		tr, err := NewTracker(g)
+		if err != nil {
+			return false
+		}
+		steps := 0
+		for !tr.AllDone() {
+			steps++
+			if steps > 10000 {
+				return false // deadlock
+			}
+			ks := tr.NextReady(1 + rng.Intn(3))
+			if len(ks) == 0 {
+				return false
+			}
+			for _, k := range ks {
+				if _, err := tr.Complete(k); err != nil {
+					return false
+				}
+			}
+			// Occasionally lose a random done task's output.
+			if rng.Bool(0.2) {
+				done := tr.DoneKeys()
+				if len(done) > 0 {
+					victim := done[rng.Intn(len(done))]
+					if _, err := tr.Invalidate([]Key{victim}); err != nil {
+						return false
+					}
+				}
+			}
+			if err := tr.CheckInvariants(); err != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// ---- Optimizers ----
+
+func addLeaves(g *Graph, n int) []Key {
+	keys := make([]Key, n)
+	for i := range keys {
+		keys[i] = Key(fmt.Sprintf("in-%d", i))
+		g.MustAdd(&Task{Key: keys[i], Category: "processor"})
+	}
+	return keys
+}
+
+func reduceMk(level, index int, inputs []Key) *Task {
+	return &Task{Category: "accumulate"}
+}
+
+func TestTreeReduceBinary(t *testing.T) {
+	g := NewGraph()
+	keys := addLeaves(g, 20)
+	root, err := TreeReduce(g, "red", keys, 2, reduceMk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	// Binary tree over 20 leaves: 19 internal nodes.
+	if got := g.Len() - 20; got != 19 {
+		t.Fatalf("internal nodes = %d", got)
+	}
+	// Max fan-in 2.
+	for _, k := range g.Keys() {
+		if len(g.Task(k).Deps) > 2 {
+			t.Fatalf("fan-in %d at %s", len(g.Task(k).Deps), k)
+		}
+	}
+	// Root reachable from all leaves.
+	anc := g.Ancestors(root)
+	for _, k := range keys {
+		if !anc[k] {
+			t.Fatalf("leaf %s not under root", k)
+		}
+	}
+}
+
+func TestTreeReduceSingleShot(t *testing.T) {
+	g := NewGraph()
+	keys := addLeaves(g, 20)
+	root, err := TreeReduce(g, "red", keys, 0, reduceMk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	if g.Len() != 21 {
+		t.Fatalf("len = %d", g.Len())
+	}
+	if len(g.Task(root).Deps) != 20 {
+		t.Fatalf("single-shot fan-in = %d", len(g.Task(root).Deps))
+	}
+}
+
+func TestTreeReduceFanIn8(t *testing.T) {
+	g := NewGraph()
+	keys := addLeaves(g, 100)
+	root, err := TreeReduce(g, "red", keys, 8, reduceMk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range g.Keys() {
+		if n := len(g.Task(k).Deps); n > 8 {
+			t.Fatalf("fan-in %d", n)
+		}
+	}
+	if len(g.Dependents(root)) != 0 {
+		t.Fatal("root has dependents")
+	}
+}
+
+func TestTreeReduceEdgeCases(t *testing.T) {
+	g := NewGraph()
+	keys := addLeaves(g, 1)
+	root, err := TreeReduce(g, "red", keys, 2, reduceMk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if root != keys[0] {
+		t.Fatal("single input should return itself")
+	}
+	if _, err := TreeReduce(g, "red", nil, 2, reduceMk); err == nil {
+		t.Fatal("empty inputs accepted")
+	}
+}
+
+func TestTreeReducePropertyAllLeavesCovered(t *testing.T) {
+	check := func(n uint8, fan uint8) bool {
+		nIn := int(n)%200 + 2
+		fanIn := int(fan)%7 + 2
+		g := NewGraph()
+		keys := addLeaves(g, nIn)
+		root, err := TreeReduce(g, "r", keys, fanIn, reduceMk)
+		if err != nil {
+			return false
+		}
+		if err := g.Finalize(); err != nil {
+			return false
+		}
+		anc := g.Ancestors(root)
+		for _, k := range keys {
+			if !anc[k] {
+				return false
+			}
+		}
+		for _, k := range g.Keys() {
+			if len(g.Task(k).Deps) > fanIn {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCull(t *testing.T) {
+	g := mustGraph(t, map[Key][]Key{
+		"keep":   {"mid"},
+		"mid":    {"base"},
+		"base":   nil,
+		"orphan": {"base"},
+	})
+	ng, err := Cull(g, "keep")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ng.Len() != 3 {
+		t.Fatalf("culled len = %d", ng.Len())
+	}
+	if ng.Task("orphan") != nil {
+		t.Fatal("orphan survived cull")
+	}
+	if _, err := Cull(g, "nope"); err == nil {
+		t.Fatal("missing target accepted")
+	}
+}
+
+func TestFuseLinearChain(t *testing.T) {
+	g := NewGraph()
+	g.MustAdd(&Task{Key: "a", Category: "x"})
+	g.MustAdd(&Task{Key: "b", Deps: []Key{"a"}, Category: "x"})
+	g.MustAdd(&Task{Key: "c", Deps: []Key{"b"}, Category: "x"})
+	g.MustAdd(&Task{Key: "out", Deps: []Key{"c"}, Category: "y"})
+	if err := g.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	ng, err := Fuse(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// a-b-c fuse into "c"; "out" survives.
+	if ng.Len() != 2 {
+		t.Fatalf("fused len = %d: %v", ng.Len(), ng.Keys())
+	}
+	c := ng.Task("c")
+	if c == nil {
+		t.Fatal("fused tail key missing")
+	}
+	fs, ok := c.Spec.(*FusedSpec)
+	if !ok {
+		t.Fatalf("spec = %T", c.Spec)
+	}
+	if len(fs.Stages) != 3 || fs.Stages[0].Key != "a" || fs.Stages[2].Key != "c" {
+		t.Fatalf("stages wrong: %v", fs.Stages)
+	}
+	out := ng.Task("out")
+	if len(out.Deps) != 1 || out.Deps[0] != "c" {
+		t.Fatalf("out deps = %v", out.Deps)
+	}
+}
+
+func TestFuseStopsAtFanout(t *testing.T) {
+	g := mustGraph(t, map[Key][]Key{
+		"d": {"b", "c"},
+		"b": {"a"},
+		"c": {"a"},
+		"a": nil,
+	})
+	ng, err := Fuse(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// a has two dependents → nothing fuses.
+	if ng.Len() != 4 {
+		t.Fatalf("fused diamond len = %d", ng.Len())
+	}
+}
+
+func TestFuseRespectsCategory(t *testing.T) {
+	g := NewGraph()
+	g.MustAdd(&Task{Key: "a", Category: "x"})
+	g.MustAdd(&Task{Key: "b", Deps: []Key{"a"}, Category: "y"})
+	if err := g.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	ng, err := Fuse(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ng.Len() != 2 {
+		t.Fatal("cross-category chain fused")
+	}
+}
+
+func TestFuseSameResultSet(t *testing.T) {
+	// Fusing then draining yields the same leaf set as the original.
+	g := NewGraph()
+	var leaves []Key
+	for i := 0; i < 5; i++ {
+		a := Key(fmt.Sprintf("a%d", i))
+		b := Key(fmt.Sprintf("b%d", i))
+		g.MustAdd(&Task{Key: a, Category: "p"})
+		g.MustAdd(&Task{Key: b, Deps: []Key{a}, Category: "p"})
+		leaves = append(leaves, b)
+	}
+	g.MustAdd(&Task{Key: "sum", Deps: leaves, Category: "acc"})
+	if err := g.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	ng, err := Fuse(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ng.Len() != 6 { // 5 fused chains + sum
+		t.Fatalf("fused len = %d", ng.Len())
+	}
+	gl := g.Leaves()
+	ngl := ng.Leaves()
+	if len(gl) != len(ngl) || gl[0] != ngl[0] {
+		t.Fatalf("leaf sets differ: %v vs %v", gl, ngl)
+	}
+}

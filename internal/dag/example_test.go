@@ -1,0 +1,53 @@
+package dag_test
+
+import (
+	"fmt"
+
+	"hepvine/internal/dag"
+)
+
+// TreeReduce rewrites an N-way reduction into a bounded-fan-in tree — the
+// §IV.C fix that stops a single reduction task from pulling every input
+// onto one worker at once.
+func ExampleTreeReduce() {
+	g := dag.NewGraph()
+	var inputs []dag.Key
+	for i := 0; i < 8; i++ {
+		k := dag.Key(fmt.Sprintf("part-%d", i))
+		g.MustAdd(&dag.Task{Key: k, Category: "processor"})
+		inputs = append(inputs, k)
+	}
+	root, err := dag.TreeReduce(g, "merge", inputs, 2, func(level, index int, in []dag.Key) *dag.Task {
+		return &dag.Task{Category: "accumulate"}
+	})
+	if err != nil {
+		panic(err)
+	}
+	if err := g.Finalize(); err != nil {
+		panic(err)
+	}
+	fmt.Println("tasks:", g.Len(), "depth:", g.CriticalPathLen(), "root deps:", len(g.Task(root).Deps))
+	// Output: tasks: 15 depth: 4 root deps: 2
+}
+
+// A Tracker drives dispatch: ready tasks flow out, completions unlock
+// dependents.
+func ExampleTracker() {
+	g := dag.NewGraph()
+	g.MustAdd(&dag.Task{Key: "read"})
+	g.MustAdd(&dag.Task{Key: "analyze", Deps: []dag.Key{"read"}})
+	if err := g.Finalize(); err != nil {
+		panic(err)
+	}
+	tr, err := dag.NewTracker(g)
+	if err != nil {
+		panic(err)
+	}
+	first := tr.NextReady(1)
+	fmt.Println("first:", first[0])
+	newly, _ := tr.Complete(first[0])
+	fmt.Println("unlocked:", newly[0])
+	// Output:
+	// first: read
+	// unlocked: analyze
+}

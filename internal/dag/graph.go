@@ -1,0 +1,313 @@
+// Package dag implements the DAG-manager layer of the application stack
+// (§II.B): directed acyclic graphs of tasks with data dependencies, the
+// runtime state tracking needed to dispatch them, and the graph rewrites
+// (hierarchical reduction, culling, fusion) that §IV.C applies to the
+// applications.
+//
+// The package is scheduler-agnostic, playing the role Dask plays in the
+// paper: it expresses concurrency, while a scheduler (Work Queue, TaskVine,
+// Dask.Distributed — or their simulation models) decides placement and
+// movement. Task payloads are opaque to the graph: the live engine attaches
+// callable specs, the simulation plane attaches cost models.
+package dag
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Key identifies a task and, implicitly, the datum it produces — the Dask
+// convention where each graph node is both a computation and its output.
+type Key string
+
+// Task is one node of the graph.
+type Task struct {
+	Key  Key
+	Deps []Key
+
+	// Category groups tasks for instrumentation and cost models, e.g.
+	// "fetch", "processor", "accumulate".
+	Category string
+
+	// Spec is the executor-specific payload: a callable description on the
+	// live plane, a cost model on the simulation plane.
+	Spec any
+}
+
+// Graph is an immutable-after-Finalize DAG of tasks.
+type Graph struct {
+	tasks     map[Key]*Task
+	order     []Key // insertion order, for determinism
+	finalized bool
+	topo      []Key
+	children  map[Key][]Key // dependents
+}
+
+// NewGraph returns an empty graph.
+func NewGraph() *Graph {
+	return &Graph{tasks: make(map[Key]*Task)}
+}
+
+// Add inserts a task. It returns an error on duplicate keys or additions
+// after Finalize.
+func (g *Graph) Add(t *Task) error {
+	if g.finalized {
+		return fmt.Errorf("dag: graph already finalized")
+	}
+	if t.Key == "" {
+		return fmt.Errorf("dag: task with empty key")
+	}
+	if _, dup := g.tasks[t.Key]; dup {
+		return fmt.Errorf("dag: duplicate task %q", t.Key)
+	}
+	g.tasks[t.Key] = t
+	g.order = append(g.order, t.Key)
+	return nil
+}
+
+// MustAdd is Add that panics on error, for graph-building code whose keys
+// are generated and cannot collide.
+func (g *Graph) MustAdd(t *Task) {
+	if err := g.Add(t); err != nil {
+		panic(err)
+	}
+}
+
+// Len reports the number of tasks.
+func (g *Graph) Len() int { return len(g.tasks) }
+
+// Task returns the task with the given key, or nil.
+func (g *Graph) Task(k Key) *Task { return g.tasks[k] }
+
+// Keys returns all task keys in insertion order.
+func (g *Graph) Keys() []Key {
+	out := make([]Key, len(g.order))
+	copy(out, g.order)
+	return out
+}
+
+// Finalize validates the graph: every dependency must exist and the graph
+// must be acyclic. After Finalize the topological order and dependent lists
+// are available and the graph is immutable.
+func (g *Graph) Finalize() error {
+	if g.finalized {
+		return nil
+	}
+	for _, k := range g.order {
+		for _, d := range g.tasks[k].Deps {
+			if _, ok := g.tasks[d]; !ok {
+				return fmt.Errorf("dag: task %q depends on missing %q", k, d)
+			}
+		}
+	}
+	// Kahn's algorithm for topological order + cycle detection.
+	indeg := make(map[Key]int, len(g.tasks))
+	g.children = make(map[Key][]Key, len(g.tasks))
+	for _, k := range g.order {
+		indeg[k] = len(g.tasks[k].Deps)
+		for _, d := range g.tasks[k].Deps {
+			g.children[d] = append(g.children[d], k)
+		}
+	}
+	queue := make([]Key, 0, len(g.tasks))
+	for _, k := range g.order {
+		if indeg[k] == 0 {
+			queue = append(queue, k)
+		}
+	}
+	topo := make([]Key, 0, len(g.tasks))
+	for len(queue) > 0 {
+		k := queue[0]
+		queue = queue[1:]
+		topo = append(topo, k)
+		for _, c := range g.children[k] {
+			indeg[c]--
+			if indeg[c] == 0 {
+				queue = append(queue, c)
+			}
+		}
+	}
+	if len(topo) != len(g.tasks) {
+		return fmt.Errorf("dag: cycle detected (%d of %d tasks reachable)", len(topo), len(g.tasks))
+	}
+	g.topo = topo
+	g.finalized = true
+	return nil
+}
+
+// Finalized reports whether Finalize has succeeded.
+func (g *Graph) Finalized() bool { return g.finalized }
+
+// Topo returns the topological order. It panics if the graph is not
+// finalized.
+func (g *Graph) Topo() []Key {
+	g.mustFinal("Topo")
+	out := make([]Key, len(g.topo))
+	copy(out, g.topo)
+	return out
+}
+
+// Dependents returns the tasks that depend on k. Panics if not finalized.
+func (g *Graph) Dependents(k Key) []Key {
+	g.mustFinal("Dependents")
+	out := make([]Key, len(g.children[k]))
+	copy(out, g.children[k])
+	return out
+}
+
+// Roots returns tasks with no dependencies, in insertion order.
+func (g *Graph) Roots() []Key {
+	var out []Key
+	for _, k := range g.order {
+		if len(g.tasks[k].Deps) == 0 {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// Leaves returns tasks nothing depends on. Panics if not finalized.
+func (g *Graph) Leaves() []Key {
+	g.mustFinal("Leaves")
+	var out []Key
+	for _, k := range g.order {
+		if len(g.children[k]) == 0 {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// Ancestors returns the transitive dependency closure of the given keys
+// (excluding the keys themselves unless they are ancestors of each other).
+func (g *Graph) Ancestors(keys ...Key) map[Key]bool {
+	seen := make(map[Key]bool)
+	var walk func(k Key)
+	walk = func(k Key) {
+		for _, d := range g.tasks[k].Deps {
+			if !seen[d] {
+				seen[d] = true
+				walk(d)
+			}
+		}
+	}
+	for _, k := range keys {
+		if _, ok := g.tasks[k]; ok {
+			walk(k)
+		}
+	}
+	return seen
+}
+
+// Descendants returns the transitive dependent closure of the given keys.
+// Panics if not finalized.
+func (g *Graph) Descendants(keys ...Key) map[Key]bool {
+	g.mustFinal("Descendants")
+	seen := make(map[Key]bool)
+	var walk func(k Key)
+	walk = func(k Key) {
+		for _, c := range g.children[k] {
+			if !seen[c] {
+				seen[c] = true
+				walk(c)
+			}
+		}
+	}
+	for _, k := range keys {
+		if _, ok := g.tasks[k]; ok {
+			walk(k)
+		}
+	}
+	return seen
+}
+
+// CountByCategory tallies tasks per category, sorted output for stable
+// reporting.
+func (g *Graph) CountByCategory() []CategoryCount {
+	m := make(map[string]int)
+	for _, t := range g.tasks {
+		m[t.Category]++
+	}
+	out := make([]CategoryCount, 0, len(m))
+	for c, n := range m {
+		out = append(out, CategoryCount{Category: c, Count: n})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Category < out[j].Category })
+	return out
+}
+
+// CategoryCount pairs a category with its task count.
+type CategoryCount struct {
+	Category string
+	Count    int
+}
+
+// MaxWidth reports the largest antichain level width under a simple
+// level-by-longest-path assignment — an upper-bound estimate of achievable
+// concurrency used by the bench harness to sanity-check workloads.
+func (g *Graph) MaxWidth() int {
+	g.mustFinal("MaxWidth")
+	level := make(map[Key]int, len(g.tasks))
+	counts := make(map[int]int)
+	maxw := 0
+	for _, k := range g.topo {
+		l := 0
+		for _, d := range g.tasks[k].Deps {
+			if level[d]+1 > l {
+				l = level[d] + 1
+			}
+		}
+		level[k] = l
+		counts[l]++
+		if counts[l] > maxw {
+			maxw = counts[l]
+		}
+	}
+	return maxw
+}
+
+// Depths reports each task's longest-path depth from the roots (roots are
+// depth 0). Schedulers use depth as a priority: running deeper (consumer)
+// tasks first releases their inputs for garbage collection, which is what
+// keeps worker caches bounded on long reduction workflows.
+func (g *Graph) Depths() map[Key]int {
+	g.mustFinal("Depths")
+	depth := make(map[Key]int, len(g.tasks))
+	for _, k := range g.topo {
+		d := 0
+		for _, dep := range g.tasks[k].Deps {
+			if depth[dep]+1 > d {
+				d = depth[dep] + 1
+			}
+		}
+		depth[k] = d
+	}
+	return depth
+}
+
+// CriticalPathLen reports the number of tasks on the longest dependency
+// chain.
+func (g *Graph) CriticalPathLen() int {
+	g.mustFinal("CriticalPathLen")
+	depth := make(map[Key]int, len(g.tasks))
+	max := 0
+	for _, k := range g.topo {
+		d := 1
+		for _, dep := range g.tasks[k].Deps {
+			if depth[dep]+1 > d {
+				d = depth[dep] + 1
+			}
+		}
+		depth[k] = d
+		if d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+func (g *Graph) mustFinal(op string) {
+	if !g.finalized {
+		panic("dag: " + op + " before Finalize")
+	}
+}

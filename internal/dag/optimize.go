@@ -1,0 +1,204 @@
+package dag
+
+import (
+	"fmt"
+)
+
+// This file implements the DAG rewrites of §IV.C. The headline one is
+// hierarchical (tree) reduction: RS-TriPhoton originally compiled results
+// from all branches in a single reduction task, forcing every input onto one
+// node at once and overflowing its local storage (Fig. 11a). Rewriting the
+// reduction as a bounded-fan-in tree bounds per-node storage and completes
+// (Fig. 11b).
+
+// ReduceSpec builds the payload for a generated reduction task from the keys
+// it merges. Executors decide what the payload means.
+type ReduceSpec func(level, index int, inputs []Key) *Task
+
+// TreeReduce adds a bounded-fan-in reduction of inputs to g and returns the
+// key of the root task. fanIn < 2 means "all at once" (the naive single-node
+// reduction). mk must return a task with its Deps unset; TreeReduce assigns
+// them. Generated keys are prefix-L<level>-<index>.
+func TreeReduce(g *Graph, prefix string, inputs []Key, fanIn int, mk ReduceSpec) (Key, error) {
+	if len(inputs) == 0 {
+		return "", fmt.Errorf("dag: TreeReduce with no inputs")
+	}
+	if len(inputs) == 1 {
+		return inputs[0], nil
+	}
+	if fanIn < 2 {
+		fanIn = len(inputs) // single-shot reduction
+	}
+	level := 0
+	current := inputs
+	for len(current) > 1 {
+		var next []Key
+		for i := 0; i < len(current); i += fanIn {
+			end := i + fanIn
+			if end > len(current) {
+				end = len(current)
+			}
+			group := current[i:end]
+			if len(group) == 1 && len(current) > fanIn {
+				// A lone leftover can ride up to the next level unmerged.
+				next = append(next, group[0])
+				continue
+			}
+			t := mk(level, i/fanIn, group)
+			if t == nil {
+				return "", fmt.Errorf("dag: ReduceSpec returned nil task")
+			}
+			t.Key = Key(fmt.Sprintf("%s-L%d-%d", prefix, level, i/fanIn))
+			t.Deps = append([]Key(nil), group...)
+			if err := g.Add(t); err != nil {
+				return "", err
+			}
+			next = append(next, t.Key)
+		}
+		current = next
+		level++
+		if level > 64 {
+			return "", fmt.Errorf("dag: TreeReduce failed to converge")
+		}
+	}
+	return current[0], nil
+}
+
+// Cull returns a new graph containing only the targets and their ancestor
+// closure — the standard Dask optimization that drops work whose outputs are
+// never used.
+func Cull(g *Graph, targets ...Key) (*Graph, error) {
+	for _, k := range targets {
+		if g.Task(k) == nil {
+			return nil, fmt.Errorf("dag: cull target %q not in graph", k)
+		}
+	}
+	keep := g.Ancestors(targets...)
+	for _, k := range targets {
+		keep[k] = true
+	}
+	ng := NewGraph()
+	for _, k := range g.order {
+		if keep[k] {
+			t := *g.tasks[k]
+			t.Deps = append([]Key(nil), t.Deps...)
+			if err := ng.Add(&t); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := ng.Finalize(); err != nil {
+		return nil, err
+	}
+	return ng, nil
+}
+
+// FusedSpec describes a linear chain collapsed into one task. Executors that
+// understand fusion run the stage specs in order within a single dispatch,
+// eliminating intermediate round trips.
+type FusedSpec struct {
+	Stages []*Task // original tasks, in execution order
+}
+
+// Fuse collapses linear chains (each interior node has exactly one dependent
+// and one dependency, and matching Category) into single tasks with a
+// FusedSpec payload. It returns a new finalized graph. Keys of fused tasks
+// are the key of the chain's tail, so downstream references stay valid.
+func Fuse(g *Graph) (*Graph, error) {
+	if !g.Finalized() {
+		return nil, fmt.Errorf("dag: Fuse needs a finalized graph")
+	}
+	// A node is fusable with its single parent when the parent has exactly
+	// one dependent (this node) and the node exactly one dep (the parent).
+	inChain := func(parent, child Key) bool {
+		return len(g.children[parent]) == 1 &&
+			len(g.tasks[child].Deps) == 1 &&
+			g.tasks[parent].Category == g.tasks[child].Category
+	}
+	// Map each node to the head of its chain.
+	head := make(map[Key]Key, g.Len())
+	for _, k := range g.topo {
+		t := g.tasks[k]
+		if len(t.Deps) == 1 && inChain(t.Deps[0], k) {
+			head[k] = head[t.Deps[0]]
+			if head[k] == "" {
+				head[k] = t.Deps[0]
+			}
+		} else {
+			head[k] = k
+		}
+	}
+	// Tail of each chain = node whose dependent (if any) starts a new chain.
+	isTail := func(k Key) bool {
+		for _, c := range g.children[k] {
+			if head[c] == head[k] {
+				return false
+			}
+		}
+		return true
+	}
+	// chainOf reconstructs the stages from head to k.
+	chainOf := func(k Key) []*Task {
+		var rev []*Task
+		cur := k
+		for {
+			rev = append(rev, g.tasks[cur])
+			if cur == head[k] {
+				break
+			}
+			cur = g.tasks[cur].Deps[0]
+		}
+		// reverse
+		for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+			rev[i], rev[j] = rev[j], rev[i]
+		}
+		return rev
+	}
+	ng := NewGraph()
+	for _, k := range g.topo {
+		if !isTail(k) {
+			continue // interior of a chain; absorbed into tail
+		}
+		stages := chainOf(k)
+		hd := stages[0]
+		nt := &Task{
+			Key:      k,
+			Category: g.tasks[k].Category,
+		}
+		// Deps of the fused task are the head's deps, remapped to the
+		// tails of their own chains (which preserve their keys).
+		for _, d := range hd.Deps {
+			nt.Deps = append(nt.Deps, tailKey(g, head, d))
+		}
+		if len(stages) == 1 {
+			nt.Spec = g.tasks[k].Spec
+		} else {
+			nt.Spec = &FusedSpec{Stages: stages}
+		}
+		if err := ng.Add(nt); err != nil {
+			return nil, err
+		}
+	}
+	if err := ng.Finalize(); err != nil {
+		return nil, err
+	}
+	return ng, nil
+}
+
+// tailKey maps a node to the tail key of the chain containing it.
+func tailKey(g *Graph, head map[Key]Key, k Key) Key {
+	cur := k
+	for {
+		advanced := false
+		for _, c := range g.children[cur] {
+			if head[c] == head[cur] {
+				cur = c
+				advanced = true
+				break
+			}
+		}
+		if !advanced {
+			return cur
+		}
+	}
+}

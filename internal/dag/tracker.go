@@ -1,0 +1,421 @@
+package dag
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+)
+
+// State is the runtime state of one task.
+type State uint8
+
+// Task lifecycle states.
+const (
+	// Waiting tasks have unmet dependencies.
+	Waiting State = iota
+	// Ready tasks may be dispatched.
+	Ready
+	// Running tasks have been handed to a scheduler.
+	Running
+	// Done tasks completed and their outputs exist somewhere.
+	Done
+	// Failed tasks exhausted retries.
+	Failed
+)
+
+func (s State) String() string {
+	switch s {
+	case Waiting:
+		return "waiting"
+	case Ready:
+		return "ready"
+	case Running:
+		return "running"
+	case Done:
+		return "done"
+	case Failed:
+		return "failed"
+	default:
+		return fmt.Sprintf("State(%d)", uint8(s))
+	}
+}
+
+// Tracker maintains dispatch state over a finalized graph: which tasks are
+// ready, which are in flight, and — crucially for opportunistic clusters —
+// how to roll back completed tasks whose outputs were lost to a preempted
+// worker (§IV, "worker failures ... compensates by replicating data or
+// re-running tasks").
+type Tracker struct {
+	g       *Graph
+	state   map[Key]State
+	missing map[Key]int // unmet dependency count
+	counts  [5]int
+
+	// Ready queue: a priority heap ordered by prio (descending), then
+	// submission sequence (FIFO within a priority level). With no
+	// priorities this is plain FIFO. Entries are removed lazily: inReady
+	// is the source of truth for membership.
+	prio    map[Key]int
+	ready   readyHeap
+	inReady map[Key]bool
+	seq     uint64
+}
+
+// readyEntry is one heap element.
+type readyEntry struct {
+	key  Key
+	prio int
+	seq  uint64
+}
+
+type readyHeap []readyEntry
+
+func (h readyHeap) Len() int { return len(h) }
+func (h readyHeap) Less(i, j int) bool {
+	if h[i].prio != h[j].prio {
+		return h[i].prio > h[j].prio
+	}
+	return h[i].seq < h[j].seq
+}
+func (h readyHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *readyHeap) Push(x any)   { *h = append(*h, x.(readyEntry)) }
+func (h *readyHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// NewTracker builds a tracker over a finalized graph with FIFO dispatch
+// order.
+func NewTracker(g *Graph) (*Tracker, error) {
+	return NewTrackerPrio(g, nil)
+}
+
+// NewTrackerPrio builds a tracker whose ready queue prefers higher-priority
+// tasks (FIFO within a level). Passing the graph's Depths() makes dispatch
+// depth-first, so reductions consume intermediates as they appear instead
+// of after every map task.
+func NewTrackerPrio(g *Graph, prio map[Key]int) (*Tracker, error) {
+	if !g.Finalized() {
+		return nil, fmt.Errorf("dag: tracker needs a finalized graph")
+	}
+	t := &Tracker{
+		g:       g,
+		state:   make(map[Key]State, g.Len()),
+		missing: make(map[Key]int, g.Len()),
+		prio:    prio,
+		inReady: make(map[Key]bool, g.Len()),
+	}
+	for _, k := range g.topo {
+		n := len(g.tasks[k].Deps)
+		t.missing[k] = n
+		if n == 0 {
+			t.state[k] = Ready
+			t.pushReady(k)
+			t.counts[Ready]++
+		} else {
+			t.state[k] = Waiting
+			t.counts[Waiting]++
+		}
+	}
+	return t, nil
+}
+
+// pushReady enqueues a key (caller maintains state/counts).
+func (t *Tracker) pushReady(k Key) {
+	t.seq++
+	t.inReady[k] = true
+	heap.Push(&t.ready, readyEntry{key: k, prio: t.prio[k], seq: t.seq})
+}
+
+// popReady removes and returns the highest-priority ready key, skipping
+// lazily-deleted entries. Returns "" when empty.
+func (t *Tracker) popReady() Key {
+	for t.ready.Len() > 0 {
+		e := heap.Pop(&t.ready).(readyEntry)
+		if t.inReady[e.key] && t.state[e.key] == Ready {
+			delete(t.inReady, e.key)
+			return e.key
+		}
+	}
+	return ""
+}
+
+// Graph returns the tracked graph.
+func (t *Tracker) Graph() *Graph { return t.g }
+
+// State reports a task's state.
+func (t *Tracker) State(k Key) State { return t.state[k] }
+
+// Count reports how many tasks are in the given state.
+func (t *Tracker) Count(s State) int { return t.counts[s] }
+
+// ReadyCount reports the number of dispatchable tasks.
+func (t *Tracker) ReadyCount() int { return t.counts[Ready] }
+
+// WaitingCount reports tasks still blocked on dependencies.
+func (t *Tracker) WaitingCount() int { return t.counts[Waiting] }
+
+// AllDone reports whether every task completed.
+func (t *Tracker) AllDone() bool { return t.counts[Done] == t.g.Len() }
+
+// NextReady pops up to n ready tasks in priority order and marks them
+// Running.
+func (t *Tracker) NextReady(n int) []Key {
+	if n <= 0 {
+		return nil
+	}
+	var out []Key
+	for len(out) < n {
+		k := t.popReady()
+		if k == "" {
+			break
+		}
+		t.setState(k, Running)
+		out = append(out, k)
+	}
+	return out
+}
+
+// PeekReady returns up to n ready keys in dispatch order without
+// dispatching them. The queue order is preserved exactly: a following
+// NextReady(1) returns PeekReady(1)[0].
+func (t *Tracker) PeekReady(n int) []Key {
+	if n <= 0 || n > t.counts[Ready] {
+		n = t.counts[Ready]
+	}
+	if n == 0 {
+		return nil
+	}
+	// Pop raw entries (keeping membership flags untouched), collect the
+	// first n distinct valid keys, then push the same entries back with
+	// their original sequence numbers so ordering is unchanged. Stale and
+	// duplicate entries encountered along the way are dropped — a free
+	// compaction.
+	var kept []readyEntry
+	seen := make(map[Key]bool, n)
+	out := make([]Key, 0, n)
+	for len(out) < n && t.ready.Len() > 0 {
+		e := heap.Pop(&t.ready).(readyEntry)
+		if !t.inReady[e.key] || t.state[e.key] != Ready || seen[e.key] {
+			continue
+		}
+		seen[e.key] = true
+		out = append(out, e.key)
+		kept = append(kept, e)
+	}
+	for _, e := range kept {
+		heap.Push(&t.ready, e)
+	}
+	return out
+}
+
+// Complete marks a running task done and returns the tasks that became
+// ready as a result.
+func (t *Tracker) Complete(k Key) ([]Key, error) {
+	if t.state[k] != Running {
+		return nil, fmt.Errorf("dag: Complete(%q) in state %v", k, t.state[k])
+	}
+	t.setState(k, Done)
+	var newly []Key
+	for _, c := range t.g.children[k] {
+		// Only Waiting children count this completion: a Done child (seen
+		// when a task re-runs after Invalidate) already consumed its
+		// inputs and must not have its bookkeeping disturbed.
+		if t.state[c] != Waiting {
+			continue
+		}
+		t.missing[c]--
+		if t.missing[c] == 0 {
+			t.setState(c, Ready)
+			t.pushReady(c)
+			newly = append(newly, c)
+		}
+	}
+	return newly, nil
+}
+
+// Fail marks a running task failed (terminal).
+func (t *Tracker) Fail(k Key) error {
+	if t.state[k] != Running {
+		return fmt.Errorf("dag: Fail(%q) in state %v", k, t.state[k])
+	}
+	t.setState(k, Failed)
+	return nil
+}
+
+// Requeue returns a running task to the ready queue (e.g. its worker died
+// before completion).
+func (t *Tracker) Requeue(k Key) error {
+	if t.state[k] != Running {
+		return fmt.Errorf("dag: Requeue(%q) in state %v", k, t.state[k])
+	}
+	t.setState(k, Ready)
+	t.pushReady(k)
+	return nil
+}
+
+// Invalidate handles lost outputs: the given completed tasks' outputs no
+// longer exist anywhere (their last replica was on a preempted worker).
+// Each such task returns to Ready (its deps are still satisfied — if a
+// dependency's output was also lost, pass it in the same call and the
+// planner sorts it out), and any Running/Ready dependents that now lack
+// inputs are rolled back to Waiting. It returns every task whose state
+// changed, for schedulers to unschedule.
+//
+// The rollback is minimal: completed descendants whose outputs still exist
+// are untouched — their values already live in the cluster.
+func (t *Tracker) Invalidate(lost []Key) ([]Key, error) {
+	lostSet := make(map[Key]bool, len(lost))
+	for _, k := range lost {
+		if t.state[k] != Done {
+			return nil, fmt.Errorf("dag: Invalidate(%q) in state %v", k, t.state[k])
+		}
+		lostSet[k] = true
+	}
+	var changed []Key
+	// Re-evaluate each lost task: it becomes Ready iff all deps are Done
+	// and not themselves lost; otherwise Waiting.
+	for _, k := range lost {
+		runnable := true
+		miss := 0
+		for _, d := range t.g.tasks[k].Deps {
+			if t.state[d] != Done || lostSet[d] {
+				runnable = false
+			}
+			if t.state[d] != Done {
+				miss++
+			}
+		}
+		// A lost dep is Done-but-lost; it will be re-run, so count it
+		// as missing for dependency bookkeeping.
+		for _, d := range t.g.tasks[k].Deps {
+			if lostSet[d] && t.state[d] == Done {
+				miss++
+			}
+		}
+		t.missing[k] = miss
+		if runnable {
+			t.setState(k, Ready)
+			t.pushReady(k)
+		} else {
+			t.setState(k, Waiting)
+		}
+		changed = append(changed, k)
+	}
+	// Dependents of lost tasks that were Ready/Running must wait again;
+	// their missing counts grew. Done dependents keep their outputs.
+	for _, k := range lost {
+		for _, c := range t.g.children[k] {
+			if lostSet[c] {
+				continue // already handled above
+			}
+			switch t.state[c] {
+			case Ready:
+				t.missing[c]++
+				delete(t.inReady, c) // lazy heap removal
+				t.setState(c, Waiting)
+				changed = append(changed, c)
+			case Running:
+				t.missing[c]++
+				t.setState(c, Waiting)
+				changed = append(changed, c)
+			case Waiting:
+				t.missing[c]++
+			case Done, Failed:
+				// Output exists (or task is terminal); no rollback.
+			}
+		}
+	}
+	return changed, nil
+}
+
+func (t *Tracker) setState(k Key, s State) {
+	t.counts[t.state[k]]--
+	t.state[k] = s
+	t.counts[s]++
+}
+
+// Snapshot reports the number of tasks in each state, for timelines
+// (Fig. 12's running/waiting curves).
+type Snapshot struct {
+	Waiting, Ready, Running, Done, Failed int
+}
+
+// Snapshot captures current state counts.
+func (t *Tracker) Snapshot() Snapshot {
+	return Snapshot{
+		Waiting: t.counts[Waiting],
+		Ready:   t.counts[Ready],
+		Running: t.counts[Running],
+		Done:    t.counts[Done],
+		Failed:  t.counts[Failed],
+	}
+}
+
+// CheckInvariants validates internal bookkeeping; tests and fault-injection
+// call this after every mutation batch.
+func (t *Tracker) CheckInvariants() error {
+	var counts [5]int
+	for _, k := range t.g.order {
+		s := t.state[k]
+		counts[s]++
+		miss := 0
+		for _, d := range t.g.tasks[k].Deps {
+			if t.state[d] != Done {
+				miss++
+			}
+		}
+		switch s {
+		case Waiting:
+			// missing may exceed the naive count when a Done dep's output
+			// was invalidated; it must never be less, and a Waiting task
+			// must be waiting on something.
+			if t.missing[k] < miss {
+				return fmt.Errorf("dag: task %q missing=%d < actual unmet deps %d", k, t.missing[k], miss)
+			}
+			if t.missing[k] == 0 {
+				return fmt.Errorf("dag: task %q Waiting with missing=0", k)
+			}
+		case Ready, Running:
+			if miss != 0 {
+				return fmt.Errorf("dag: task %q is %v with %d unmet deps", k, s, miss)
+			}
+		case Done, Failed:
+			// missing is frozen once a task ran; nothing to check.
+		}
+	}
+	for s, n := range counts {
+		if t.counts[s] != n {
+			return fmt.Errorf("dag: state count mismatch for %v: cached %d actual %d", State(s), t.counts[s], n)
+		}
+	}
+	nReady := 0
+	for k, in := range t.inReady {
+		if !in {
+			continue
+		}
+		if t.state[k] != Ready {
+			return fmt.Errorf("dag: ready queue holds %q in state %v", k, t.state[k])
+		}
+		nReady++
+	}
+	if nReady != t.counts[Ready] {
+		return fmt.Errorf("dag: ready membership %d != count %d", nReady, t.counts[Ready])
+	}
+	return nil
+}
+
+// DoneKeys lists completed tasks, sorted, for tests.
+func (t *Tracker) DoneKeys() []Key {
+	var out []Key
+	for k, s := range t.state {
+		if s == Done {
+			out = append(out, k)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

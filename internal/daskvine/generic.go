@@ -1,0 +1,125 @@
+package daskvine
+
+import (
+	"fmt"
+	"time"
+
+	"hepvine/internal/dag"
+	"hepvine/internal/vine"
+)
+
+// Generic graph execution: beyond the coffea-specific lowering, any
+// dag.Graph whose task payloads are *TaskTemplate values can run on the
+// live engine. This is the general DaskVine contract — "converts the nodes
+// of a Dask graph into task and file submissions" — for workflows that are
+// not histogram reductions.
+
+// TaskTemplate is the payload of a generic graph node: which registered
+// function to call, with what arguments, producing which named outputs.
+// Dependency wiring is by convention: the task receives each dependency's
+// outputs as inputs named "<depKey>.<outputName>".
+type TaskTemplate struct {
+	Mode    vine.TaskMode // default: the run option's mode
+	Library string
+	Func    string
+	Args    []byte
+	Outputs []string
+	Cores   int
+	Memory  int64
+}
+
+// GenericResult holds the per-task handles of a generic run, keyed by graph
+// key, so callers can fetch any output.
+type GenericResult struct {
+	Handles map[dag.Key]*vine.TaskHandle
+	mgr     *vine.Manager
+}
+
+// NewGenericResult builds an empty result bound to a manager, for callers
+// that submit templates themselves (e.g. to wire extra non-graph inputs)
+// but still want Fetch.
+func NewGenericResult(m *vine.Manager) *GenericResult {
+	return &GenericResult{Handles: make(map[dag.Key]*vine.TaskHandle), mgr: m}
+}
+
+// Fetch retrieves a task's named output bytes.
+func (r *GenericResult) Fetch(k dag.Key, output string) ([]byte, error) {
+	h, ok := r.Handles[k]
+	if !ok {
+		return nil, fmt.Errorf("daskvine: no task %q in result", k)
+	}
+	cn, ok := h.Output(output)
+	if !ok {
+		return nil, fmt.Errorf("daskvine: task %q has no output %q", k, output)
+	}
+	return r.mgr.FetchBytes(cn)
+}
+
+// RunGeneric submits a graph of TaskTemplate payloads in topological order
+// and waits for every sink (leaf) task. The returned result exposes all
+// task handles.
+func RunGeneric(m *vine.Manager, g *dag.Graph, opts Options) (*GenericResult, error) {
+	if opts.Mode == "" {
+		opts.Mode = vine.ModeFunctionCall
+	}
+	if !g.Finalized() {
+		return nil, fmt.Errorf("daskvine: graph not finalized")
+	}
+	res := &GenericResult{Handles: make(map[dag.Key]*vine.TaskHandle, g.Len()), mgr: m}
+	for _, k := range g.Topo() {
+		task := g.Task(k)
+		tpl, ok := task.Spec.(*TaskTemplate)
+		if !ok {
+			return nil, fmt.Errorf("daskvine: task %q payload is %T, want *TaskTemplate", k, task.Spec)
+		}
+		vt := vine.Task{
+			Mode:    tpl.Mode,
+			Library: tpl.Library,
+			Func:    tpl.Func,
+			Args:    tpl.Args,
+			Outputs: tpl.Outputs,
+			Cores:   tpl.Cores,
+			Memory:  tpl.Memory,
+		}
+		if vt.Mode == "" {
+			vt.Mode = opts.Mode
+		}
+		for _, d := range task.Deps {
+			dh := res.Handles[d]
+			if dh == nil {
+				return nil, fmt.Errorf("daskvine: dependency %q not yet submitted", d)
+			}
+			dtpl := g.Task(d).Spec.(*TaskTemplate)
+			for _, out := range dtpl.Outputs {
+				cn, ok := dh.Output(out)
+				if !ok {
+					return nil, fmt.Errorf("daskvine: dependency %q lost output %q", d, out)
+				}
+				vt.Inputs = append(vt.Inputs, vine.FileRef{
+					Name:      fmt.Sprintf("%s.%s", d, out),
+					CacheName: cn,
+				})
+			}
+		}
+		h, err := m.Submit(vt)
+		if err != nil {
+			return nil, fmt.Errorf("daskvine: submitting %q: %w", k, err)
+		}
+		res.Handles[k] = h
+	}
+	// Wait for every leaf; interior tasks are implied.
+	deadline := opts.Timeout
+	for _, k := range g.Leaves() {
+		start := time.Now()
+		if err := res.Handles[k].Wait(deadline); err != nil {
+			return res, fmt.Errorf("daskvine: leaf %q: %w", k, err)
+		}
+		if deadline > 0 {
+			deadline -= time.Since(start)
+			if deadline <= 0 {
+				deadline = time.Nanosecond
+			}
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,135 @@
+package daskvine
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"hepvine/internal/dag"
+	"hepvine/internal/vine"
+)
+
+var genericLibOnce sync.Once
+
+func registerGenericLib(t *testing.T) {
+	t.Helper()
+	genericLibOnce.Do(func() {
+		vine.MustRegisterLibrary(&vine.Library{
+			Name: "wordlib",
+			Funcs: map[string]vine.Function{
+				"emit": func(c *vine.Call) error {
+					c.SetOutput("text", c.Args)
+					return nil
+				},
+				"upper": func(c *vine.Call) error {
+					var buf bytes.Buffer
+					for _, name := range c.InputNames() {
+						b, err := c.Input(name)
+						if err != nil {
+							return err
+						}
+						buf.Write(bytes.ToUpper(b))
+					}
+					c.SetOutput("text", buf.Bytes())
+					return nil
+				},
+				"join": func(c *vine.Call) error {
+					var parts []string
+					for _, name := range c.InputNames() {
+						b, err := c.Input(name)
+						if err != nil {
+							return err
+						}
+						parts = append(parts, string(b))
+					}
+					c.SetOutput("text", []byte(strings.Join(parts, " ")))
+					return nil
+				},
+			},
+		})
+	})
+}
+
+func genericCluster(t *testing.T) *vine.Manager {
+	t.Helper()
+	registerGenericLib(t)
+	m, err := vine.NewManager(vine.ManagerOptions{
+		PeerTransfers:    true,
+		InstallLibraries: []vine.LibrarySpec{{Name: "wordlib", Hoist: true}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(m.Stop)
+	for i := 0; i < 2; i++ {
+		w, err := vine.NewWorker(m.Addr(), vine.WorkerOptions{
+			Name: fmt.Sprintf("gw%d", i), Cores: 2, Dir: t.TempDir(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(w.Stop)
+	}
+	if err := m.WaitForWorkers(2, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestRunGenericDiamond(t *testing.T) {
+	g := dag.NewGraph()
+	g.MustAdd(&dag.Task{Key: "hello", Spec: &TaskTemplate{
+		Library: "wordlib", Func: "emit", Args: []byte("hello"), Outputs: []string{"text"},
+	}})
+	g.MustAdd(&dag.Task{Key: "world", Spec: &TaskTemplate{
+		Library: "wordlib", Func: "emit", Args: []byte("world"), Outputs: []string{"text"},
+	}})
+	g.MustAdd(&dag.Task{Key: "HELLO", Deps: []dag.Key{"hello"}, Spec: &TaskTemplate{
+		Library: "wordlib", Func: "upper", Outputs: []string{"text"},
+	}})
+	g.MustAdd(&dag.Task{Key: "joined", Deps: []dag.Key{"HELLO", "world"}, Spec: &TaskTemplate{
+		Library: "wordlib", Func: "join", Outputs: []string{"text"},
+	}})
+	if err := g.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	m := genericCluster(t)
+	res, err := RunGeneric(m, g, Options{Timeout: 30 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := res.Fetch("joined", "text")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "HELLO world" {
+		t.Fatalf("got %q", got)
+	}
+	// Intermediate outputs also fetchable.
+	mid, err := res.Fetch("HELLO", "text")
+	if err != nil || string(mid) != "HELLO" {
+		t.Fatalf("mid = %q (%v)", mid, err)
+	}
+}
+
+func TestRunGenericValidation(t *testing.T) {
+	m := genericCluster(t)
+	g := dag.NewGraph()
+	g.MustAdd(&dag.Task{Key: "bad", Spec: "not a template"})
+	g.Finalize()
+	if _, err := RunGeneric(m, g, Options{}); err == nil {
+		t.Fatal("bad payload accepted")
+	}
+	unf := dag.NewGraph()
+	unf.MustAdd(&dag.Task{Key: "x", Spec: &TaskTemplate{Library: "wordlib", Func: "emit"}})
+	if _, err := RunGeneric(m, unf, Options{}); err == nil {
+		t.Fatal("unfinalized graph accepted")
+	}
+	res := &GenericResult{Handles: map[dag.Key]*vine.TaskHandle{}}
+	if _, err := res.Fetch("missing", "text"); err == nil {
+		t.Fatal("missing key fetch accepted")
+	}
+}

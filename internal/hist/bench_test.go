@@ -1,0 +1,55 @@
+package hist
+
+import (
+	"testing"
+
+	"hepvine/internal/randx"
+)
+
+func BenchmarkFillN(b *testing.B) {
+	vals := make([]float64, 10000)
+	r := randx.New(1)
+	for i := range vals {
+		vals[i] = r.Range(-10, 210)
+	}
+	h := New(Reg(100, 0, 200, "met"))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.FillN(vals)
+	}
+}
+
+func BenchmarkAdd(b *testing.B) {
+	mk := func() *Hist {
+		h := New(Reg(100, 0, 200, "met"))
+		r := randx.New(2)
+		for i := 0; i < 1000; i++ {
+			h.Fill(r.Range(0, 200))
+		}
+		return h
+	}
+	a, c := mk(), mk()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := a.Add(c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMarshalUnmarshal(b *testing.B) {
+	h := New(Reg(100, 0, 200, "met"))
+	r := randx.New(3)
+	for i := 0; i < 5000; i++ {
+		h.Fill(r.Range(0, 200))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Unmarshal(h.Marshal()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,165 @@
+package hist
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Binary wire format for histograms, used by the live engine to ship partial
+// results between workers during reductions. Layout (little-endian):
+//
+//	magic "HST2" | nAxes u32 | per axis: nameLen u32, name, bins u32,
+//	lo f64, hi f64, varFlag u8 [, edges (bins+1) f64] | entries u64 |
+//	nCounts u64 | counts f64...
+var histMagic = [4]byte{'H', 'S', 'T', '2'}
+
+// Marshal encodes the histogram.
+func (h *Hist) Marshal() []byte {
+	var b bytes.Buffer
+	b.Write(histMagic[:])
+	writeU32(&b, uint32(len(h.Axes)))
+	for _, a := range h.Axes {
+		writeU32(&b, uint32(len(a.Name)))
+		b.WriteString(a.Name)
+		writeU32(&b, uint32(a.Bins))
+		writeF64(&b, a.Lo)
+		writeF64(&b, a.Hi)
+		if a.IsVariable() {
+			b.WriteByte(1)
+			for _, e := range a.Edges {
+				writeF64(&b, e)
+			}
+		} else {
+			b.WriteByte(0)
+		}
+	}
+	writeU64(&b, h.Entries)
+	writeU64(&b, uint64(len(h.Counts)))
+	for _, c := range h.Counts {
+		writeF64(&b, c)
+	}
+	return b.Bytes()
+}
+
+// Unmarshal decodes a histogram previously encoded with Marshal.
+func Unmarshal(data []byte) (*Hist, error) {
+	r := bytes.NewReader(data)
+	var magic [4]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil || magic != histMagic {
+		return nil, fmt.Errorf("hist: bad magic")
+	}
+	nAxes, err := readU32(r)
+	if err != nil {
+		return nil, err
+	}
+	if nAxes == 0 || nAxes > 16 {
+		return nil, fmt.Errorf("hist: implausible axis count %d", nAxes)
+	}
+	axes := make([]Axis, nAxes)
+	for i := range axes {
+		nameLen, err := readU32(r)
+		if err != nil {
+			return nil, err
+		}
+		if nameLen > 1<<16 {
+			return nil, fmt.Errorf("hist: implausible name length %d", nameLen)
+		}
+		name := make([]byte, nameLen)
+		if _, err := io.ReadFull(r, name); err != nil {
+			return nil, err
+		}
+		bins, err := readU32(r)
+		if err != nil {
+			return nil, err
+		}
+		lo, err := readF64(r)
+		if err != nil {
+			return nil, err
+		}
+		hi, err := readF64(r)
+		if err != nil {
+			return nil, err
+		}
+		if bins == 0 || !(hi > lo) {
+			return nil, fmt.Errorf("hist: invalid axis %d", i)
+		}
+		varFlag, err := r.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("hist: truncated axis flag: %w", err)
+		}
+		ax := Axis{Name: string(name), Bins: int(bins), Lo: lo, Hi: hi}
+		if varFlag == 1 {
+			edges := make([]float64, bins+1)
+			for j := range edges {
+				if edges[j], err = readF64(r); err != nil {
+					return nil, fmt.Errorf("hist: truncated edges: %w", err)
+				}
+			}
+			ax.Edges = edges
+		} else if varFlag != 0 {
+			return nil, fmt.Errorf("hist: invalid axis flag %d", varFlag)
+		}
+		axes[i] = ax
+	}
+	entries, err := readU64(r)
+	if err != nil {
+		return nil, err
+	}
+	nCounts, err := readU64(r)
+	if err != nil {
+		return nil, err
+	}
+	h := New(axes...)
+	if uint64(len(h.Counts)) != nCounts {
+		return nil, fmt.Errorf("hist: count size mismatch: have %d want %d", nCounts, len(h.Counts))
+	}
+	for i := range h.Counts {
+		c, err := readF64(r)
+		if err != nil {
+			return nil, err
+		}
+		h.Counts[i] = c
+	}
+	h.Entries = entries
+	return h, nil
+}
+
+func writeU32(b *bytes.Buffer, v uint32) {
+	var buf [4]byte
+	binary.LittleEndian.PutUint32(buf[:], v)
+	b.Write(buf[:])
+}
+
+func writeU64(b *bytes.Buffer, v uint64) {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], v)
+	b.Write(buf[:])
+}
+
+func writeF64(b *bytes.Buffer, v float64) {
+	writeU64(b, math.Float64bits(v))
+}
+
+func readU32(r *bytes.Reader) (uint32, error) {
+	var buf [4]byte
+	if _, err := io.ReadFull(r, buf[:]); err != nil {
+		return 0, fmt.Errorf("hist: truncated: %w", err)
+	}
+	return binary.LittleEndian.Uint32(buf[:]), nil
+}
+
+func readU64(r *bytes.Reader) (uint64, error) {
+	var buf [8]byte
+	if _, err := io.ReadFull(r, buf[:]); err != nil {
+		return 0, fmt.Errorf("hist: truncated: %w", err)
+	}
+	return binary.LittleEndian.Uint64(buf[:]), nil
+}
+
+func readF64(r *bytes.Reader) (float64, error) {
+	v, err := readU64(r)
+	return math.Float64frombits(v), err
+}

@@ -1,0 +1,40 @@
+package hist_test
+
+import (
+	"fmt"
+
+	"hepvine/internal/hist"
+)
+
+// The Fig. 4 histogram: hist.new.Reg(100, 0, 200, name="met").
+func ExampleReg() {
+	h := hist.New(hist.Reg(4, 0, 200, "met"))
+	h.FillN([]float64{10, 60, 60, 130, 250})
+	fmt.Println(h.At(0), h.At(1), h.At(2), h.Overflow())
+	// Output: 1 2 1 1
+}
+
+// Histogram addition is commutative and associative — the property that
+// legalizes the paper's hierarchical reduction trees (Fig. 11).
+func ExampleHist_Add() {
+	a := hist.New(hist.Reg(2, 0, 2, "x"))
+	a.Fill(0.5)
+	b := hist.New(hist.Reg(2, 0, 2, "x"))
+	b.Fill(0.5)
+	b.Fill(1.5)
+	if err := a.Add(b); err != nil {
+		panic(err)
+	}
+	fmt.Println(a.At(0), a.At(1))
+	// Output: 2 1
+}
+
+// Variable binning: fine bins where the physics is, coarse in the tails.
+func ExampleVar() {
+	h := hist.New(hist.Var([]float64{0, 10, 20, 50, 200}, "mass"))
+	h.Fill(15)
+	h.Fill(35)
+	h.Fill(180)
+	fmt.Println(h.At(1), h.At(2), h.At(3))
+	// Output: 1 1 1
+}

@@ -1,0 +1,399 @@
+// Package hist is a small histogram library modelled on the Python `hist`
+// package used by Coffea analyses.
+//
+// A Hist has one or more regular (uniform-binned) axes with underflow and
+// overflow bins and double-precision weighted storage. The key property the
+// paper's reduction trees rely on is that histogram addition is commutative
+// and associative, so partial results can be accumulated in any order and in
+// any tree shape (§II.A, Fig. 11). That property is enforced by tests,
+// including property-based tests.
+package hist
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Axis is one histogram axis: regular (uniform bins, hist.new.Reg) or
+// variable-binned (explicit edges, hist.new.Var). For variable axes, Edges
+// holds the Bins+1 ascending bin boundaries and Lo/Hi mirror its endpoints.
+type Axis struct {
+	Name  string
+	Label string
+	Bins  int
+	Lo    float64
+	Hi    float64
+	Edges []float64 // nil for regular axes
+}
+
+// IsVariable reports whether the axis uses explicit edges.
+func (a Axis) IsVariable() bool { return a.Edges != nil }
+
+// Reg constructs a regular axis. It panics on a non-positive bin count or an
+// empty range, mirroring the Python library's eager validation.
+func Reg(bins int, lo, hi float64, name string) Axis {
+	if bins <= 0 {
+		panic("hist: axis needs at least one bin")
+	}
+	if !(hi > lo) {
+		panic("hist: axis range must be non-empty")
+	}
+	return Axis{Name: name, Bins: bins, Lo: lo, Hi: hi}
+}
+
+// Var constructs a variable-binned axis from ascending edges. It panics on
+// fewer than two edges or a non-increasing sequence.
+func Var(edges []float64, name string) Axis {
+	if len(edges) < 2 {
+		panic("hist: variable axis needs at least two edges")
+	}
+	for i := 1; i < len(edges); i++ {
+		if !(edges[i] > edges[i-1]) {
+			panic("hist: variable axis edges must be strictly increasing")
+		}
+	}
+	cp := append([]float64(nil), edges...)
+	return Axis{Name: name, Bins: len(cp) - 1, Lo: cp[0], Hi: cp[len(cp)-1], Edges: cp}
+}
+
+// index maps a value to a storage index on this axis: 0 is underflow,
+// 1..Bins are in-range bins, Bins+1 is overflow. NaN lands in overflow.
+func (a Axis) index(v float64) int {
+	if math.IsNaN(v) {
+		return a.Bins + 1
+	}
+	if v < a.Lo {
+		return 0
+	}
+	if v >= a.Hi {
+		return a.Bins + 1
+	}
+	if a.Edges != nil {
+		// Binary search for the rightmost edge <= v.
+		lo, hi := 0, len(a.Edges)-1
+		for hi-lo > 1 {
+			mid := (lo + hi) / 2
+			if a.Edges[mid] <= v {
+				lo = mid
+			} else {
+				hi = mid
+			}
+		}
+		return lo + 1
+	}
+	i := int(float64(a.Bins) * (v - a.Lo) / (a.Hi - a.Lo))
+	if i >= a.Bins { // guard against floating-point edge at Hi
+		i = a.Bins - 1
+	}
+	return i + 1
+}
+
+// BinCenter reports the center of in-range bin i (0-based, excluding
+// under/overflow).
+func (a Axis) BinCenter(i int) float64 {
+	if a.Edges != nil {
+		return (a.Edges[i] + a.Edges[i+1]) / 2
+	}
+	w := (a.Hi - a.Lo) / float64(a.Bins)
+	return a.Lo + (float64(i)+0.5)*w
+}
+
+// BinEdges reports the Bins+1 edges of the axis.
+func (a Axis) BinEdges() []float64 {
+	if a.Edges != nil {
+		return append([]float64(nil), a.Edges...)
+	}
+	edges := make([]float64, a.Bins+1)
+	w := (a.Hi - a.Lo) / float64(a.Bins)
+	for i := range edges {
+		edges[i] = a.Lo + float64(i)*w
+	}
+	edges[a.Bins] = a.Hi
+	return edges
+}
+
+// Hist is an N-dimensional histogram with double (weighted) storage,
+// including under/overflow on every axis.
+type Hist struct {
+	Axes    []Axis
+	Counts  []float64 // flattened, row-major over (Bins+2) per axis
+	Entries uint64    // number of Fill calls recorded (unweighted)
+	strides []int
+}
+
+// New constructs a histogram over the given axes.
+func New(axes ...Axis) *Hist {
+	if len(axes) == 0 {
+		panic("hist: need at least one axis")
+	}
+	h := &Hist{Axes: axes}
+	size := 1
+	h.strides = make([]int, len(axes))
+	for i := len(axes) - 1; i >= 0; i-- {
+		h.strides[i] = size
+		size *= axes[i].Bins + 2
+	}
+	h.Counts = make([]float64, size)
+	return h
+}
+
+// Clone returns a deep copy.
+func (h *Hist) Clone() *Hist {
+	nh := New(h.Axes...)
+	copy(nh.Counts, h.Counts)
+	nh.Entries = h.Entries
+	return nh
+}
+
+// Reset zeroes all bins.
+func (h *Hist) Reset() {
+	for i := range h.Counts {
+		h.Counts[i] = 0
+	}
+	h.Entries = 0
+}
+
+// Fill records one entry with weight 1 at the given coordinates.
+func (h *Hist) Fill(coords ...float64) {
+	h.FillW(1, coords...)
+}
+
+// FillW records one entry with the given weight.
+func (h *Hist) FillW(weight float64, coords ...float64) {
+	if len(coords) != len(h.Axes) {
+		panic(fmt.Sprintf("hist: Fill with %d coords on %d axes", len(coords), len(h.Axes)))
+	}
+	idx := 0
+	for d, v := range coords {
+		idx += h.Axes[d].index(v) * h.strides[d]
+	}
+	h.Counts[idx] += weight
+	h.Entries++
+}
+
+// FillN bulk-fills a 1-D histogram from a column of values, the hot path for
+// columnar analysis kernels.
+func (h *Hist) FillN(values []float64) {
+	if len(h.Axes) != 1 {
+		panic("hist: FillN requires a 1-D histogram")
+	}
+	a := h.Axes[0]
+	for _, v := range values {
+		h.Counts[a.index(v)]++
+	}
+	h.Entries += uint64(len(values))
+}
+
+// FillNW bulk-fills a 1-D histogram with per-value weights.
+func (h *Hist) FillNW(values, weights []float64) error {
+	if len(h.Axes) != 1 {
+		return errors.New("hist: FillNW requires a 1-D histogram")
+	}
+	if len(values) != len(weights) {
+		return fmt.Errorf("hist: %d values vs %d weights", len(values), len(weights))
+	}
+	a := h.Axes[0]
+	for i, v := range values {
+		h.Counts[a.index(v)] += weights[i]
+	}
+	h.Entries += uint64(len(values))
+	return nil
+}
+
+// Compatible reports whether two histograms share identical binning and can
+// therefore be added.
+func (h *Hist) Compatible(o *Hist) bool {
+	if len(h.Axes) != len(o.Axes) {
+		return false
+	}
+	for i := range h.Axes {
+		a, b := h.Axes[i], o.Axes[i]
+		if a.Bins != b.Bins || a.Lo != b.Lo || a.Hi != b.Hi || a.Name != b.Name {
+			return false
+		}
+		if a.IsVariable() != b.IsVariable() {
+			return false
+		}
+		if a.IsVariable() {
+			for j := range a.Edges {
+				if a.Edges[j] != b.Edges[j] {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// Add accumulates o into h. Addition is commutative and associative, the
+// property that makes hierarchical (tree) reduction legal.
+func (h *Hist) Add(o *Hist) error {
+	if !h.Compatible(o) {
+		return errors.New("hist: incompatible axes")
+	}
+	for i, c := range o.Counts {
+		h.Counts[i] += c
+	}
+	h.Entries += o.Entries
+	return nil
+}
+
+// Sum reports the total weight including under/overflow.
+func (h *Hist) Sum() float64 {
+	s := 0.0
+	for _, c := range h.Counts {
+		s += c
+	}
+	return s
+}
+
+// InRangeSum reports the total weight excluding under/overflow bins.
+func (h *Hist) InRangeSum() float64 {
+	s := 0.0
+	h.eachInRange(func(idx int) { s += h.Counts[idx] })
+	return s
+}
+
+func (h *Hist) eachInRange(f func(flatIdx int)) {
+	coord := make([]int, len(h.Axes))
+	for i := range coord {
+		coord[i] = 1
+	}
+	for {
+		idx := 0
+		for d, c := range coord {
+			idx += c * h.strides[d]
+		}
+		f(idx)
+		d := len(coord) - 1
+		for d >= 0 {
+			coord[d]++
+			if coord[d] <= h.Axes[d].Bins {
+				break
+			}
+			coord[d] = 1
+			d--
+		}
+		if d < 0 {
+			return
+		}
+	}
+}
+
+// At reports the weight in the in-range bin with the given 0-based indices.
+func (h *Hist) At(bin ...int) float64 {
+	if len(bin) != len(h.Axes) {
+		panic("hist: At with wrong dimensionality")
+	}
+	idx := 0
+	for d, b := range bin {
+		if b < 0 || b >= h.Axes[d].Bins {
+			panic("hist: At out of range")
+		}
+		idx += (b + 1) * h.strides[d]
+	}
+	return h.Counts[idx]
+}
+
+// Underflow and Overflow report the out-of-range weight of a 1-D histogram.
+func (h *Hist) Underflow() float64 {
+	if len(h.Axes) != 1 {
+		panic("hist: Underflow requires 1-D")
+	}
+	return h.Counts[0]
+}
+
+// Overflow reports the weight above the last bin of a 1-D histogram.
+func (h *Hist) Overflow() float64 {
+	if len(h.Axes) != 1 {
+		panic("hist: Overflow requires 1-D")
+	}
+	return h.Counts[len(h.Counts)-1]
+}
+
+// Mean reports the weighted mean of a 1-D histogram's in-range bins, using
+// bin centers.
+func (h *Hist) Mean() float64 {
+	if len(h.Axes) != 1 {
+		panic("hist: Mean requires 1-D")
+	}
+	a := h.Axes[0]
+	var wsum, vsum float64
+	for i := 0; i < a.Bins; i++ {
+		w := h.Counts[i+1]
+		wsum += w
+		vsum += w * a.BinCenter(i)
+	}
+	if wsum == 0 {
+		return 0
+	}
+	return vsum / wsum
+}
+
+// Rebin merges groups of `factor` adjacent bins of a 1-D histogram into
+// one, returning a new histogram (total weight preserved; Bins must be
+// divisible by factor).
+func (h *Hist) Rebin(factor int) (*Hist, error) {
+	if len(h.Axes) != 1 {
+		return nil, errors.New("hist: Rebin requires a 1-D histogram")
+	}
+	a := h.Axes[0]
+	if a.IsVariable() {
+		return nil, errors.New("hist: Rebin supports regular axes only")
+	}
+	if factor <= 0 || a.Bins%factor != 0 {
+		return nil, fmt.Errorf("hist: cannot rebin %d bins by %d", a.Bins, factor)
+	}
+	nh := New(Reg(a.Bins/factor, a.Lo, a.Hi, a.Name))
+	nh.Counts[0] = h.Counts[0]                              // underflow
+	nh.Counts[len(nh.Counts)-1] = h.Counts[len(h.Counts)-1] // overflow
+	for i := 0; i < a.Bins; i++ {
+		nh.Counts[i/factor+1] += h.Counts[i+1]
+	}
+	nh.Entries = h.Entries
+	return nh, nil
+}
+
+// String renders a compact one-line summary.
+func (h *Hist) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "hist(")
+	for i, a := range h.Axes {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s[%d;%g,%g]", a.Name, a.Bins, a.Lo, a.Hi)
+	}
+	fmt.Fprintf(&b, " entries=%d sum=%g)", h.Entries, h.Sum())
+	return b.String()
+}
+
+// ASCII renders a 1-D histogram as a terminal bar chart, used by the
+// examples and the bench harness to show distributions (Fig. 8).
+func (h *Hist) ASCII(width int) string {
+	if len(h.Axes) != 1 {
+		return h.String()
+	}
+	if width <= 0 {
+		width = 50
+	}
+	a := h.Axes[0]
+	max := 0.0
+	for i := 0; i < a.Bins; i++ {
+		if c := h.Counts[i+1]; c > max {
+			max = c
+		}
+	}
+	var b strings.Builder
+	for i := 0; i < a.Bins; i++ {
+		c := h.Counts[i+1]
+		n := 0
+		if max > 0 {
+			n = int(float64(width) * c / max)
+		}
+		fmt.Fprintf(&b, "%10.3g |%s %g\n", a.BinCenter(i), strings.Repeat("#", n), c)
+	}
+	return b.String()
+}

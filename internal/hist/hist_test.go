@@ -1,0 +1,486 @@
+package hist
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"hepvine/internal/randx"
+)
+
+func TestFillAndAt(t *testing.T) {
+	h := New(Reg(10, 0, 10, "x"))
+	h.Fill(3.5)
+	h.Fill(3.9)
+	h.Fill(7.0)
+	if h.At(3) != 2 {
+		t.Fatalf("bin 3 = %v", h.At(3))
+	}
+	if h.At(7) != 1 {
+		t.Fatalf("bin 7 = %v", h.At(7))
+	}
+	if h.Entries != 3 {
+		t.Fatalf("entries = %d", h.Entries)
+	}
+}
+
+func TestUnderOverflow(t *testing.T) {
+	h := New(Reg(4, 0, 4, "x"))
+	h.Fill(-1)
+	h.Fill(100)
+	h.Fill(math.NaN())
+	if h.Underflow() != 1 {
+		t.Fatalf("underflow = %v", h.Underflow())
+	}
+	if h.Overflow() != 2 { // 100 and NaN
+		t.Fatalf("overflow = %v", h.Overflow())
+	}
+	if h.InRangeSum() != 0 {
+		t.Fatalf("in-range = %v", h.InRangeSum())
+	}
+	if h.Sum() != 3 {
+		t.Fatalf("sum = %v", h.Sum())
+	}
+}
+
+func TestEdgeValues(t *testing.T) {
+	h := New(Reg(10, 0, 1, "x"))
+	h.Fill(0) // first bin
+	h.Fill(1) // hi edge → overflow (half-open convention)
+	h.Fill(0.999999999)
+	if h.At(0) != 1 {
+		t.Fatalf("lo edge not in first bin")
+	}
+	if h.Overflow() != 1 {
+		t.Fatalf("hi edge should overflow, got %v", h.Overflow())
+	}
+	if h.At(9) != 1 {
+		t.Fatalf("value near hi should land in last bin, got %v", h.At(9))
+	}
+}
+
+func TestWeightedFill(t *testing.T) {
+	h := New(Reg(2, 0, 2, "x"))
+	h.FillW(2.5, 0.5)
+	h.FillW(0.5, 0.5)
+	if h.At(0) != 3.0 {
+		t.Fatalf("weighted bin = %v", h.At(0))
+	}
+}
+
+func TestFillN(t *testing.T) {
+	h := New(Reg(100, 0, 200, "met"))
+	vals := []float64{10, 20, 30, 250, -5}
+	h.FillN(vals)
+	if h.Sum() != 5 {
+		t.Fatalf("sum = %v", h.Sum())
+	}
+	if h.Overflow() != 1 || h.Underflow() != 1 {
+		t.Fatalf("under/over = %v/%v", h.Underflow(), h.Overflow())
+	}
+}
+
+func TestFillNW(t *testing.T) {
+	h := New(Reg(10, 0, 10, "x"))
+	if err := h.FillNW([]float64{1, 2}, []float64{0.5, 1.5}); err != nil {
+		t.Fatal(err)
+	}
+	if h.Sum() != 2 {
+		t.Fatalf("weighted sum = %v", h.Sum())
+	}
+	if err := h.FillNW([]float64{1}, []float64{1, 2}); err == nil {
+		t.Fatal("length mismatch not rejected")
+	}
+}
+
+func TestAddCommutative(t *testing.T) {
+	mk := func(seed uint64) *Hist {
+		h := New(Reg(20, 0, 100, "x"))
+		r := randx.New(seed)
+		for i := 0; i < 500; i++ {
+			h.FillW(r.Float64()*2, r.Range(-10, 110))
+		}
+		return h
+	}
+	a1, b1 := mk(1), mk(2)
+	a2, b2 := mk(1), mk(2)
+	if err := a1.Add(b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := b2.Add(a2); err != nil {
+		t.Fatal(err)
+	}
+	for i := range a1.Counts {
+		if math.Abs(a1.Counts[i]-b2.Counts[i]) > 1e-9 {
+			t.Fatalf("bin %d: %v vs %v", i, a1.Counts[i], b2.Counts[i])
+		}
+	}
+}
+
+func TestAddAssociativeProperty(t *testing.T) {
+	// (a+b)+c == a+(b+c) bin-by-bin, for random fills — the property that
+	// legalizes arbitrary reduction trees (Fig. 11).
+	check := func(sa, sb, sc uint16) bool {
+		mk := func(seed uint16) *Hist {
+			h := New(Reg(8, 0, 8, "x"))
+			r := randx.New(uint64(seed) + 1)
+			for i := 0; i < 50; i++ {
+				h.FillW(r.Float64(), r.Range(-1, 9))
+			}
+			return h
+		}
+		left := mk(sa)
+		if err := left.Add(mk(sb)); err != nil {
+			return false
+		}
+		if err := left.Add(mk(sc)); err != nil {
+			return false
+		}
+		bc := mk(sb)
+		if err := bc.Add(mk(sc)); err != nil {
+			return false
+		}
+		right := mk(sa)
+		if err := right.Add(bc); err != nil {
+			return false
+		}
+		for i := range left.Counts {
+			if math.Abs(left.Counts[i]-right.Counts[i]) > 1e-6 {
+				return false
+			}
+		}
+		return left.Entries == right.Entries
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddIncompatible(t *testing.T) {
+	a := New(Reg(10, 0, 1, "x"))
+	b := New(Reg(11, 0, 1, "x"))
+	if err := a.Add(b); err == nil {
+		t.Fatal("incompatible add accepted")
+	}
+	c := New(Reg(10, 0, 1, "y"))
+	if err := a.Add(c); err == nil {
+		t.Fatal("different axis name accepted")
+	}
+}
+
+func TestMultiDim(t *testing.T) {
+	h := New(Reg(4, 0, 4, "x"), Reg(2, 0, 2, "y"))
+	h.Fill(1.5, 0.5)
+	h.Fill(1.5, 1.5)
+	h.Fill(3.5, 0.5)
+	if h.At(1, 0) != 1 || h.At(1, 1) != 1 || h.At(3, 0) != 1 {
+		t.Fatalf("2-D fill wrong: %v", h.Counts)
+	}
+	if h.InRangeSum() != 3 {
+		t.Fatalf("in-range sum = %v", h.InRangeSum())
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	h := New(Reg(5, 0, 5, "x"))
+	h.Fill(1)
+	c := h.Clone()
+	c.Fill(1)
+	if h.At(1) != 1 || c.At(1) != 2 {
+		t.Fatalf("clone shares storage: %v vs %v", h.At(1), c.At(1))
+	}
+}
+
+func TestResetZeroes(t *testing.T) {
+	h := New(Reg(5, 0, 5, "x"))
+	h.Fill(1)
+	h.Reset()
+	if h.Sum() != 0 || h.Entries != 0 {
+		t.Fatalf("reset incomplete")
+	}
+}
+
+func TestMean(t *testing.T) {
+	h := New(Reg(100, 0, 10, "x"))
+	for i := 0; i < 1000; i++ {
+		h.Fill(5.0)
+	}
+	if m := h.Mean(); math.Abs(m-5.05) > 0.01 { // bin center of bin containing 5.0
+		t.Fatalf("mean = %v", m)
+	}
+}
+
+func TestBinEdgesAndCenters(t *testing.T) {
+	a := Reg(4, 0, 8, "x")
+	edges := a.BinEdges()
+	want := []float64{0, 2, 4, 6, 8}
+	for i, e := range edges {
+		if e != want[i] {
+			t.Fatalf("edges = %v", edges)
+		}
+	}
+	if a.BinCenter(0) != 1 || a.BinCenter(3) != 7 {
+		t.Fatalf("centers wrong")
+	}
+}
+
+func TestRegValidation(t *testing.T) {
+	for _, f := range []func(){
+		func() { Reg(0, 0, 1, "x") },
+		func() { Reg(5, 2, 2, "x") },
+		func() { Reg(5, 3, 1, "x") },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestASCIIRender(t *testing.T) {
+	h := New(Reg(3, 0, 3, "x"))
+	h.Fill(0.5)
+	h.Fill(0.5)
+	h.Fill(1.5)
+	s := h.ASCII(10)
+	if !strings.Contains(s, "##########") {
+		t.Fatalf("ASCII missing full bar:\n%s", s)
+	}
+	if len(strings.Split(strings.TrimRight(s, "\n"), "\n")) != 3 {
+		t.Fatalf("ASCII should have 3 rows:\n%s", s)
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	h := New(Reg(16, -2, 2, "eta"), Reg(8, 0, 100, "pt"))
+	r := randx.New(99)
+	for i := 0; i < 1000; i++ {
+		h.FillW(r.Float64(), r.Range(-3, 3), r.Range(-10, 120))
+	}
+	data := h.Marshal()
+	got, err := Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Compatible(h) {
+		t.Fatal("axes lost in round trip")
+	}
+	if got.Entries != h.Entries {
+		t.Fatalf("entries %d vs %d", got.Entries, h.Entries)
+	}
+	for i := range h.Counts {
+		if got.Counts[i] != h.Counts[i] {
+			t.Fatalf("count %d differs", i)
+		}
+	}
+}
+
+func TestUnmarshalRejectsGarbage(t *testing.T) {
+	if _, err := Unmarshal([]byte("not a histogram")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := Unmarshal(nil); err == nil {
+		t.Fatal("nil accepted")
+	}
+	h := New(Reg(4, 0, 1, "x"))
+	data := h.Marshal()
+	if _, err := Unmarshal(data[:len(data)-4]); err == nil {
+		t.Fatal("truncated accepted")
+	}
+}
+
+func TestMarshalRoundTripProperty(t *testing.T) {
+	check := func(seed uint16, bins uint8) bool {
+		b := int(bins)%32 + 1
+		h := New(Reg(b, 0, float64(b), "x"))
+		r := randx.New(uint64(seed))
+		for i := 0; i < 100; i++ {
+			h.FillW(r.Float64(), r.Range(-1, float64(b)+1))
+		}
+		got, err := Unmarshal(h.Marshal())
+		if err != nil {
+			return false
+		}
+		for i := range h.Counts {
+			if got.Counts[i] != h.Counts[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRebin(t *testing.T) {
+	h := New(Reg(8, 0, 8, "x"))
+	for i := 0; i < 8; i++ {
+		h.FillW(float64(i+1), float64(i)+0.5)
+	}
+	h.Fill(-1) // underflow
+	h.Fill(99) // overflow
+	r, err := h.Rebin(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Axes[0].Bins != 4 {
+		t.Fatalf("bins = %d", r.Axes[0].Bins)
+	}
+	if r.At(0) != 3 || r.At(3) != 15 { // 1+2, 7+8
+		t.Fatalf("rebinned: %v %v", r.At(0), r.At(3))
+	}
+	if r.Underflow() != 1 || r.Overflow() != 1 {
+		t.Fatal("under/overflow lost")
+	}
+	if r.Sum() != h.Sum() {
+		t.Fatalf("weight not preserved: %v vs %v", r.Sum(), h.Sum())
+	}
+	if _, err := h.Rebin(3); err == nil {
+		t.Fatal("indivisible rebin accepted")
+	}
+	h2 := New(Reg(2, 0, 1, "a"), Reg(2, 0, 1, "b"))
+	if _, err := h2.Rebin(2); err == nil {
+		t.Fatal("2-D rebin accepted")
+	}
+}
+
+func TestVarAxisIndexing(t *testing.T) {
+	// Typical mass binning: fine at low mass, coarse at high.
+	h := New(Var([]float64{0, 10, 30, 100, 500}, "m"))
+	h.Fill(5)    // bin 0
+	h.Fill(10)   // bin 1 (left-closed)
+	h.Fill(29.9) // bin 1
+	h.Fill(99)   // bin 2
+	h.Fill(499)  // bin 3
+	h.Fill(500)  // overflow (right-open)
+	h.Fill(-1)   // underflow
+	if h.At(0) != 1 || h.At(1) != 2 || h.At(2) != 1 || h.At(3) != 1 {
+		t.Fatalf("var bins: %v %v %v %v", h.At(0), h.At(1), h.At(2), h.At(3))
+	}
+	if h.Overflow() != 1 || h.Underflow() != 1 {
+		t.Fatalf("under/over = %v/%v", h.Underflow(), h.Overflow())
+	}
+	if c := h.Axes[0].BinCenter(1); c != 20 {
+		t.Fatalf("var center = %v", c)
+	}
+	edges := h.Axes[0].BinEdges()
+	if len(edges) != 5 || edges[2] != 30 {
+		t.Fatalf("edges = %v", edges)
+	}
+}
+
+func TestVarAxisValidation(t *testing.T) {
+	for _, edges := range [][]float64{{1}, {1, 1}, {2, 1}, {}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("edges %v accepted", edges)
+				}
+			}()
+			Var(edges, "x")
+		}()
+	}
+	// Var copies its input.
+	in := []float64{0, 1, 2}
+	a := Var(in, "x")
+	in[1] = 99
+	if a.Edges[1] != 1 {
+		t.Fatal("Var aliased caller slice")
+	}
+}
+
+func TestVarAxisMatchesRegWhenUniform(t *testing.T) {
+	// A Var axis with uniform edges must bin identically to Reg.
+	reg := New(Reg(10, 0, 10, "x"))
+	vr := New(Var([]float64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10}, "x"))
+	r := randx.New(4)
+	for i := 0; i < 5000; i++ {
+		v := r.Range(-1, 11)
+		reg.Fill(v)
+		vr.Fill(v)
+	}
+	for i := 0; i < 10; i++ {
+		if reg.At(i) != vr.At(i) {
+			t.Fatalf("bin %d: reg %v var %v", i, reg.At(i), vr.At(i))
+		}
+	}
+	if reg.Underflow() != vr.Underflow() || reg.Overflow() != vr.Overflow() {
+		t.Fatal("flow bins differ")
+	}
+}
+
+func TestVarAxisCodecRoundTrip(t *testing.T) {
+	h := New(Var([]float64{0, 1, 5, 25, 125}, "logx"), Reg(4, 0, 4, "y"))
+	r := randx.New(6)
+	for i := 0; i < 500; i++ {
+		h.FillW(r.Float64(), r.Range(-1, 130), r.Range(-1, 5))
+	}
+	got, err := Unmarshal(h.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Compatible(h) {
+		t.Fatal("axes lost")
+	}
+	if !got.Axes[0].IsVariable() || got.Axes[1].IsVariable() {
+		t.Fatal("variable flags lost")
+	}
+	for i := range h.Counts {
+		if got.Counts[i] != h.Counts[i] {
+			t.Fatalf("bin %d differs", i)
+		}
+	}
+}
+
+func TestVarVsRegIncompatible(t *testing.T) {
+	a := New(Reg(4, 0, 4, "x"))
+	b := New(Var([]float64{0, 1, 2, 3, 4}, "x"))
+	if err := a.Add(b); err == nil {
+		t.Fatal("reg+var merged")
+	}
+	c := New(Var([]float64{0, 1, 2, 3.5, 4}, "x"))
+	if err := b.Add(c); err == nil {
+		t.Fatal("different edges merged")
+	}
+	d := New(Var([]float64{0, 1, 2, 3, 4}, "x"))
+	if err := b.Add(d); err != nil {
+		t.Fatalf("identical var axes rejected: %v", err)
+	}
+}
+
+func TestVarRebinRejected(t *testing.T) {
+	h := New(Var([]float64{0, 1, 3, 9}, "x"))
+	if _, err := h.Rebin(2); err == nil {
+		t.Fatal("var rebin accepted")
+	}
+}
+
+// Robustness: Unmarshal must never panic on arbitrary bytes.
+func TestUnmarshalNeverPanics(t *testing.T) {
+	check := func(seed uint16, n uint8) bool {
+		rng := randx.New(uint64(seed) + 1)
+		buf := make([]byte, int(n))
+		for i := range buf {
+			buf[i] = byte(rng.Intn(256))
+		}
+		if rng.Bool(0.5) {
+			copy(buf, histMagic[:])
+		}
+		defer func() {
+			if recover() != nil {
+				t.Errorf("Unmarshal panicked on %x", buf)
+			}
+		}()
+		_, _ = Unmarshal(buf)
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

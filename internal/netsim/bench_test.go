@@ -1,0 +1,33 @@
+package netsim
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"hepvine/internal/sim"
+	"hepvine/internal/units"
+)
+
+// BenchmarkManagerFanOut is the Work Queue stress shape: one manager NIC
+// feeding hundreds of concurrent flows — the scenario the one-wake-event
+// flow design exists for.
+func BenchmarkManagerFanOut(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		eng := sim.NewEngine()
+		n := New(eng)
+		mgr := n.AddEndpoint("mgr", units.Gbps(10), units.Gbps(10), time.Millisecond)
+		done := 0
+		for w := 0; w < 200; w++ {
+			ep := n.AddEndpoint(fmt.Sprintf("w%d", w), units.Gbps(10), units.Gbps(10), time.Millisecond)
+			for k := 0; k < 5; k++ {
+				n.Transfer(mgr, ep, 40*units.MB, func() { done++ })
+			}
+		}
+		eng.Run(0)
+		if done != 1000 {
+			b.Fatalf("completed %d flows", done)
+		}
+	}
+}

@@ -1,0 +1,276 @@
+// Package netsim models network transfers between simulation endpoints as
+// bandwidth-sharing flows.
+//
+// Topology: a star through a non-blocking core switch (the common shape of
+// a campus cluster fabric), so the only capacity constraints are each
+// endpoint's ingress and egress NIC rates. Every active flow at an endpoint
+// receives an equal share of that endpoint's capacity; a flow's rate is the
+// minimum of its source-egress share and destination-ingress share. This
+// equal-share approximation of max-min fairness is what makes the Work
+// Queue manager a visible bottleneck (hundreds of flows share one NIC,
+// Fig. 7) while TaskVine peer transfers spread load across many worker NICs.
+//
+// Implementation notes, sized for Work Queue's pathology (thousands of
+// concurrent flows on one manager NIC): progress is integrated exactly —
+// every flow incident to an endpoint is settled and re-rated whenever that
+// endpoint's flow set changes, which is pure arithmetic, no event-heap
+// traffic. Each flow keeps exactly ONE pending wake event; a wake fires at
+// the estimated finish (capped at pollInterval), settles, and either
+// completes or re-arms. Rate increases therefore surface with at most
+// pollInterval of lateness, and the heap never accumulates cancelled
+// events — the quadratic churn a cancel-and-reschedule design suffers.
+package netsim
+
+import (
+	"fmt"
+	"time"
+
+	"hepvine/internal/sim"
+	"hepvine/internal/units"
+)
+
+// pollInterval bounds how late a flow may notice it already finished after
+// its bandwidth share grew.
+const pollInterval = time.Second
+
+// Endpoint is a network-attached entity: a worker node, the manager, or a
+// shared filesystem head. Capacity is split evenly among active flows in
+// each direction.
+type Endpoint struct {
+	Name    string
+	CapIn   units.BytesPerSec
+	CapOut  units.BytesPerSec
+	Latency time.Duration // one-way first-byte latency contributed by this endpoint
+
+	in  map[*Flow]struct{}
+	out map[*Flow]struct{}
+
+	// Totals for heatmaps (Fig. 7).
+	BytesSent     units.Bytes
+	BytesReceived units.Bytes
+}
+
+// Flow is one in-flight transfer.
+type Flow struct {
+	Src, Dst *Endpoint
+	Size     units.Bytes
+
+	net        *Network
+	done       units.Bytes // bytes moved as of lastAt
+	unrecorded units.Bytes // bytes not yet flushed to the pairwise matrix
+	rate       units.BytesPerSec
+	lastAt     time.Duration
+	wake       *sim.Event
+	onComplete func()
+	finished   bool
+	cancelled  bool
+}
+
+// Rate reports the flow's current bandwidth share.
+func (f *Flow) Rate() units.BytesPerSec { return f.rate }
+
+// Done reports bytes transferred as of the last settlement.
+func (f *Flow) Done() units.Bytes { return f.done }
+
+// Network tracks endpoints and flows against a simulation engine.
+type Network struct {
+	eng       *sim.Engine
+	endpoints []*Endpoint
+
+	// Transferred[src][dst] accumulates bytes for pairwise heatmaps.
+	Transferred map[string]map[string]units.Bytes
+
+	// ActiveFlows counts in-flight transfers.
+	ActiveFlows int
+}
+
+// New returns an empty network bound to the engine.
+func New(eng *sim.Engine) *Network {
+	return &Network{eng: eng, Transferred: make(map[string]map[string]units.Bytes)}
+}
+
+// AddEndpoint registers and returns a new endpoint.
+func (n *Network) AddEndpoint(name string, capIn, capOut units.BytesPerSec, latency time.Duration) *Endpoint {
+	ep := &Endpoint{
+		Name: name, CapIn: capIn, CapOut: capOut, Latency: latency,
+		in:  make(map[*Flow]struct{}),
+		out: make(map[*Flow]struct{}),
+	}
+	n.endpoints = append(n.endpoints, ep)
+	return ep
+}
+
+// Endpoints returns all registered endpoints in registration order.
+func (n *Network) Endpoints() []*Endpoint { return n.endpoints }
+
+// Transfer starts a flow of size bytes from src to dst and invokes
+// onComplete when the last byte lands. Zero-size transfers complete after
+// the path latency alone. The returned flow may be cancelled.
+func (n *Network) Transfer(src, dst *Endpoint, size units.Bytes, onComplete func()) *Flow {
+	if src == nil || dst == nil {
+		panic("netsim: Transfer with nil endpoint")
+	}
+	lat := src.Latency + dst.Latency
+	f := &Flow{Src: src, Dst: dst, Size: size, net: n, onComplete: onComplete}
+	if size <= 0 || src == dst {
+		// Local copy or pure-latency signal: charge latency only.
+		n.eng.Schedule(lat, func() {
+			if f.cancelled {
+				return
+			}
+			f.finished = true
+			if onComplete != nil {
+				onComplete()
+			}
+		})
+		return f
+	}
+	n.ActiveFlows++
+	src.out[f] = struct{}{}
+	dst.in[f] = struct{}{}
+	// Transfer begins after the path latency.
+	f.lastAt = n.eng.Now() + lat
+	n.reRate(src)
+	n.reRate(dst)
+	f.scheduleWake(lat)
+	return f
+}
+
+// reRate settles every flow incident to ep at the current time and assigns
+// fresh equal-share rates. Pure arithmetic: wake events are left alone.
+func (n *Network) reRate(ep *Endpoint) {
+	now := n.eng.Now()
+	for f := range ep.out {
+		f.settle(now)
+		f.rate = f.shareNow()
+	}
+	for f := range ep.in {
+		f.settle(now)
+		f.rate = f.shareNow()
+	}
+}
+
+// shareNow computes the flow's current equal-share rate.
+func (f *Flow) shareNow() units.BytesPerSec {
+	out := share(f.Src.CapOut, len(f.Src.out))
+	in := share(f.Dst.CapIn, len(f.Dst.in))
+	if in < out {
+		return in
+	}
+	return out
+}
+
+func share(cap units.BytesPerSec, nflows int) units.BytesPerSec {
+	if nflows <= 0 {
+		return cap
+	}
+	return cap / units.BytesPerSec(nflows)
+}
+
+// scheduleWake arms the flow's next settlement after extra delay (latency
+// on the first segment).
+func (f *Flow) scheduleWake(extra time.Duration) {
+	remaining := f.Size - f.done
+	est := f.rate.TimeFor(remaining) + time.Microsecond
+	if est > pollInterval {
+		est = pollInterval
+	}
+	ff := f
+	f.wake = f.net.eng.Schedule(extra+est, func() { ff.onWake() })
+}
+
+// onWake settles progress and either completes or re-arms.
+func (f *Flow) onWake() {
+	if f.finished || f.cancelled {
+		return
+	}
+	f.settle(f.net.eng.Now())
+	if f.done >= f.Size {
+		f.complete()
+		return
+	}
+	f.scheduleWake(0)
+}
+
+// settle integrates progress at the current rate since the last settlement.
+// Rates only change via reRate, which settles first, so integration is
+// exact piecewise-linear.
+func (f *Flow) settle(now time.Duration) {
+	if now > f.lastAt && f.rate > 0 {
+		moved := units.Bytes(float64(f.rate) * (now - f.lastAt).Seconds())
+		if f.done+moved > f.Size {
+			moved = f.Size - f.done
+		}
+		f.done += moved
+		f.unrecorded += moved
+		f.Src.BytesSent += moved
+		f.Dst.BytesReceived += moved
+	}
+	if now > f.lastAt {
+		f.lastAt = now
+	}
+}
+
+func (f *Flow) complete() {
+	f.finished = true
+	f.detach()
+	if f.onComplete != nil {
+		// Fresh event so user code never runs inside another flow's wake.
+		cb := f.onComplete
+		f.net.eng.Schedule(0, cb)
+	}
+}
+
+func (f *Flow) detach() {
+	f.net.ActiveFlows--
+	delete(f.Src.out, f)
+	delete(f.Dst.in, f)
+	if f.wake != nil {
+		f.wake.Cancel()
+		f.wake = nil
+	}
+	f.net.record(f.Src.Name, f.Dst.Name, f.unrecorded)
+	f.unrecorded = 0
+	f.net.reRate(f.Src)
+	f.net.reRate(f.Dst)
+}
+
+// Cancel aborts a flow, accounting for the bytes already moved.
+func (f *Flow) Cancel() {
+	if f.finished || f.cancelled {
+		return
+	}
+	f.cancelled = true
+	f.settle(f.net.eng.Now())
+	f.detach()
+}
+
+func (n *Network) record(src, dst string, b units.Bytes) {
+	if b == 0 {
+		return
+	}
+	m := n.Transferred[src]
+	if m == nil {
+		m = make(map[string]units.Bytes)
+		n.Transferred[src] = m
+	}
+	m[dst] += b
+}
+
+// PairwiseMax reports the largest number of bytes moved between any ordered
+// endpoint pair — the headline statistic of Fig. 7.
+func (n *Network) PairwiseMax() (src, dst string, max units.Bytes) {
+	for s, row := range n.Transferred {
+		for d, b := range row {
+			if b > max {
+				src, dst, max = s, d, b
+			}
+		}
+	}
+	return src, dst, max
+}
+
+// String summarizes the network for debugging.
+func (n *Network) String() string {
+	return fmt.Sprintf("netsim{endpoints=%d active=%d}", len(n.endpoints), n.ActiveFlows)
+}

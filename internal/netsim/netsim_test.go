@@ -1,0 +1,193 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+
+	"hepvine/internal/sim"
+	"hepvine/internal/units"
+)
+
+func newNet() (*sim.Engine, *Network) {
+	eng := sim.NewEngine()
+	return eng, New(eng)
+}
+
+func TestSingleFlowTime(t *testing.T) {
+	eng, n := newNet()
+	a := n.AddEndpoint("a", units.MBps(100), units.MBps(100), 0)
+	b := n.AddEndpoint("b", units.MBps(100), units.MBps(100), 0)
+	var doneAt time.Duration
+	n.Transfer(a, b, 200*units.MB, func() { doneAt = eng.Now() })
+	eng.Run(0)
+	if doneAt < 1990*time.Millisecond || doneAt > 2010*time.Millisecond {
+		t.Fatalf("200MB at 100MB/s finished at %v, want ~2s", doneAt)
+	}
+}
+
+func TestLatencyCharged(t *testing.T) {
+	eng, n := newNet()
+	a := n.AddEndpoint("a", units.MBps(100), units.MBps(100), 50*time.Millisecond)
+	b := n.AddEndpoint("b", units.MBps(100), units.MBps(100), 50*time.Millisecond)
+	var doneAt time.Duration
+	n.Transfer(a, b, 100*units.MB, func() { doneAt = eng.Now() })
+	eng.Run(0)
+	want := 1100 * time.Millisecond // 1s transfer + 2x50ms latency
+	if doneAt < want-10*time.Millisecond || doneAt > want+10*time.Millisecond {
+		t.Fatalf("finished at %v, want ~%v", doneAt, want)
+	}
+}
+
+func TestZeroSizeIsLatencyOnly(t *testing.T) {
+	eng, n := newNet()
+	a := n.AddEndpoint("a", units.MBps(1), units.MBps(1), 20*time.Millisecond)
+	b := n.AddEndpoint("b", units.MBps(1), units.MBps(1), 30*time.Millisecond)
+	var doneAt time.Duration
+	n.Transfer(a, b, 0, func() { doneAt = eng.Now() })
+	eng.Run(0)
+	if doneAt != 50*time.Millisecond {
+		t.Fatalf("zero-size done at %v", doneAt)
+	}
+}
+
+func TestSharedEgressHalvesRate(t *testing.T) {
+	eng, n := newNet()
+	src := n.AddEndpoint("src", units.MBps(100), units.MBps(100), 0)
+	d1 := n.AddEndpoint("d1", units.MBps(1000), units.MBps(1000), 0)
+	d2 := n.AddEndpoint("d2", units.MBps(1000), units.MBps(1000), 0)
+	var t1, t2 time.Duration
+	n.Transfer(src, d1, 100*units.MB, func() { t1 = eng.Now() })
+	n.Transfer(src, d2, 100*units.MB, func() { t2 = eng.Now() })
+	eng.Run(0)
+	// Two flows share 100MB/s egress: each gets 50MB/s → 2s each.
+	for _, d := range []time.Duration{t1, t2} {
+		if d < 1900*time.Millisecond || d > 2100*time.Millisecond {
+			t.Fatalf("shared flows finished at %v/%v, want ~2s", t1, t2)
+		}
+	}
+}
+
+func TestRateRecoversAfterCompetitorFinishes(t *testing.T) {
+	eng, n := newNet()
+	src := n.AddEndpoint("src", units.MBps(100), units.MBps(100), 0)
+	d1 := n.AddEndpoint("d1", units.MBps(1000), units.MBps(1000), 0)
+	d2 := n.AddEndpoint("d2", units.MBps(1000), units.MBps(1000), 0)
+	var big time.Duration
+	n.Transfer(src, d1, 50*units.MB, nil) // finishes at 1s (50MB/s share)
+	n.Transfer(src, d2, 150*units.MB, func() { big = eng.Now() })
+	eng.Run(0)
+	// Big flow: 1s at 50MB/s (50MB done), then 100MB at 100MB/s → ~2s total.
+	if big < 1900*time.Millisecond || big > 2100*time.Millisecond {
+		t.Fatalf("big flow finished at %v, want ~2s", big)
+	}
+}
+
+func TestIngressBottleneck(t *testing.T) {
+	eng, n := newNet()
+	s1 := n.AddEndpoint("s1", units.MBps(1000), units.MBps(1000), 0)
+	s2 := n.AddEndpoint("s2", units.MBps(1000), units.MBps(1000), 0)
+	dst := n.AddEndpoint("dst", units.MBps(100), units.MBps(100), 0)
+	var t1, t2 time.Duration
+	n.Transfer(s1, dst, 100*units.MB, func() { t1 = eng.Now() })
+	n.Transfer(s2, dst, 100*units.MB, func() { t2 = eng.Now() })
+	eng.Run(0)
+	for _, d := range []time.Duration{t1, t2} {
+		if d < 1900*time.Millisecond || d > 2100*time.Millisecond {
+			t.Fatalf("ingress-limited flows finished at %v/%v, want ~2s", t1, t2)
+		}
+	}
+}
+
+func TestByteConservation(t *testing.T) {
+	eng, n := newNet()
+	eps := make([]*Endpoint, 6)
+	for i := range eps {
+		eps[i] = n.AddEndpoint(string(rune('a'+i)), units.MBps(50), units.MBps(50), time.Millisecond)
+	}
+	total := units.Bytes(0)
+	for i := 0; i < 20; i++ {
+		src := eps[i%len(eps)]
+		dst := eps[(i*3+1)%len(eps)]
+		if src == dst {
+			continue
+		}
+		size := units.Bytes((i + 1)) * units.MB
+		total += size
+		n.Transfer(src, dst, size, nil)
+	}
+	eng.Run(0)
+	var sent, recv units.Bytes
+	for _, ep := range eps {
+		sent += ep.BytesSent
+		recv += ep.BytesReceived
+	}
+	if sent != recv {
+		t.Fatalf("sent %v != received %v", sent, recv)
+	}
+	// Allow ±1 byte per flow of float rounding.
+	if diff := sent - total; diff > 64 || diff < -64 {
+		t.Fatalf("moved %v, want %v", sent, total)
+	}
+	if n.ActiveFlows != 0 {
+		t.Fatalf("flows still active: %d", n.ActiveFlows)
+	}
+}
+
+func TestCancelStopsFlow(t *testing.T) {
+	eng, n := newNet()
+	a := n.AddEndpoint("a", units.MBps(100), units.MBps(100), 0)
+	b := n.AddEndpoint("b", units.MBps(100), units.MBps(100), 0)
+	done := false
+	f := n.Transfer(a, b, 100*units.MB, func() { done = true })
+	eng.Schedule(500*time.Millisecond, func() { f.Cancel() })
+	eng.Run(0)
+	if done {
+		t.Fatal("cancelled flow completed")
+	}
+	// Half the bytes should have moved.
+	if f.Done() < 45*units.MB || f.Done() > 55*units.MB {
+		t.Fatalf("cancelled after %v, want ~50MB", f.Done())
+	}
+	if n.ActiveFlows != 0 {
+		t.Fatalf("flows still active: %d", n.ActiveFlows)
+	}
+}
+
+func TestTransferredMatrixAndPairwiseMax(t *testing.T) {
+	eng, n := newNet()
+	a := n.AddEndpoint("a", units.MBps(100), units.MBps(100), 0)
+	b := n.AddEndpoint("b", units.MBps(100), units.MBps(100), 0)
+	c := n.AddEndpoint("c", units.MBps(100), units.MBps(100), 0)
+	n.Transfer(a, b, 10*units.MB, nil)
+	n.Transfer(a, c, 30*units.MB, nil)
+	eng.Run(0)
+	src, dst, max := n.PairwiseMax()
+	if src != "a" || dst != "c" {
+		t.Fatalf("pairwise max = %s->%s", src, dst)
+	}
+	if max < 29*units.MB || max > 31*units.MB {
+		t.Fatalf("pairwise max bytes = %v", max)
+	}
+	if got := n.Transferred["a"]["b"]; got < 9*units.MB || got > 11*units.MB {
+		t.Fatalf("a->b recorded %v", got)
+	}
+}
+
+func TestManyFlowsFinish(t *testing.T) {
+	eng, n := newNet()
+	const workers = 50
+	mgr := n.AddEndpoint("mgr", units.Gbps(10), units.Gbps(10), time.Millisecond)
+	done := 0
+	for i := 0; i < workers; i++ {
+		w := n.AddEndpoint(string(rune('A'+i%26))+string(rune('0'+i/26)), units.Gbps(1), units.Gbps(1), time.Millisecond)
+		n.Transfer(mgr, w, 100*units.MB, func() { done++ })
+	}
+	eng.Run(0)
+	if done != workers {
+		t.Fatalf("completed %d/%d flows", done, workers)
+	}
+	// Manager egress 1.25GB/s over 5GB total → at least 4 seconds.
+	if eng.Now() < 3*time.Second {
+		t.Fatalf("fan-out finished suspiciously fast: %v", eng.Now())
+	}
+}

@@ -1,0 +1,195 @@
+// Package params centralizes the calibrated constants of the simulation
+// plane: hardware capacities, storage characteristics, and software
+// overheads. Every value is either taken from the paper's setup description
+// (§IV: 12-core 2.50GHz Xeons, 96GB RAM, 108GB disk workers; 10GigE campus
+// fabric; HDFS on spinning disk vs VAST on NVMe) or calibrated so the
+// regenerated tables and figures match the paper's *shape* — who wins, by
+// roughly what factor, where crossovers fall. EXPERIMENTS.md records
+// paper-vs-measured for every artifact.
+package params
+
+import (
+	"time"
+
+	"hepvine/internal/units"
+)
+
+// ---- network fabric ----
+
+// Network capacities of the campus cluster fabric.
+var (
+	// WorkerNIC is each compute node's link (10 GigE campus cluster).
+	WorkerNIC = units.Gbps(10)
+	// ManagerNIC is the manager node's link. The same 10 GigE — which is
+	// exactly why routing all data through the manager (Work Queue)
+	// bottlenecks at scale (Fig. 7).
+	ManagerNIC = units.Gbps(10)
+	// NetLatency is the one-way per-endpoint fabric latency contribution.
+	NetLatency = 250 * time.Microsecond
+)
+
+// ---- storage systems (§II.D, §IV.A) ----
+
+// FS describes a shared filesystem's performance envelope.
+type FS struct {
+	Name string
+	// OpLatency is the per-operation (metadata + first byte) latency.
+	OpLatency time.Duration
+	// AggregateRead caps total read bandwidth across all clients.
+	AggregateRead units.BytesPerSec
+	// AggregateWrite caps total write bandwidth.
+	AggregateWrite units.BytesPerSec
+}
+
+// HDFS models the legacy 644TB spinning-disk cluster: high throughput in
+// bulk, high per-operation latency (triple-replicated commodity disks).
+// The aggregate read rate reflects the random-read envelope the analysis
+// workload actually sees (many concurrent column-chunk reads are seek-bound
+// on spinning disks), not the sequential streaming peak.
+var HDFS = FS{
+	Name:           "hdfs",
+	OpLatency:      25 * time.Millisecond,
+	AggregateRead:  units.GBps(1.0),
+	AggregateWrite: units.MBps(400),
+}
+
+// VAST models the 918TB NVMe parallel filesystem: low latency POSIX access
+// and higher aggregate throughput.
+var VAST = FS{
+	Name:           "vast",
+	OpLatency:      800 * time.Microsecond,
+	AggregateRead:  units.GBps(40),
+	AggregateWrite: units.GBps(20),
+}
+
+// LocalDisk models worker-node local storage (where TaskVine keeps its
+// cache): modest bandwidth but near-zero access latency.
+var LocalDisk = FS{
+	Name:           "local",
+	OpLatency:      60 * time.Microsecond,
+	AggregateRead:  units.MBps(900), // per node
+	AggregateWrite: units.MBps(600),
+}
+
+// ---- worker nodes (§IV: "200 12-core workers, ... 96GB RAM, 108GB disk") ----
+
+// Standard worker-node shape for DV3 runs.
+var (
+	WorkerCores  = 12
+	WorkerRAM    = units.GBf(96)
+	WorkerDisk   = units.GBf(108)
+	WorkerCPUGHz = 2.50
+)
+
+// RS-TriPhoton workers get bigger allocations (§V.B: "700GB disk and 200GB
+// of RAM").
+var (
+	TriPhotonWorkerDisk = units.GBf(700)
+	TriPhotonWorkerRAM  = units.GBf(200)
+)
+
+// PreemptFraction is the opportunistic-cluster preemption rate: "the
+// preemption of up to 1% of workers in each run" (§IV).
+var PreemptFraction = 0.01
+
+// WorkerStartupSpread is the window over which batch-submitted workers come
+// online (HTCondor scheduling jitter).
+var WorkerStartupSpread = 30 * time.Second
+
+// WorkerSpeedSpread is the CPU heterogeneity of the opportunistic pool
+// (§IV: "heterogeneous campus HTCondor cluster"): node speeds are drawn
+// from [1-s, 1+s] around nominal.
+var WorkerSpeedSpread = 0.15
+
+// ---- software overheads (§III.C, §IV.B) ----
+
+// Per-task costs by execution paradigm. "Standard" tasks serialize the
+// function, ship it, start a Python interpreter, and import libraries every
+// time; serverless function calls hit a persistent library process.
+var (
+	// DispatchCostTask is the manager CPU time to serialize, record, and
+	// transmit one standard task. The manager is a serial server, so this
+	// bounds dispatch throughput at ~1/DispatchCostTask tasks/s — the
+	// oscillation Stack 3 shows in Fig. 12.
+	DispatchCostTask = 35 * time.Millisecond
+	// DispatchCostFunctionCall is the same for a function invocation:
+	// only the function name and arguments travel (§IV.B).
+	DispatchCostFunctionCall = 600 * time.Microsecond
+	// CollectCost is the manager CPU time to retire any completed task.
+	CollectCost = 400 * time.Microsecond
+
+	// TaskStartup is the on-worker cost of one standard task before user
+	// code runs: wrapper script, interpreter start, function
+	// deserialization. Library imports are charged separately.
+	TaskStartup = 650 * time.Millisecond
+	// FCInvokeOverhead is the on-worker cost of forking an invocation
+	// inside a persistent library.
+	FCInvokeOverhead = 40 * time.Millisecond
+
+	// TaskPayloadBytes is the serialized-function traffic per standard
+	// task (manager → worker); function calls send only arguments.
+	TaskPayloadBytes = units.Bytes(512 << 10)
+	FCPayloadBytes   = units.Bytes(4 << 10)
+)
+
+// Import model (Fig. 9/10): importing the analysis libraries touches many
+// small files — a metadata-heavy walk plus bulk bytecode reads. Hoisting
+// runs it once per LibraryTask instead of per invocation.
+var (
+	// ImportMetaOps is the number of filesystem metadata operations an
+	// import sweep performs (path searches, stat calls).
+	ImportMetaOps = 1200
+	// ImportBytes is the bulk bytecode/shared-object volume read.
+	ImportBytes = units.MBf(180)
+)
+
+// ImportCost computes the wall-clock cost of one import sweep against the
+// given filesystem: metadata ops pay per-op latency, bulk bytes pay
+// bandwidth. This is why hoisting matters most for fine-grained tasks and
+// why local disk beats the shared filesystem for imports (Fig. 10).
+func ImportCost(fs FS) time.Duration {
+	meta := time.Duration(ImportMetaOps) * fs.OpLatency
+	bulk := fs.AggregateRead.TimeFor(ImportBytes)
+	return meta + bulk
+}
+
+// ---- Dask.Distributed comparator model (§V.B) ----
+
+var (
+	// DaskSchedulerOverhead is the central scheduler's per-task base cost.
+	// Dask's pure-Python scheduler spends ~ms-scale time per task, and it
+	// is the shared bottleneck for every worker. The effective cost grows
+	// with worker count (see DaskSchedulerScale): more workers mean more
+	// heartbeats, more connections, and more GIL contention inside the
+	// scheduler process.
+	DaskSchedulerOverhead = 10 * time.Millisecond
+	// DaskWorkerOverhead is the per-task overhead on a single-core,
+	// share-nothing Dask worker process (deserialization + GIL contention
+	// with the worker's own communication threads).
+	DaskWorkerOverhead = 800 * time.Millisecond
+	// DaskCrashCores is the scale beyond which Dask.Distributed runs
+	// "consistently fail with a combination of worker and application
+	// crashes and hangs" on these workloads (§V.B). Runs at or above this
+	// many cores are reported as failed.
+	DaskCrashCores = 1200
+	// DaskInstabilityCores is where per-run crash probability starts
+	// growing; between here and DaskCrashCores runs degrade.
+	DaskInstabilityCores = 600
+)
+
+// DaskSchedulerScale reports the multiplier on DaskSchedulerOverhead for a
+// given worker-process count: per-task cost grows roughly linearly with the
+// number of connected workers.
+func DaskSchedulerScale(workers int) float64 {
+	return 1 + float64(workers)/100
+}
+
+// ---- misc ----
+
+// ResultNoticeBytes is the completion-message size (metadata only) a worker
+// sends the manager when retaining outputs locally.
+var ResultNoticeBytes = units.Bytes(2 << 10)
+
+// DefaultTransferCapPerSource mirrors the live engine's default governor
+// cap on concurrent outbound peer transfers per worker.
+var DefaultTransferCapPerSource = 3

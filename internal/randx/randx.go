@@ -1,0 +1,160 @@
+// Package randx provides a small, deterministic random number generator and
+// the sampling distributions the workload models need.
+//
+// All experiments in this repository must be reproducible from a seed, so we
+// implement a self-contained PCG32-style generator rather than relying on the
+// global math/rand state. The distributions (uniform, exponential, lognormal,
+// bounded normal) cover the task-duration and event-kinematics models used by
+// the DV3 and RS-TriPhoton workloads.
+package randx
+
+import "math"
+
+// RNG is a deterministic PCG-XSH-RR 32-bit generator with a 64-bit state.
+// The zero value is NOT valid; use New.
+type RNG struct {
+	state uint64
+	inc   uint64
+
+	// cached spare normal deviate for Box-Muller
+	hasSpare bool
+	spare    float64
+}
+
+const pcgMult = 6364136223846793005
+
+// New returns a generator seeded with seed on stream 1.
+func New(seed uint64) *RNG {
+	return NewStream(seed, 1)
+}
+
+// NewStream returns a generator seeded with seed on an independent stream.
+// Distinct streams with the same seed produce uncorrelated sequences, which
+// lets concurrent simulation components each own a private RNG while staying
+// reproducible. The seed and stream are pre-mixed with splitmix64 so small
+// consecutive seeds (1, 2, 3, …) still give well-dispersed early outputs.
+func NewStream(seed, stream uint64) *RNG {
+	r := &RNG{inc: splitmix64(stream)<<1 | 1}
+	r.state = 0
+	r.Uint32()
+	r.state += splitmix64(seed)
+	r.Uint32()
+	return r
+}
+
+// splitmix64 is the standard 64-bit finalizer used to spread seed entropy.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Uint32 returns the next 32 uniformly distributed bits.
+func (r *RNG) Uint32() uint32 {
+	old := r.state
+	r.state = old*pcgMult + r.inc
+	xorshifted := uint32(((old >> 18) ^ old) >> 27)
+	rot := uint32(old >> 59)
+	return (xorshifted >> rot) | (xorshifted << ((-rot) & 31))
+}
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (r *RNG) Uint64() uint64 {
+	return uint64(r.Uint32())<<32 | uint64(r.Uint32())
+}
+
+// Float64 returns a uniform deviate in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("randx: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Range returns a uniform deviate in [lo, hi).
+func (r *RNG) Range(lo, hi float64) float64 {
+	return lo + (hi-lo)*r.Float64()
+}
+
+// Bool returns true with probability p.
+func (r *RNG) Bool(p float64) bool {
+	return r.Float64() < p
+}
+
+// Exp returns an exponential deviate with the given mean.
+func (r *RNG) Exp(mean float64) float64 {
+	u := r.Float64()
+	if u <= 0 {
+		u = math.SmallestNonzeroFloat64
+	}
+	return -mean * math.Log(1-u)
+}
+
+// Normal returns a normal deviate with the given mean and standard deviation
+// using the Box-Muller transform.
+func (r *RNG) Normal(mean, stddev float64) float64 {
+	if r.hasSpare {
+		r.hasSpare = false
+		return mean + stddev*r.spare
+	}
+	var u, v, s float64
+	for {
+		u = 2*r.Float64() - 1
+		v = 2*r.Float64() - 1
+		s = u*u + v*v
+		if s > 0 && s < 1 {
+			break
+		}
+	}
+	f := math.Sqrt(-2 * math.Log(s) / s)
+	r.spare = v * f
+	r.hasSpare = true
+	return mean + stddev*u*f
+}
+
+// LogNormal returns a lognormal deviate where the underlying normal has
+// parameters mu and sigma. The task-duration distribution in Fig. 8 of the
+// paper (most tasks between 1s and 10s with outliers on both sides) is
+// modelled as lognormal.
+func (r *RNG) LogNormal(mu, sigma float64) float64 {
+	return math.Exp(r.Normal(mu, sigma))
+}
+
+// BoundedLogNormal samples a lognormal and clamps to [lo, hi].
+func (r *RNG) BoundedLogNormal(mu, sigma, lo, hi float64) float64 {
+	v := r.LogNormal(mu, sigma)
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// Perm returns a random permutation of [0, n).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Shuffle permutes the first n elements using swap.
+func (r *RNG) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}

@@ -1,0 +1,80 @@
+package rootio
+
+import (
+	"bytes"
+	"testing"
+)
+
+func benchFile(b *testing.B, nEvents int) *Reader {
+	b.Helper()
+	cols := GenColumns(nEvents, GenOptions{Seed: 9})
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, NanoSchema(), 2500)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := w.WriteColumns(nEvents, cols); err != nil {
+		b.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		b.Fatal(err)
+	}
+	rd, err := NewReader(&memFile{buf.Bytes()}, int64(buf.Len()))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return rd
+}
+
+func BenchmarkGenColumns(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		GenColumns(1000, GenOptions{Seed: uint64(i)})
+	}
+}
+
+func BenchmarkWriteFile(b *testing.B) {
+	cols := GenColumns(5000, GenOptions{Seed: 9})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		w, err := NewWriter(&buf, NanoSchema(), 2500)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := w.WriteColumns(5000, cols); err != nil {
+			b.Fatal(err)
+		}
+		if err := w.Close(); err != nil {
+			b.Fatal(err)
+		}
+		b.SetBytes(int64(buf.Len()))
+	}
+}
+
+func BenchmarkReadFlatColumn(b *testing.B) {
+	rd := benchFile(b, 10000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		vals, err := rd.ReadFlat("MET_pt", 0, 10000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.SetBytes(int64(8 * len(vals)))
+	}
+}
+
+func BenchmarkReadJaggedColumn(b *testing.B) {
+	rd := benchFile(b, 10000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j, err := rd.ReadJagged("Jet_pt", 0, 10000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.SetBytes(int64(8 * len(j.Values)))
+	}
+}

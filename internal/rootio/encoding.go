@@ -1,0 +1,124 @@
+package rootio
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Column encodings. Real NanoAOD stores most kinematics as float32 and
+// counters as small integers; matching that matters because the simulation
+// plane charges I/O by on-disk bytes, and column-selective reads are only
+// realistic if bytes-per-branch are. The encoding is a property of the
+// branch, recorded in the footer; readers decode transparently and always
+// hand float64 to the analysis layer.
+type Encoding uint8
+
+// Supported encodings.
+const (
+	// EncF64 stores raw IEEE-754 doubles (8 bytes/value).
+	EncF64 Encoding = iota
+	// EncF32 stores single precision (4 bytes/value) — the NanoAOD norm
+	// for kinematics. Values round-trip through float32.
+	EncF32
+	// EncVarint stores integer-valued columns (counts, run numbers, flags)
+	// as zigzag varints — typically 1-2 bytes/value.
+	EncVarint
+)
+
+func (e Encoding) String() string {
+	switch e {
+	case EncF64:
+		return "f64"
+	case EncF32:
+		return "f32"
+	case EncVarint:
+		return "varint"
+	default:
+		return fmt.Sprintf("Encoding(%d)", uint8(e))
+	}
+}
+
+// valid reports whether the encoding is known.
+func (e Encoding) valid() bool { return e <= EncVarint }
+
+// quantize maps a value through the encoding's round trip, so writers can
+// validate losslessness expectations up front.
+func (e Encoding) quantize(v float64) float64 {
+	switch e {
+	case EncF32:
+		return float64(float32(v))
+	case EncVarint:
+		return float64(int64(v))
+	default:
+		return v
+	}
+}
+
+// encodeColumn serializes values under the encoding.
+func encodeColumn(e Encoding, vals []float64) ([]byte, error) {
+	switch e {
+	case EncF64:
+		return float64sToBytes(vals), nil
+	case EncF32:
+		out := make([]byte, 4*len(vals))
+		for i, v := range vals {
+			binary.LittleEndian.PutUint32(out[i*4:], math.Float32bits(float32(v)))
+		}
+		return out, nil
+	case EncVarint:
+		out := make([]byte, 0, len(vals))
+		var buf [binary.MaxVarintLen64]byte
+		for _, v := range vals {
+			iv := int64(v)
+			if float64(iv) != v {
+				return nil, fmt.Errorf("rootio: varint branch holds non-integer value %v", v)
+			}
+			n := binary.PutVarint(buf[:], iv)
+			out = append(out, buf[:n]...)
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("rootio: unknown encoding %v", e)
+	}
+}
+
+// decodeColumn deserializes nValues values under the encoding.
+func decodeColumn(e Encoding, data []byte, nValues int64) ([]float64, error) {
+	switch e {
+	case EncF64:
+		vals, err := bytesToFloat64s(data)
+		if err != nil {
+			return nil, err
+		}
+		if int64(len(vals)) != nValues {
+			return nil, fmt.Errorf("rootio: f64 basket holds %d values, want %d", len(vals), nValues)
+		}
+		return vals, nil
+	case EncF32:
+		if int64(len(data)) != 4*nValues {
+			return nil, fmt.Errorf("rootio: f32 basket is %d bytes for %d values", len(data), nValues)
+		}
+		out := make([]float64, nValues)
+		for i := range out {
+			out[i] = float64(math.Float32frombits(binary.LittleEndian.Uint32(data[i*4:])))
+		}
+		return out, nil
+	case EncVarint:
+		out := make([]float64, 0, nValues)
+		for len(data) > 0 && int64(len(out)) < nValues {
+			iv, n := binary.Varint(data)
+			if n <= 0 {
+				return nil, fmt.Errorf("rootio: corrupt varint basket")
+			}
+			out = append(out, float64(iv))
+			data = data[n:]
+		}
+		if int64(len(out)) != nValues {
+			return nil, fmt.Errorf("rootio: varint basket holds %d values, want %d", len(out), nValues)
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("rootio: unknown encoding %v", e)
+	}
+}

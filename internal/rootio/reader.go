@@ -1,0 +1,289 @@
+package rootio
+
+import (
+	"bytes"
+	"compress/flate"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Reader provides column-selective, range-selective access to a VRT1 file,
+// the access pattern the paper's analyses use against ROOT via uproot and
+// XRootD: read only the branches a processor touches, only for the event
+// range of one chunk.
+type Reader struct {
+	r      io.ReaderAt
+	footer *footer
+	byName map[string]int
+}
+
+// NewReader opens a file image of the given total size.
+func NewReader(r io.ReaderAt, size int64) (*Reader, error) {
+	if size < int64(len(headerMagic))+8 {
+		return nil, fmt.Errorf("rootio: file too small (%d bytes)", size)
+	}
+	var head [4]byte
+	if _, err := r.ReadAt(head[:], 0); err != nil {
+		return nil, err
+	}
+	if head != headerMagic {
+		return nil, fmt.Errorf("rootio: bad header magic %q", head)
+	}
+	var tail [8]byte
+	if _, err := r.ReadAt(tail[:], size-8); err != nil {
+		return nil, err
+	}
+	if [4]byte(tail[4:8]) != trailerMagic {
+		return nil, fmt.Errorf("rootio: bad trailer magic")
+	}
+	ftLen := int64(uint32(tail[0]) | uint32(tail[1])<<8 | uint32(tail[2])<<16 | uint32(tail[3])<<24)
+	if ftLen <= 0 || ftLen > size-8 {
+		return nil, fmt.Errorf("rootio: implausible footer length %d", ftLen)
+	}
+	ftBuf := make([]byte, ftLen)
+	if _, err := r.ReadAt(ftBuf, size-8-ftLen); err != nil {
+		return nil, err
+	}
+	ft, err := decodeFooter(ftBuf)
+	if err != nil {
+		return nil, err
+	}
+	rd := &Reader{r: r, footer: ft, byName: make(map[string]int, len(ft.Branches))}
+	for i, br := range ft.Branches {
+		rd.byName[br.Def.Name] = i
+	}
+	return rd, nil
+}
+
+// Open opens a file on disk. Close the returned closer when done.
+func Open(path string) (*Reader, io.Closer, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	rd, err := NewReader(f, st.Size())
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	return rd, f, nil
+}
+
+// NEvents reports the number of events in the file.
+func (rd *Reader) NEvents() int64 { return rd.footer.NEvents }
+
+// BasketSize reports events per basket.
+func (rd *Reader) BasketSize() int64 { return rd.footer.BasketSize }
+
+// Branches lists branch definitions in file order.
+func (rd *Reader) Branches() []BranchDef {
+	defs := make([]BranchDef, len(rd.footer.Branches))
+	for i, br := range rd.footer.Branches {
+		defs[i] = br.Def
+	}
+	return defs
+}
+
+// HasBranch reports whether the file contains the named branch.
+func (rd *Reader) HasBranch(name string) bool {
+	_, ok := rd.byName[name]
+	return ok
+}
+
+// BranchDef returns the definition of the named branch.
+func (rd *Reader) BranchDef(name string) (BranchDef, error) {
+	i, ok := rd.byName[name]
+	if !ok {
+		return BranchDef{}, fmt.Errorf("rootio: no branch %q", name)
+	}
+	return rd.footer.Branches[i].Def, nil
+}
+
+// readBasket decompresses and decodes basket bi of branch index bri.
+func (rd *Reader) readBasket(bri, bi int) ([]float64, error) {
+	br := rd.footer.Branches[bri]
+	bk := br.Baskets[bi]
+	comp := make([]byte, bk.Compressed)
+	if _, err := rd.r.ReadAt(comp, bk.Offset); err != nil {
+		return nil, fmt.Errorf("rootio: reading basket: %w", err)
+	}
+	fr := flate.NewReader(bytes.NewReader(comp))
+	raw := make([]byte, bk.Raw)
+	if _, err := io.ReadFull(fr, raw); err != nil {
+		return nil, fmt.Errorf("rootio: decompressing basket: %w", err)
+	}
+	fr.Close()
+	return decodeColumn(br.Def.Enc, raw, bk.NValues)
+}
+
+// basketRange reports which baskets cover events [lo, hi).
+func (rd *Reader) basketRange(lo, hi int64) (first, last int) {
+	bs := rd.footer.BasketSize
+	return int(lo / bs), int((hi - 1) / bs)
+}
+
+// ReadFlat reads values of a flat or counts branch for events [lo, hi).
+func (rd *Reader) ReadFlat(name string, lo, hi int64) ([]float64, error) {
+	bri, ok := rd.byName[name]
+	if !ok {
+		return nil, fmt.Errorf("rootio: no branch %q", name)
+	}
+	def := rd.footer.Branches[bri].Def
+	if def.Kind == KindJagged {
+		return nil, fmt.Errorf("rootio: branch %q is jagged; use ReadJagged", name)
+	}
+	if err := rd.checkRange(lo, hi); err != nil {
+		return nil, err
+	}
+	if lo == hi {
+		return nil, nil
+	}
+	bs := rd.footer.BasketSize
+	first, last := rd.basketRange(lo, hi)
+	out := make([]float64, 0, hi-lo)
+	for bi := first; bi <= last; bi++ {
+		vals, err := rd.readBasket(bri, bi)
+		if err != nil {
+			return nil, err
+		}
+		bLo := int64(bi) * bs
+		s, e := int64(0), int64(len(vals))
+		if lo > bLo {
+			s = lo - bLo
+		}
+		if hi-bLo < e {
+			e = hi - bLo
+		}
+		out = append(out, vals[s:e]...)
+	}
+	return out, nil
+}
+
+// Jagged holds a jagged column slice: Counts[i] elements of event i live in
+// Values, flattened in event order.
+type Jagged struct {
+	Counts []int
+	Values []float64
+}
+
+// NEventsJ reports the number of events covered.
+func (j Jagged) NEventsJ() int { return len(j.Counts) }
+
+// Event returns the values of event i (0-based within the slice).
+func (j Jagged) Event(i int) []float64 {
+	off := 0
+	for k := 0; k < i; k++ {
+		off += j.Counts[k]
+	}
+	return j.Values[off : off+j.Counts[i]]
+}
+
+// ReadJagged reads a jagged branch (with its counts) for events [lo, hi).
+func (rd *Reader) ReadJagged(name string, lo, hi int64) (Jagged, error) {
+	bri, ok := rd.byName[name]
+	if !ok {
+		return Jagged{}, fmt.Errorf("rootio: no branch %q", name)
+	}
+	def := rd.footer.Branches[bri].Def
+	if def.Kind != KindJagged {
+		return Jagged{}, fmt.Errorf("rootio: branch %q is not jagged", name)
+	}
+	if err := rd.checkRange(lo, hi); err != nil {
+		return Jagged{}, err
+	}
+	countsF, err := rd.ReadFlat(def.Counts, lo, hi)
+	if err != nil {
+		return Jagged{}, err
+	}
+	counts := make([]int, len(countsF))
+	total := 0
+	for i, c := range countsF {
+		counts[i] = int(c)
+		total += counts[i]
+	}
+	out := Jagged{Counts: counts, Values: make([]float64, 0, total)}
+	if lo == hi {
+		return out, nil
+	}
+
+	bs := rd.footer.BasketSize
+	first, last := rd.basketRange(lo, hi)
+	cbri := rd.byName[def.Counts]
+	for bi := first; bi <= last; bi++ {
+		vals, err := rd.readBasket(bri, bi)
+		if err != nil {
+			return Jagged{}, err
+		}
+		// Event range within this basket.
+		bLo := int64(bi) * bs
+		evS, evE := int64(0), min64(bs, rd.footer.NEvents-bLo)
+		if lo > bLo {
+			evS = lo - bLo
+		}
+		if hi-bLo < evE {
+			evE = hi - bLo
+		}
+		// Value offsets within the basket come from the basket's counts.
+		bCounts, err := rd.readBasket(cbri, bi)
+		if err != nil {
+			return Jagged{}, err
+		}
+		var vOff int64
+		for e := int64(0); e < evS; e++ {
+			vOff += int64(bCounts[e])
+		}
+		var vLen int64
+		for e := evS; e < evE; e++ {
+			vLen += int64(bCounts[e])
+		}
+		if vOff+vLen > int64(len(vals)) {
+			return Jagged{}, fmt.Errorf("rootio: jagged basket %d of %q shorter than counts imply", bi, name)
+		}
+		out.Values = append(out.Values, vals[vOff:vOff+vLen]...)
+	}
+	return out, nil
+}
+
+func (rd *Reader) checkRange(lo, hi int64) error {
+	if lo < 0 || hi < lo || hi > rd.footer.NEvents {
+		return fmt.Errorf("rootio: event range [%d,%d) out of bounds (file has %d events)", lo, hi, rd.footer.NEvents)
+	}
+	return nil
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// ColumnBytes estimates the compressed bytes that reading the named branches
+// over events [lo, hi) touches; the simulation plane uses this to charge
+// realistic I/O volumes for column-selective reads.
+func (rd *Reader) ColumnBytes(names []string, lo, hi int64) (int64, error) {
+	if err := rd.checkRange(lo, hi); err != nil {
+		return 0, err
+	}
+	if lo == hi {
+		return 0, nil
+	}
+	first, last := rd.basketRange(lo, hi)
+	var total int64
+	for _, name := range names {
+		bri, ok := rd.byName[name]
+		if !ok {
+			return 0, fmt.Errorf("rootio: no branch %q", name)
+		}
+		for bi := first; bi <= last && bi < len(rd.footer.Branches[bri].Baskets); bi++ {
+			total += rd.footer.Branches[bri].Baskets[bi].Compressed
+		}
+	}
+	return total, nil
+}

@@ -1,0 +1,22 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func BenchmarkEventThroughput(b *testing.B) {
+	b.ReportAllocs()
+	e := NewEngine()
+	count := 0
+	var tick func()
+	tick = func() {
+		count++
+		if count < b.N {
+			e.Schedule(time.Millisecond, tick)
+		}
+	}
+	e.Schedule(0, tick)
+	b.ResetTimer()
+	e.Run(0)
+}

@@ -1,0 +1,171 @@
+// Package sim implements the deterministic discrete-event simulation kernel
+// that underpins the cluster-scale experiments.
+//
+// The paper evaluates on up to 600 12-core HTCondor workers (7200 cores);
+// this kernel lets the same scheduling logic run against a virtual clock so
+// all tables and figures can be regenerated on one machine. The engine is a
+// classic event-heap design: callbacks are scheduled at absolute virtual
+// times and executed in time order; ties are broken by insertion sequence so
+// runs are fully deterministic for a given seed.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Event is a scheduled callback. Cancelling an event prevents its callback
+// from firing but leaves it in the heap until popped.
+type Event struct {
+	at        time.Duration
+	seq       uint64
+	fn        func()
+	cancelled bool
+	index     int
+}
+
+// Cancel prevents the event's callback from running.
+func (e *Event) Cancel() { e.cancelled = true }
+
+// Cancelled reports whether the event has been cancelled.
+func (e *Event) Cancelled() bool { return e.cancelled }
+
+// At reports the virtual time the event is scheduled for.
+func (e *Event) At() time.Duration { return e.at }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a discrete-event simulation engine. It is not safe for
+// concurrent use: the whole simulation runs single-threaded against the
+// virtual clock, which is what makes it deterministic.
+type Engine struct {
+	now     time.Duration
+	seq     uint64
+	events  eventHeap
+	running bool
+	stopped bool
+}
+
+// NewEngine returns an engine with the clock at zero.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now reports the current virtual time.
+func (e *Engine) Now() time.Duration { return e.now }
+
+// Schedule runs fn after delay of virtual time. A negative delay is treated
+// as zero (run at the current time, after already-pending events at that
+// time). The returned Event may be cancelled.
+func (e *Engine) Schedule(delay time.Duration, fn func()) *Event {
+	if delay < 0 {
+		delay = 0
+	}
+	return e.ScheduleAt(e.now+delay, fn)
+}
+
+// ScheduleAt runs fn at the given absolute virtual time. Times in the past
+// are clamped to the present.
+func (e *Engine) ScheduleAt(at time.Duration, fn func()) *Event {
+	if at < e.now {
+		at = e.now
+	}
+	ev := &Event{at: at, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.events, ev)
+	return ev
+}
+
+// Stop makes Run return after the current event's callback completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Pending reports the number of events in the heap, including cancelled
+// events that have not yet been popped.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// Run executes events in time order until the heap is empty, Stop is called,
+// or the clock would pass horizon (a zero horizon means no limit). It
+// reports the virtual time at which it stopped.
+func (e *Engine) Run(horizon time.Duration) time.Duration {
+	if e.running {
+		panic("sim: Run called reentrantly")
+	}
+	e.running = true
+	e.stopped = false
+	defer func() { e.running = false }()
+
+	for len(e.events) > 0 && !e.stopped {
+		ev := e.events[0]
+		if horizon > 0 && ev.at > horizon {
+			e.now = horizon
+			return e.now
+		}
+		heap.Pop(&e.events)
+		if ev.cancelled {
+			continue
+		}
+		if ev.at < e.now {
+			panic(fmt.Sprintf("sim: time went backwards: %v < %v", ev.at, e.now))
+		}
+		e.now = ev.at
+		ev.fn()
+	}
+	return e.now
+}
+
+// RunUntil executes events until pred() reports true (checked after every
+// event), the heap drains, or the clock passes horizon.
+func (e *Engine) RunUntil(horizon time.Duration, pred func() bool) time.Duration {
+	if e.running {
+		panic("sim: RunUntil called reentrantly")
+	}
+	e.running = true
+	e.stopped = false
+	defer func() { e.running = false }()
+
+	for len(e.events) > 0 && !e.stopped {
+		if pred != nil && pred() {
+			return e.now
+		}
+		ev := e.events[0]
+		if horizon > 0 && ev.at > horizon {
+			e.now = horizon
+			return e.now
+		}
+		heap.Pop(&e.events)
+		if ev.cancelled {
+			continue
+		}
+		e.now = ev.at
+		ev.fn()
+	}
+	return e.now
+}

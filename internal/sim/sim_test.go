@@ -1,0 +1,180 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestEventOrdering(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.Schedule(3*time.Second, func() { order = append(order, 3) })
+	e.Schedule(1*time.Second, func() { order = append(order, 1) })
+	e.Schedule(2*time.Second, func() { order = append(order, 2) })
+	e.Run(0)
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v", order)
+	}
+	if e.Now() != 3*time.Second {
+		t.Fatalf("clock = %v", e.Now())
+	}
+}
+
+func TestTieBreakBySequence(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(time.Second, func() { order = append(order, i) })
+	}
+	e.Run(0)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("ties not FIFO: %v", order)
+		}
+	}
+}
+
+func TestScheduleFromCallback(t *testing.T) {
+	e := NewEngine()
+	hits := 0
+	var tick func()
+	tick = func() {
+		hits++
+		if hits < 5 {
+			e.Schedule(time.Second, tick)
+		}
+	}
+	e.Schedule(0, tick)
+	e.Run(0)
+	if hits != 5 {
+		t.Fatalf("hits = %d", hits)
+	}
+	if e.Now() != 4*time.Second {
+		t.Fatalf("clock = %v", e.Now())
+	}
+}
+
+func TestCancel(t *testing.T) {
+	e := NewEngine()
+	ran := false
+	ev := e.Schedule(time.Second, func() { ran = true })
+	ev.Cancel()
+	e.Run(0)
+	if ran {
+		t.Fatal("cancelled event ran")
+	}
+	if !ev.Cancelled() {
+		t.Fatal("Cancelled() = false")
+	}
+}
+
+func TestHorizon(t *testing.T) {
+	e := NewEngine()
+	ran := false
+	e.Schedule(10*time.Second, func() { ran = true })
+	end := e.Run(5 * time.Second)
+	if ran {
+		t.Fatal("event past horizon ran")
+	}
+	if end != 5*time.Second {
+		t.Fatalf("stopped at %v", end)
+	}
+	// Resuming past the horizon executes it.
+	e.Run(0)
+	if !ran {
+		t.Fatal("event did not run after resume")
+	}
+}
+
+func TestStop(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	for i := 0; i < 10; i++ {
+		e.Schedule(time.Duration(i)*time.Second, func() {
+			count++
+			if count == 3 {
+				e.Stop()
+			}
+		})
+	}
+	e.Run(0)
+	if count != 3 {
+		t.Fatalf("count = %d", count)
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	for i := 1; i <= 10; i++ {
+		e.Schedule(time.Duration(i)*time.Second, func() { count++ })
+	}
+	e.RunUntil(0, func() bool { return count >= 4 })
+	if count != 4 {
+		t.Fatalf("count = %d", count)
+	}
+}
+
+func TestNegativeDelayClamped(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(time.Second, func() {
+		e.Schedule(-5*time.Second, func() {
+			if e.Now() != time.Second {
+				t.Fatalf("negative delay ran at %v", e.Now())
+			}
+		})
+	})
+	e.Run(0)
+}
+
+func TestScheduleAtPastClamped(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(2*time.Second, func() {
+		e.ScheduleAt(time.Second, func() {
+			if e.Now() < 2*time.Second {
+				t.Fatal("past-scheduled event ran before now")
+			}
+		})
+	})
+	e.Run(0)
+}
+
+func TestPending(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(time.Second, func() {})
+	e.Schedule(2*time.Second, func() {})
+	if e.Pending() != 2 {
+		t.Fatalf("Pending = %d", e.Pending())
+	}
+	e.Run(0)
+	if e.Pending() != 0 {
+		t.Fatalf("Pending after run = %d", e.Pending())
+	}
+}
+
+func TestManyEvents(t *testing.T) {
+	e := NewEngine()
+	const n = 100000
+	count := 0
+	for i := 0; i < n; i++ {
+		e.Schedule(time.Duration(n-i)*time.Millisecond, func() { count++ })
+	}
+	e.Run(0)
+	if count != n {
+		t.Fatalf("count = %d", count)
+	}
+}
+
+func TestReentrantRunPanics(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(0, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic on reentrant Run")
+			}
+		}()
+		e.Run(0)
+	})
+	e.Run(0)
+}

@@ -1,0 +1,146 @@
+// Package storage models the storage layer of the stack (§II.D): shared
+// parallel filesystems (the HDFS the applications started on, the VAST
+// NVMe system they moved to) and worker-local disks (where TaskVine keeps
+// its cache).
+//
+// A shared filesystem is a network endpoint with aggregate bandwidth caps
+// and a per-operation latency; reads and writes are netsim flows, so
+// clients contend for the filesystem's aggregate bandwidth exactly like
+// they contend for NICs. A local disk is a capacity-tracked byte ledger:
+// the simulation plane uses it to reproduce the cache-overflow failures of
+// Fig. 11.
+package storage
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"hepvine/internal/netsim"
+	"hepvine/internal/params"
+	"hepvine/internal/sim"
+	"hepvine/internal/units"
+)
+
+// FileID names a file in the simulation plane: dataset chunks ("ds:...")
+// and task outputs ("out:<task key>").
+type FileID string
+
+// SharedFS is a shared filesystem attached to the cluster fabric.
+type SharedFS struct {
+	Spec params.FS
+	EP   *netsim.Endpoint
+
+	eng *sim.Engine
+	net *netsim.Network
+
+	// counters
+	BytesRead    units.Bytes
+	BytesWritten units.Bytes
+	ReadOps      int
+	WriteOps     int
+}
+
+// NewSharedFS attaches a filesystem model to the network.
+func NewSharedFS(eng *sim.Engine, net *netsim.Network, spec params.FS) *SharedFS {
+	ep := net.AddEndpoint("fs:"+spec.Name, spec.AggregateWrite, spec.AggregateRead, spec.OpLatency)
+	return &SharedFS{Spec: spec, EP: ep, eng: eng, net: net}
+}
+
+// Read streams size bytes from the filesystem to dst and calls done when
+// the last byte lands. The flow pays the filesystem's per-op latency and
+// shares its aggregate read bandwidth with concurrent readers.
+func (s *SharedFS) Read(dst *netsim.Endpoint, size units.Bytes, done func()) {
+	s.ReadOps++
+	s.BytesRead += size
+	s.net.Transfer(s.EP, dst, size, done)
+}
+
+// Write streams size bytes from src into the filesystem.
+func (s *SharedFS) Write(src *netsim.Endpoint, size units.Bytes, done func()) {
+	s.WriteOps++
+	s.BytesWritten += size
+	s.net.Transfer(src, s.EP, size, done)
+}
+
+// MetaDelay reports the wall-clock cost of n metadata operations (library
+// import sweeps, directory walks). Callers schedule it as task-local time.
+func (s *SharedFS) MetaDelay(n int) time.Duration {
+	return time.Duration(n) * s.Spec.OpLatency
+}
+
+// LocalDisk is a worker-local cache with finite capacity.
+type LocalDisk struct {
+	Capacity units.Bytes
+
+	used      units.Bytes
+	files     map[FileID]units.Bytes
+	HighWater units.Bytes
+}
+
+// NewLocalDisk returns an empty disk; capacity 0 means unlimited.
+func NewLocalDisk(capacity units.Bytes) *LocalDisk {
+	return &LocalDisk{Capacity: capacity, files: make(map[FileID]units.Bytes)}
+}
+
+// ErrDiskFull reports a cache overflow.
+type ErrDiskFull struct {
+	Need, Used, Capacity units.Bytes
+}
+
+func (e *ErrDiskFull) Error() string {
+	return fmt.Sprintf("storage: disk full: need %v with %v/%v used", e.Need, e.Used, e.Capacity)
+}
+
+// Put stores a file; storing an already-present file is a no-op. Overflow
+// returns *ErrDiskFull and stores nothing.
+func (d *LocalDisk) Put(id FileID, size units.Bytes) error {
+	if _, ok := d.files[id]; ok {
+		return nil
+	}
+	if d.Capacity > 0 && d.used+size > d.Capacity {
+		return &ErrDiskFull{Need: size, Used: d.used, Capacity: d.Capacity}
+	}
+	d.files[id] = size
+	d.used += size
+	if d.used > d.HighWater {
+		d.HighWater = d.used
+	}
+	return nil
+}
+
+// Has reports whether the file is cached.
+func (d *LocalDisk) Has(id FileID) bool {
+	_, ok := d.files[id]
+	return ok
+}
+
+// Size reports a cached file's size (0 if absent).
+func (d *LocalDisk) Size(id FileID) units.Bytes { return d.files[id] }
+
+// Del removes a file if present.
+func (d *LocalDisk) Del(id FileID) {
+	if size, ok := d.files[id]; ok {
+		delete(d.files, id)
+		d.used -= size
+	}
+}
+
+// Used reports current consumption.
+func (d *LocalDisk) Used() units.Bytes { return d.used }
+
+// Files lists cached ids, sorted, for tests.
+func (d *LocalDisk) Files() []FileID {
+	out := make([]FileID, 0, len(d.files))
+	for id := range d.files {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Clear drops everything (worker preemption).
+func (d *LocalDisk) Clear() {
+	d.files = make(map[FileID]units.Bytes)
+	d.used = 0
+}

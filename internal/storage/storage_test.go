@@ -1,0 +1,168 @@
+package storage
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"hepvine/internal/netsim"
+	"hepvine/internal/params"
+	"hepvine/internal/sim"
+	"hepvine/internal/units"
+)
+
+func TestLocalDiskPutHasDel(t *testing.T) {
+	d := NewLocalDisk(100 * units.MB)
+	if err := d.Put("a", 60*units.MB); err != nil {
+		t.Fatal(err)
+	}
+	if !d.Has("a") || d.Used() != 60*units.MB {
+		t.Fatalf("state wrong: used=%v", d.Used())
+	}
+	if d.Size("a") != 60*units.MB {
+		t.Fatalf("size = %v", d.Size("a"))
+	}
+	d.Del("a")
+	if d.Has("a") || d.Used() != 0 {
+		t.Fatal("del failed")
+	}
+	d.Del("a") // idempotent
+}
+
+func TestLocalDiskOverflow(t *testing.T) {
+	d := NewLocalDisk(100 * units.MB)
+	if err := d.Put("a", 60*units.MB); err != nil {
+		t.Fatal(err)
+	}
+	err := d.Put("b", 60*units.MB)
+	if err == nil {
+		t.Fatal("overflow accepted")
+	}
+	var full *ErrDiskFull
+	if !errors.As(err, &full) {
+		t.Fatalf("error type %T", err)
+	}
+	if full.Need != 60*units.MB || full.Capacity != 100*units.MB {
+		t.Fatalf("error fields: %+v", full)
+	}
+	// Failed put stores nothing.
+	if d.Has("b") || d.Used() != 60*units.MB {
+		t.Fatal("failed put left residue")
+	}
+}
+
+func TestLocalDiskIdempotentPut(t *testing.T) {
+	d := NewLocalDisk(100 * units.MB)
+	d.Put("a", 60*units.MB)
+	if err := d.Put("a", 60*units.MB); err != nil {
+		t.Fatal(err)
+	}
+	if d.Used() != 60*units.MB {
+		t.Fatalf("duplicate put double-counted: %v", d.Used())
+	}
+}
+
+func TestLocalDiskUnlimited(t *testing.T) {
+	d := NewLocalDisk(0)
+	if err := d.Put("a", 10*units.TB); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLocalDiskHighWater(t *testing.T) {
+	d := NewLocalDisk(0)
+	d.Put("a", 10*units.MB)
+	d.Put("b", 20*units.MB)
+	d.Del("a")
+	if d.HighWater != 30*units.MB {
+		t.Fatalf("high water = %v", d.HighWater)
+	}
+}
+
+func TestLocalDiskClearAndFiles(t *testing.T) {
+	d := NewLocalDisk(0)
+	d.Put("b", 1)
+	d.Put("a", 1)
+	files := d.Files()
+	if len(files) != 2 || files[0] != "a" {
+		t.Fatalf("files = %v", files)
+	}
+	d.Clear()
+	if d.Used() != 0 || len(d.Files()) != 0 {
+		t.Fatal("clear failed")
+	}
+}
+
+func TestSharedFSReadTiming(t *testing.T) {
+	eng := sim.NewEngine()
+	net := netsim.New(eng)
+	fs := NewSharedFS(eng, net, params.FS{
+		Name: "test", OpLatency: 10 * time.Millisecond,
+		AggregateRead: units.MBps(100), AggregateWrite: units.MBps(100),
+	})
+	node := net.AddEndpoint("n", units.GBps(10), units.GBps(10), 0)
+	var doneAt time.Duration
+	fs.Read(node, 100*units.MB, func() { doneAt = eng.Now() })
+	eng.Run(0)
+	// 1s transfer + 10ms op latency.
+	want := 1010 * time.Millisecond
+	if doneAt < want-20*time.Millisecond || doneAt > want+20*time.Millisecond {
+		t.Fatalf("read finished at %v, want ~%v", doneAt, want)
+	}
+	if fs.BytesRead != 100*units.MB || fs.ReadOps != 1 {
+		t.Fatalf("counters: %v/%d", fs.BytesRead, fs.ReadOps)
+	}
+}
+
+func TestSharedFSAggregateContention(t *testing.T) {
+	eng := sim.NewEngine()
+	net := netsim.New(eng)
+	fs := NewSharedFS(eng, net, params.FS{
+		Name: "test", AggregateRead: units.MBps(100), AggregateWrite: units.MBps(100),
+	})
+	n1 := net.AddEndpoint("n1", units.GBps(10), units.GBps(10), 0)
+	n2 := net.AddEndpoint("n2", units.GBps(10), units.GBps(10), 0)
+	var t1, t2 time.Duration
+	fs.Read(n1, 100*units.MB, func() { t1 = eng.Now() })
+	fs.Read(n2, 100*units.MB, func() { t2 = eng.Now() })
+	eng.Run(0)
+	// Two readers share 100MB/s aggregate → ~2s each.
+	for _, d := range []time.Duration{t1, t2} {
+		if d < 1900*time.Millisecond || d > 2100*time.Millisecond {
+			t.Fatalf("contended reads at %v/%v, want ~2s", t1, t2)
+		}
+	}
+}
+
+func TestSharedFSWrite(t *testing.T) {
+	eng := sim.NewEngine()
+	net := netsim.New(eng)
+	fs := NewSharedFS(eng, net, params.VAST)
+	node := net.AddEndpoint("n", units.GBps(10), units.GBps(10), 0)
+	done := false
+	fs.Write(node, 10*units.MB, func() { done = true })
+	eng.Run(0)
+	if !done || fs.BytesWritten != 10*units.MB || fs.WriteOps != 1 {
+		t.Fatal("write accounting wrong")
+	}
+}
+
+func TestMetaDelay(t *testing.T) {
+	eng := sim.NewEngine()
+	net := netsim.New(eng)
+	fs := NewSharedFS(eng, net, params.FS{Name: "x", OpLatency: 2 * time.Millisecond, AggregateRead: units.MBps(1)})
+	if d := fs.MetaDelay(100); d != 200*time.Millisecond {
+		t.Fatalf("meta delay = %v", d)
+	}
+}
+
+func TestHDFSvsVASTImportCost(t *testing.T) {
+	// The Fig. 10 premise: imports are metadata-heavy, so local disk beats
+	// the shared FS, and VAST beats HDFS by orders of magnitude.
+	hdfs := params.ImportCost(params.HDFS)
+	vast := params.ImportCost(params.VAST)
+	local := params.ImportCost(params.LocalDisk)
+	if !(local < vast && vast < hdfs) {
+		t.Fatalf("import costs out of order: local=%v vast=%v hdfs=%v", local, vast, hdfs)
+	}
+}

@@ -1,0 +1,98 @@
+// Package units provides byte-size and bandwidth quantities used across the
+// simulation and live execution planes.
+//
+// Sizes are represented as int64 byte counts and bandwidths as bytes per
+// second (float64), matching how the paper reports storage (GB, TB) and
+// network capacities (Gbps NICs).
+package units
+
+import (
+	"fmt"
+	"time"
+)
+
+// Bytes is a size in bytes.
+type Bytes int64
+
+// Common size units.
+const (
+	B  Bytes = 1
+	KB Bytes = 1 << 10
+	MB Bytes = 1 << 20
+	GB Bytes = 1 << 30
+	TB Bytes = 1 << 40
+)
+
+// KBf, MBf, GBf, TBf build a Bytes value from a fractional count of the unit,
+// e.g. GBf(1.2) == 1.2 GB.
+func KBf(v float64) Bytes { return Bytes(v * float64(KB)) }
+
+// MBf returns v mebibytes as Bytes.
+func MBf(v float64) Bytes { return Bytes(v * float64(MB)) }
+
+// GBf returns v gibibytes as Bytes.
+func GBf(v float64) Bytes { return Bytes(v * float64(GB)) }
+
+// TBf returns v tebibytes as Bytes.
+func TBf(v float64) Bytes { return Bytes(v * float64(TB)) }
+
+// Gigabytes reports the size as a float count of GB.
+func (b Bytes) Gigabytes() float64 { return float64(b) / float64(GB) }
+
+// Megabytes reports the size as a float count of MB.
+func (b Bytes) Megabytes() float64 { return float64(b) / float64(MB) }
+
+// String renders the size with a binary-prefix unit, e.g. "1.20GB".
+func (b Bytes) String() string {
+	switch {
+	case b >= TB || b <= -TB:
+		return fmt.Sprintf("%.2fTB", float64(b)/float64(TB))
+	case b >= GB || b <= -GB:
+		return fmt.Sprintf("%.2fGB", float64(b)/float64(GB))
+	case b >= MB || b <= -MB:
+		return fmt.Sprintf("%.2fMB", float64(b)/float64(MB))
+	case b >= KB || b <= -KB:
+		return fmt.Sprintf("%.2fKB", float64(b)/float64(KB))
+	default:
+		return fmt.Sprintf("%dB", int64(b))
+	}
+}
+
+// BytesPerSec is a transfer or I/O rate.
+type BytesPerSec float64
+
+// Common rate constructors.
+const (
+	// GbpsFactor converts gigabits/s to bytes/s.
+	gbpsFactor = 1e9 / 8
+)
+
+// Gbps returns a rate of v gigabits per second.
+func Gbps(v float64) BytesPerSec { return BytesPerSec(v * gbpsFactor) }
+
+// MBps returns a rate of v mebibytes per second.
+func MBps(v float64) BytesPerSec { return BytesPerSec(v * float64(MB)) }
+
+// GBps returns a rate of v gibibytes per second.
+func GBps(v float64) BytesPerSec { return BytesPerSec(v * float64(GB)) }
+
+// TimeFor reports how long moving size bytes takes at rate r.
+// A non-positive rate yields a very large duration rather than dividing by
+// zero, so stalled links surface as timeouts instead of panics.
+func (r BytesPerSec) TimeFor(size Bytes) time.Duration {
+	if r <= 0 {
+		return time.Duration(1<<62 - 1)
+	}
+	sec := float64(size) / float64(r)
+	return time.Duration(sec * float64(time.Second))
+}
+
+// String renders the rate in MB/s or GB/s.
+func (r BytesPerSec) String() string {
+	switch {
+	case r >= BytesPerSec(GB):
+		return fmt.Sprintf("%.2fGB/s", float64(r)/float64(GB))
+	default:
+		return fmt.Sprintf("%.2fMB/s", float64(r)/float64(MB))
+	}
+}

@@ -1,0 +1,79 @@
+package units
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSizeConstructors(t *testing.T) {
+	if GBf(1.5) != Bytes(1.5*float64(GB)) {
+		t.Fatalf("GBf(1.5) = %d", GBf(1.5))
+	}
+	if TBf(1.2) <= GBf(1228) || TBf(1.2) >= GBf(1229) {
+		t.Fatalf("TBf(1.2) out of expected range: %v", TBf(1.2))
+	}
+	if MBf(2) != 2*MB {
+		t.Fatalf("MBf(2) = %v", MBf(2))
+	}
+	if KBf(1) != KB {
+		t.Fatalf("KBf(1) = %v", KBf(1))
+	}
+}
+
+func TestBytesString(t *testing.T) {
+	cases := []struct {
+		in   Bytes
+		want string
+	}{
+		{512, "512B"},
+		{2 * KB, "2.00KB"},
+		{3 * MB, "3.00MB"},
+		{GBf(1.2), "1.20GB"},
+		{TBf(2.5), "2.50TB"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("%d.String() = %q, want %q", int64(c.in), got, c.want)
+		}
+	}
+}
+
+func TestGigabytes(t *testing.T) {
+	if g := (3 * GB).Gigabytes(); g != 3 {
+		t.Fatalf("Gigabytes = %v", g)
+	}
+	if m := (5 * MB).Megabytes(); m != 5 {
+		t.Fatalf("Megabytes = %v", m)
+	}
+}
+
+func TestRateTimeFor(t *testing.T) {
+	r := MBps(100)
+	d := r.TimeFor(200 * MB)
+	if d != 2*time.Second {
+		t.Fatalf("TimeFor = %v, want 2s", d)
+	}
+	// 10 Gbps NIC moves 1.25e9 bytes/s.
+	nic := Gbps(10)
+	d = nic.TimeFor(Bytes(1.25e9))
+	if d < 999*time.Millisecond || d > 1001*time.Millisecond {
+		t.Fatalf("10Gbps over 1.25GB = %v, want ~1s", d)
+	}
+}
+
+func TestZeroRateDoesNotPanic(t *testing.T) {
+	var r BytesPerSec
+	d := r.TimeFor(GB)
+	if d <= 0 {
+		t.Fatalf("zero rate should yield huge duration, got %v", d)
+	}
+}
+
+func TestRateString(t *testing.T) {
+	if s := MBps(100).String(); s != "100.00MB/s" {
+		t.Fatalf("got %q", s)
+	}
+	if s := GBps(2).String(); s != "2.00GB/s" {
+		t.Fatalf("got %q", s)
+	}
+}

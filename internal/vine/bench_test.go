@@ -1,0 +1,78 @@
+package vine
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// benchCluster starts a manager + one multi-core worker for latency and
+// throughput measurements of the live engine itself.
+func benchCluster(b *testing.B, cores int) *Manager {
+	b.Helper()
+	MustRegisterLibrary(&Library{
+		Name:  "benchlib",
+		Setup: func() (any, error) { return nil, nil },
+		Funcs: map[string]Function{
+			"noop": func(c *Call) error {
+				c.SetOutput("out", c.Args)
+				return nil
+			},
+		},
+	})
+	m, err := NewManager(ManagerOptions{
+		PeerTransfers:    true,
+		InstallLibraries: []LibrarySpec{{Name: "benchlib", Hoist: true}},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(m.Stop)
+	w, err := NewWorker(m.Addr(), WorkerOptions{Cores: cores, Dir: b.TempDir()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(w.Stop)
+	if err := m.WaitForWorkers(1, 5*time.Second); err != nil {
+		b.Fatal(err)
+	}
+	return m
+}
+
+// BenchmarkFunctionCallLatency measures one submit→execute→notify round
+// trip of the live engine over loopback TCP.
+func BenchmarkFunctionCallLatency(b *testing.B) {
+	m := benchCluster(b, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h, err := m.SubmitFunc(ModeFunctionCall, "benchlib", "noop", []byte(fmt.Sprint(i)), "out")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := h.Wait(10 * time.Second); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFunctionCallThroughput measures pipelined submission: N calls in
+// flight against a 8-slot worker.
+func BenchmarkFunctionCallThroughput(b *testing.B) {
+	m := benchCluster(b, 8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	handles := make([]*TaskHandle, b.N)
+	for i := range handles {
+		h, err := m.SubmitFunc(ModeFunctionCall, "benchlib", "noop", []byte(fmt.Sprint(i)), "out")
+		if err != nil {
+			b.Fatal(err)
+		}
+		handles[i] = h
+	}
+	for _, h := range handles {
+		if err := h.Wait(30 * time.Second); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,54 @@
+package vine_test
+
+import (
+	"fmt"
+	"time"
+
+	"hepvine/internal/vine"
+)
+
+// A complete round trip on the live engine: register a serverless library,
+// start a manager and a worker over loopback TCP, invoke a function, and
+// fetch its output from the worker's cache.
+func Example() {
+	vine.MustRegisterLibrary(&vine.Library{
+		Name: "demo",
+		Funcs: map[string]vine.Function{
+			"greet": func(c *vine.Call) error {
+				c.SetOutput("out", append([]byte("hello, "), c.Args...))
+				return nil
+			},
+		},
+	})
+	mgr, err := vine.NewManager(vine.ManagerOptions{
+		PeerTransfers:    true,
+		InstallLibraries: []vine.LibrarySpec{{Name: "demo", Hoist: true}},
+	})
+	if err != nil {
+		panic(err)
+	}
+	defer mgr.Stop()
+	worker, err := vine.NewWorker(mgr.Addr(), vine.WorkerOptions{Cores: 2})
+	if err != nil {
+		panic(err)
+	}
+	defer worker.Stop()
+	if err := mgr.WaitForWorkers(1, 5*time.Second); err != nil {
+		panic(err)
+	}
+
+	h, err := mgr.SubmitFunc(vine.ModeFunctionCall, "demo", "greet", []byte("taskvine"), "out")
+	if err != nil {
+		panic(err)
+	}
+	if err := h.Wait(10 * time.Second); err != nil {
+		panic(err)
+	}
+	cn, _ := h.Output("out")
+	data, err := mgr.FetchBytes(cn)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(string(data))
+	// Output: hello, taskvine
+}

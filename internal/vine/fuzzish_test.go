@@ -1,0 +1,44 @@
+package vine
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+	"testing/quick"
+
+	"hepvine/internal/randx"
+)
+
+// Robustness: readFrame must reject arbitrary garbage with an error, never
+// panic or over-allocate.
+func TestReadFrameNeverPanics(t *testing.T) {
+	check := func(seed uint16, n uint8) bool {
+		rng := randx.New(uint64(seed) + 1)
+		buf := make([]byte, int(n))
+		for i := range buf {
+			buf[i] = byte(rng.Intn(256))
+		}
+		defer func() {
+			if recover() != nil {
+				t.Errorf("readFrame panicked on %x", buf)
+			}
+		}()
+		_, _ = readFrame(bytes.NewReader(buf))
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// A frame with a plausible length header but corrupt JSON must error.
+func TestReadFrameCorruptBody(t *testing.T) {
+	var buf bytes.Buffer
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], 5)
+	buf.Write(hdr[:])
+	buf.WriteString("{bad}")
+	if _, err := readFrame(&buf); err == nil {
+		t.Fatal("corrupt JSON frame accepted")
+	}
+}

@@ -1,0 +1,1342 @@
+package vine
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"sort"
+	"sync"
+	"time"
+)
+
+// TaskState tracks a task through the manager.
+type TaskState uint8
+
+// Task lifecycle states on the manager.
+const (
+	// TaskWaiting tasks lack at least one input source (its producer is
+	// being re-run after a loss).
+	TaskWaiting TaskState = iota
+	// TaskReady tasks can be scheduled.
+	TaskReady
+	// TaskStaging tasks are assigned; inputs are being transferred.
+	TaskStaging
+	// TaskRunning tasks are executing on a worker.
+	TaskRunning
+	// TaskDone tasks completed successfully.
+	TaskDone
+	// TaskFailed tasks exhausted their retries.
+	TaskFailed
+)
+
+func (s TaskState) String() string {
+	switch s {
+	case TaskWaiting:
+		return "waiting"
+	case TaskReady:
+		return "ready"
+	case TaskStaging:
+		return "staging"
+	case TaskRunning:
+		return "running"
+	case TaskDone:
+		return "done"
+	case TaskFailed:
+		return "failed"
+	default:
+		return fmt.Sprintf("TaskState(%d)", uint8(s))
+	}
+}
+
+// FileRef binds a logical input name to a cachename.
+type FileRef struct {
+	Name      string
+	CacheName CacheName
+}
+
+// Task describes one unit of work for Submit.
+type Task struct {
+	Mode    TaskMode
+	Library string
+	Func    string
+	Args    []byte
+	Inputs  []FileRef
+	Outputs []string
+	Cores   int
+	// Memory is the task's RAM request in bytes (0 = none); the manager
+	// packs tasks onto workers within both core and memory budgets.
+	Memory int64
+}
+
+// TaskHandle tracks a submitted task.
+type TaskHandle struct {
+	ID int
+
+	mgr     *Manager
+	outputs map[string]CacheName
+	doneC   chan struct{}
+
+	mu       sync.Mutex
+	state    TaskState
+	err      error
+	execTime time.Duration
+	setup    time.Duration
+	worker   string
+	retries  int
+	notified bool
+}
+
+// Output reports the cachename assigned to a named output.
+func (h *TaskHandle) Output(name string) (CacheName, bool) {
+	c, ok := h.outputs[name]
+	return c, ok
+}
+
+// Done is closed when the task first completes or fails terminally.
+func (h *TaskHandle) Done() <-chan struct{} { return h.doneC }
+
+// Wait blocks until completion or the timeout elapses (0 = forever).
+func (h *TaskHandle) Wait(timeout time.Duration) error {
+	if timeout <= 0 {
+		<-h.doneC
+	} else {
+		select {
+		case <-h.doneC:
+		case <-time.After(timeout):
+			return fmt.Errorf("vine: task %d timed out after %v", h.ID, timeout)
+		}
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.err
+}
+
+// Err reports the terminal error, if any (nil while in flight).
+func (h *TaskHandle) Err() error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.err
+}
+
+// State reports the current manager-side state.
+func (h *TaskHandle) State() TaskState {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.state
+}
+
+// ExecTime reports the on-worker execution time of the successful run.
+func (h *TaskHandle) ExecTime() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.execTime
+}
+
+// SetupTime reports the environment-construction time of the successful run
+// (the "imports" cost; near zero for hoisted function calls after the first).
+func (h *TaskHandle) SetupTime() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.setup
+}
+
+// Retries reports how many times the task was re-dispatched.
+func (h *TaskHandle) Retries() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.retries
+}
+
+// ManagerOptions configure a manager.
+type ManagerOptions struct {
+	// PeerTransfers enables worker-to-worker staging; disabled, every
+	// input is served from the manager (the Work Queue data path).
+	PeerTransfers bool
+	// TransferCapPerSource bounds concurrent outbound transfers from one
+	// worker (§IV.B: "the manager manages the number of concurrent peer
+	// transfers"). Default 3. The manager itself is uncapped.
+	TransferCapPerSource int
+	// MaxRetries bounds per-task re-dispatches after worker failures or
+	// transfer errors. Default 5.
+	MaxRetries int
+	// ReturnOutputs streams every task output back to the manager's own
+	// store — the Work Queue data flow (§III.B): the manager becomes the
+	// source for all staging, concentrating transfer load on its NIC.
+	// TaskVine leaves outputs on workers and moves them peer-to-peer.
+	ReturnOutputs bool
+	// ReplicateOutputs keeps up to this many worker replicas of every task
+	// output (§IV: the manager "compensates by replicating data or
+	// re-running tasks" — with replicas, a preemption costs a transfer
+	// instead of a re-execution). 0 or 1 disables replication.
+	ReplicateOutputs int
+	// InstallLibraries lists libraries (by registered name) to instantiate
+	// on every worker, with hoisting on or off.
+	InstallLibraries []LibrarySpec
+}
+
+// LibrarySpec names a library to install on workers.
+type LibrarySpec struct {
+	Name  string
+	Hoist bool
+}
+
+// ManagerStats counts manager-observed activity.
+type ManagerStats struct {
+	TasksDone        int
+	TasksFailed      int
+	Retries          int
+	PeerTransfers    int
+	ManagerTransfers int
+	PeerBytes        int64
+	ManagerBytes     int64
+	WorkersLost      int
+}
+
+// workerState is the manager's view of one connected worker.
+type workerState struct {
+	id           int
+	name         string
+	conn         *conn
+	transferAddr string
+	cores        int
+	usedCores    int
+	memory       int64 // advertised bytes; 0 = unlimited
+	usedMemory   int64
+	cache        map[CacheName]bool
+	cacheBytes   int64
+	outbound     int // active transfers served by this worker
+	alive        bool
+	// pendingSources records in-flight inbound transfers and which worker
+	// serves each, so source capacity frees on completion or loss.
+	pendingSources []srcRecord
+}
+
+// fileState tracks replicas of one cachename.
+type fileState struct {
+	size       int64
+	workers    map[int]bool // worker ids holding it
+	onManager  bool
+	producer   int // task id that produces it; -1 for declared files
+	mgrPath    string
+	mgrData    []byte
+	refWaiters []*taskRecord // staging tasks waiting for this file
+}
+
+// taskRecord is the manager-side task bookkeeping.
+type taskRecord struct {
+	id      int
+	spec    Task
+	handle  *TaskHandle
+	state   TaskState
+	worker  int // assigned worker id (staging/running)
+	pending map[CacheName]bool
+	retries int
+	defHash string
+}
+
+// pendingTransfer is a queued staging operation.
+type pendingTransfer struct {
+	name   CacheName
+	dest   int // worker id
+	source int // worker id, or -1 for manager
+}
+
+// Manager is the TaskVine manager: it accepts workers, schedules tasks
+// where their data lives, orchestrates peer transfers, and re-runs work
+// lost to preempted workers.
+type Manager struct {
+	opts ManagerOptions
+
+	ln net.Listener
+	ts *transferServer
+
+	mu        sync.Mutex
+	cond      *sync.Cond
+	workers   map[int]*workerState
+	files     map[CacheName]*fileState
+	tasks     map[int]*taskRecord
+	ready     []int
+	completed []int // task ids completed but not yet returned by WaitAny
+	queuedTx  []pendingTransfer
+	nextWID   int
+	nextTID   int
+	stats     ManagerStats
+	stopped   bool
+}
+
+// NewManager starts a manager listening on a loopback port.
+func NewManager(opts ManagerOptions) (*Manager, error) {
+	if opts.TransferCapPerSource <= 0 {
+		opts.TransferCapPerSource = 3
+	}
+	if opts.MaxRetries <= 0 {
+		opts.MaxRetries = 5
+	}
+	m := &Manager{
+		opts:    opts,
+		workers: make(map[int]*workerState),
+		files:   make(map[CacheName]*fileState),
+		tasks:   make(map[int]*taskRecord),
+	}
+	m.cond = sync.NewCond(&m.mu)
+	ts, err := newTransferServer(m)
+	if err != nil {
+		return nil, err
+	}
+	m.ts = ts
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		ts.close()
+		return nil, err
+	}
+	m.ln = ln
+	go m.acceptLoop()
+	return m, nil
+}
+
+// Addr reports the manager's control address for workers to dial.
+func (m *Manager) Addr() string { return m.ln.Addr().String() }
+
+// Stop shuts the manager down and disconnects workers.
+func (m *Manager) Stop() {
+	m.mu.Lock()
+	if m.stopped {
+		m.mu.Unlock()
+		return
+	}
+	m.stopped = true
+	ws := make([]*workerState, 0, len(m.workers))
+	for _, w := range m.workers {
+		ws = append(ws, w)
+	}
+	m.cond.Broadcast()
+	m.mu.Unlock()
+	for _, w := range ws {
+		w.conn.send(&message{Type: msgKill})
+		w.conn.close()
+	}
+	m.ln.Close()
+	m.ts.close()
+}
+
+// Stats snapshots manager counters.
+func (m *Manager) Stats() ManagerStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.stats
+}
+
+// WorkerCount reports live workers.
+func (m *Manager) WorkerCount() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := 0
+	for _, w := range m.workers {
+		if w.alive {
+			n++
+		}
+	}
+	return n
+}
+
+// WaitForWorkers blocks until n workers are connected or the timeout
+// elapses.
+func (m *Manager) WaitForWorkers(n int, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		if m.WorkerCount() >= n {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("vine: only %d of %d workers after %v", m.WorkerCount(), n, timeout)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// openCache implements transferSource over the manager's declared files.
+func (m *Manager) openCache(name CacheName) (io.ReadCloser, int64, error) {
+	m.mu.Lock()
+	fs, ok := m.files[name]
+	if !ok || !fs.onManager {
+		m.mu.Unlock()
+		return nil, 0, fmt.Errorf("not on manager: %s", name)
+	}
+	path, data, size := fs.mgrPath, fs.mgrData, fs.size
+	m.mu.Unlock()
+	if path != "" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, 0, err
+		}
+		return f, size, nil
+	}
+	return io.NopCloser(bytes.NewReader(data)), size, nil
+}
+
+// DeclareBuffer registers in-memory data as a cluster file served by the
+// manager. Content-addressed: declaring identical data twice yields the
+// same cachename.
+func (m *Manager) DeclareBuffer(data []byte) CacheName {
+	name := blobName(data)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if fs, ok := m.files[name]; ok {
+		fs.onManager = true
+		if fs.mgrData == nil && fs.mgrPath == "" {
+			fs.mgrData = append([]byte(nil), data...)
+			fs.size = int64(len(data))
+		}
+		return name
+	}
+	m.files[name] = &fileState{
+		size:      int64(len(data)),
+		workers:   make(map[int]bool),
+		onManager: true,
+		producer:  -1,
+		mgrData:   append([]byte(nil), data...),
+	}
+	return name
+}
+
+// DeclareFile registers an on-disk file as a cluster file served by the
+// manager (the staging path for dataset files on shared storage).
+func (m *Manager) DeclareFile(path string) (CacheName, error) {
+	name, size, err := fileBlobName(path)
+	if err != nil {
+		return "", err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if fs, ok := m.files[name]; ok {
+		fs.onManager = true
+		if fs.mgrPath == "" && fs.mgrData == nil {
+			fs.mgrPath = path
+			fs.size = size
+		}
+		return name, nil
+	}
+	m.files[name] = &fileState{
+		size:      size,
+		workers:   make(map[int]bool),
+		onManager: true,
+		producer:  -1,
+		mgrPath:   path,
+	}
+	return name, nil
+}
+
+// Submit enqueues a task and returns its handle. Output cachenames are
+// assigned immediately from the task definition hash, so dependent tasks
+// can be submitted before this one runs.
+func (m *Manager) Submit(t Task) (*TaskHandle, error) {
+	if t.Mode == "" {
+		t.Mode = ModeTask
+	}
+	if t.Mode != ModeTask && t.Mode != ModeFunctionCall {
+		return nil, fmt.Errorf("vine: unknown mode %q", t.Mode)
+	}
+	if t.Library == "" || t.Func == "" {
+		return nil, fmt.Errorf("vine: task needs library and function names")
+	}
+	if _, err := lookupLibrary(t.Library); err != nil {
+		return nil, err
+	}
+	if t.Cores <= 0 {
+		t.Cores = 1
+	}
+	seen := map[string]bool{}
+	for _, in := range t.Inputs {
+		if in.Name == "" || !in.CacheName.Valid() {
+			return nil, fmt.Errorf("vine: invalid input ref %+v", in)
+		}
+		if seen[in.Name] {
+			return nil, fmt.Errorf("vine: duplicate input name %q", in.Name)
+		}
+		seen[in.Name] = true
+	}
+
+	defHash := taskDefHash(string(t.Mode), t.Library, t.Func, t.Args, t.Inputs)
+	h := &TaskHandle{
+		mgr:     m,
+		outputs: make(map[string]CacheName, len(t.Outputs)),
+		doneC:   make(chan struct{}),
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.stopped {
+		return nil, fmt.Errorf("vine: manager stopped")
+	}
+	id := m.nextTID
+	m.nextTID++
+	h.ID = id
+	rec := &taskRecord{id: id, spec: t, handle: h, worker: -1, defHash: defHash}
+	for _, out := range t.Outputs {
+		cn := outputName(defHash, out)
+		h.outputs[out] = cn
+		if _, exists := m.files[cn]; !exists {
+			m.files[cn] = &fileState{workers: make(map[int]bool), producer: id}
+		} else {
+			m.files[cn].producer = id
+		}
+	}
+	// Inputs must be declared files or outputs of submitted tasks.
+	for _, in := range t.Inputs {
+		if _, ok := m.files[in.CacheName]; !ok {
+			return nil, fmt.Errorf("vine: input %s (%s) is neither declared nor produced by a submitted task", in.Name, in.CacheName)
+		}
+	}
+	m.tasks[id] = rec
+	if m.inputsAvailableLocked(rec) {
+		m.setTaskState(rec, TaskReady)
+		m.ready = append(m.ready, id)
+	} else {
+		m.setTaskState(rec, TaskWaiting)
+	}
+	m.scheduleLocked()
+	return h, nil
+}
+
+// SubmitFunc is a convenience Submit for a no-input function call.
+func (m *Manager) SubmitFunc(mode TaskMode, library, fn string, args []byte, outputs ...string) (*TaskHandle, error) {
+	return m.Submit(Task{Mode: mode, Library: library, Func: fn, Args: args, Outputs: outputs})
+}
+
+// FetchBytes retrieves a file from the cluster: from the manager's own
+// store if present, else from any worker replica.
+func (m *Manager) FetchBytes(name CacheName) ([]byte, error) {
+	m.mu.Lock()
+	fs, ok := m.files[name]
+	if !ok {
+		m.mu.Unlock()
+		return nil, fmt.Errorf("vine: unknown file %s", name)
+	}
+	if fs.onManager {
+		path, data := fs.mgrPath, fs.mgrData
+		m.mu.Unlock()
+		if path != "" {
+			return os.ReadFile(path)
+		}
+		return append([]byte(nil), data...), nil
+	}
+	var addr string
+	for wid := range fs.workers {
+		if w := m.workers[wid]; w != nil && w.alive {
+			addr = w.transferAddr
+			break
+		}
+	}
+	m.mu.Unlock()
+	if addr == "" {
+		return nil, fmt.Errorf("vine: no live replica of %s", name)
+	}
+	return fetchBytes(addr, name)
+}
+
+// Unlink removes a file from all worker caches and the manager's tables.
+// Task outputs that are unlinked cannot be recovered.
+func (m *Manager) Unlink(name CacheName) {
+	m.mu.Lock()
+	fs, ok := m.files[name]
+	if !ok {
+		m.mu.Unlock()
+		return
+	}
+	var conns []*conn
+	for wid := range fs.workers {
+		if w := m.workers[wid]; w != nil && w.alive {
+			conns = append(conns, w.conn)
+			w.cacheBytes -= fs.size
+			delete(w.cache, name)
+		}
+	}
+	delete(m.files, name)
+	m.mu.Unlock()
+	for _, c := range conns {
+		c.send(&message{Type: msgUnlink, Unlink: &unlinkMsg{CacheName: string(name)}})
+	}
+}
+
+// ReplicaCount reports live replicas of a file (manager store counts as
+// one).
+func (m *Manager) ReplicaCount(name CacheName) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	fs, ok := m.files[name]
+	if !ok {
+		return 0
+	}
+	n := 0
+	if fs.onManager {
+		n++
+	}
+	for wid := range fs.workers {
+		if w := m.workers[wid]; w != nil && w.alive {
+			n++
+		}
+	}
+	return n
+}
+
+// ---- connection handling ----
+
+func (m *Manager) acceptLoop() {
+	for {
+		c, err := m.ln.Accept()
+		if err != nil {
+			return
+		}
+		go m.handleWorker(newConn(c))
+	}
+}
+
+func (m *Manager) handleWorker(cc *conn) {
+	// First frame must be hello.
+	msg0, err := cc.recv()
+	if err != nil || msg0.Type != msgHello || msg0.Hello == nil {
+		cc.close()
+		return
+	}
+	hello := msg0.Hello
+
+	m.mu.Lock()
+	if m.stopped {
+		m.mu.Unlock()
+		cc.close()
+		return
+	}
+	id := m.nextWID
+	m.nextWID++
+	w := &workerState{
+		id:           id,
+		name:         hello.Name,
+		conn:         cc,
+		transferAddr: hello.TransferAddr,
+		cores:        hello.Cores,
+		memory:       hello.Memory,
+		cache:        make(map[CacheName]bool),
+		alive:        true,
+	}
+	m.workers[id] = w
+	libs := append([]LibrarySpec(nil), m.opts.InstallLibraries...)
+	m.mu.Unlock()
+
+	for _, l := range libs {
+		cc.send(&message{Type: msgLibrary, Library: &libraryMsg{Name: l.Name, Hoist: l.Hoist}})
+	}
+
+	m.mu.Lock()
+	m.scheduleLocked()
+	m.mu.Unlock()
+
+	for {
+		msg, err := cc.recv()
+		if err != nil {
+			m.workerLost(id)
+			return
+		}
+		switch msg.Type {
+		case msgTaskDone:
+			if msg.TaskDone != nil {
+				m.onTaskDone(id, msg.TaskDone)
+			}
+		case msgTransferDone:
+			if msg.TransferDone != nil {
+				m.onTransferDone(id, msg.TransferDone)
+			}
+		}
+	}
+}
+
+// ---- scheduling core (all *Locked functions require m.mu) ----
+
+// inputsAvailableLocked reports whether every input of rec has at least one
+// live source.
+func (m *Manager) inputsAvailableLocked(rec *taskRecord) bool {
+	for _, in := range rec.spec.Inputs {
+		if !m.hasSourceLocked(in.CacheName) {
+			return false
+		}
+	}
+	return true
+}
+
+func (m *Manager) hasSourceLocked(name CacheName) bool {
+	fs, ok := m.files[name]
+	if !ok {
+		return false
+	}
+	if fs.onManager {
+		return true
+	}
+	for wid := range fs.workers {
+		if w := m.workers[wid]; w != nil && w.alive {
+			return true
+		}
+	}
+	return false
+}
+
+func (m *Manager) setTaskState(rec *taskRecord, s TaskState) {
+	rec.state = s
+	rec.handle.mu.Lock()
+	rec.handle.state = s
+	rec.handle.mu.Unlock()
+}
+
+// scheduleLocked assigns ready tasks to workers and starts staging.
+func (m *Manager) scheduleLocked() {
+	if m.stopped {
+		return
+	}
+	var still []int
+	for _, tid := range m.ready {
+		rec := m.tasks[tid]
+		if rec == nil || rec.state != TaskReady {
+			continue
+		}
+		wid := m.pickWorkerLocked(rec)
+		if wid < 0 {
+			still = append(still, tid)
+			continue
+		}
+		m.assignLocked(rec, wid)
+	}
+	m.ready = still
+	m.pumpTransfersLocked()
+}
+
+// pickWorkerLocked chooses the best worker for a task: enough free cores,
+// maximizing input bytes already cached locally (move tasks to data);
+// ties broken by most free cores, then lowest id for determinism.
+func (m *Manager) pickWorkerLocked(rec *taskRecord) int {
+	best := -1
+	var bestLocal int64 = -1
+	bestFree := -1
+	ids := make([]int, 0, len(m.workers))
+	for id := range m.workers {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		w := m.workers[id]
+		if !w.alive || w.cores-w.usedCores < rec.spec.Cores {
+			continue
+		}
+		if w.memory > 0 && rec.spec.Memory > 0 && w.memory-w.usedMemory < rec.spec.Memory {
+			continue
+		}
+		var local int64
+		for _, in := range rec.spec.Inputs {
+			if w.cache[in.CacheName] {
+				local += m.files[in.CacheName].size
+			}
+		}
+		free := w.cores - w.usedCores
+		if local > bestLocal || (local == bestLocal && free > bestFree) {
+			best, bestLocal, bestFree = id, local, free
+		}
+	}
+	return best
+}
+
+// assignLocked reserves the worker and begins staging missing inputs.
+func (m *Manager) assignLocked(rec *taskRecord, wid int) {
+	w := m.workers[wid]
+	w.usedCores += rec.spec.Cores
+	w.usedMemory += rec.spec.Memory
+	rec.worker = wid
+	rec.pending = make(map[CacheName]bool)
+	for _, in := range rec.spec.Inputs {
+		if !w.cache[in.CacheName] {
+			rec.pending[in.CacheName] = true
+		}
+	}
+	if len(rec.pending) == 0 {
+		m.dispatchLocked(rec)
+		return
+	}
+	m.setTaskState(rec, TaskStaging)
+	for name := range rec.pending {
+		fs := m.files[name]
+		fs.refWaiters = append(fs.refWaiters, rec)
+		m.queueTransferLocked(name, wid)
+	}
+}
+
+// queueTransferLocked picks a source for name→dest and either issues the
+// put_url or defers it until the source has transfer capacity.
+func (m *Manager) queueTransferLocked(name CacheName, dest int) {
+	src := m.pickSourceLocked(name, dest)
+	m.queuedTx = append(m.queuedTx, pendingTransfer{name: name, dest: dest, source: src})
+	m.pumpTransfersLocked()
+}
+
+// pickSourceLocked selects a replica to serve name to dest: with peer
+// transfers on, the live worker replica with the least outbound load;
+// otherwise (or if no worker has it) the manager (-1).
+func (m *Manager) pickSourceLocked(name CacheName, dest int) int {
+	fs := m.files[name]
+	if fs == nil {
+		return -1
+	}
+	if m.opts.PeerTransfers {
+		best, bestLoad := -2, 1<<30
+		ids := make([]int, 0, len(fs.workers))
+		for wid := range fs.workers {
+			ids = append(ids, wid)
+		}
+		sort.Ints(ids)
+		for _, wid := range ids {
+			if wid == dest {
+				continue
+			}
+			if w := m.workers[wid]; w != nil && w.alive && w.outbound < bestLoad {
+				best, bestLoad = wid, w.outbound
+			}
+		}
+		if best >= 0 {
+			return best
+		}
+	}
+	if fs.onManager {
+		return -1
+	}
+	// No manager copy: any live worker replica even without peer mode
+	// (this is how results migrate when strictly necessary).
+	for wid := range fs.workers {
+		if w := m.workers[wid]; w != nil && w.alive && wid != dest {
+			return wid
+		}
+	}
+	return -1
+}
+
+// pumpTransfersLocked issues queued transfers whose source has capacity.
+func (m *Manager) pumpTransfersLocked() {
+	var still []pendingTransfer
+	for _, tx := range m.queuedTx {
+		dw := m.workers[tx.dest]
+		if dw == nil || !dw.alive {
+			continue // destination died; staging failure handled by workerLost
+		}
+		fs := m.files[tx.name]
+		if fs == nil {
+			continue
+		}
+		// Re-validate the source each pump; it may have died.
+		src := tx.source
+		if src >= 0 {
+			sw := m.workers[src]
+			if sw == nil || !sw.alive || !sw.cache[tx.name] {
+				src = m.pickSourceLocked(tx.name, tx.dest)
+			}
+		}
+		var addr string
+		if src >= 0 {
+			sw := m.workers[src]
+			if sw.outbound >= m.opts.TransferCapPerSource {
+				// Source busy: try another replica, else defer.
+				alt := m.pickSourceLocked(tx.name, tx.dest)
+				if alt != src && alt >= 0 && m.workers[alt].outbound < m.opts.TransferCapPerSource {
+					src = alt
+					addr = m.workers[alt].transferAddr
+				} else if alt == -1 && fs.onManager {
+					src = -1
+				} else {
+					tx.source = src
+					still = append(still, tx)
+					continue
+				}
+			}
+			if addr == "" && src >= 0 {
+				addr = m.workers[src].transferAddr
+			}
+		}
+		if src < 0 {
+			if !fs.onManager {
+				// No source at all right now; the file is being
+				// regenerated. Drop the transfer; staging restarts when
+				// the producer completes.
+				continue
+			}
+			addr = m.ts.Addr()
+		} else {
+			m.workers[src].outbound++
+		}
+		if src >= 0 {
+			m.stats.PeerTransfers++
+			m.stats.PeerBytes += fs.size
+		} else {
+			m.stats.ManagerTransfers++
+			m.stats.ManagerBytes += fs.size
+		}
+		dw.conn.send(&message{Type: msgPutURL, PutURL: &putURLMsg{
+			CacheName: string(tx.name), Addr: addr, Size: fs.size,
+		}})
+		// Remember who served it so capacity frees on completion.
+		dw.pendingSources = append(dw.pendingSources, srcRecord{name: tx.name, source: src})
+	}
+	m.queuedTx = still
+}
+
+// srcRecord pairs an in-flight inbound transfer with the worker serving it.
+type srcRecord struct {
+	name   CacheName
+	source int
+}
+
+// dispatchLocked sends a fully-staged task to its worker.
+func (m *Manager) dispatchLocked(rec *taskRecord) {
+	w := m.workers[rec.worker]
+	m.setTaskState(rec, TaskRunning)
+	d := &dispatchMsg{
+		TaskID:  rec.id,
+		Mode:    string(rec.spec.Mode),
+		Library: rec.spec.Library,
+		Func:    rec.spec.Func,
+		Args:    rec.spec.Args,
+		Cores:   rec.spec.Cores,
+		Memory:  rec.spec.Memory,
+	}
+	for _, in := range rec.spec.Inputs {
+		d.Inputs = append(d.Inputs, fileRefWire{Name: in.Name, CacheName: string(in.CacheName)})
+	}
+	for _, out := range rec.spec.Outputs {
+		d.Outputs = append(d.Outputs, fileRefWire{Name: out, CacheName: string(rec.handle.outputs[out])})
+	}
+	w.conn.send(&message{Type: msgDispatch, Dispatch: d})
+}
+
+// releaseWorkerLocked returns a task's cores.
+func (m *Manager) releaseWorkerLocked(rec *taskRecord) {
+	if rec.worker >= 0 {
+		if w := m.workers[rec.worker]; w != nil {
+			w.usedCores -= rec.spec.Cores
+			if w.usedCores < 0 {
+				w.usedCores = 0
+			}
+			w.usedMemory -= rec.spec.Memory
+			if w.usedMemory < 0 {
+				w.usedMemory = 0
+			}
+		}
+	}
+	rec.worker = -1
+	rec.pending = nil
+}
+
+// retryLocked requeues a task after a failure, up to MaxRetries.
+func (m *Manager) retryLocked(rec *taskRecord, cause error) {
+	m.releaseWorkerLocked(rec)
+	rec.retries++
+	rec.handle.mu.Lock()
+	rec.handle.retries = rec.retries
+	rec.handle.mu.Unlock()
+	if rec.retries > m.opts.MaxRetries {
+		m.failLocked(rec, fmt.Errorf("vine: task %d failed after %d retries: %w", rec.id, rec.retries-1, cause))
+		return
+	}
+	m.stats.Retries++
+	if m.inputsAvailableLocked(rec) {
+		m.setTaskState(rec, TaskReady)
+		m.ready = append(m.ready, rec.id)
+	} else {
+		m.setTaskState(rec, TaskWaiting)
+		m.reviveProducersLocked(rec)
+	}
+}
+
+func (m *Manager) failLocked(rec *taskRecord, err error) {
+	m.setTaskState(rec, TaskFailed)
+	m.stats.TasksFailed++
+	rec.handle.mu.Lock()
+	rec.handle.err = err
+	notified := rec.handle.notified
+	rec.handle.notified = true
+	rec.handle.mu.Unlock()
+	if !notified {
+		close(rec.handle.doneC)
+	}
+	m.completed = append(m.completed, rec.id)
+	m.cond.Broadcast()
+}
+
+// reviveProducersLocked re-enqueues done tasks whose outputs a waiting task
+// needs but which no longer exist anywhere (lost to preemption). Recurses
+// up the producer chain as needed.
+func (m *Manager) reviveProducersLocked(rec *taskRecord) {
+	for _, in := range rec.spec.Inputs {
+		if m.hasSourceLocked(in.CacheName) {
+			continue
+		}
+		fs := m.files[in.CacheName]
+		if fs == nil || fs.producer < 0 {
+			continue // declared file with no source: unrecoverable here
+		}
+		prod := m.tasks[fs.producer]
+		if prod == nil {
+			continue
+		}
+		switch prod.state {
+		case TaskDone:
+			// Re-run it. Its handle stays done; outputs regain replicas.
+			if m.inputsAvailableLocked(prod) {
+				m.setTaskState(prod, TaskReady)
+				m.ready = append(m.ready, prod.id)
+			} else {
+				m.setTaskState(prod, TaskWaiting)
+				m.reviveProducersLocked(prod)
+			}
+		case TaskWaiting, TaskReady, TaskStaging, TaskRunning:
+			// Already on its way.
+		case TaskFailed:
+			m.failLocked(rec, fmt.Errorf("vine: input %s lost and its producer failed", in.CacheName))
+		}
+	}
+}
+
+// promoteWaitersLocked moves Waiting tasks whose inputs are now all
+// available to Ready.
+func (m *Manager) promoteWaitersLocked() {
+	for _, rec := range m.tasks {
+		if rec.state == TaskWaiting && m.inputsAvailableLocked(rec) {
+			m.setTaskState(rec, TaskReady)
+			m.ready = append(m.ready, rec.id)
+		}
+	}
+}
+
+// ---- event handlers ----
+
+func (m *Manager) onTaskDone(wid int, msg *taskDoneMsg) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	rec := m.tasks[msg.TaskID]
+	if rec == nil || rec.state != TaskRunning || rec.worker != wid {
+		return // stale completion from a worker we already gave up on
+	}
+	w := m.workers[wid]
+	if !msg.OK {
+		m.retryLocked(rec, fmt.Errorf("%s", msg.Error))
+		m.scheduleLocked()
+		return
+	}
+	m.releaseWorkerLocked(rec)
+	wasDone := rec.handle.notified
+	m.setTaskState(rec, TaskDone)
+	// Record output replicas on the executing worker.
+	for cnStr, size := range msg.OutputSizes {
+		cn := CacheName(cnStr)
+		fs := m.files[cn]
+		if fs == nil {
+			fs = &fileState{workers: make(map[int]bool), producer: rec.id}
+			m.files[cn] = fs
+		}
+		fs.size = size
+		fs.workers[wid] = true
+		if w != nil {
+			w.cache[cn] = true
+			w.cacheBytes += size
+		}
+	}
+	if !wasDone {
+		m.stats.TasksDone++
+		rec.handle.mu.Lock()
+		rec.handle.execTime = time.Duration(msg.ExecNanos)
+		rec.handle.setup = time.Duration(msg.SetupNanos)
+		rec.handle.worker = workerNameOf(w)
+		rec.handle.notified = true
+		rec.handle.mu.Unlock()
+		close(rec.handle.doneC)
+		m.completed = append(m.completed, rec.id)
+		m.cond.Broadcast()
+	}
+	if m.opts.ReturnOutputs && w != nil {
+		addr := w.transferAddr
+		for cnStr := range msg.OutputSizes {
+			cn := CacheName(cnStr)
+			go m.pullToManager(addr, cn)
+		}
+	}
+	if m.opts.ReplicateOutputs > 1 {
+		for cnStr := range msg.OutputSizes {
+			m.replicateLocked(CacheName(cnStr))
+		}
+	}
+	m.promoteWaitersLocked()
+	m.scheduleLocked()
+}
+
+// replicateLocked tops a file up to the configured replica count by queuing
+// peer transfers to live workers that lack it.
+func (m *Manager) replicateLocked(cn CacheName) {
+	fs := m.files[cn]
+	if fs == nil {
+		return
+	}
+	have := 0
+	for wid := range fs.workers {
+		if w := m.workers[wid]; w != nil && w.alive {
+			have++
+		}
+	}
+	need := m.opts.ReplicateOutputs - have
+	if need <= 0 {
+		return
+	}
+	ids := make([]int, 0, len(m.workers))
+	for id := range m.workers {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		if need == 0 {
+			break
+		}
+		w := m.workers[id]
+		if !w.alive || w.cache[cn] {
+			continue
+		}
+		m.queueTransferLocked(cn, id)
+		need--
+	}
+}
+
+// pullToManager copies a task output into the manager's own store (the Work
+// Queue data path). Runs outside the lock; failures are benign — the worker
+// replica remains the source.
+func (m *Manager) pullToManager(addr string, cn CacheName) {
+	data, err := fetchBytes(addr, cn)
+	if err != nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	fs := m.files[cn]
+	if fs == nil || fs.onManager {
+		return
+	}
+	fs.onManager = true
+	fs.mgrData = data
+	fs.size = int64(len(data))
+	m.stats.ManagerBytes += fs.size
+	m.promoteWaitersLocked()
+	m.scheduleLocked()
+}
+
+func workerNameOf(w *workerState) string {
+	if w == nil {
+		return ""
+	}
+	return w.name
+}
+
+func (m *Manager) onTransferDone(wid int, msg *transferDoneMsg) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	w := m.workers[wid]
+	if w == nil {
+		return
+	}
+	name := CacheName(msg.CacheName)
+	// Free the source's outbound slot.
+	for i, sr := range w.pendingSources {
+		if sr.name == name {
+			if sr.source >= 0 {
+				if sw := m.workers[sr.source]; sw != nil && sw.outbound > 0 {
+					sw.outbound--
+				}
+			}
+			w.pendingSources = append(w.pendingSources[:i], w.pendingSources[i+1:]...)
+			break
+		}
+	}
+	fs := m.files[name]
+	if msg.OK {
+		if fs != nil {
+			if msg.Size > 0 {
+				fs.size = msg.Size
+			}
+			fs.workers[wid] = true
+		}
+		w.cache[name] = true
+		if fs != nil {
+			w.cacheBytes += fs.size
+		}
+		// Unblock staging tasks on this worker waiting for the file.
+		if fs != nil {
+			var stillWaiting []*taskRecord
+			for _, rec := range fs.refWaiters {
+				if rec.worker == wid && rec.state == TaskStaging && rec.pending[name] {
+					delete(rec.pending, name)
+					if len(rec.pending) == 0 {
+						m.dispatchLocked(rec)
+					}
+				} else if rec.state == TaskStaging && rec.pending[name] {
+					stillWaiting = append(stillWaiting, rec)
+				}
+			}
+			fs.refWaiters = stillWaiting
+		}
+	} else {
+		// Transfer failed: retry every staging task on this worker that
+		// waits for the file.
+		var victims []*taskRecord
+		if fs != nil {
+			for _, rec := range fs.refWaiters {
+				if rec.worker == wid && rec.state == TaskStaging && rec.pending[name] {
+					victims = append(victims, rec)
+				}
+			}
+		}
+		for _, rec := range victims {
+			m.retryLocked(rec, fmt.Errorf("staging %s: %s", name, msg.Error))
+		}
+	}
+	m.pumpTransfersLocked()
+	m.scheduleLocked()
+}
+
+// workerLost handles a disconnect: replicas vanish, its tasks requeue, and
+// lost outputs trigger producer re-runs.
+func (m *Manager) workerLost(wid int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	w := m.workers[wid]
+	if w == nil || !w.alive {
+		return
+	}
+	w.alive = false
+	w.conn.close()
+	m.stats.WorkersLost++
+
+	// Free outbound slots of sources serving this worker.
+	for _, sr := range w.pendingSources {
+		if sr.source >= 0 {
+			if sw := m.workers[sr.source]; sw != nil && sw.outbound > 0 {
+				sw.outbound--
+			}
+		}
+	}
+	w.pendingSources = nil
+
+	// Drop its replicas.
+	for name := range w.cache {
+		if fs := m.files[name]; fs != nil {
+			delete(fs.workers, wid)
+		}
+	}
+
+	// Requeue its staging/running tasks.
+	for _, rec := range m.tasks {
+		if (rec.state == TaskStaging || rec.state == TaskRunning) && rec.worker == wid {
+			m.retryLocked(rec, fmt.Errorf("worker %s lost", w.name))
+		}
+	}
+
+	// Tasks anywhere that now reference sourceless inputs must wait and
+	// revive producers.
+	for _, rec := range m.tasks {
+		if rec.state == TaskReady && !m.inputsAvailableLocked(rec) {
+			m.removeFromReadyLocked(rec.id)
+			m.setTaskState(rec, TaskWaiting)
+			m.reviveProducersLocked(rec)
+		}
+		if rec.state == TaskWaiting {
+			m.reviveProducersLocked(rec)
+		}
+	}
+	m.pumpTransfersLocked()
+	m.scheduleLocked()
+}
+
+func (m *Manager) removeFromReadyLocked(tid int) {
+	for i, id := range m.ready {
+		if id == tid {
+			m.ready = append(m.ready[:i], m.ready[i+1:]...)
+			return
+		}
+	}
+}
+
+// WaitAny blocks until some task completes (or fails terminally) that has
+// not been returned before, or the timeout elapses (0 = forever). It
+// returns the task's handle.
+func (m *Manager) WaitAny(timeout time.Duration) (*TaskHandle, error) {
+	deadline := time.Now().Add(timeout)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for {
+		if len(m.completed) > 0 {
+			id := m.completed[0]
+			m.completed = m.completed[1:]
+			return m.tasks[id].handle, nil
+		}
+		if m.stopped {
+			return nil, fmt.Errorf("vine: manager stopped")
+		}
+		if timeout > 0 && time.Now().After(deadline) {
+			return nil, fmt.Errorf("vine: WaitAny timed out after %v", timeout)
+		}
+		if timeout > 0 {
+			// sync.Cond has no timed wait; poll coarsely.
+			m.mu.Unlock()
+			time.Sleep(time.Millisecond)
+			m.mu.Lock()
+		} else {
+			m.cond.Wait()
+		}
+	}
+}
+
+// WorkerInfo is an operational snapshot of one connected worker.
+type WorkerInfo struct {
+	Name         string
+	TransferAddr string
+	Cores        int
+	UsedCores    int
+	Memory       int64
+	UsedMemory   int64
+	CachedFiles  int
+	CacheBytes   int64
+	Outbound     int
+	Alive        bool
+}
+
+// Workers snapshots all known workers (including lost ones), sorted by
+// name, for status displays and tests.
+func (m *Manager) Workers() []WorkerInfo {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]WorkerInfo, 0, len(m.workers))
+	for _, w := range m.workers {
+		out = append(out, WorkerInfo{
+			Name:         w.name,
+			TransferAddr: w.transferAddr,
+			Cores:        w.cores,
+			UsedCores:    w.usedCores,
+			Memory:       w.memory,
+			UsedMemory:   w.usedMemory,
+			CachedFiles:  len(w.cache),
+			CacheBytes:   w.cacheBytes,
+			Outbound:     w.outbound,
+			Alive:        w.alive,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// TaskCounts reports how many tasks sit in each state.
+func (m *Manager) TaskCounts() map[TaskState]int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[TaskState]int)
+	for _, rec := range m.tasks {
+		out[rec.state]++
+	}
+	return out
+}

@@ -1,0 +1,231 @@
+// Package vine is a real distributed task and data scheduler modelled on
+// TaskVine (§II.C, §IV.B): a central manager coordinates workers over TCP;
+// workers hold a content-addressed on-disk cache, execute tasks or
+// serverless function calls, and serve peer transfers to one another so
+// intermediate data never has to round-trip through the manager or a shared
+// filesystem.
+//
+// The engine is fully functional: examples and integration tests run
+// managers and workers (in-process goroutines or the cmd/vineworker binary)
+// over loopback TCP, move real bytes, and survive worker kills. The
+// cluster-scale *performance* questions are answered by the simulation
+// plane (internal/vinesim) which reuses this package's scheduling policies
+// via internal/core.
+package vine
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// Control-channel message. Exactly one pointer field is set, discriminated
+// by Type. The framing is a 4-byte little-endian length followed by JSON —
+// simple, debuggable, stdlib-only.
+type message struct {
+	Type string `json:"type"`
+
+	Hello        *helloMsg        `json:"hello,omitempty"`
+	Dispatch     *dispatchMsg     `json:"dispatch,omitempty"`
+	TaskDone     *taskDoneMsg     `json:"task_done,omitempty"`
+	PutURL       *putURLMsg       `json:"put_url,omitempty"`
+	TransferDone *transferDoneMsg `json:"transfer_done,omitempty"`
+	Library      *libraryMsg      `json:"library,omitempty"`
+	Unlink       *unlinkMsg       `json:"unlink,omitempty"`
+}
+
+// Message type tags.
+const (
+	msgHello        = "hello"
+	msgDispatch     = "dispatch"
+	msgTaskDone     = "task_done"
+	msgPutURL       = "put_url"
+	msgTransferDone = "transfer_done"
+	msgLibrary      = "library"
+	msgUnlink       = "unlink"
+	msgKill         = "kill"
+)
+
+// helloMsg is the worker's registration.
+type helloMsg struct {
+	Name         string `json:"name"`
+	Cores        int    `json:"cores"`
+	Memory       int64  `json:"memory"` // bytes advertised; 0 = unreported
+	TransferAddr string `json:"transfer_addr"`
+	DiskLimit    int64  `json:"disk_limit"` // bytes; 0 = unlimited
+}
+
+// fileRefWire names one task input within the task sandbox.
+type fileRefWire struct {
+	Name      string `json:"name"`
+	CacheName string `json:"cachename"`
+}
+
+// dispatchMsg carries one task or function invocation to a worker.
+type dispatchMsg struct {
+	TaskID  int           `json:"task_id"`
+	Mode    string        `json:"mode"` // "task" or "function-call"
+	Library string        `json:"library"`
+	Func    string        `json:"func"`
+	Args    []byte        `json:"args,omitempty"`
+	Inputs  []fileRefWire `json:"inputs,omitempty"`
+	Outputs []fileRefWire `json:"outputs,omitempty"`
+	Cores   int           `json:"cores"`
+	Memory  int64         `json:"memory,omitempty"`
+}
+
+// taskDoneMsg reports execution results. Output sizes let the manager track
+// cache consumption without another round trip.
+type taskDoneMsg struct {
+	TaskID      int              `json:"task_id"`
+	OK          bool             `json:"ok"`
+	Error       string           `json:"error,omitempty"`
+	OutputSizes map[string]int64 `json:"output_sizes,omitempty"` // cachename → bytes
+	ExecNanos   int64            `json:"exec_nanos"`
+	SetupNanos  int64            `json:"setup_nanos"`
+}
+
+// putURLMsg instructs a worker to fetch a file into its cache from a peer's
+// (or the manager's) transfer server.
+type putURLMsg struct {
+	CacheName string `json:"cachename"`
+	Addr      string `json:"addr"`
+	Size      int64  `json:"size"`
+}
+
+// transferDoneMsg acknowledges a putURL.
+type transferDoneMsg struct {
+	CacheName string `json:"cachename"`
+	OK        bool   `json:"ok"`
+	Error     string `json:"error,omitempty"`
+	Size      int64  `json:"size"`
+}
+
+// libraryMsg instantiates a library (serverless host environment) on the
+// worker. The library code itself is registered in the worker binary; the
+// manager controls which libraries exist and whether their imports are
+// hoisted (§IV.B "Import Hoisting").
+type libraryMsg struct {
+	Name  string `json:"name"`
+	Hoist bool   `json:"hoist"`
+}
+
+// unlinkMsg removes a file from the worker cache.
+type unlinkMsg struct {
+	CacheName string `json:"cachename"`
+}
+
+const maxFrame = 64 << 20 // 64 MB control-message cap
+
+// conn wraps a TCP connection with framed JSON I/O and a non-blocking send
+// queue. Sends never block the caller: a dedicated writer goroutine drains
+// the queue, so manager and worker can both be mid-send without
+// deadlocking.
+type conn struct {
+	c       net.Conn
+	r       *bufio.Reader
+	mu      sync.Mutex
+	queue   []*message
+	cond    *sync.Cond
+	closed  bool
+	sendErr error
+}
+
+func newConn(c net.Conn) *conn {
+	cc := &conn{c: c, r: bufio.NewReader(c)}
+	cc.cond = sync.NewCond(&cc.mu)
+	go cc.writeLoop()
+	return cc
+}
+
+// send enqueues a message for the writer goroutine.
+func (cc *conn) send(m *message) {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	if cc.closed {
+		return
+	}
+	cc.queue = append(cc.queue, m)
+	cc.cond.Signal()
+}
+
+func (cc *conn) writeLoop() {
+	for {
+		cc.mu.Lock()
+		for len(cc.queue) == 0 && !cc.closed {
+			cc.cond.Wait()
+		}
+		if cc.closed && len(cc.queue) == 0 {
+			cc.mu.Unlock()
+			return
+		}
+		m := cc.queue[0]
+		cc.queue = cc.queue[1:]
+		cc.mu.Unlock()
+
+		if err := writeFrame(cc.c, m); err != nil {
+			cc.mu.Lock()
+			cc.sendErr = err
+			cc.closed = true
+			cc.mu.Unlock()
+			cc.c.Close()
+			return
+		}
+	}
+}
+
+// recv blocks for the next message.
+func (cc *conn) recv() (*message, error) {
+	return readFrame(cc.r)
+}
+
+// close shuts the connection down; pending queued messages are dropped.
+func (cc *conn) close() {
+	cc.mu.Lock()
+	cc.closed = true
+	cc.queue = nil
+	cc.cond.Signal()
+	cc.mu.Unlock()
+	cc.c.Close()
+}
+
+func writeFrame(w io.Writer, m *message) error {
+	data, err := json.Marshal(m)
+	if err != nil {
+		return fmt.Errorf("vine: encoding %s: %w", m.Type, err)
+	}
+	if len(data) > maxFrame {
+		return fmt.Errorf("vine: frame too large (%d bytes)", len(data))
+	}
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(data)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err = w.Write(data)
+	return err
+}
+
+func readFrame(r io.Reader) (*message, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return nil, fmt.Errorf("vine: oversized frame (%d bytes)", n)
+	}
+	data := make([]byte, n)
+	if _, err := io.ReadFull(r, data); err != nil {
+		return nil, err
+	}
+	var m message
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("vine: decoding frame: %w", err)
+	}
+	return &m, nil
+}

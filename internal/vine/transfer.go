@@ -1,0 +1,179 @@
+package vine
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// The data plane: every worker (and the manager) runs a transfer server
+// that serves cache entries to authorized fetchers. Peer transfers (§IV.B)
+// are exactly this — the manager instructs worker B to fetch a cachename
+// from worker A's transfer address instead of routing bytes through itself
+// or a shared filesystem.
+//
+// Wire protocol (line-oriented, then raw bytes):
+//
+//	→ GET <cachename>\n
+//	← OK <size>\n<size bytes>   |   ERR <reason>\n
+
+// transferSource resolves a cachename to a content stream.
+type transferSource interface {
+	openCache(name CacheName) (io.ReadCloser, int64, error)
+}
+
+// transferServer serves cache content over TCP.
+type transferServer struct {
+	ln  net.Listener
+	src transferSource
+
+	mu     sync.Mutex
+	closed bool
+
+	// ServedBytes counts total bytes served, for peer-transfer assertions.
+	servedBytes int64
+	servedFiles int64
+}
+
+func newTransferServer(src transferSource) (*transferServer, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("vine: transfer listen: %w", err)
+	}
+	ts := &transferServer{ln: ln, src: src}
+	go ts.acceptLoop()
+	return ts, nil
+}
+
+// Addr reports the listen address peers should fetch from.
+func (ts *transferServer) Addr() string { return ts.ln.Addr().String() }
+
+// Served reports total files and bytes served so far.
+func (ts *transferServer) Served() (files, bytes int64) {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	return ts.servedFiles, ts.servedBytes
+}
+
+func (ts *transferServer) close() {
+	ts.mu.Lock()
+	ts.closed = true
+	ts.mu.Unlock()
+	ts.ln.Close()
+}
+
+func (ts *transferServer) acceptLoop() {
+	for {
+		c, err := ts.ln.Accept()
+		if err != nil {
+			return
+		}
+		go ts.handle(c)
+	}
+}
+
+func (ts *transferServer) handle(c net.Conn) {
+	defer c.Close()
+	c.SetDeadline(time.Now().Add(5 * time.Minute))
+	r := bufio.NewReader(c)
+	line, err := r.ReadString('\n')
+	if err != nil {
+		return
+	}
+	line = strings.TrimSpace(line)
+	if !strings.HasPrefix(line, "GET ") {
+		fmt.Fprintf(c, "ERR bad request\n")
+		return
+	}
+	name := CacheName(strings.TrimSpace(line[4:]))
+	rc, size, err := ts.src.openCache(name)
+	if err != nil {
+		fmt.Fprintf(c, "ERR %s\n", strings.ReplaceAll(err.Error(), "\n", " "))
+		return
+	}
+	defer rc.Close()
+	if _, err := fmt.Fprintf(c, "OK %d\n", size); err != nil {
+		return
+	}
+	n, _ := io.Copy(c, rc)
+	ts.mu.Lock()
+	ts.servedBytes += n
+	ts.servedFiles++
+	ts.mu.Unlock()
+}
+
+// fetch retrieves a cachename from a transfer server, writing it to w.
+func fetch(addr string, name CacheName, w io.Writer) (int64, error) {
+	c, err := net.DialTimeout("tcp", addr, 30*time.Second)
+	if err != nil {
+		return 0, fmt.Errorf("vine: dialing %s: %w", addr, err)
+	}
+	defer c.Close()
+	c.SetDeadline(time.Now().Add(5 * time.Minute))
+	if _, err := fmt.Fprintf(c, "GET %s\n", name); err != nil {
+		return 0, err
+	}
+	r := bufio.NewReader(c)
+	line, err := r.ReadString('\n')
+	if err != nil {
+		return 0, fmt.Errorf("vine: reading transfer header: %w", err)
+	}
+	line = strings.TrimSpace(line)
+	if strings.HasPrefix(line, "ERR ") {
+		return 0, fmt.Errorf("vine: transfer of %s from %s refused: %s", name, addr, line[4:])
+	}
+	if !strings.HasPrefix(line, "OK ") {
+		return 0, fmt.Errorf("vine: malformed transfer header %q", line)
+	}
+	size, err := strconv.ParseInt(strings.TrimSpace(line[3:]), 10, 64)
+	if err != nil || size < 0 {
+		return 0, fmt.Errorf("vine: malformed transfer size in %q", line)
+	}
+	n, err := io.Copy(w, io.LimitReader(r, size))
+	if err != nil {
+		return n, fmt.Errorf("vine: transfer body: %w", err)
+	}
+	if n != size {
+		return n, fmt.Errorf("vine: short transfer: %d of %d bytes", n, size)
+	}
+	return n, nil
+}
+
+// fetchBytes retrieves a cachename into memory.
+func fetchBytes(addr string, name CacheName) ([]byte, error) {
+	var b strings.Builder
+	if _, err := fetch(addr, name, &b); err != nil {
+		return nil, err
+	}
+	return []byte(b.String()), nil
+}
+
+// fetchToFile retrieves a cachename into a file, atomically (temp + rename)
+// so a crashed transfer never leaves a corrupt cache entry.
+func fetchToFile(addr string, name CacheName, path string) (int64, error) {
+	tmp := path + ".part"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return 0, err
+	}
+	n, err := fetch(addr, name, f)
+	cerr := f.Close()
+	if err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return n, err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return n, err
+	}
+	return n, nil
+}

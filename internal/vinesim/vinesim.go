@@ -1,0 +1,244 @@
+// Package vinesim is the simulation-plane scheduler: it executes a
+// core.Workload on a simulated cluster (internal/cluster + internal/netsim)
+// under a configurable stack — storage system, data flow, task paradigm —
+// reproducing the paper's four stack evolutions (§IV, Table I) and the
+// Dask.Distributed comparator (§V.B) with one engine:
+//
+//	Stack 1  Work Queue data flow (all bytes via manager), standard tasks, HDFS
+//	Stack 2  same, but VAST
+//	Stack 3  TaskVine: worker caches + peer transfers, standard tasks
+//	Stack 4  TaskVine serverless: function calls with hoisted imports
+//
+// The scheduling policies (replica-table locality placement, peer-transfer
+// governor, loss recovery) come from internal/core and mirror the live
+// engine in internal/vine.
+package vinesim
+
+import (
+	"time"
+
+	"hepvine/internal/params"
+	"hepvine/internal/units"
+)
+
+// DataFlow selects where intermediate data lives and moves.
+type DataFlow int
+
+// Data-flow models.
+const (
+	// FlowManager routes every input and output through the manager
+	// (Work Queue, §III.B).
+	FlowManager DataFlow = iota
+	// FlowPeer retains outputs on workers and moves them peer-to-peer
+	// (TaskVine, §IV.B).
+	FlowPeer
+)
+
+// Scheduler selects the scheduler behaviour model.
+type Scheduler int
+
+// Scheduler models.
+const (
+	// SchedVine is the Work Queue / TaskVine family (one manager, node
+	//-level workers).
+	SchedVine Scheduler = iota
+	// SchedDask models Dask.Distributed: single-core share-nothing worker
+	// processes, a heavier central scheduler, and instability at scale.
+	SchedDask
+)
+
+// Config selects one point in the design space.
+type Config struct {
+	Label string
+
+	Workers        int
+	CoresPerWorker int
+	WorkerDisk     units.Bytes
+
+	Flow       DataFlow
+	Serverless bool // function calls instead of standard tasks
+	Hoist      bool // hoist imports to the library preamble
+
+	FS           params.FS // shared filesystem for dataset reads
+	ImportsLocal bool      // imports read node-local disk (TaskVine caches the environment) instead of the shared FS
+	// ImportFS overrides where library imports are read from (Fig. 10's
+	// local-vs-VAST axis). Zero value: LocalDisk when ImportsLocal, else
+	// VAST (the software environment lives on the general-purpose shared
+	// FS regardless of where the data sits).
+	ImportFS params.FS
+
+	TransferCap     int     // per-source concurrent peer transfers; 0 = params default
+	PreemptFraction float64 // fraction of workers preempted during the run
+	PreemptWindow   time.Duration
+	StartupSpread   time.Duration
+	// SpeedSpread makes worker CPUs heterogeneous (±fraction of nominal),
+	// matching the "heterogeneous campus HTCondor cluster" of §IV.
+	SpeedSpread float64
+
+	Scheduler Scheduler
+
+	Seed        uint64
+	SampleEvery time.Duration
+	Horizon     time.Duration // abort if not done by then (default 4h)
+
+	// RecordPerWorker enables per-worker time series (cache usage for
+	// Fig. 11, activity lanes for Fig. 13) at some memory cost.
+	RecordPerWorker bool
+	// RecordTrace captures one event record per task execution (worker,
+	// dispatch/start/end times) — the raw data behind Fig. 13's per-worker
+	// activity bars.
+	RecordTrace bool
+}
+
+func (c *Config) defaults() {
+	if c.CoresPerWorker <= 0 {
+		c.CoresPerWorker = params.WorkerCores
+	}
+	if c.TransferCap <= 0 {
+		c.TransferCap = params.DefaultTransferCapPerSource
+	}
+	if c.SampleEvery <= 0 {
+		c.SampleEvery = time.Second
+	}
+	if c.Horizon <= 0 {
+		c.Horizon = 4 * time.Hour
+	}
+	if c.FS.Name == "" {
+		c.FS = params.VAST
+	}
+	if c.PreemptWindow <= 0 {
+		c.PreemptWindow = 10 * time.Minute
+	}
+}
+
+// Cores reports total configured cores.
+func (c Config) Cores() int { return c.Workers * c.CoresPerWorker }
+
+// StackConfig returns the Table-I stack configurations applied to the given
+// pool shape. Stage numbering follows the paper.
+func StackConfig(stack, workers, coresPerWorker int, seed uint64) Config {
+	c := Config{
+		Label:           "stack" + string(rune('0'+stack)),
+		Workers:         workers,
+		CoresPerWorker:  coresPerWorker,
+		WorkerDisk:      params.WorkerDisk,
+		PreemptFraction: params.PreemptFraction,
+		StartupSpread:   params.WorkerStartupSpread,
+		SpeedSpread:     params.WorkerSpeedSpread,
+		Seed:            seed,
+	}
+	switch stack {
+	case 1:
+		c.Flow, c.Serverless, c.FS, c.ImportsLocal = FlowManager, false, params.HDFS, false
+	case 2:
+		c.Flow, c.Serverless, c.FS, c.ImportsLocal = FlowManager, false, params.VAST, false
+	case 3:
+		c.Flow, c.Serverless, c.FS, c.ImportsLocal = FlowPeer, false, params.VAST, true
+	case 4:
+		c.Flow, c.Serverless, c.Hoist, c.FS, c.ImportsLocal = FlowPeer, true, true, params.VAST, true
+	default:
+		panic("vinesim: stack must be 1..4")
+	}
+	return c
+}
+
+// DaskConfig returns the Dask.Distributed comparator at the given shape.
+func DaskConfig(workers, coresPerWorker int, seed uint64) Config {
+	return Config{
+		Label:          "dask.distributed",
+		Workers:        workers,
+		CoresPerWorker: coresPerWorker,
+		WorkerDisk:     params.WorkerDisk,
+		Flow:           FlowPeer,
+		Serverless:     true, // persistent worker processes
+		Hoist:          true, // workers import once
+		FS:             params.VAST,
+		ImportsLocal:   false,
+		Scheduler:      SchedDask,
+		StartupSpread:  params.WorkerStartupSpread,
+		Seed:           seed,
+	}
+}
+
+// TaskEvent is one recorded task execution (RecordTrace).
+type TaskEvent struct {
+	Key      string
+	Worker   int // node id (1-based)
+	Attempt  int
+	Dispatch time.Duration // manager handed it to the dispatch pipeline
+	Start    time.Duration // user code began on a core
+	End      time.Duration // execution finished on the worker
+}
+
+// Sample is one timeline point (Fig. 12, Fig. 15).
+type Sample struct {
+	T       time.Duration
+	Running int // tasks executing user code on a core
+	Waiting int // tasks not yet dispatched (ready or blocked)
+	Done    int
+}
+
+// Result is everything a run produces.
+type Result struct {
+	Config    Config
+	Completed bool
+	Failure   string
+	Runtime   time.Duration
+
+	Samples []Sample
+
+	// TaskExec records per-task on-worker time (startup + imports +
+	// compute) for successful executions (Fig. 8).
+	TaskExec []time.Duration
+
+	// TransferMatrix[src][dst] is bytes moved pairwise (Fig. 7).
+	TransferMatrix map[string]map[string]units.Bytes
+	// ManagerMoved is bytes into+out of the manager endpoint.
+	ManagerMoved units.Bytes
+	// MaxPairBytes is the largest pairwise volume excluding FS reads.
+	MaxPairBytes units.Bytes
+
+	// Per-worker series, aligned with Samples (RecordPerWorker only).
+	CacheSeries [][]units.Bytes // [sample][worker]
+	ActiveTasks [][]int         // [sample][worker]
+
+	// Trace holds per-execution records (RecordTrace only), in completion
+	// order.
+	Trace []TaskEvent
+
+	PeakCachePerWorker []units.Bytes
+	BusyPerWorker      []time.Duration
+
+	Preempted    int
+	DiskFailures int
+	TasksRerun   int
+	PeerCount    int
+	ManagerCount int
+	FSReadBytes  units.Bytes
+
+	TasksDone int
+}
+
+// Throughput reports completed tasks per second.
+func (r *Result) Throughput() float64 {
+	if r.Runtime <= 0 {
+		return 0
+	}
+	return float64(r.TasksDone) / r.Runtime.Seconds()
+}
+
+// Utilization reports mean busy fraction across worker cores over the run.
+func (r *Result) Utilization() float64 {
+	if r.Runtime <= 0 || len(r.BusyPerWorker) == 0 {
+		return 0
+	}
+	var busy time.Duration
+	for _, b := range r.BusyPerWorker {
+		busy += b
+	}
+	total := r.Runtime * time.Duration(len(r.BusyPerWorker)*r.Config.CoresPerWorker)
+	if total <= 0 {
+		return 0
+	}
+	return float64(busy) / float64(total)
+}

@@ -1,0 +1,509 @@
+package vinesim
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"hepvine/internal/apps"
+	"hepvine/internal/core"
+	"hepvine/internal/dag"
+	"hepvine/internal/params"
+	"hepvine/internal/storage"
+	"hepvine/internal/units"
+)
+
+// tinyWorkload builds an n-processor map + binary-reduce workload with
+// fixed compute time, for fast deterministic tests.
+func tinyWorkload(n int, compute time.Duration, outSize units.Bytes) *core.Workload {
+	g := dag.NewGraph()
+	files := make(map[storage.FileID]units.Bytes)
+	keys := make([]dag.Key, n)
+	for i := 0; i < n; i++ {
+		k := dag.Key(fmt.Sprintf("p%d", i))
+		f := storage.FileID(fmt.Sprintf("ds:tiny-%d", i))
+		files[f] = 10 * units.MB
+		g.MustAdd(&dag.Task{Key: k, Category: "processor", Spec: &core.SimSpec{
+			Compute: compute, Inputs: []storage.FileID{f}, OutputSize: outSize,
+		}})
+		keys[i] = k
+	}
+	root, err := dag.TreeReduce(g, "acc", keys, 2, func(level, index int, inputs []dag.Key) *dag.Task {
+		return &dag.Task{Category: "accumulate", Spec: &core.SimSpec{
+			Compute: compute / 4, OutputSize: outSize,
+		}}
+	})
+	if err != nil {
+		panic(err)
+	}
+	if err := g.Finalize(); err != nil {
+		panic(err)
+	}
+	return &core.Workload{Name: "tiny", Graph: g, Root: root, DatasetFiles: files}
+}
+
+func quietConfig(stack, workers int) Config {
+	c := StackConfig(stack, workers, 4, 7)
+	c.PreemptFraction = 0
+	c.StartupSpread = 0
+	c.Horizon = time.Hour
+	return c
+}
+
+func TestTinyRunCompletes(t *testing.T) {
+	wl := tinyWorkload(16, 2*time.Second, units.MB)
+	res := Run(quietConfig(4, 2), wl)
+	if !res.Completed {
+		t.Fatalf("failed: %s", res.Failure)
+	}
+	if res.TasksDone != wl.TaskCount() {
+		t.Fatalf("done %d of %d", res.TasksDone, wl.TaskCount())
+	}
+	if res.Runtime <= 0 {
+		t.Fatal("no runtime")
+	}
+	// 16 tasks of 2s on 8 cores is at least 4s of compute.
+	if res.Runtime < 4*time.Second {
+		t.Fatalf("runtime %v implausibly fast", res.Runtime)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	wl1 := tinyWorkload(24, time.Second, units.MB)
+	wl2 := tinyWorkload(24, time.Second, units.MB)
+	r1 := Run(quietConfig(4, 3), wl1)
+	r2 := Run(quietConfig(4, 3), wl2)
+	if r1.Runtime != r2.Runtime {
+		t.Fatalf("non-deterministic: %v vs %v", r1.Runtime, r2.Runtime)
+	}
+	if r1.TasksDone != r2.TasksDone || r1.PeerCount != r2.PeerCount {
+		t.Fatal("counters differ across identical runs")
+	}
+}
+
+func TestStackOrdering(t *testing.T) {
+	// The paper's headline (Table I): each stack upgrade is at least as
+	// fast, and serverless is much faster than manager-routed standard
+	// tasks. Use enough small tasks that overheads dominate.
+	wl := tinyWorkload(300, 500*time.Millisecond, 20*units.MB)
+	runtimes := make([]time.Duration, 5)
+	for s := 1; s <= 4; s++ {
+		res := Run(quietConfig(s, 4), tinyWorkload(300, 500*time.Millisecond, 20*units.MB))
+		if !res.Completed {
+			t.Fatalf("stack %d failed: %s", s, res.Failure)
+		}
+		runtimes[s] = res.Runtime
+	}
+	_ = wl
+	if runtimes[3] >= runtimes[1] {
+		t.Fatalf("TaskVine (%v) not faster than Work Queue (%v)", runtimes[3], runtimes[1])
+	}
+	if runtimes[4] >= runtimes[3] {
+		t.Fatalf("function calls (%v) not faster than standard tasks (%v)", runtimes[4], runtimes[3])
+	}
+	if runtimes[1].Seconds()/runtimes[4].Seconds() < 2 {
+		t.Fatalf("stack1/stack4 = %.2f, want > 2", runtimes[1].Seconds()/runtimes[4].Seconds())
+	}
+}
+
+func TestPeerVsManagerDataFlow(t *testing.T) {
+	// Fig. 7: with peer transfers intermediates move worker-to-worker;
+	// with the Work Queue flow everything crosses the manager.
+	mk := func() *core.Workload { return tinyWorkload(64, time.Second, 50*units.MB) }
+	wq := Run(quietConfig(2, 4), mk())
+	tv := Run(quietConfig(4, 4), mk())
+	if !wq.Completed || !tv.Completed {
+		t.Fatalf("runs failed: %q %q", wq.Failure, tv.Failure)
+	}
+	if wq.PeerCount != 0 {
+		t.Fatalf("work queue did %d peer transfers", wq.PeerCount)
+	}
+	if tv.PeerCount == 0 {
+		t.Fatal("taskvine did no peer transfers")
+	}
+	if tv.ManagerMoved >= wq.ManagerMoved/4 {
+		t.Fatalf("manager still loaded under peers: %v vs %v", tv.ManagerMoved, wq.ManagerMoved)
+	}
+}
+
+func TestTransferMatrixRecorded(t *testing.T) {
+	res := Run(quietConfig(4, 3), tinyWorkload(32, time.Second, 30*units.MB))
+	if !res.Completed {
+		t.Fatal(res.Failure)
+	}
+	if len(res.TransferMatrix) == 0 {
+		t.Fatal("no transfer matrix")
+	}
+	if res.MaxPairBytes <= 0 {
+		t.Fatal("no pairwise max")
+	}
+}
+
+func TestTimelineSamples(t *testing.T) {
+	res := Run(quietConfig(4, 2), tinyWorkload(40, 2*time.Second, units.MB))
+	if len(res.Samples) < 5 {
+		t.Fatalf("only %d samples", len(res.Samples))
+	}
+	sawRunning := false
+	for i := 1; i < len(res.Samples); i++ {
+		if res.Samples[i].T < res.Samples[i-1].T {
+			t.Fatal("samples out of order")
+		}
+		if res.Samples[i].Running > 0 {
+			sawRunning = true
+		}
+	}
+	if !sawRunning {
+		t.Fatal("never observed running tasks")
+	}
+	last := res.Samples[len(res.Samples)-1]
+	if last.Done != res.TasksDone {
+		t.Fatalf("final sample done=%d, tasks done=%d", last.Done, res.TasksDone)
+	}
+}
+
+func TestPerWorkerRecording(t *testing.T) {
+	cfg := quietConfig(4, 3)
+	cfg.RecordPerWorker = true
+	res := Run(cfg, tinyWorkload(32, time.Second, 20*units.MB))
+	if len(res.CacheSeries) != len(res.Samples) || len(res.ActiveTasks) != len(res.Samples) {
+		t.Fatal("per-worker series misaligned")
+	}
+	var peak units.Bytes
+	for _, p := range res.PeakCachePerWorker {
+		if p > peak {
+			peak = p
+		}
+	}
+	if peak == 0 {
+		t.Fatal("no cache usage recorded")
+	}
+}
+
+func TestPreemptionRecovery(t *testing.T) {
+	wl := tinyWorkload(200, 2*time.Second, units.MB)
+	cfg := quietConfig(4, 6)
+	cfg.PreemptFraction = 0.5 // aggressive: expect ~3 of 6 workers to die
+	cfg.PreemptWindow = 10 * time.Second
+	res := Run(cfg, wl)
+	if !res.Completed {
+		t.Fatalf("run did not survive preemption: %s", res.Failure)
+	}
+	if res.Preempted == 0 {
+		t.Fatal("no preemption happened; test ineffective")
+	}
+	if res.TasksDone < wl.TaskCount() {
+		t.Fatalf("done %d of %d", res.TasksDone, wl.TaskCount())
+	}
+}
+
+func TestAllWorkersLostFailsFast(t *testing.T) {
+	wl := tinyWorkload(60, 30*time.Second, units.MB)
+	cfg := quietConfig(4, 2)
+	cfg.PreemptFraction = 1.1 // every worker dies
+	cfg.PreemptWindow = 30 * time.Second
+	res := Run(cfg, wl)
+	if res.Completed {
+		t.Fatal("completed with every worker dead")
+	}
+	if !strings.Contains(res.Failure, "all workers lost") {
+		t.Fatalf("failure = %q", res.Failure)
+	}
+	if res.Runtime >= cfg.Horizon {
+		t.Fatal("did not fail fast")
+	}
+}
+
+func TestDiskOverflowKillsWorkerButRunRecovers(t *testing.T) {
+	// Outputs far larger than disks on ALL but impossible to hold on one:
+	// mimic Fig. 11a at miniature scale: naive reduce pulls everything to
+	// one node.
+	g := dag.NewGraph()
+	files := map[storage.FileID]units.Bytes{}
+	var keys []dag.Key
+	for i := 0; i < 12; i++ {
+		k := dag.Key(fmt.Sprintf("p%d", i))
+		f := storage.FileID(fmt.Sprintf("ds:o-%d", i))
+		files[f] = units.MB
+		g.MustAdd(&dag.Task{Key: k, Category: "processor", Spec: &core.SimSpec{
+			Compute: time.Second, Inputs: []storage.FileID{f}, OutputSize: 200 * units.MB,
+		}})
+		keys = append(keys, k)
+	}
+	root, _ := dag.TreeReduce(g, "acc", keys, 0, func(level, index int, in []dag.Key) *dag.Task {
+		return &dag.Task{Category: "accumulate", Spec: &core.SimSpec{Compute: time.Second, OutputSize: units.MB}}
+	})
+	g.Finalize()
+	wl := &core.Workload{Name: "overflow", Graph: g, Root: root, DatasetFiles: files}
+
+	cfg := quietConfig(4, 4)
+	cfg.WorkerDisk = units.GBf(1.2) // 12 × 200MB staged to one node overflows
+	res := Run(cfg, wl)
+	if res.DiskFailures == 0 {
+		t.Fatalf("expected a disk overflow (peak per worker: %v)", res.PeakCachePerWorker)
+	}
+}
+
+func TestHoistingHelpsShortTasks(t *testing.T) {
+	// Fig. 10: hoisting matters for fine-grained tasks, not long ones.
+	short := func(hoist bool) time.Duration {
+		cfg := quietConfig(4, 2)
+		cfg.Hoist = hoist
+		res := Run(cfg, apps.HoistSweep(200, 100*time.Millisecond, 5))
+		if !res.Completed {
+			t.Fatalf("sweep failed: %s", res.Failure)
+		}
+		return res.Runtime
+	}
+	withH, withoutH := short(true), short(false)
+	if float64(withoutH)/float64(withH) < 1.5 {
+		t.Fatalf("hoisting speedup for short tasks = %.2f, want > 1.5 (with %v, without %v)",
+			float64(withoutH)/float64(withH), withH, withoutH)
+	}
+
+	long := func(hoist bool) time.Duration {
+		cfg := quietConfig(4, 2)
+		cfg.Hoist = hoist
+		res := Run(cfg, apps.HoistSweep(40, 20*time.Second, 5))
+		if !res.Completed {
+			t.Fatalf("sweep failed: %s", res.Failure)
+		}
+		return res.Runtime
+	}
+	lw, lwo := long(true), long(false)
+	if float64(lwo)/float64(lw) > 1.3 {
+		t.Fatalf("hoisting speedup for long tasks = %.2f, want ≈1", float64(lwo)/float64(lw))
+	}
+}
+
+func TestImportFSMatters(t *testing.T) {
+	// Fig. 10's other axis: local imports beat shared-FS imports for
+	// non-hoisted fine-grained calls.
+	run := func(fs params.FS) time.Duration {
+		cfg := quietConfig(4, 2)
+		cfg.Hoist = false
+		cfg.ImportFS = fs
+		res := Run(cfg, apps.HoistSweep(200, 100*time.Millisecond, 5))
+		if !res.Completed {
+			t.Fatalf("failed: %s", res.Failure)
+		}
+		return res.Runtime
+	}
+	local, vast := run(params.LocalDisk), run(params.VAST)
+	if local >= vast {
+		t.Fatalf("local imports (%v) not faster than shared FS (%v)", local, vast)
+	}
+}
+
+func TestDaskComparatorSlower(t *testing.T) {
+	wl := func() *core.Workload { return tinyWorkload(200, time.Second, 5*units.MB) }
+	vine := Run(quietConfig(4, 5), wl())
+	dcfg := DaskConfig(5, 4, 7)
+	dcfg.PreemptFraction = 0
+	dcfg.StartupSpread = 0
+	dcfg.Horizon = time.Hour
+	dask := Run(dcfg, wl())
+	if !vine.Completed || !dask.Completed {
+		t.Fatalf("failures: %q %q", vine.Failure, dask.Failure)
+	}
+	if dask.Runtime <= vine.Runtime {
+		t.Fatalf("dask (%v) not slower than taskvine (%v)", dask.Runtime, vine.Runtime)
+	}
+}
+
+func TestDaskCrashesAtScale(t *testing.T) {
+	dcfg := DaskConfig(100, 12, 7) // 1200 cores
+	res := Run(dcfg, tinyWorkload(10, time.Second, units.MB))
+	if res.Completed {
+		t.Fatal("dask completed at crash scale")
+	}
+	if !strings.Contains(res.Failure, "crash") {
+		t.Fatalf("failure = %q", res.Failure)
+	}
+}
+
+func TestScalingReducesRuntime(t *testing.T) {
+	mk := func() *core.Workload { return tinyWorkload(400, 2*time.Second, units.MB) }
+	small := Run(quietConfig(4, 2), mk())
+	big := Run(quietConfig(4, 8), mk())
+	if !small.Completed || !big.Completed {
+		t.Fatal("runs failed")
+	}
+	if big.Runtime >= small.Runtime {
+		t.Fatalf("4x workers not faster: %v vs %v", big.Runtime, small.Runtime)
+	}
+}
+
+func TestTransferCapRespected(t *testing.T) {
+	// With cap 1, staging serializes per source; runtime grows vs cap 8.
+	mk := func() *core.Workload { return tinyWorkload(64, 200*time.Millisecond, 200*units.MB) }
+	cfg1 := quietConfig(4, 4)
+	cfg1.TransferCap = 1
+	cfg8 := quietConfig(4, 4)
+	cfg8.TransferCap = 8
+	r1, r8 := Run(cfg1, mk()), Run(cfg8, mk())
+	if !r1.Completed || !r8.Completed {
+		t.Fatalf("failures: %q %q", r1.Failure, r8.Failure)
+	}
+	// Both complete; cap 1 must not be faster by any meaningful margin.
+	if float64(r1.Runtime) < float64(r8.Runtime)*0.8 {
+		t.Fatalf("cap1 (%v) much faster than cap8 (%v)?", r1.Runtime, r8.Runtime)
+	}
+}
+
+func TestStackConfigPresets(t *testing.T) {
+	for s := 1; s <= 4; s++ {
+		c := StackConfig(s, 10, 12, 1)
+		if c.Workers != 10 || c.CoresPerWorker != 12 {
+			t.Fatalf("stack %d shape wrong", s)
+		}
+	}
+	c1 := StackConfig(1, 1, 1, 1)
+	if c1.FS.Name != "hdfs" || c1.Flow != FlowManager || c1.Serverless {
+		t.Fatalf("stack1 = %+v", c1)
+	}
+	c4 := StackConfig(4, 1, 1, 1)
+	if c4.FS.Name != "vast" || c4.Flow != FlowPeer || !c4.Serverless || !c4.Hoist {
+		t.Fatalf("stack4 = %+v", c4)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("stack 5 accepted")
+		}
+	}()
+	StackConfig(5, 1, 1, 1)
+}
+
+func TestResultAccessors(t *testing.T) {
+	res := Run(quietConfig(4, 2), tinyWorkload(16, time.Second, units.MB))
+	if res.Throughput() <= 0 {
+		t.Fatal("no throughput")
+	}
+	if u := res.Utilization(); u <= 0 || u > 1 {
+		t.Fatalf("utilization = %v", u)
+	}
+	if len(res.TaskExec) != res.TasksDone {
+		t.Fatalf("task exec records %d != done %d", len(res.TaskExec), res.TasksDone)
+	}
+}
+
+func TestInvalidWorkloadRejected(t *testing.T) {
+	g := dag.NewGraph()
+	g.MustAdd(&dag.Task{Key: "x", Spec: "bogus"})
+	g.Finalize()
+	wl := &core.Workload{Name: "bad", Graph: g, Root: "x", DatasetFiles: map[storage.FileID]units.Bytes{}}
+	res := Run(quietConfig(4, 1), wl)
+	if res.Completed || res.Failure == "" {
+		t.Fatal("invalid workload accepted")
+	}
+}
+
+func TestHeterogeneitySlowsTail(t *testing.T) {
+	// A heterogeneous pool has slow nodes; the critical-path tail grows
+	// relative to a homogeneous pool of the same nominal capacity.
+	mk := func(spread float64) time.Duration {
+		cfg := quietConfig(4, 4)
+		cfg.SpeedSpread = spread
+		res := Run(cfg, tinyWorkload(200, 4*time.Second, units.MB))
+		if !res.Completed {
+			t.Fatalf("failed: %s", res.Failure)
+		}
+		return res.Runtime
+	}
+	homo, hetero := mk(0), mk(0.3)
+	// Not a strict inequality theorem (fast nodes help too), but with a
+	// reduction tail the slowest node usually binds; require the
+	// heterogeneous run not to be dramatically faster.
+	if float64(hetero) < float64(homo)*0.85 {
+		t.Fatalf("heterogeneous (%v) much faster than homogeneous (%v)?", hetero, homo)
+	}
+}
+
+func TestTraceRecording(t *testing.T) {
+	cfg := quietConfig(4, 2)
+	cfg.RecordTrace = true
+	wl := tinyWorkload(20, time.Second, units.MB)
+	res := Run(cfg, wl)
+	if !res.Completed {
+		t.Fatal(res.Failure)
+	}
+	if len(res.Trace) != res.TasksDone {
+		t.Fatalf("trace has %d events for %d tasks", len(res.Trace), res.TasksDone)
+	}
+	for _, ev := range res.Trace {
+		if ev.Worker < 1 || ev.Worker > 2 {
+			t.Fatalf("bad worker %d", ev.Worker)
+		}
+		if !(ev.Dispatch <= ev.Start && ev.Start < ev.End) {
+			t.Fatalf("event times out of order: %+v", ev)
+		}
+	}
+	// Processor tasks run ~1s (±15% node speed); at least one trace event
+	// must show that.
+	sawLong := false
+	for _, ev := range res.Trace {
+		if ev.End-ev.Start >= 800*time.Millisecond {
+			sawLong = true
+		}
+	}
+	if !sawLong {
+		t.Fatal("no trace event reflects the 1s compute")
+	}
+	// Off by default.
+	res2 := Run(quietConfig(4, 2), tinyWorkload(20, time.Second, units.MB))
+	if len(res2.Trace) != 0 {
+		t.Fatal("trace recorded without RecordTrace")
+	}
+}
+
+func TestDaskVsVineDeterminismAcrossSeeds(t *testing.T) {
+	// Different seeds must change runtimes (workload sampling is live) but
+	// never the qualitative ordering on an overhead-dominated workload.
+	for _, seed := range []uint64{1, 2, 3} {
+		wl := tinyWorkload(150, 500*time.Millisecond, units.MB)
+		vcfg := quietConfig(4, 3)
+		vcfg.Seed = seed
+		vres := Run(vcfg, wl)
+		dcfg := DaskConfig(3, 4, seed)
+		dcfg.PreemptFraction = 0
+		dcfg.StartupSpread = 0
+		dcfg.Horizon = time.Hour
+		dres := Run(dcfg, tinyWorkload(150, 500*time.Millisecond, units.MB))
+		if !vres.Completed || !dres.Completed {
+			t.Fatalf("seed %d: failures %q %q", seed, vres.Failure, dres.Failure)
+		}
+		if dres.Runtime <= vres.Runtime {
+			t.Fatalf("seed %d: ordering flipped (dask %v vs vine %v)", seed, dres.Runtime, vres.Runtime)
+		}
+	}
+}
+
+func TestSampleIntervalRespected(t *testing.T) {
+	cfg := quietConfig(4, 2)
+	cfg.SampleEvery = 5 * time.Second
+	res := Run(cfg, tinyWorkload(60, 2*time.Second, units.MB))
+	if !res.Completed {
+		t.Fatal(res.Failure)
+	}
+	for i := 1; i < len(res.Samples)-1; i++ { // final sample is at completion
+		if d := res.Samples[i].T - res.Samples[i-1].T; d != 5*time.Second {
+			t.Fatalf("sample gap %v", d)
+		}
+	}
+}
+
+func TestHorizonAborts(t *testing.T) {
+	cfg := quietConfig(4, 1)
+	cfg.Horizon = 3 * time.Second
+	res := Run(cfg, tinyWorkload(500, 10*time.Second, units.MB))
+	if res.Completed {
+		t.Fatal("completed impossible workload")
+	}
+	if !strings.Contains(res.Failure, "horizon") {
+		t.Fatalf("failure = %q", res.Failure)
+	}
+	if res.Runtime > 3*time.Second+time.Second {
+		t.Fatalf("ran past horizon: %v", res.Runtime)
+	}
+}

@@ -1,0 +1,191 @@
+package xrootd
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"hepvine/internal/rootio"
+)
+
+func newServer(t *testing.T, delay time.Duration) (*Server, string, int) {
+	t.Helper()
+	dir := t.TempDir()
+	const events = 600
+	paths, err := rootio.WriteDataset(dir, rootio.DatasetSpec{
+		Name: "remote", Files: 2, EventsPerFile: events, BasketSize: 128,
+		Gen: rootio.GenOptions{Seed: 31},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewServer(dir, delay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	name := strings.TrimPrefix(paths[0], dir+"/")
+	return s, name, events
+}
+
+func dial(t *testing.T, s *Server) *Client {
+	t.Helper()
+	c, err := Dial(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func TestOpen(t *testing.T) {
+	s, name, events := newServer(t, 0)
+	c := dial(t, s)
+	n, basket, err := c.Open(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(events) || basket != 128 {
+		t.Fatalf("open: %d events, basket %d", n, basket)
+	}
+	if s.Stats().Opens != 1 {
+		t.Fatalf("opens = %d", s.Stats().Opens)
+	}
+}
+
+func TestRemoteMatchesLocalFlat(t *testing.T) {
+	s, name, events := newServer(t, 0)
+	c := dial(t, s)
+	remote, err := c.ReadFlat(name, "MET_pt", 50, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd, closer, err := rootio.Open(s.dir + "/" + name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closer.Close()
+	local, err := rd.ReadFlat("MET_pt", 50, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(remote) != len(local) {
+		t.Fatalf("lengths %d vs %d", len(remote), len(local))
+	}
+	for i := range local {
+		if remote[i] != local[i] {
+			t.Fatalf("value %d differs", i)
+		}
+	}
+	_ = events
+}
+
+func TestRemoteMatchesLocalJagged(t *testing.T) {
+	s, name, _ := newServer(t, 0)
+	c := dial(t, s)
+	remote, err := c.ReadJagged(name, "Jet_pt", 10, 90)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd, closer, _ := rootio.Open(s.dir + "/" + name)
+	defer closer.Close()
+	local, err := rd.ReadJagged("Jet_pt", 10, 90)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(remote.Counts) != len(local.Counts) || len(remote.Values) != len(local.Values) {
+		t.Fatal("shape differs")
+	}
+	for i := range local.Values {
+		if remote.Values[i] != local.Values[i] {
+			t.Fatalf("value %d differs", i)
+		}
+	}
+}
+
+func TestSequentialRequestsOneConnection(t *testing.T) {
+	s, name, events := newServer(t, 0)
+	c := dial(t, s)
+	total := 0
+	for lo := int64(0); lo < int64(events); lo += 100 {
+		hi := lo + 100
+		vals, err := c.ReadFlat(name, "MET_pt", lo, hi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += len(vals)
+	}
+	if total != events {
+		t.Fatalf("read %d of %d", total, events)
+	}
+	if s.Stats().Reads != events/100 {
+		t.Fatalf("server reads = %d", s.Stats().Reads)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	s, name, _ := newServer(t, 0)
+	c := dial(t, s)
+	if _, _, err := c.Open("nonexistent.vrt"); err == nil {
+		t.Fatal("missing file opened")
+	}
+	if _, _, err := c.Open("../escape.vrt"); err == nil {
+		t.Fatal("path traversal accepted")
+	}
+	if _, err := c.ReadFlat(name, "NoSuchBranch", 0, 10); err == nil {
+		t.Fatal("missing branch read")
+	}
+	if _, err := c.ReadFlat(name, "MET_pt", 0, 1<<40); err == nil {
+		t.Fatal("out-of-range read accepted")
+	}
+	// Jagged branch via flat verb must fail.
+	if _, err := c.ReadFlat(name, "Jet_pt", 0, 10); err == nil {
+		t.Fatal("jagged-as-flat accepted")
+	}
+	// Connection survives errors.
+	if _, err := c.ReadFlat(name, "MET_pt", 0, 10); err != nil {
+		t.Fatalf("connection dead after error: %v", err)
+	}
+}
+
+func TestWANDelayVisible(t *testing.T) {
+	fast, nameF, _ := newServer(t, 0)
+	slow, nameS, _ := newServer(t, 20*time.Millisecond)
+	cf, cs := dial(t, fast), dial(t, slow)
+
+	const reqs = 10
+	timeIt := func(c *Client, name string) time.Duration {
+		start := time.Now()
+		for i := 0; i < reqs; i++ {
+			if _, err := c.ReadFlat(name, "MET_pt", 0, 50); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return time.Since(start)
+	}
+	tFast := timeIt(cf, nameF)
+	tSlow := timeIt(cs, nameS)
+	// 10 requests x 20ms ≥ 200ms of injected latency.
+	if tSlow-tFast < 150*time.Millisecond {
+		t.Fatalf("WAN delay invisible: fast %v slow %v", tFast, tSlow)
+	}
+}
+
+func TestServerCloseStopsService(t *testing.T) {
+	s, name, _ := newServer(t, 0)
+	c := dial(t, s)
+	if _, _, err := c.Open(name); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	if _, err := Dial(s.Addr()); err == nil {
+		// Dial may race the close; a subsequent request must fail.
+		c2, _ := Dial(s.Addr())
+		if c2 != nil {
+			if _, _, err := c2.Open(name); err == nil {
+				t.Fatal("server alive after Close")
+			}
+			c2.Close()
+		}
+	}
+}
