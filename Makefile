@@ -1,6 +1,16 @@
 # Convenience targets; everything is plain `go` underneath.
+# Run `make help` for the list.
 
-.PHONY: test race bench verify paper examples tidy
+.PHONY: help check test race bench verify paper examples tidy
+
+help:                 ## list targets
+	@grep -E '^[a-z]+: *##' $(MAKEFILE_LIST) | awk -F': *## *' '{printf "  %-10s %s\n", $$1, $$2}'
+
+check:                ## full gate: vet + build + tests + race pass (use before sending a PR)
+	go vet ./...
+	go build ./...
+	go test ./...
+	go test -race ./internal/vine/ ./internal/daskvine/
 
 test:                 ## full test suite
 	go build ./... && go vet ./... && go test ./...
@@ -25,6 +35,6 @@ examples:             ## run every example end to end
 	go run ./examples/remotedata
 	go run ./examples/systematics
 
-tidy:
+tidy:                 ## gofmt + vet
 	gofmt -w .
 	go vet ./...

@@ -25,6 +25,7 @@ import (
 	"hepvine/internal/coffea"
 	"hepvine/internal/dag"
 	"hepvine/internal/daskvine"
+	"hepvine/internal/obs"
 	"hepvine/internal/rootio"
 	"hepvine/internal/vine"
 )
@@ -42,15 +43,17 @@ func main() {
 	mode := flag.String("mode", "function-calls", "execution mode: tasks or function-calls")
 	hoist := flag.Bool("hoist", true, "hoist library imports")
 	timeout := flag.Duration("timeout", 10*time.Minute, "workflow timeout")
+	trace := flag.String("trace", "", "write a JSONL event trace to this file")
+	metrics := flag.Bool("metrics", false, "dump the manager metrics registry after the run")
 	flag.Parse()
 
-	if err := run(*processor, *data, *generate, *fileset, *chunk, *fanIn, *workers, *cores, *minWorkers, *mode, *hoist, *timeout); err != nil {
+	if err := run(*processor, *data, *generate, *fileset, *chunk, *fanIn, *workers, *cores, *minWorkers, *mode, *hoist, *timeout, *trace, *metrics); err != nil {
 		log.Fatalf("vinerun: %v", err)
 	}
 }
 
 func run(processor, data, generate, filesetPath string, chunkSize int64, fanIn, nWorkers, cores, minWorkers int,
-	mode string, hoist bool, timeout time.Duration) error {
+	mode string, hoist bool, timeout time.Duration, tracePath string, dumpMetrics bool) error {
 
 	apps.RegisterProcessors()
 	if err := vine.RegisterLibrary(daskvine.NewLibrary(100 * time.Millisecond)); err != nil {
@@ -126,19 +129,26 @@ func run(processor, data, generate, filesetPath string, chunkSize int64, fanIn, 
 	fmt.Printf("workflow: %s over %d events in %d files / %d datasets -> %d chunks, %d tasks (width %d, depth %d)\n",
 		processor, fset.TotalEvents(), nFiles, len(datasets), nChunks, graph.Len(), graph.MaxWidth(), graph.CriticalPathLen())
 
-	mgr, err := vine.NewManager(vine.ManagerOptions{
-		PeerTransfers:    true,
-		InstallLibraries: []vine.LibrarySpec{{Name: daskvine.LibraryName, Hoist: hoist}},
-	})
+	var rec *obs.Recorder
+	if tracePath != "" {
+		rec = obs.NewRecorder()
+	}
+	mgr, err := vine.NewManager(
+		vine.WithPeerTransfers(true),
+		vine.WithLibrary(daskvine.LibraryName, hoist),
+		vine.WithRecorder(rec),
+	)
 	if err != nil {
 		return err
 	}
 	defer mgr.Stop()
 	fmt.Printf("manager listening at %s\n", mgr.Addr())
 	for i := 0; i < nWorkers; i++ {
-		w, err := vine.NewWorker(mgr.Addr(), vine.WorkerOptions{
-			Name: fmt.Sprintf("local-%d", i), Cores: cores,
-		})
+		w, err := vine.NewWorker(mgr.Addr(),
+			vine.WithName(fmt.Sprintf("local-%d", i)),
+			vine.WithCores(cores),
+			vine.WithRecorder(rec),
+		)
 		if err != nil {
 			return err
 		}
@@ -166,6 +176,25 @@ func run(processor, data, generate, filesetPath string, chunkSize int64, fanIn, 
 	fmt.Printf("\ncompleted in %v: %d tasks (%d retries), %d peer transfers (%.1f MB), %d manager transfers, %d workers lost\n",
 		elapsed.Round(time.Millisecond), st.TasksDone, st.Retries,
 		st.PeerTransfers, float64(st.PeerBytes)/1e6, st.ManagerTransfers, st.WorkersLost)
+
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			return err
+		}
+		if err := rec.WriteJSONL(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("trace: %d events -> %s\n", rec.Len(), tracePath)
+	}
+	if dumpMetrics {
+		fmt.Println("\n# manager metrics")
+		mgr.WriteMetrics(os.Stdout)
+	}
 
 	for _, name := range result.Names() {
 		h := result.H[name]

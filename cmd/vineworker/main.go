@@ -41,12 +41,12 @@ func main() {
 		log.Fatal(err)
 	}
 
-	w, err := vine.NewWorker(*manager, vine.WorkerOptions{
-		Name:      *name,
-		Cores:     *cores,
-		Dir:       *dir,
-		DiskLimit: *disk,
-	})
+	w, err := vine.NewWorker(*manager,
+		vine.WithName(*name),
+		vine.WithCores(*cores),
+		vine.WithCacheDir(*dir),
+		vine.WithDiskLimit(*disk),
+	)
 	if err != nil {
 		log.Fatalf("vineworker: %v", err)
 	}

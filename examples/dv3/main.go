@@ -75,18 +75,19 @@ func run(workers, cores, nFiles, events int) error {
 	fmt.Printf("dataset: %.1f MB on disk, %d chunks, %d-task graph (critical path %d)\n",
 		float64(totalBytes)/1e6, len(chunks), graph.Len(), graph.CriticalPathLen())
 
-	mgr, err := vine.NewManager(vine.ManagerOptions{
-		PeerTransfers:    true,
-		InstallLibraries: []vine.LibrarySpec{{Name: daskvine.LibraryName, Hoist: true}},
-	})
+	mgr, err := vine.NewManager(
+		vine.WithPeerTransfers(true),
+		vine.WithLibrary(daskvine.LibraryName, true),
+	)
 	if err != nil {
 		return err
 	}
 	defer mgr.Stop()
 	for i := 0; i < workers; i++ {
-		w, err := vine.NewWorker(mgr.Addr(), vine.WorkerOptions{
-			Name: fmt.Sprintf("w%d", i), Cores: cores,
-		})
+		w, err := vine.NewWorker(mgr.Addr(),
+			vine.WithName(fmt.Sprintf("w%d", i)),
+			vine.WithCores(cores),
+		)
 		if err != nil {
 			return err
 		}

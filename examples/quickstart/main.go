@@ -18,6 +18,7 @@ import (
 	"hepvine/internal/apps"
 	"hepvine/internal/coffea"
 	"hepvine/internal/daskvine"
+	"hepvine/internal/obs"
 	"hepvine/internal/rootio"
 	"hepvine/internal/vine"
 )
@@ -70,11 +71,14 @@ func run() error {
 	}
 	fmt.Printf("task graph: %d tasks over %d chunks\n", graph.Len(), len(chunks))
 
-	// manager = DaskVine(name="my_manager")
-	mgr, err := vine.NewManager(vine.ManagerOptions{
-		PeerTransfers:    true, // peer_transfers=True
-		InstallLibraries: []vine.LibrarySpec{{Name: daskvine.LibraryName, Hoist: true}},
-	})
+	// manager = DaskVine(name="my_manager"); a shared recorder traces the
+	// whole cluster — manager lifecycle plus worker-side cache events.
+	rec := obs.NewRecorder()
+	mgr, err := vine.NewManager(
+		vine.WithPeerTransfers(true), // peer_transfers=True
+		vine.WithLibrary(daskvine.LibraryName, true),
+		vine.WithRecorder(rec),
+	)
 	if err != nil {
 		return err
 	}
@@ -83,9 +87,11 @@ func run() error {
 	// lib_resources={'cores':12, 'slots':12} — one 12-core worker plus a
 	// second node to show peer transfers.
 	for i := 0; i < 2; i++ {
-		w, err := vine.NewWorker(mgr.Addr(), vine.WorkerOptions{
-			Name: fmt.Sprintf("worker-%d", i), Cores: 12,
-		})
+		w, err := vine.NewWorker(mgr.Addr(),
+			vine.WithName(fmt.Sprintf("worker-%d", i)),
+			vine.WithCores(12),
+			vine.WithRecorder(rec),
+		)
 		if err != nil {
 			return err
 		}
@@ -117,5 +123,43 @@ func run() error {
 	st := mgr.Stats()
 	fmt.Printf("tasks done: %d  peer transfers: %d (%d bytes)  manager transfers: %d\n",
 		st.TasksDone, st.PeerTransfers, st.PeerBytes, st.ManagerTransfers)
+
+	// Export the trace as JSONL, reload it, and render the paper figures
+	// from the replay — the same renderers internal/bench uses on
+	// simulator traces.
+	tracePath := dir + "/trace.jsonl"
+	tf, err := os.Create(tracePath)
+	if err != nil {
+		return err
+	}
+	if err := rec.WriteJSONL(tf); err != nil {
+		tf.Close()
+		return err
+	}
+	if err := tf.Close(); err != nil {
+		return err
+	}
+	rf, err := os.Open(tracePath)
+	if err != nil {
+		return err
+	}
+	events, err := obs.ReadJSONL(rf)
+	rf.Close()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\ntrace: %d events -> %s\n", len(events), tracePath)
+
+	fmt.Println("\nFig. 12-style timeline (tasks waiting/running/done per 250ms):")
+	fmt.Println("seconds,waiting,running,done,failed")
+	for _, p := range obs.Timeline(events, 250*time.Millisecond) {
+		fmt.Printf("%.2f,%d,%d,%d,%d\n", p.T.Seconds(), p.Waiting, p.Running, p.Done, p.Failed)
+	}
+
+	fmt.Println("\nFig. 7-style transfer matrix (bytes moved src -> dst):")
+	matrix := obs.TransferMatrix(events)
+	if err := obs.WriteMatrixCSV(os.Stdout, matrix); err != nil {
+		return err
+	}
 	return nil
 }

@@ -80,14 +80,14 @@ func run(calls int, setupCost time.Duration) error {
 	fmt.Printf("%d invocations per mode, simulated import cost %v\n\n", calls, setupCost)
 	var baseline time.Duration
 	for _, m := range modes {
-		mgr, err := vine.NewManager(vine.ManagerOptions{
-			PeerTransfers:    true,
-			InstallLibraries: []vine.LibrarySpec{{Name: "mathlib", Hoist: m.hoist}},
-		})
+		mgr, err := vine.NewManager(
+			vine.WithPeerTransfers(true),
+			vine.WithLibrary("mathlib", m.hoist),
+		)
 		if err != nil {
 			return err
 		}
-		worker, err := vine.NewWorker(mgr.Addr(), vine.WorkerOptions{Name: "w0", Cores: 4})
+		worker, err := vine.NewWorker(mgr.Addr(), vine.WithName("w0"), vine.WithCores(4))
 		if err != nil {
 			mgr.Stop()
 			return err

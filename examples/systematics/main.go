@@ -162,16 +162,16 @@ func run(nChunks, nVariations, events int) error {
 		return err
 	}
 
-	mgr, err := vine.NewManager(vine.ManagerOptions{
-		PeerTransfers:    true,
-		InstallLibraries: []vine.LibrarySpec{{Name: "sysvar", Hoist: true}},
-	})
+	mgr, err := vine.NewManager(
+		vine.WithPeerTransfers(true),
+		vine.WithLibrary("sysvar", true),
+	)
 	if err != nil {
 		return err
 	}
 	defer mgr.Stop()
 	for i := 0; i < 4; i++ {
-		w, err := vine.NewWorker(mgr.Addr(), vine.WorkerOptions{Name: fmt.Sprintf("w%d", i), Cores: 4})
+		w, err := vine.NewWorker(mgr.Addr(), vine.WithName(fmt.Sprintf("w%d", i)), vine.WithCores(4))
 		if err != nil {
 			return err
 		}

@@ -88,18 +88,19 @@ func run(nDatasets, nFiles, events int) error {
 		if err != nil {
 			return err
 		}
-		mgr, err := vine.NewManager(vine.ManagerOptions{
-			PeerTransfers:    true,
-			InstallLibraries: []vine.LibrarySpec{{Name: daskvine.LibraryName, Hoist: true}},
-		})
+		mgr, err := vine.NewManager(
+			vine.WithPeerTransfers(true),
+			vine.WithLibrary(daskvine.LibraryName, true),
+		)
 		if err != nil {
 			return err
 		}
 		var ws []*vine.Worker
 		for i := 0; i < 4; i++ {
-			w, err := vine.NewWorker(mgr.Addr(), vine.WorkerOptions{
-				Name: fmt.Sprintf("w%d", i), Cores: 4,
-			})
+			w, err := vine.NewWorker(mgr.Addr(),
+				vine.WithName(fmt.Sprintf("w%d", i)),
+				vine.WithCores(4),
+			)
 			if err != nil {
 				mgr.Stop()
 				return err

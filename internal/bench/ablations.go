@@ -43,7 +43,7 @@ func runAblationCap(opts Options, w io.Writer) error {
 			label = "unbounded"
 		}
 		row(w, label, secs(res.Runtime), fmt.Sprintf("%v", res.Completed),
-			fmt.Sprintf("%d", res.PeerCount), res.MaxPairBytes.String())
+			fmt.Sprintf("%d", res.Snapshot.PeerTransfers), res.MaxPairBytes.String())
 	}
 	return nil
 }

@@ -7,6 +7,7 @@ import (
 	"sort"
 	"time"
 
+	"hepvine/internal/obs"
 	"hepvine/internal/units"
 	"hepvine/internal/vinesim"
 )
@@ -41,19 +42,21 @@ func runFig7(opts Options, w io.Writer) error {
 	} {
 		wl, workers := dv3LargeAt(opts)
 		cfg := vinesim.StackConfig(c.stack, workers, 12, opts.Seed)
+		rec := obs.NewRecorder()
+		cfg.Recorder = rec
 		res := vinesim.Run(cfg, wl)
 		if !res.Completed {
 			return fmt.Errorf("%s failed: %s", c.label, res.Failure)
 		}
 		cases = append(cases, caseRes{c.label, res})
+		// The exported matrix is rendered from the event trace — the same
+		// obs.TransferMatrix a live-plane trace goes through.
 		if f, err := opts.csvFile(fmt.Sprintf("fig7_%s_matrix", map[int]string{2: "wq", 4: "vine"}[c.stack])); err != nil {
 			return err
 		} else if f != nil {
-			fmt.Fprintln(f, "src,dst,bytes")
-			for src, rowm := range res.TransferMatrix {
-				for dst, b := range rowm {
-					fmt.Fprintf(f, "%s,%s,%d\n", src, dst, int64(b))
-				}
+			if err := obs.WriteMatrixCSV(f, obs.TransferMatrix(rec.Events())); err != nil {
+				f.Close()
+				return err
 			}
 			f.Close()
 		}
@@ -64,8 +67,8 @@ func runFig7(opts Options, w io.Writer) error {
 		row(w, c.label,
 			c.res.ManagerMoved.String(),
 			c.res.MaxPairBytes.String(),
-			fmt.Sprintf("%d", c.res.PeerCount),
-			fmt.Sprintf("%d", c.res.ManagerCount))
+			fmt.Sprintf("%d", c.res.Snapshot.PeerTransfers),
+			fmt.Sprintf("%d", c.res.Snapshot.ManagerTransfers))
 	}
 
 	// The headline ratio: how much the manager hot-spot shrinks.

@@ -86,8 +86,8 @@ func runFig11(opts Options, w io.Writer) error {
 		row(w, o.label,
 			secs(o.res.Runtime),
 			fmt.Sprintf("%v", o.res.Completed),
-			fmt.Sprintf("%d", o.res.DiskFailures),
-			fmt.Sprintf("%d", o.res.TasksRerun),
+			fmt.Sprintf("%d", o.res.Snapshot.DiskFailures),
+			fmt.Sprintf("%d", o.res.Snapshot.Retries),
 			max.String(), med.String())
 	}
 

@@ -48,15 +48,15 @@ func runFig9(opts Options, w io.Writer) error {
 		if err := vine.RegisterLibrary(lib); err != nil {
 			return 0, 0, err
 		}
-		m, err := vine.NewManager(vine.ManagerOptions{
-			PeerTransfers:    true,
-			InstallLibraries: []vine.LibrarySpec{{Name: lib.Name, Hoist: hoist}},
-		})
+		m, err := vine.NewManager(
+			vine.WithPeerTransfers(true),
+			vine.WithLibrary(lib.Name, hoist),
+		)
 		if err != nil {
 			return 0, 0, err
 		}
 		defer m.Stop()
-		worker, err := vine.NewWorker(m.Addr(), vine.WorkerOptions{Cores: 4})
+		worker, err := vine.NewWorker(m.Addr(), vine.WithCores(4))
 		if err != nil {
 			return 0, 0, err
 		}

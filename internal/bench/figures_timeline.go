@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"hepvine/internal/apps"
+	"hepvine/internal/obs"
 	"hepvine/internal/vinesim"
 )
 
@@ -40,24 +41,31 @@ func runFig12(opts Options, w io.Writer) error {
 	for s := 1; s <= 4; s++ {
 		wl, workers := dv3LargeAt(opts)
 		cfg := vinesim.StackConfig(s, workers, 12, opts.Seed)
+		rec := obs.NewRecorder()
+		cfg.Recorder = rec
 		res := vinesim.Run(cfg, wl)
 		if !res.Completed {
 			return fmt.Errorf("stack %d failed: %s", s, res.Failure)
 		}
-		if err := writeTimelineCSV(opts, fmt.Sprintf("fig12_stack%d", s), res); err != nil {
+		// Replay the event trace through the shared renderer — identical
+		// machinery to a live-plane JSONL trace.
+		pts := obs.Timeline(rec.Events(), stride)
+		if f, err := opts.csvFile(fmt.Sprintf("fig12_stack%d", s)); err != nil {
 			return err
+		} else if f != nil {
+			if err := obs.WriteTimelineCSV(f, pts); err != nil {
+				f.Close()
+				return err
+			}
+			f.Close()
 		}
 		fmt.Fprintf(w, "   Stack %d (total runtime %s):\n", s, secs(res.Runtime))
 		fmt.Fprintf(w, "   %10s %10s %10s %10s\n", "t", "running", "waiting", "done")
-		next := time.Duration(0)
-		for _, sm := range res.Samples {
-			if sm.T > window {
+		for _, p := range pts {
+			if p.T > window {
 				break
 			}
-			if sm.T >= next {
-				fmt.Fprintf(w, "   %10s %10d %10d %10d\n", secs(sm.T), sm.Running, sm.Waiting, sm.Done)
-				next += stride
-			}
+			fmt.Fprintf(w, "   %10s %10d %10d %10d\n", secs(p.T), p.Running, p.Waiting, p.Done)
 		}
 	}
 	return nil
@@ -71,21 +79,21 @@ func runFig13(opts Options, w io.Writer) error {
 			wl := apps.DV3Scaled(apps.DV3Large, opts.Scale, opts.Seed)
 			cfg := vinesim.StackConfig(stack, workers, 12, opts.Seed)
 			cfg.RecordPerWorker = true
-			cfg.RecordTrace = opts.CSVDir != ""
+			rec := obs.NewRecorder()
+			cfg.Recorder = rec
 			res := vinesim.Run(cfg, wl)
 			if !res.Completed {
 				return fmt.Errorf("stack %d @ %d workers failed: %s", stack, workers, res.Failure)
 			}
-			// Gantt-level export: one row per task execution, Fig. 13's
-			// raw "colored bars".
+			// Per-worker occupancy bins — Fig. 13's "colored bars",
+			// rendered from the event trace by the shared renderer.
 			if f, err := opts.csvFile(fmt.Sprintf("fig13_stack%d_%dworkers", stack, workers)); err != nil {
 				return err
 			} else if f != nil {
-				fmt.Fprintln(f, "key,worker,attempt,dispatch_s,start_s,end_s")
-				for _, ev := range res.Trace {
-					fmt.Fprintf(f, "%s,%d,%d,%.3f,%.3f,%.3f\n",
-						ev.Key, ev.Worker, ev.Attempt,
-						ev.Dispatch.Seconds(), ev.Start.Seconds(), ev.End.Seconds())
+				occ := obs.Occupancy(rec.Events(), 5*time.Second)
+				if err := obs.WriteOccupancyCSV(f, occ); err != nil {
+					f.Close()
+					return err
 				}
 				f.Close()
 			}
@@ -103,12 +111,20 @@ func runFig15(opts Options, w io.Writer) error {
 	wl := apps.DV3Scaled(apps.DV3Huge, opts.Scale, opts.Seed)
 	workers := opts.scaled(600, 4)
 	cfg := vinesim.StackConfig(4, workers, 12, opts.Seed)
+	rec := obs.NewRecorder()
+	cfg.Recorder = rec
 	res := vinesim.Run(cfg, wl)
 	if !res.Completed {
 		return fmt.Errorf("DV3-Huge failed: %s", res.Failure)
 	}
-	if err := writeTimelineCSV(opts, "fig15_dv3huge", res); err != nil {
+	if f, err := opts.csvFile("fig15_dv3huge"); err != nil {
 		return err
+	} else if f != nil {
+		if err := obs.WriteTimelineCSV(f, obs.Timeline(rec.Events(), cfg.SampleEvery)); err != nil {
+			f.Close()
+			return err
+		}
+		f.Close()
 	}
 	fmt.Fprintf(w, "   %d tasks on %d workers (%d cores): runtime %s, utilization %.0f%%\n",
 		wl.TaskCount(), workers, workers*12, secs(res.Runtime), res.Utilization()*100)
@@ -130,19 +146,5 @@ func runFig15(opts Options, w io.Writer) error {
 		fmt.Fprintf(w, "   %10s %10d  %s\n", secs(sm.T), sm.Running, bar(float64(sm.Running), float64(maxRunning), 40))
 	}
 	fmt.Fprintf(w, "   peak concurrency %d of %d cores\n", maxRunning, workers*12)
-	return nil
-}
-
-// writeTimelineCSV exports a run's running/waiting/done series.
-func writeTimelineCSV(opts Options, name string, res *vinesim.Result) error {
-	f, err := opts.csvFile(name)
-	if err != nil || f == nil {
-		return err
-	}
-	defer f.Close()
-	fmt.Fprintln(f, "t_seconds,running,waiting,done")
-	for _, sm := range res.Samples {
-		fmt.Fprintf(f, "%.0f,%d,%d,%d\n", sm.T.Seconds(), sm.Running, sm.Waiting, sm.Done)
-	}
 	return nil
 }

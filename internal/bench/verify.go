@@ -72,8 +72,8 @@ func runVerify(opts Options, w io.Writer) error {
 		"manager bytes %v vs %v", wq.ManagerMoved, tv.ManagerMoved)
 	add("F7: hottest pair shrinks ≥4x", float64(wq.MaxPairBytes) >= 4*float64(tv.MaxPairBytes),
 		"max pair %v vs %v", wq.MaxPairBytes, tv.MaxPairBytes)
-	add("F7: peers used only by TaskVine", wq.PeerCount == 0 && tv.PeerCount > 0,
-		"peer transfers %d vs %d", wq.PeerCount, tv.PeerCount)
+	add("F7: peers used only by TaskVine", wq.Snapshot.PeerTransfers == 0 && tv.Snapshot.PeerTransfers > 0,
+		"peer transfers %d vs %d", wq.Snapshot.PeerTransfers, tv.Snapshot.PeerTransfers)
 
 	// --- Fig. 8: task-time distribution ---
 	fc := inRangeFraction(stacks[4].TaskExec, time.Second, 10*time.Second)

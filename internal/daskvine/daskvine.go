@@ -14,10 +14,12 @@ package daskvine
 import (
 	"encoding/json"
 	"fmt"
+	"strconv"
 	"time"
 
 	"hepvine/internal/coffea"
 	"hepvine/internal/dag"
+	"hepvine/internal/obs"
 	"hepvine/internal/vine"
 )
 
@@ -114,6 +116,10 @@ type Options struct {
 	Timeout time.Duration
 	// OnTaskDone, if set, is called after each task completes.
 	OnTaskDone func(key dag.Key, h *vine.TaskHandle)
+	// Recorder, if set, receives one EvTaskSubmit per graph node keyed
+	// by its dag key, with Detail linking it to the vine task id — the
+	// join between graph-level and engine-level traces.
+	Recorder *obs.Recorder
 }
 
 // Run executes a coffea analysis graph on the live engine and returns the
@@ -193,6 +199,10 @@ func Run(m *vine.Manager, g *dag.Graph, root dag.Key, opts Options) (*coffea.His
 			return nil, fmt.Errorf("daskvine: submitting %q: %w", k, err)
 		}
 		handles[k] = h
+		opts.Recorder.Emit(obs.Event{
+			Type: obs.EvTaskSubmit, Task: string(k),
+			Detail: "vine:" + strconv.Itoa(h.ID),
+		})
 		if opts.OnTaskDone != nil {
 			key, hh := k, h
 			go func() {

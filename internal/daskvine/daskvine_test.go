@@ -65,20 +65,23 @@ func setup(t *testing.T) []coffea.Chunk {
 	return chunks
 }
 
-func cluster(t *testing.T, opts vine.ManagerOptions, workers, cores int) *vine.Manager {
+func cluster(t *testing.T, workers, cores int, opts ...vine.Option) *vine.Manager {
 	t.Helper()
-	if opts.InstallLibraries == nil {
-		opts.InstallLibraries = []vine.LibrarySpec{{Name: LibraryName, Hoist: true}}
-	}
-	m, err := vine.NewManager(opts)
+	mgrOpts := append([]vine.Option{
+		vine.WithPeerTransfers(true),
+		vine.WithLibrary(LibraryName, true),
+	}, opts...)
+	m, err := vine.NewManager(mgrOpts...)
 	if err != nil {
 		t.Fatal(err)
 	}
 	t.Cleanup(m.Stop)
 	for i := 0; i < workers; i++ {
-		w, err := vine.NewWorker(m.Addr(), vine.WorkerOptions{
-			Name: fmt.Sprintf("w%d", i), Cores: cores, Dir: t.TempDir(),
-		})
+		w, err := vine.NewWorker(m.Addr(),
+			vine.WithName(fmt.Sprintf("w%d", i)),
+			vine.WithCores(cores),
+			vine.WithCacheDir(t.TempDir()),
+		)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -114,7 +117,7 @@ func TestRunFunctionCallsBinaryTree(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	m := cluster(t, vine.ManagerOptions{PeerTransfers: true}, 3, 2)
+	m := cluster(t, 3, 2)
 	got, err := Run(m, g, root, Options{Mode: vine.ModeFunctionCall, Timeout: 60 * time.Second})
 	if err != nil {
 		t.Fatal(err)
@@ -132,7 +135,7 @@ func TestRunStandardTasksSingleShot(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	m := cluster(t, vine.ManagerOptions{PeerTransfers: true}, 2, 2)
+	m := cluster(t, 2, 2)
 	got, err := Run(m, g, root, Options{Mode: vine.ModeTask, Timeout: 60 * time.Second})
 	if err != nil {
 		t.Fatal(err)
@@ -146,7 +149,7 @@ func TestRunWorkQueueStyle(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	m := cluster(t, vine.ManagerOptions{PeerTransfers: false, ReturnOutputs: true}, 2, 2)
+	m := cluster(t, 2, 2, vine.WithPeerTransfers(false), vine.WithReturnOutputs(true))
 	got, err := Run(m, g, root, Options{Mode: vine.ModeTask, Timeout: 60 * time.Second})
 	if err != nil {
 		t.Fatal(err)
@@ -160,19 +163,21 @@ func TestRunSurvivesWorkerKill(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	m, err := vine.NewManager(vine.ManagerOptions{
-		PeerTransfers:    true,
-		InstallLibraries: []vine.LibrarySpec{{Name: LibraryName, Hoist: true}},
-	})
+	m, err := vine.NewManager(
+		vine.WithPeerTransfers(true),
+		vine.WithLibrary(LibraryName, true),
+	)
 	if err != nil {
 		t.Fatal(err)
 	}
 	t.Cleanup(m.Stop)
 	var victim *vine.Worker
 	for i := 0; i < 3; i++ {
-		w, err := vine.NewWorker(m.Addr(), vine.WorkerOptions{
-			Name: fmt.Sprintf("w%d", i), Cores: 2, Dir: t.TempDir(),
-		})
+		w, err := vine.NewWorker(m.Addr(),
+			vine.WithName(fmt.Sprintf("w%d", i)),
+			vine.WithCores(2),
+			vine.WithCacheDir(t.TempDir()),
+		)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -221,7 +226,7 @@ func TestRunMultiDataset(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	m := cluster(t, vine.ManagerOptions{PeerTransfers: true}, 2, 2)
+	m := cluster(t, 2, 2)
 	got, err := Run(m, g, root, Options{Timeout: 60 * time.Second})
 	if err != nil {
 		t.Fatal(err)
@@ -236,7 +241,7 @@ func TestRunValidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	m := cluster(t, vine.ManagerOptions{PeerTransfers: true}, 1, 1)
+	m := cluster(t, 1, 1)
 	if _, err := Run(m, g, "missing-root", Options{}); err == nil {
 		t.Fatal("bogus root accepted")
 	}

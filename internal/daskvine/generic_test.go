@@ -56,18 +56,20 @@ func registerGenericLib(t *testing.T) {
 func genericCluster(t *testing.T) *vine.Manager {
 	t.Helper()
 	registerGenericLib(t)
-	m, err := vine.NewManager(vine.ManagerOptions{
-		PeerTransfers:    true,
-		InstallLibraries: []vine.LibrarySpec{{Name: "wordlib", Hoist: true}},
-	})
+	m, err := vine.NewManager(
+		vine.WithPeerTransfers(true),
+		vine.WithLibrary("wordlib", true),
+	)
 	if err != nil {
 		t.Fatal(err)
 	}
 	t.Cleanup(m.Stop)
 	for i := 0; i < 2; i++ {
-		w, err := vine.NewWorker(m.Addr(), vine.WorkerOptions{
-			Name: fmt.Sprintf("gw%d", i), Cores: 2, Dir: t.TempDir(),
-		})
+		w, err := vine.NewWorker(m.Addr(),
+			vine.WithName(fmt.Sprintf("gw%d", i)),
+			vine.WithCores(2),
+			vine.WithCacheDir(t.TempDir()),
+		)
 		if err != nil {
 			t.Fatal(err)
 		}

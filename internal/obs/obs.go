@@ -1,0 +1,216 @@
+// Package obs is the unified observability layer shared by both execution
+// planes: the live TCP engine (internal/vine) and the discrete-event
+// simulator (internal/vinesim). It provides three things:
+//
+//  1. Recorder — an append-only, lock-cheap buffer of typed lifecycle
+//     events (task submit/dispatch/start/done/retry, transfers with
+//     src→dst+bytes, worker join/loss, cache evictions, library setups)
+//     with JSONL export and import. A nil *Recorder is a valid no-op
+//     sink: every method short-circuits without allocating, so tracing
+//     can be compiled in everywhere and disabled to zero cost.
+//
+//  2. Registry — a snapshot metrics registry (counters, gauges,
+//     histograms) that replaces the ad-hoc per-component counter
+//     structs, plus a plain-text dump in the familiar one-metric-per-
+//     line exposition style.
+//
+//  3. Renderers (render.go) — pure functions that turn an event trace
+//     from either plane into the paper's figures: the Fig. 7 pairwise
+//     transfer matrix, the Fig. 12 running/waiting timeline, and the
+//     Fig. 13 per-worker occupancy series.
+//
+// Event timestamps are durations since the trace epoch, so live traces
+// (stamped from the wall clock) and simulated traces (stamped from the
+// virtual clock) render identically.
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// EventType names one lifecycle event. The values are stable — they are
+// the on-disk JSONL vocabulary.
+type EventType string
+
+// The event vocabulary shared by both planes.
+const (
+	EvTaskSubmit    EventType = "task_submit"    // Task
+	EvTaskDispatch  EventType = "task_dispatch"  // Task, Worker, Attempt
+	EvTaskStart     EventType = "task_start"     // Task, Worker, Attempt
+	EvTaskDone      EventType = "task_done"      // Task, Worker, Attempt, Dur
+	EvTaskRetry     EventType = "task_retry"     // Task, Worker, Attempt, Detail=cause
+	EvTaskFail      EventType = "task_fail"      // Task, Detail=terminal error
+	EvTransferStart EventType = "transfer_start" // Src, Dst, Bytes, Detail=cachename
+	EvTransferDone  EventType = "transfer_done"  // Src, Dst, Bytes, Detail=cachename
+	EvWorkerJoin    EventType = "worker_join"    // Worker, Detail=cores
+	EvWorkerLost    EventType = "worker_lost"    // Worker
+	EvCacheEvict    EventType = "cache_evict"    // Worker, Bytes, Detail=cachename
+	EvLibrarySetup  EventType = "library_setup"  // Worker, Dur, Detail=library
+)
+
+// Event is one trace record. T is the offset from the trace epoch
+// (wall-clock start for the live plane, virtual time zero for the
+// simulator), serialized as integer nanoseconds.
+type Event struct {
+	T       time.Duration `json:"t"`
+	Type    EventType     `json:"type"`
+	Task    string        `json:"task,omitempty"`
+	Worker  string        `json:"worker,omitempty"`
+	Src     string        `json:"src,omitempty"`
+	Dst     string        `json:"dst,omitempty"`
+	Bytes   int64         `json:"bytes,omitempty"`
+	Attempt int           `json:"attempt,omitempty"`
+	Dur     time.Duration `json:"dur,omitempty"`
+	Detail  string        `json:"detail,omitempty"`
+}
+
+// Internal buffer segments grow from firstChunk to maxChunk; full
+// segments are never re-copied, so ingestion cost stays flat as the
+// trace grows, and short traces don't pay for a large up-front buffer.
+const (
+	firstChunk = 64
+	maxChunk   = 4096
+)
+
+// Recorder accumulates events append-only. All methods are safe for
+// concurrent use, and all methods on a nil receiver are no-ops — pass a
+// nil *Recorder to disable tracing at zero cost.
+type Recorder struct {
+	epoch time.Time
+
+	mu   sync.Mutex
+	full [][]Event
+	cur  []Event
+	n    int
+}
+
+// NewRecorder returns a Recorder whose epoch is now. Live-plane callers
+// use Emit (wall-clock stamping); simulators use Record with explicit
+// virtual timestamps.
+func NewRecorder() *Recorder {
+	return &Recorder{epoch: time.Now()}
+}
+
+// Emit appends ev, stamping ev.T with the wall-clock offset from the
+// recorder's epoch when ev.T is zero. No-op on a nil receiver.
+func (r *Recorder) Emit(ev Event) {
+	if r == nil {
+		return
+	}
+	if ev.T == 0 {
+		ev.T = time.Since(r.epoch)
+	}
+	r.record(ev)
+}
+
+// Record appends ev exactly as given — the simulator path, where T is
+// virtual time. No-op on a nil receiver.
+func (r *Recorder) Record(ev Event) {
+	if r == nil {
+		return
+	}
+	r.record(ev)
+}
+
+func (r *Recorder) record(ev Event) {
+	r.mu.Lock()
+	if cap(r.cur) == 0 {
+		next := maxChunk
+		if s := len(r.full); firstChunk<<s < maxChunk && s < 32 {
+			next = firstChunk << s
+		}
+		r.cur = make([]Event, 0, next)
+	}
+	r.cur = append(r.cur, ev)
+	r.n++
+	if len(r.cur) == cap(r.cur) {
+		r.full = append(r.full, r.cur)
+		r.cur = nil
+	}
+	r.mu.Unlock()
+}
+
+// Len reports how many events have been recorded.
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.n
+}
+
+// Events returns a copy of the trace in ingestion order.
+func (r *Recorder) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Event, 0, r.n)
+	for _, c := range r.full {
+		out = append(out, c...)
+	}
+	out = append(out, r.cur...)
+	return out
+}
+
+// Reset discards all recorded events, keeping the epoch.
+func (r *Recorder) Reset() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.full, r.cur, r.n = nil, nil, 0
+	r.mu.Unlock()
+}
+
+// WriteJSONL writes the trace as one JSON object per line.
+func (r *Recorder) WriteJSONL(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	return WriteJSONL(w, r.Events())
+}
+
+// WriteJSONL writes events as one JSON object per line.
+func WriteJSONL(w io.Writer, events []Event) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i := range events {
+		if err := enc.Encode(&events[i]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSONL parses a JSONL trace written by WriteJSONL. Blank lines are
+// skipped; a malformed line is an error naming its line number.
+func ReadJSONL(r io.Reader) ([]Event, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	var out []Event
+	line := 0
+	for sc.Scan() {
+		line++
+		b := sc.Bytes()
+		if len(b) == 0 {
+			continue
+		}
+		var ev Event
+		if err := json.Unmarshal(b, &ev); err != nil {
+			return nil, fmt.Errorf("obs: trace line %d: %w", line, err)
+		}
+		out = append(out, ev)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

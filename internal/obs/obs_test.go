@@ -1,0 +1,291 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRecorderRoundTripJSONL(t *testing.T) {
+	r := NewRecorder()
+	r.Record(Event{T: 1 * time.Millisecond, Type: EvTaskSubmit, Task: "a"})
+	r.Record(Event{T: 2 * time.Millisecond, Type: EvTransferStart, Src: "manager", Dst: "w0", Bytes: 4096, Detail: "blob-x"})
+	r.Record(Event{T: 3 * time.Millisecond, Type: EvTaskDone, Task: "a", Worker: "w0", Dur: time.Millisecond})
+	if r.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", r.Len())
+	}
+
+	var buf bytes.Buffer
+	if err := r.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if n := strings.Count(buf.String(), "\n"); n != 3 {
+		t.Fatalf("JSONL lines = %d, want 3", n)
+	}
+	back, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := r.Events()
+	if len(back) != len(want) {
+		t.Fatalf("round trip length %d, want %d", len(back), len(want))
+	}
+	for i := range back {
+		if back[i] != want[i] {
+			t.Fatalf("event %d round trip mismatch: %+v != %+v", i, back[i], want[i])
+		}
+	}
+}
+
+func TestReadJSONLBadLine(t *testing.T) {
+	_, err := ReadJSONL(strings.NewReader("{\"t\":1}\nnot json\n"))
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("want line-2 error, got %v", err)
+	}
+}
+
+func TestNilRecorderIsNoOp(t *testing.T) {
+	var r *Recorder
+	r.Emit(Event{Type: EvTaskSubmit, Task: "x"})
+	r.Record(Event{Type: EvTaskDone})
+	r.Reset()
+	if r.Len() != 0 || r.Events() != nil {
+		t.Fatal("nil recorder recorded something")
+	}
+	var buf bytes.Buffer
+	if err := r.WriteJSONL(&buf); err != nil || buf.Len() != 0 {
+		t.Fatalf("nil WriteJSONL wrote %q err %v", buf.String(), err)
+	}
+}
+
+func TestRecorderEmitStampsTime(t *testing.T) {
+	r := NewRecorder()
+	r.Emit(Event{Type: EvWorkerJoin, Worker: "w0"})
+	evs := r.Events()
+	if len(evs) != 1 || evs[0].T <= 0 {
+		t.Fatalf("Emit did not stamp time: %+v", evs)
+	}
+}
+
+func TestRecorderConcurrentAndChunked(t *testing.T) {
+	r := NewRecorder()
+	const goroutines, per = 8, 2000 // crosses several chunk boundaries
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				r.Record(Event{T: time.Duration(i), Type: EvTaskStart})
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Len(); got != goroutines*per {
+		t.Fatalf("Len = %d, want %d", got, goroutines*per)
+	}
+	if got := len(r.Events()); got != goroutines*per {
+		t.Fatalf("Events len = %d, want %d", got, goroutines*per)
+	}
+}
+
+func TestRegistryCountersGaugesText(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("tasks_done")
+	c.Inc()
+	c.Add(2)
+	if reg.Counter("tasks_done") != c {
+		t.Fatal("Counter not get-or-create")
+	}
+	g := reg.Gauge("cache_bytes")
+	g.Set(10)
+	g.Add(-3)
+	g.SetMax(5) // below current: no-op
+	if g.Value() != 7 {
+		t.Fatalf("gauge = %d, want 7", g.Value())
+	}
+	g.SetMax(99)
+	h := reg.Histogram("exec_seconds", 0.1, 1, 10)
+	h.Observe(0.05)
+	h.Observe(5)
+	h.Observe(50)
+	if h.Count() != 3 {
+		t.Fatalf("histogram count = %d", h.Count())
+	}
+
+	var buf bytes.Buffer
+	if err := reg.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"tasks_done 3",
+		"cache_bytes 99",
+		`exec_seconds_bucket{le="0.1"} 1`,
+		`exec_seconds_bucket{le="10"} 2`,
+		`exec_seconds_bucket{le="+Inf"} 3`,
+		"exec_seconds_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("WriteText missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestSnapshotMerge(t *testing.T) {
+	a := Snapshot{TasksDone: 2, PeerBytes: 100, CacheHighWater: 50}
+	b := Snapshot{TasksDone: 3, PeerBytes: 11, CacheHighWater: 80, Retries: 1}
+	m := a.Merge(b)
+	if m.TasksDone != 5 || m.PeerBytes != 111 || m.Retries != 1 {
+		t.Fatalf("bad merge: %+v", m)
+	}
+	if m.CacheHighWater != 80 {
+		t.Fatalf("high water should max: %+v", m)
+	}
+}
+
+// traceFixture is a two-worker run: t0 submits/starts/finishes cleanly,
+// t1 retries once (losing w1) before finishing on w0.
+func traceFixture() []Event {
+	ms := func(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+	return []Event{
+		{T: ms(0), Type: EvWorkerJoin, Worker: "w0"},
+		{T: ms(0), Type: EvWorkerJoin, Worker: "w1"},
+		{T: ms(1), Type: EvTaskSubmit, Task: "t0"},
+		{T: ms(1), Type: EvTaskSubmit, Task: "t1"},
+		{T: ms(2), Type: EvTransferStart, Src: "manager", Dst: "w0", Bytes: 1000, Detail: "in"},
+		{T: ms(3), Type: EvTransferDone, Src: "manager", Dst: "w0", Bytes: 1000, Detail: "in"},
+		{T: ms(3), Type: EvTaskStart, Task: "t0", Worker: "w0"},
+		{T: ms(4), Type: EvTaskStart, Task: "t1", Worker: "w1"},
+		{T: ms(5), Type: EvTransferStart, Src: "w0", Dst: "w1", Bytes: 500, Detail: "mid"},
+		{T: ms(6), Type: EvWorkerLost, Worker: "w1"},
+		{T: ms(6), Type: EvTaskRetry, Task: "t1", Worker: "w1", Attempt: 1},
+		{T: ms(8), Type: EvTaskDone, Task: "t0", Worker: "w0", Dur: ms(5)},
+		{T: ms(9), Type: EvTaskStart, Task: "t1", Worker: "w0", Attempt: 1},
+		{T: ms(12), Type: EvTaskDone, Task: "t1", Worker: "w0", Dur: ms(3)},
+	}
+}
+
+func TestTransferMatrix(t *testing.T) {
+	m := TransferMatrix(traceFixture())
+	if m["manager"]["w0"] != 1000 || m["w0"]["w1"] != 500 {
+		t.Fatalf("bad matrix: %v", m)
+	}
+	eps := MatrixEndpoints(m)
+	if len(eps) != 3 || eps[0] != "manager" || eps[1] != "w0" || eps[2] != "w1" {
+		t.Fatalf("bad endpoints: %v", eps)
+	}
+	var buf bytes.Buffer
+	if err := WriteMatrixCSV(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	want := "src,dst,bytes\nmanager,w0,1000\nw0,w1,500\n"
+	if buf.String() != want {
+		t.Fatalf("matrix CSV = %q, want %q", buf.String(), want)
+	}
+}
+
+func TestTimeline(t *testing.T) {
+	pts := Timeline(traceFixture(), time.Millisecond)
+	if len(pts) == 0 {
+		t.Fatal("empty timeline")
+	}
+	// At t=5ms both tasks are running, none waiting.
+	var at5 TimelinePoint
+	for _, p := range pts {
+		if p.T == 5*time.Millisecond {
+			at5 = p
+		}
+	}
+	if at5.Running != 2 || at5.Waiting != 0 {
+		t.Fatalf("at 5ms: %+v, want 2 running", at5)
+	}
+	// At t=7ms t1 has retried back to waiting.
+	for _, p := range pts {
+		if p.T == 7*time.Millisecond && (p.Running != 1 || p.Waiting != 1) {
+			t.Fatalf("at 7ms: %+v, want 1 running 1 waiting", p)
+		}
+	}
+	last := pts[len(pts)-1]
+	if last.Done != 2 || last.Running != 0 || last.Waiting != 0 || last.Failed != 0 {
+		t.Fatalf("final point: %+v, want 2 done", last)
+	}
+	var buf bytes.Buffer
+	if err := WriteTimelineCSV(&buf, pts); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "seconds,waiting,running,done,failed\n") {
+		t.Fatalf("bad CSV header: %q", buf.String())
+	}
+}
+
+func TestTimelineHandlesRetryBeforeStart(t *testing.T) {
+	// A staging-phase retry arrives with no prior start; counts must not
+	// go negative.
+	evs := []Event{
+		{T: 1, Type: EvTaskSubmit, Task: "t"},
+		{T: 2, Type: EvTaskRetry, Task: "t"},
+		{T: 3, Type: EvTaskStart, Task: "t", Worker: "w0"},
+		{T: 4, Type: EvTaskDone, Task: "t", Worker: "w0"},
+	}
+	pts := Timeline(evs, time.Nanosecond)
+	for _, p := range pts {
+		if p.Running < 0 || p.Waiting < 0 {
+			t.Fatalf("negative counts: %+v", p)
+		}
+	}
+	if last := pts[len(pts)-1]; last.Done != 1 {
+		t.Fatalf("final: %+v", last)
+	}
+}
+
+func TestOccupancy(t *testing.T) {
+	s := Occupancy(traceFixture(), time.Millisecond)
+	if len(s.Workers) != 2 {
+		t.Fatalf("workers = %v", s.Workers)
+	}
+	wi := map[string]int{}
+	for i, w := range s.Workers {
+		wi[w] = i
+	}
+	// w0 runs t0 during [3ms,8ms] and t1 during [9ms,12ms].
+	if got := s.Busy[wi["w0"]][4]; got != 1 {
+		t.Fatalf("w0 busy at 4ms = %d, want 1", got)
+	}
+	if got := s.Busy[wi["w1"]][5]; got != 1 {
+		t.Fatalf("w1 busy at 5ms = %d, want 1", got)
+	}
+	if got := s.Busy[wi["w1"]][10]; got != 0 {
+		t.Fatalf("w1 busy at 10ms = %d, want 0", got)
+	}
+	var buf bytes.Buffer
+	if err := WriteOccupancyCSV(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "seconds,worker,busy\n") {
+		t.Fatalf("bad CSV header: %q", buf.String())
+	}
+}
+
+func BenchmarkRecorderEmit(b *testing.B) {
+	r := NewRecorder()
+	ev := Event{Type: EvTaskDone, Task: "t", Worker: "w0", Dur: time.Millisecond}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ev.T = time.Duration(i)
+		r.Record(ev)
+	}
+}
+
+// BenchmarkRecorderDisabled proves the disabled path is a zero-allocation
+// no-op (the acceptance bar for always-on instrumentation call sites).
+func BenchmarkRecorderDisabled(b *testing.B) {
+	var r *Recorder
+	ev := Event{Type: EvTaskDone, Task: "t", Worker: "w0", Dur: time.Millisecond}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Emit(ev)
+	}
+}

@@ -1,0 +1,278 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// TransferMatrix folds a trace into the Fig. 7 pairwise heatmap: bytes
+// moved from each source to each destination, summed over every
+// EvTransferStart event. Sources named "manager" (or a filesystem
+// endpoint) versus worker names expose the Work Queue vs TaskVine data
+// paths at a glance.
+func TransferMatrix(events []Event) map[string]map[string]int64 {
+	m := make(map[string]map[string]int64)
+	for _, ev := range events {
+		if ev.Type != EvTransferStart {
+			continue
+		}
+		row := m[ev.Src]
+		if row == nil {
+			row = make(map[string]int64)
+			m[ev.Src] = row
+		}
+		row[ev.Dst] += ev.Bytes
+	}
+	return m
+}
+
+// MatrixEndpoints lists every endpoint appearing in a transfer matrix,
+// sorted, for stable rendering.
+func MatrixEndpoints(m map[string]map[string]int64) []string {
+	seen := make(map[string]bool)
+	for src, row := range m {
+		seen[src] = true
+		for dst := range row {
+			seen[dst] = true
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for ep := range seen {
+		out = append(out, ep)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// WriteMatrixCSV emits a transfer matrix as src,dst,bytes rows with a
+// header, sorted for reproducible output.
+func WriteMatrixCSV(w io.Writer, m map[string]map[string]int64) error {
+	if _, err := fmt.Fprintln(w, "src,dst,bytes"); err != nil {
+		return err
+	}
+	srcs := make([]string, 0, len(m))
+	for s := range m {
+		srcs = append(srcs, s)
+	}
+	sort.Strings(srcs)
+	for _, s := range srcs {
+		dsts := make([]string, 0, len(m[s]))
+		for d := range m[s] {
+			dsts = append(dsts, d)
+		}
+		sort.Strings(dsts)
+		for _, d := range dsts {
+			if _, err := fmt.Fprintf(w, "%s,%s,%d\n", s, d, m[s][d]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// TimelinePoint is one sample of the Fig. 12 state timeline.
+type TimelinePoint struct {
+	T       time.Duration
+	Waiting int
+	Running int
+	Done    int
+	Failed  int
+}
+
+// Timeline replays a trace into running/waiting/done counts sampled
+// every step — the Fig. 12 first-N-seconds view. The replay keeps
+// per-task state, so it tolerates either plane's emission pattern
+// (e.g. a retry fired during staging, before any start event).
+func Timeline(events []Event, step time.Duration) []TimelinePoint {
+	if step <= 0 {
+		step = time.Second
+	}
+	evs := sortedByTime(events)
+	if len(evs) == 0 {
+		return nil
+	}
+
+	const (
+		stIdle = iota
+		stWaiting
+		stRunning
+	)
+	state := make(map[string]int)
+	var cur TimelinePoint
+	var out []TimelinePoint
+	next := time.Duration(0)
+
+	flushUntil := func(t time.Duration) {
+		for next <= t {
+			p := cur
+			p.T = next
+			out = append(out, p)
+			next += step
+		}
+	}
+
+	for _, ev := range evs {
+		if ev.T >= next {
+			flushUntil(ev.T)
+		}
+		switch ev.Type {
+		case EvTaskSubmit:
+			if state[ev.Task] == stIdle {
+				state[ev.Task] = stWaiting
+				cur.Waiting++
+			}
+		case EvTaskDispatch, EvTaskStart:
+			if state[ev.Task] == stWaiting {
+				cur.Waiting--
+			}
+			if state[ev.Task] != stRunning {
+				state[ev.Task] = stRunning
+				cur.Running++
+			}
+		case EvTaskRetry:
+			if state[ev.Task] == stRunning {
+				cur.Running--
+				cur.Waiting++
+				state[ev.Task] = stWaiting
+			}
+		case EvTaskDone, EvTaskFail:
+			switch state[ev.Task] {
+			case stRunning:
+				cur.Running--
+			case stWaiting:
+				cur.Waiting--
+			}
+			delete(state, ev.Task)
+			if ev.Type == EvTaskDone {
+				cur.Done++
+			} else {
+				cur.Failed++
+			}
+		}
+	}
+	// One final sample at the last event time.
+	p := cur
+	p.T = next
+	out = append(out, p)
+	return out
+}
+
+// WriteTimelineCSV emits timeline samples as seconds,waiting,running,
+// done,failed rows with a header.
+func WriteTimelineCSV(w io.Writer, pts []TimelinePoint) error {
+	if _, err := fmt.Fprintln(w, "seconds,waiting,running,done,failed"); err != nil {
+		return err
+	}
+	for _, p := range pts {
+		if _, err := fmt.Fprintf(w, "%.3f,%d,%d,%d,%d\n",
+			p.T.Seconds(), p.Waiting, p.Running, p.Done, p.Failed); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// OccupancySeries is the Fig. 13 view: per-worker busy-task counts over
+// time. Busy[i][j] is how many tasks were executing on Workers[i]
+// during the j-th step-wide bin.
+type OccupancySeries struct {
+	Step    time.Duration
+	Workers []string
+	Busy    [][]int
+}
+
+// Occupancy folds EvTaskStart→{EvTaskDone,EvTaskRetry,EvTaskFail}
+// intervals into per-worker occupancy bins. Intervals still open when
+// the trace ends are closed at the last event time.
+func Occupancy(events []Event, step time.Duration) OccupancySeries {
+	if step <= 0 {
+		step = time.Second
+	}
+	evs := sortedByTime(events)
+	if len(evs) == 0 {
+		return OccupancySeries{Step: step}
+	}
+	end := evs[len(evs)-1].T
+
+	type span struct {
+		worker     string
+		start, end time.Duration
+	}
+	open := make(map[string]span) // task → open interval
+	var spans []span
+	workers := make(map[string]bool)
+
+	for _, ev := range evs {
+		switch ev.Type {
+		case EvWorkerJoin:
+			workers[ev.Worker] = true
+		case EvTaskStart:
+			w := ev.Worker
+			workers[w] = true
+			open[ev.Task] = span{worker: w, start: ev.T}
+		case EvTaskDone, EvTaskRetry, EvTaskFail:
+			if sp, ok := open[ev.Task]; ok {
+				sp.end = ev.T
+				spans = append(spans, sp)
+				delete(open, ev.Task)
+			}
+		}
+	}
+	for _, sp := range open {
+		sp.end = end
+		spans = append(spans, sp)
+	}
+
+	names := make([]string, 0, len(workers))
+	for w := range workers {
+		names = append(names, w)
+	}
+	sort.Strings(names)
+	idx := make(map[string]int, len(names))
+	for i, w := range names {
+		idx[w] = i
+	}
+
+	bins := int(end/step) + 1
+	busy := make([][]int, len(names))
+	for i := range busy {
+		busy[i] = make([]int, bins)
+	}
+	for _, sp := range spans {
+		wi := idx[sp.worker]
+		lo := int(sp.start / step)
+		hi := int(sp.end / step)
+		if hi >= bins {
+			hi = bins - 1
+		}
+		for b := lo; b <= hi; b++ {
+			busy[wi][b]++
+		}
+	}
+	return OccupancySeries{Step: step, Workers: names, Busy: busy}
+}
+
+// WriteOccupancyCSV emits an occupancy series as seconds,worker,busy
+// rows with a header.
+func WriteOccupancyCSV(w io.Writer, s OccupancySeries) error {
+	if _, err := fmt.Fprintln(w, "seconds,worker,busy"); err != nil {
+		return err
+	}
+	for i, name := range s.Workers {
+		for b, n := range s.Busy[i] {
+			t := time.Duration(b) * s.Step
+			if _, err := fmt.Fprintf(w, "%.3f,%s,%d\n", t.Seconds(), name, n); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func sortedByTime(events []Event) []Event {
+	evs := append([]Event(nil), events...)
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].T < evs[j].T })
+	return evs
+}

@@ -1,0 +1,64 @@
+package obs
+
+// Snapshot is the shared stats vocabulary for both execution planes. It
+// replaces the former vine.ManagerStats / vine.WorkerStats structs and
+// the simulator's ad-hoc counters: a manager snapshot fills the
+// scheduling and transfer fields, a worker snapshot fills the execution
+// and cache fields, and the simulator fills both sides at once. Count
+// fields are int and byte totals are int64, matching the field types of
+// the structs this replaces.
+type Snapshot struct {
+	// Manager-side scheduling.
+	TasksDone   int
+	TasksFailed int
+	Retries     int
+	WorkersLost int
+
+	// Transfers, split by source as in §III.B: peer (worker→worker) vs
+	// manager-served (the Work Queue data path).
+	PeerTransfers    int
+	ManagerTransfers int
+	PeerBytes        int64
+	ManagerBytes     int64
+
+	// Worker-side execution.
+	TasksRun      int
+	FunctionCalls int
+	LibrarySetups int
+
+	// Worker-side data movement and cache.
+	TransfersIn    int
+	BytesIn        int64
+	CacheEvictions int
+	CacheHighWater int64
+
+	// Simulator-only environment effects.
+	DiskFailures int
+	FSReadBytes  int64
+}
+
+// Merge combines two snapshots: counts and byte totals add, high-water
+// marks take the maximum. Useful for folding per-worker snapshots into a
+// cluster-wide view.
+func (s Snapshot) Merge(o Snapshot) Snapshot {
+	s.TasksDone += o.TasksDone
+	s.TasksFailed += o.TasksFailed
+	s.Retries += o.Retries
+	s.WorkersLost += o.WorkersLost
+	s.PeerTransfers += o.PeerTransfers
+	s.ManagerTransfers += o.ManagerTransfers
+	s.PeerBytes += o.PeerBytes
+	s.ManagerBytes += o.ManagerBytes
+	s.TasksRun += o.TasksRun
+	s.FunctionCalls += o.FunctionCalls
+	s.LibrarySetups += o.LibrarySetups
+	s.TransfersIn += o.TransfersIn
+	s.BytesIn += o.BytesIn
+	s.CacheEvictions += o.CacheEvictions
+	if o.CacheHighWater > s.CacheHighWater {
+		s.CacheHighWater = o.CacheHighWater
+	}
+	s.DiskFailures += o.DiskFailures
+	s.FSReadBytes += o.FSReadBytes
+	return s
+}

@@ -20,15 +20,12 @@ func benchCluster(b *testing.B, cores int) *Manager {
 			},
 		},
 	})
-	m, err := NewManager(ManagerOptions{
-		PeerTransfers:    true,
-		InstallLibraries: []LibrarySpec{{Name: "benchlib", Hoist: true}},
-	})
+	m, err := NewManager(WithPeerTransfers(true), WithLibrary("benchlib", true))
 	if err != nil {
 		b.Fatal(err)
 	}
 	b.Cleanup(m.Stop)
-	w, err := NewWorker(m.Addr(), WorkerOptions{Cores: cores, Dir: b.TempDir()})
+	w, err := NewWorker(m.Addr(), WithCores(cores), WithCacheDir(b.TempDir()))
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -20,15 +20,15 @@ func Example() {
 			},
 		},
 	})
-	mgr, err := vine.NewManager(vine.ManagerOptions{
-		PeerTransfers:    true,
-		InstallLibraries: []vine.LibrarySpec{{Name: "demo", Hoist: true}},
-	})
+	mgr, err := vine.NewManager(
+		vine.WithPeerTransfers(true),
+		vine.WithLibrary("demo", true),
+	)
 	if err != nil {
 		panic(err)
 	}
 	defer mgr.Stop()
-	worker, err := vine.NewWorker(mgr.Addr(), vine.WorkerOptions{Cores: 2})
+	worker, err := vine.NewWorker(mgr.Addr(), vine.WithCores(2))
 	if err != nil {
 		panic(err)
 	}

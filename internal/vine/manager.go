@@ -7,8 +7,12 @@ import (
 	"net"
 	"os"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
+
+	"hepvine/internal/obs"
 )
 
 // TaskState tracks a task through the manager.
@@ -85,6 +89,7 @@ type TaskHandle struct {
 	setup    time.Duration
 	worker   string
 	retries  int
+	failures []string
 	notified bool
 }
 
@@ -149,6 +154,15 @@ func (h *TaskHandle) Retries() int {
 	return h.retries
 }
 
+// FailureHistory reports the cause of each failed attempt so far, in
+// order, bounded by the manager's WithFailureHistory limit. A task that
+// exhausts its retries surfaces this history in its terminal error too.
+func (h *TaskHandle) FailureHistory() []string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return append([]string(nil), h.failures...)
+}
+
 // ManagerOptions configure a manager.
 type ManagerOptions struct {
 	// PeerTransfers enables worker-to-worker staging; disabled, every
@@ -182,16 +196,46 @@ type LibrarySpec struct {
 	Hoist bool
 }
 
-// ManagerStats counts manager-observed activity.
-type ManagerStats struct {
-	TasksDone        int
-	TasksFailed      int
-	Retries          int
-	PeerTransfers    int
-	ManagerTransfers int
-	PeerBytes        int64
-	ManagerBytes     int64
-	WorkersLost      int
+// ManagerStats is the manager's view of the shared stats vocabulary.
+//
+// Deprecated: this is a thin alias for obs.Snapshot; new code should use
+// obs.Snapshot directly.
+type ManagerStats = obs.Snapshot
+
+// WorkerStats is the worker's view of the shared stats vocabulary.
+//
+// Deprecated: this is a thin alias for obs.Snapshot; new code should use
+// obs.Snapshot directly.
+type WorkerStats = obs.Snapshot
+
+// managerMetrics holds the manager's registry-backed instruments,
+// prefetched so hot paths pay one atomic op per update.
+type managerMetrics struct {
+	tasksDone        *obs.Counter
+	tasksFailed      *obs.Counter
+	retries          *obs.Counter
+	peerTransfers    *obs.Counter
+	managerTransfers *obs.Counter
+	peerBytes        *obs.Counter
+	managerBytes     *obs.Counter
+	workersJoined    *obs.Counter
+	workersLost      *obs.Counter
+	execSeconds      *obs.Histogram
+}
+
+func newManagerMetrics(reg *obs.Registry) managerMetrics {
+	return managerMetrics{
+		tasksDone:        reg.Counter("vine_tasks_done_total"),
+		tasksFailed:      reg.Counter("vine_tasks_failed_total"),
+		retries:          reg.Counter("vine_task_retries_total"),
+		peerTransfers:    reg.Counter("vine_peer_transfers_total"),
+		managerTransfers: reg.Counter("vine_manager_transfers_total"),
+		peerBytes:        reg.Counter("vine_peer_bytes_total"),
+		managerBytes:     reg.Counter("vine_manager_bytes_total"),
+		workersJoined:    reg.Counter("vine_workers_joined_total"),
+		workersLost:      reg.Counter("vine_workers_lost_total"),
+		execSeconds:      reg.Histogram("vine_task_exec_seconds"),
+	}
 }
 
 // workerState is the manager's view of one connected worker.
@@ -226,15 +270,19 @@ type fileState struct {
 
 // taskRecord is the manager-side task bookkeeping.
 type taskRecord struct {
-	id      int
-	spec    Task
-	handle  *TaskHandle
-	state   TaskState
-	worker  int // assigned worker id (staging/running)
-	pending map[CacheName]bool
-	retries int
-	defHash string
+	id       int
+	spec     Task
+	handle   *TaskHandle
+	state    TaskState
+	worker   int // assigned worker id (staging/running)
+	pending  map[CacheName]bool
+	retries  int
+	failures []string // bounded per-attempt causes (see WithFailureHistory)
+	defHash  string
 }
+
+// label is the task's identity in trace events.
+func (rec *taskRecord) label() string { return strconv.Itoa(rec.id) }
 
 // pendingTransfer is a queued staging operation.
 type pendingTransfer struct {
@@ -247,7 +295,12 @@ type pendingTransfer struct {
 // where their data lives, orchestrates peer transfers, and re-runs work
 // lost to preempted workers.
 type Manager struct {
-	opts ManagerOptions
+	opts      ManagerOptions
+	failLimit int // max retained failure causes per task
+
+	rec *obs.Recorder
+	reg *obs.Registry
+	met managerMetrics
 
 	ln net.Listener
 	ts *transferServer
@@ -262,23 +315,35 @@ type Manager struct {
 	queuedTx  []pendingTransfer
 	nextWID   int
 	nextTID   int
-	stats     ManagerStats
 	stopped   bool
 }
 
-// NewManager starts a manager listening on a loopback port.
-func NewManager(opts ManagerOptions) (*Manager, error) {
+// defaultFailureHistory bounds the per-task failure causes retained for
+// diagnostics unless WithFailureHistory overrides it.
+const defaultFailureHistory = 8
+
+// NewManager starts a manager listening on a loopback port, configured
+// by functional options (WithPeerTransfers, WithMaxRetries,
+// WithRecorder, ...). Worker-only options are ignored.
+func NewManager(options ...Option) (*Manager, error) {
+	c := buildConfig(options)
+	opts := c.mgr
 	if opts.TransferCapPerSource <= 0 {
 		opts.TransferCapPerSource = 3
 	}
 	if opts.MaxRetries <= 0 {
 		opts.MaxRetries = 5
 	}
+	reg := obs.NewRegistry()
 	m := &Manager{
-		opts:    opts,
-		workers: make(map[int]*workerState),
-		files:   make(map[CacheName]*fileState),
-		tasks:   make(map[int]*taskRecord),
+		opts:      opts,
+		failLimit: c.failureHistory,
+		rec:       c.rec,
+		reg:       reg,
+		met:       newManagerMetrics(reg),
+		workers:   make(map[int]*workerState),
+		files:     make(map[CacheName]*fileState),
+		tasks:     make(map[int]*taskRecord),
 	}
 	m.cond = sync.NewCond(&m.mu)
 	ts, err := newTransferServer(m)
@@ -321,12 +386,31 @@ func (m *Manager) Stop() {
 	m.ts.close()
 }
 
-// Stats snapshots manager counters.
+// Stats snapshots manager counters into the shared obs.Snapshot
+// vocabulary.
 func (m *Manager) Stats() ManagerStats {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.stats
+	return ManagerStats{
+		TasksDone:        int(m.met.tasksDone.Value()),
+		TasksFailed:      int(m.met.tasksFailed.Value()),
+		Retries:          int(m.met.retries.Value()),
+		PeerTransfers:    int(m.met.peerTransfers.Value()),
+		ManagerTransfers: int(m.met.managerTransfers.Value()),
+		PeerBytes:        m.met.peerBytes.Value(),
+		ManagerBytes:     m.met.managerBytes.Value(),
+		WorkersLost:      int(m.met.workersLost.Value()),
+	}
 }
+
+// Metrics exposes the manager's metrics registry.
+func (m *Manager) Metrics() *obs.Registry { return m.reg }
+
+// Recorder reports the attached trace recorder (nil when tracing is
+// disabled).
+func (m *Manager) Recorder() *obs.Recorder { return m.rec }
+
+// WriteMetrics dumps all manager metrics as plain text, one metric per
+// line in the /metrics exposition style.
+func (m *Manager) WriteMetrics(w io.Writer) error { return m.reg.WriteText(w) }
 
 // WorkerCount reports live workers.
 func (m *Manager) WorkerCount() int {
@@ -489,11 +573,16 @@ func (m *Manager) Submit(t Task) (*TaskHandle, error) {
 		}
 	}
 	m.tasks[id] = rec
+	m.rec.Emit(obs.Event{Type: obs.EvTaskSubmit, Task: rec.label(), Detail: t.Library + "/" + t.Func})
 	if m.inputsAvailableLocked(rec) {
 		m.setTaskState(rec, TaskReady)
 		m.ready = append(m.ready, id)
 	} else {
+		// An input may already have been lost with its worker (all its
+		// replicas died before this submission): re-run producers now,
+		// or the task waits forever.
 		m.setTaskState(rec, TaskWaiting)
+		m.reviveProducersLocked(rec)
 	}
 	m.scheduleLocked()
 	return h, nil
@@ -622,6 +711,8 @@ func (m *Manager) handleWorker(cc *conn) {
 	m.workers[id] = w
 	libs := append([]LibrarySpec(nil), m.opts.InstallLibraries...)
 	m.mu.Unlock()
+	m.met.workersJoined.Inc()
+	m.rec.Emit(obs.Event{Type: obs.EvWorkerJoin, Worker: w.name, Detail: strconv.Itoa(w.cores) + " cores"})
 
 	for _, l := range libs {
 		cc.send(&message{Type: msgLibrary, Library: &libraryMsg{Name: l.Name, Hoist: l.Hoist}})
@@ -748,6 +839,7 @@ func (m *Manager) assignLocked(rec *taskRecord, wid int) {
 	w.usedCores += rec.spec.Cores
 	w.usedMemory += rec.spec.Memory
 	rec.worker = wid
+	m.rec.Emit(obs.Event{Type: obs.EvTaskDispatch, Task: rec.label(), Worker: w.name, Attempt: rec.retries})
 	rec.pending = make(map[CacheName]bool)
 	for _, in := range rec.spec.Inputs {
 		if !w.cache[in.CacheName] {
@@ -866,13 +958,16 @@ func (m *Manager) pumpTransfersLocked() {
 		} else {
 			m.workers[src].outbound++
 		}
+		srcName := "manager"
 		if src >= 0 {
-			m.stats.PeerTransfers++
-			m.stats.PeerBytes += fs.size
+			srcName = m.workers[src].name
+			m.met.peerTransfers.Inc()
+			m.met.peerBytes.Add(fs.size)
 		} else {
-			m.stats.ManagerTransfers++
-			m.stats.ManagerBytes += fs.size
+			m.met.managerTransfers.Inc()
+			m.met.managerBytes.Add(fs.size)
 		}
+		m.rec.Emit(obs.Event{Type: obs.EvTransferStart, Src: srcName, Dst: dw.name, Bytes: fs.size, Detail: string(tx.name)})
 		dw.conn.send(&message{Type: msgPutURL, PutURL: &putURLMsg{
 			CacheName: string(tx.name), Addr: addr, Size: fs.size,
 		}})
@@ -892,6 +987,7 @@ type srcRecord struct {
 func (m *Manager) dispatchLocked(rec *taskRecord) {
 	w := m.workers[rec.worker]
 	m.setTaskState(rec, TaskRunning)
+	m.rec.Emit(obs.Event{Type: obs.EvTaskStart, Task: rec.label(), Worker: w.name, Attempt: rec.retries})
 	d := &dispatchMsg{
 		TaskID:  rec.id,
 		Mode:    string(rec.spec.Mode),
@@ -928,18 +1024,32 @@ func (m *Manager) releaseWorkerLocked(rec *taskRecord) {
 	rec.pending = nil
 }
 
-// retryLocked requeues a task after a failure, up to MaxRetries.
+// retryLocked requeues a task after a failure, up to MaxRetries. Every
+// attempt's cause is retained (bounded by failLimit) so the terminal
+// error reports the whole history, not just the last straw.
 func (m *Manager) retryLocked(rec *taskRecord, cause error) {
+	worker := ""
+	if rec.worker >= 0 {
+		if w := m.workers[rec.worker]; w != nil {
+			worker = w.name
+		}
+	}
 	m.releaseWorkerLocked(rec)
 	rec.retries++
+	if len(rec.failures) < m.failLimit {
+		rec.failures = append(rec.failures, fmt.Sprintf("attempt %d: %v", rec.retries, cause))
+	}
 	rec.handle.mu.Lock()
 	rec.handle.retries = rec.retries
+	rec.handle.failures = rec.failures
 	rec.handle.mu.Unlock()
+	m.rec.Emit(obs.Event{Type: obs.EvTaskRetry, Task: rec.label(), Worker: worker, Attempt: rec.retries, Detail: cause.Error()})
 	if rec.retries > m.opts.MaxRetries {
-		m.failLocked(rec, fmt.Errorf("vine: task %d failed after %d retries: %w", rec.id, rec.retries-1, cause))
+		m.failLocked(rec, fmt.Errorf("vine: task %d failed after %d retries: %w (history: %s)",
+			rec.id, rec.retries-1, cause, strings.Join(rec.failures, "; ")))
 		return
 	}
-	m.stats.Retries++
+	m.met.retries.Inc()
 	if m.inputsAvailableLocked(rec) {
 		m.setTaskState(rec, TaskReady)
 		m.ready = append(m.ready, rec.id)
@@ -951,7 +1061,8 @@ func (m *Manager) retryLocked(rec *taskRecord, cause error) {
 
 func (m *Manager) failLocked(rec *taskRecord, err error) {
 	m.setTaskState(rec, TaskFailed)
-	m.stats.TasksFailed++
+	m.met.tasksFailed.Inc()
+	m.rec.Emit(obs.Event{Type: obs.EvTaskFail, Task: rec.label(), Detail: err.Error()})
 	rec.handle.mu.Lock()
 	rec.handle.err = err
 	notified := rec.handle.notified
@@ -1043,7 +1154,8 @@ func (m *Manager) onTaskDone(wid int, msg *taskDoneMsg) {
 		}
 	}
 	if !wasDone {
-		m.stats.TasksDone++
+		m.met.tasksDone.Inc()
+		m.met.execSeconds.Observe(time.Duration(msg.ExecNanos).Seconds())
 		rec.handle.mu.Lock()
 		rec.handle.execTime = time.Duration(msg.ExecNanos)
 		rec.handle.setup = time.Duration(msg.SetupNanos)
@@ -1054,11 +1166,15 @@ func (m *Manager) onTaskDone(wid int, msg *taskDoneMsg) {
 		m.completed = append(m.completed, rec.id)
 		m.cond.Broadcast()
 	}
+	m.rec.Emit(obs.Event{
+		Type: obs.EvTaskDone, Task: rec.label(), Worker: workerNameOf(w),
+		Attempt: rec.retries, Dur: time.Duration(msg.ExecNanos),
+	})
 	if m.opts.ReturnOutputs && w != nil {
-		addr := w.transferAddr
+		addr, wname := w.transferAddr, w.name
 		for cnStr := range msg.OutputSizes {
 			cn := CacheName(cnStr)
-			go m.pullToManager(addr, cn)
+			go m.pullToManager(addr, wname, cn)
 		}
 	}
 	if m.opts.ReplicateOutputs > 1 {
@@ -1108,7 +1224,7 @@ func (m *Manager) replicateLocked(cn CacheName) {
 // pullToManager copies a task output into the manager's own store (the Work
 // Queue data path). Runs outside the lock; failures are benign — the worker
 // replica remains the source.
-func (m *Manager) pullToManager(addr string, cn CacheName) {
+func (m *Manager) pullToManager(addr, worker string, cn CacheName) {
 	data, err := fetchBytes(addr, cn)
 	if err != nil {
 		return
@@ -1122,7 +1238,8 @@ func (m *Manager) pullToManager(addr string, cn CacheName) {
 	fs.onManager = true
 	fs.mgrData = data
 	fs.size = int64(len(data))
-	m.stats.ManagerBytes += fs.size
+	m.met.managerBytes.Add(fs.size)
+	m.rec.Emit(obs.Event{Type: obs.EvTransferStart, Src: worker, Dst: "manager", Bytes: fs.size, Detail: string(cn)})
 	m.promoteWaitersLocked()
 	m.scheduleLocked()
 }
@@ -1143,11 +1260,15 @@ func (m *Manager) onTransferDone(wid int, msg *transferDoneMsg) {
 	}
 	name := CacheName(msg.CacheName)
 	// Free the source's outbound slot.
+	srcName := "manager"
 	for i, sr := range w.pendingSources {
 		if sr.name == name {
 			if sr.source >= 0 {
-				if sw := m.workers[sr.source]; sw != nil && sw.outbound > 0 {
-					sw.outbound--
+				if sw := m.workers[sr.source]; sw != nil {
+					srcName = sw.name
+					if sw.outbound > 0 {
+						sw.outbound--
+					}
 				}
 			}
 			w.pendingSources = append(w.pendingSources[:i], w.pendingSources[i+1:]...)
@@ -1156,6 +1277,7 @@ func (m *Manager) onTransferDone(wid int, msg *transferDoneMsg) {
 	}
 	fs := m.files[name]
 	if msg.OK {
+		m.rec.Emit(obs.Event{Type: obs.EvTransferDone, Src: srcName, Dst: w.name, Bytes: msg.Size, Detail: string(name)})
 		if fs != nil {
 			if msg.Size > 0 {
 				fs.size = msg.Size
@@ -1211,7 +1333,8 @@ func (m *Manager) workerLost(wid int) {
 	}
 	w.alive = false
 	w.conn.close()
-	m.stats.WorkersLost++
+	m.met.workersLost.Inc()
+	m.rec.Emit(obs.Event{Type: obs.EvWorkerLost, Worker: w.name})
 
 	// Free outbound slots of sources serving this worker.
 	for _, sr := range w.pendingSources {

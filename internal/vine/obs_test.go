@@ -1,0 +1,241 @@
+package vine
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"hepvine/internal/obs"
+)
+
+// ---- retry failure history ----
+
+func TestFailureHistoryRecorded(t *testing.T) {
+	m, _ := newCluster(t, 1, 1, WithMaxRetries(3))
+	h, err := m.SubmitFunc(ModeTask, "testlib", "fail", nil, "out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = h.Wait(15 * time.Second)
+	if err == nil {
+		t.Fatal("failing task reported success")
+	}
+	// The terminal error carries the whole attempt history, not just the
+	// last cause.
+	if !strings.Contains(err.Error(), "history:") {
+		t.Fatalf("terminal error lacks history: %v", err)
+	}
+	if !strings.Contains(err.Error(), "attempt 1:") {
+		t.Fatalf("terminal error lacks first attempt: %v", err)
+	}
+	hist := h.FailureHistory()
+	if len(hist) < 2 {
+		t.Fatalf("failure history too short: %v", hist)
+	}
+	for i, entry := range hist {
+		if !strings.Contains(entry, "deliberate failure") {
+			t.Fatalf("history entry %d lacks cause: %q", i, entry)
+		}
+	}
+	if !strings.HasPrefix(hist[0], "attempt 1:") {
+		t.Fatalf("history does not start at attempt 1: %q", hist[0])
+	}
+}
+
+func TestFailureHistoryBounded(t *testing.T) {
+	m, _ := newCluster(t, 1, 1, WithMaxRetries(5), WithFailureHistory(2))
+	h, err := m.SubmitFunc(ModeTask, "testlib", "fail", nil, "out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Wait(20 * time.Second); err == nil {
+		t.Fatal("failing task reported success")
+	}
+	if hist := h.FailureHistory(); len(hist) != 2 {
+		t.Fatalf("history not bounded to 2: %v", hist)
+	}
+}
+
+// ---- trace invariants against a live run ----
+
+// TestTraceInvariants drives a real loopback cluster — peer transfers, a
+// worker kill, recovery — with one shared recorder across the manager and
+// both workers, then checks the structural invariants every trace must
+// satisfy regardless of scheduling nondeterminism.
+func TestTraceInvariants(t *testing.T) {
+	rec := obs.NewRecorder()
+	m, ws := newCluster(t, 2, 1, WithRecorder(rec))
+
+	// Producer → two consumers forces at least one peer transfer.
+	p, err := m.SubmitFunc(ModeTask, "testlib", "bigout", nil, "out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Wait(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	out, _ := p.Output("out")
+	var consumers []*TaskHandle
+	for _, tag := range []string{"a", "b"} {
+		h, err := m.Submit(Task{
+			Mode: ModeTask, Library: "testlib", Func: "concat", Args: []byte(tag),
+			Inputs:  []FileRef{{Name: "in", CacheName: out}},
+			Outputs: []string{"out"},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		consumers = append(consumers, h)
+	}
+	for _, h := range consumers {
+		if err := h.Wait(10 * time.Second); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Kill a worker under running sleeps so the trace includes worker loss
+	// and retries.
+	h1, _ := m.SubmitFunc(ModeTask, "testlib", "sleep50", []byte("1"), "out")
+	h2, _ := m.SubmitFunc(ModeTask, "testlib", "sleep50", []byte("2"), "out")
+	time.Sleep(10 * time.Millisecond)
+	ws[0].Stop()
+	if err := h1.Wait(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := h2.Wait(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	st := m.Stats()
+	events := rec.Events()
+	if len(events) == 0 {
+		t.Fatal("no events recorded")
+	}
+
+	// Invariant 1: every execution start is closed by a done, retry, or
+	// terminal failure of the same task; nothing is left running.
+	type counts struct{ start, done, retry, fail int }
+	perTask := map[string]*counts{}
+	get := func(task string) *counts {
+		c := perTask[task]
+		if c == nil {
+			c = &counts{}
+			perTask[task] = c
+		}
+		return c
+	}
+	var joins, losses int
+	var transferBytes int64
+	for _, ev := range events {
+		switch ev.Type {
+		case obs.EvTaskStart:
+			get(ev.Task).start++
+		case obs.EvTaskDone:
+			get(ev.Task).done++
+		case obs.EvTaskRetry:
+			get(ev.Task).retry++
+		case obs.EvTaskFail:
+			get(ev.Task).fail++
+		case obs.EvWorkerJoin:
+			joins++
+		case obs.EvWorkerLost:
+			losses++
+		case obs.EvTransferStart:
+			transferBytes += ev.Bytes
+		}
+	}
+	for task, c := range perTask {
+		if c.start > c.done+c.retry+c.fail {
+			t.Errorf("task %s: %d starts but only %d done + %d retry + %d fail",
+				task, c.start, c.done, c.retry, c.fail)
+		}
+	}
+
+	// Invariant 2: trace transfer bytes account exactly for the counter
+	// totals (peer and manager paths are instrumented at the same points
+	// the stats are).
+	if want := st.PeerBytes + st.ManagerBytes; transferBytes != want {
+		t.Errorf("transfer starts sum to %d bytes, stats say %d (peer %d + manager %d)",
+			transferBytes, want, st.PeerBytes, st.ManagerBytes)
+	}
+	if st.PeerTransfers == 0 {
+		t.Errorf("no peer transfers in stats: %+v", st)
+	}
+
+	// Invariant 3: membership events match the counters.
+	if joins != 2 || losses != st.WorkersLost || losses != 1 {
+		t.Errorf("joins=%d losses=%d, stats WorkersLost=%d", joins, losses, st.WorkersLost)
+	}
+
+	// Invariant 4: the trace replays into a drained timeline and survives
+	// a JSONL round trip bit-for-bit.
+	pts := obs.Timeline(events, 10*time.Millisecond)
+	if len(pts) == 0 {
+		t.Fatal("empty timeline")
+	}
+	final := pts[len(pts)-1]
+	if final.Running != 0 || final.Waiting != 0 {
+		t.Errorf("timeline did not drain: %+v", final)
+	}
+	if final.Done == 0 {
+		t.Errorf("timeline saw no completions: %+v", final)
+	}
+
+	var buf bytes.Buffer
+	if err := rec.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := obs.ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(events) {
+		t.Fatalf("JSONL round trip: %d events in, %d out", len(events), len(back))
+	}
+	for i := range back {
+		if back[i] != events[i] {
+			t.Fatalf("event %d changed in round trip: %+v vs %+v", i, events[i], back[i])
+		}
+	}
+
+	// The transfer matrix renders and includes a worker→worker edge.
+	matrix := obs.TransferMatrix(events)
+	peer := false
+	for src, row := range matrix {
+		for dst := range row {
+			if src != "manager" && dst != "manager" {
+				peer = true
+			}
+		}
+	}
+	if !peer {
+		t.Errorf("no peer edge in transfer matrix: %v", matrix)
+	}
+}
+
+// TestMetricsDump checks the manager's plain-text metrics exposition.
+func TestMetricsDump(t *testing.T) {
+	m, _ := newCluster(t, 1, 1)
+	h, err := m.SubmitFunc(ModeTask, "testlib", "echo", []byte("hi"), "out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Wait(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.WriteMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, want := range []string{
+		"vine_tasks_done_total 1",
+		"vine_workers_joined_total 1",
+		"vine_task_exec_seconds_count 1",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("metrics dump missing %q:\n%s", want, text)
+		}
+	}
+}

@@ -197,22 +197,30 @@ func registerTestLib(t *testing.T) {
 	})
 }
 
-func newCluster(t *testing.T, opts ManagerOptions, workers int, coresEach int) (*Manager, []*Worker) {
+// newCluster builds a loopback manager plus workers. Defaults: peer
+// transfers on, testlib installed hoisted. Extra options are applied to
+// both the manager and the workers (and thus can override defaults or
+// attach a shared recorder).
+func newCluster(t *testing.T, workers int, coresEach int, opts ...Option) (*Manager, []*Worker) {
 	t.Helper()
 	registerTestLib(t)
-	if opts.InstallLibraries == nil {
-		opts.InstallLibraries = []LibrarySpec{{Name: "testlib", Hoist: true}}
-	}
-	m, err := NewManager(opts)
+	mgrOpts := append([]Option{
+		WithPeerTransfers(true),
+		WithLibrary("testlib", true),
+	}, opts...)
+	m, err := NewManager(mgrOpts...)
 	if err != nil {
 		t.Fatal(err)
 	}
 	t.Cleanup(m.Stop)
 	ws := make([]*Worker, workers)
 	for i := range ws {
-		w, err := NewWorker(m.Addr(), WorkerOptions{
-			Name: fmt.Sprintf("w%d", i), Cores: coresEach, Dir: t.TempDir(),
-		})
+		wOpts := append([]Option{
+			WithName(fmt.Sprintf("w%d", i)),
+			WithCores(coresEach),
+			WithCacheDir(t.TempDir()),
+		}, opts...)
+		w, err := NewWorker(m.Addr(), wOpts...)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -241,7 +249,7 @@ func fetchOutput(t *testing.T, m *Manager, h *TaskHandle, name string) []byte {
 // ---- integration tests ----
 
 func TestSimpleTask(t *testing.T) {
-	m, _ := newCluster(t, ManagerOptions{PeerTransfers: true}, 1, 2)
+	m, _ := newCluster(t, 1, 2)
 	h, err := m.SubmitFunc(ModeTask, "testlib", "echo", []byte("hi"), "out")
 	if err != nil {
 		t.Fatal(err)
@@ -261,7 +269,7 @@ func TestSimpleTask(t *testing.T) {
 }
 
 func TestFunctionCallMode(t *testing.T) {
-	m, ws := newCluster(t, ManagerOptions{PeerTransfers: true}, 1, 4)
+	m, ws := newCluster(t, 1, 4)
 	var handles []*TaskHandle
 	for i := 0; i < 10; i++ {
 		h, err := m.SubmitFunc(ModeFunctionCall, "testlib", "needstate", nil, "out")
@@ -289,7 +297,7 @@ func TestFunctionCallMode(t *testing.T) {
 func TestIdenticalTasksShareOutputs(t *testing.T) {
 	// Two submissions with identical definitions produce the same output
 	// cachename — content addressing at the task level.
-	m, _ := newCluster(t, ManagerOptions{PeerTransfers: true}, 1, 2)
+	m, _ := newCluster(t, 1, 2)
 	h1, _ := m.SubmitFunc(ModeTask, "testlib", "echo", []byte("same"), "out")
 	h2, _ := m.SubmitFunc(ModeTask, "testlib", "echo", []byte("same"), "out")
 	c1, _ := h1.Output("out")
@@ -306,7 +314,7 @@ func TestIdenticalTasksShareOutputs(t *testing.T) {
 }
 
 func TestTaskChainThroughCache(t *testing.T) {
-	m, _ := newCluster(t, ManagerOptions{PeerTransfers: true}, 2, 2)
+	m, _ := newCluster(t, 2, 2)
 	src := m.DeclareBuffer([]byte("hello vine"))
 	h1, err := m.Submit(Task{
 		Mode: ModeTask, Library: "testlib", Func: "upper",
@@ -334,7 +342,7 @@ func TestTaskChainThroughCache(t *testing.T) {
 }
 
 func TestDeclareFileStaging(t *testing.T) {
-	m, _ := newCluster(t, ManagerOptions{PeerTransfers: true}, 1, 1)
+	m, _ := newCluster(t, 1, 1)
 	dir := t.TempDir()
 	path := dir + "/input.txt"
 	if err := writeFileHelper(path, []byte("file content")); err != nil {
@@ -361,7 +369,7 @@ func TestDeclareFileStaging(t *testing.T) {
 }
 
 func TestSubmitValidation(t *testing.T) {
-	m, _ := newCluster(t, ManagerOptions{PeerTransfers: true}, 1, 1)
+	m, _ := newCluster(t, 1, 1)
 	if _, err := m.Submit(Task{Library: "", Func: "f"}); err == nil {
 		t.Fatal("empty library accepted")
 	}
@@ -386,7 +394,7 @@ func TestSubmitValidation(t *testing.T) {
 }
 
 func TestFailingTaskReportsError(t *testing.T) {
-	m, _ := newCluster(t, ManagerOptions{PeerTransfers: true, MaxRetries: 2}, 1, 1)
+	m, _ := newCluster(t, 1, 1, WithMaxRetries(2))
 	h, err := m.SubmitFunc(ModeTask, "testlib", "fail", nil, "out")
 	if err != nil {
 		t.Fatal(err)
@@ -404,7 +412,7 @@ func TestFailingTaskReportsError(t *testing.T) {
 }
 
 func TestPeerTransfer(t *testing.T) {
-	m, ws := newCluster(t, ManagerOptions{PeerTransfers: true}, 2, 1)
+	m, ws := newCluster(t, 2, 1)
 	// Producer lands on one worker.
 	p, err := m.SubmitFunc(ModeTask, "testlib", "bigout", nil, "out")
 	if err != nil {
@@ -453,7 +461,7 @@ func TestPeerTransfer(t *testing.T) {
 }
 
 func TestWorkQueueModeRoutesThroughManager(t *testing.T) {
-	m, _ := newCluster(t, ManagerOptions{PeerTransfers: false, ReturnOutputs: true}, 2, 1)
+	m, _ := newCluster(t, 2, 1, WithPeerTransfers(false), WithReturnOutputs(true))
 	p, err := m.SubmitFunc(ModeTask, "testlib", "bigout", nil, "out")
 	if err != nil {
 		t.Fatal(err)
@@ -485,7 +493,7 @@ func TestWorkQueueModeRoutesThroughManager(t *testing.T) {
 }
 
 func TestWorkerFailureRecovery(t *testing.T) {
-	m, ws := newCluster(t, ManagerOptions{PeerTransfers: true}, 2, 1)
+	m, ws := newCluster(t, 2, 1)
 	p, err := m.SubmitFunc(ModeTask, "testlib", "echo", []byte("precious"), "out")
 	if err != nil {
 		t.Fatal(err)
@@ -529,7 +537,7 @@ func TestWorkerFailureRecovery(t *testing.T) {
 }
 
 func TestRunningTaskRequeuedOnWorkerDeath(t *testing.T) {
-	m, ws := newCluster(t, ManagerOptions{PeerTransfers: true}, 2, 1)
+	m, ws := newCluster(t, 2, 1)
 	// Fill both workers with sleeps, then kill one mid-flight.
 	h1, _ := m.SubmitFunc(ModeTask, "testlib", "sleep50", []byte("1"), "out")
 	h2, _ := m.SubmitFunc(ModeTask, "testlib", "sleep50", []byte("2"), "out")
@@ -545,13 +553,13 @@ func TestRunningTaskRequeuedOnWorkerDeath(t *testing.T) {
 
 func TestDiskLimitFailsTask(t *testing.T) {
 	registerTestLib(t)
-	m, err := NewManager(ManagerOptions{PeerTransfers: true, MaxRetries: 1,
-		InstallLibraries: []LibrarySpec{{Name: "testlib", Hoist: true}}})
+	m, err := NewManager(WithPeerTransfers(true), WithMaxRetries(1),
+		WithLibrary("testlib", true))
 	if err != nil {
 		t.Fatal(err)
 	}
 	t.Cleanup(m.Stop)
-	w, err := NewWorker(m.Addr(), WorkerOptions{Cores: 1, Dir: t.TempDir(), DiskLimit: 1024})
+	w, err := NewWorker(m.Addr(), WithCores(1), WithCacheDir(t.TempDir()), WithDiskLimit(1024))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -571,7 +579,7 @@ func TestDiskLimitFailsTask(t *testing.T) {
 }
 
 func TestUnlink(t *testing.T) {
-	m, ws := newCluster(t, ManagerOptions{PeerTransfers: true}, 1, 1)
+	m, ws := newCluster(t, 1, 1)
 	h, _ := m.SubmitFunc(ModeTask, "testlib", "echo", []byte("x"), "out")
 	if err := h.Wait(5 * time.Second); err != nil {
 		t.Fatal(err)
@@ -594,7 +602,7 @@ func TestUnlink(t *testing.T) {
 }
 
 func TestWaitAnyDrainsAll(t *testing.T) {
-	m, _ := newCluster(t, ManagerOptions{PeerTransfers: true}, 2, 2)
+	m, _ := newCluster(t, 2, 2)
 	const n = 12
 	for i := 0; i < n; i++ {
 		if _, err := m.SubmitFunc(ModeFunctionCall, "testlib", "echo", []byte(fmt.Sprint(i)), "out"); err != nil {
@@ -618,7 +626,7 @@ func TestWaitAnyDrainsAll(t *testing.T) {
 }
 
 func TestManyConcurrentFunctionCalls(t *testing.T) {
-	m, _ := newCluster(t, ManagerOptions{PeerTransfers: true}, 4, 4)
+	m, _ := newCluster(t, 4, 4)
 	const n = 100
 	handles := make([]*TaskHandle, n)
 	for i := range handles {
@@ -639,7 +647,7 @@ func TestManyConcurrentFunctionCalls(t *testing.T) {
 }
 
 func TestTransferServerDirect(t *testing.T) {
-	m, _ := newCluster(t, ManagerOptions{PeerTransfers: true}, 1, 1)
+	m, _ := newCluster(t, 1, 1)
 	cn := m.DeclareBuffer([]byte("direct fetch"))
 	got, err := fetchBytes(m.ts.Addr(), cn)
 	if err != nil {
@@ -654,7 +662,7 @@ func TestTransferServerDirect(t *testing.T) {
 }
 
 func TestTransferRejectsGarbageRequest(t *testing.T) {
-	m, _ := newCluster(t, ManagerOptions{PeerTransfers: true}, 1, 1)
+	m, _ := newCluster(t, 1, 1)
 	c, err := net.Dial("tcp", m.ts.Addr())
 	if err != nil {
 		t.Fatal(err)
@@ -673,7 +681,7 @@ func writeFileHelper(path string, data []byte) error {
 }
 
 func TestReplicationSurvivesWorkerLoss(t *testing.T) {
-	m, ws := newCluster(t, ManagerOptions{PeerTransfers: true, ReplicateOutputs: 2}, 2, 1)
+	m, ws := newCluster(t, 2, 1, WithReplication(2))
 	p, err := m.SubmitFunc(ModeTask, "testlib", "echo", []byte("replicate me"), "out")
 	if err != nil {
 		t.Fatal(err)
@@ -717,7 +725,7 @@ func TestReplicationSurvivesWorkerLoss(t *testing.T) {
 }
 
 func TestReplicationCapsAtWorkerCount(t *testing.T) {
-	m, _ := newCluster(t, ManagerOptions{PeerTransfers: true, ReplicateOutputs: 5}, 2, 1)
+	m, _ := newCluster(t, 2, 1, WithReplication(5))
 	p, _ := m.SubmitFunc(ModeTask, "testlib", "echo", []byte("x"), "out")
 	if err := p.Wait(5 * time.Second); err != nil {
 		t.Fatal(err)
@@ -734,14 +742,13 @@ func TestReplicationCapsAtWorkerCount(t *testing.T) {
 
 func TestMemoryPacking(t *testing.T) {
 	registerTestLib(t)
-	m, err := NewManager(ManagerOptions{PeerTransfers: true,
-		InstallLibraries: []LibrarySpec{{Name: "testlib", Hoist: true}}})
+	m, err := NewManager(WithPeerTransfers(true), WithLibrary("testlib", true))
 	if err != nil {
 		t.Fatal(err)
 	}
 	t.Cleanup(m.Stop)
 	// One worker with 4 cores but only 1GB of memory.
-	w, err := NewWorker(m.Addr(), WorkerOptions{Cores: 4, Memory: 1 << 30, Dir: t.TempDir()})
+	w, err := NewWorker(m.Addr(), WithCores(4), WithMemory(1<<30), WithCacheDir(t.TempDir()))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -790,7 +797,7 @@ func TestMemoryPacking(t *testing.T) {
 }
 
 func TestManagerIntrospection(t *testing.T) {
-	m, ws := newCluster(t, ManagerOptions{PeerTransfers: true}, 2, 3)
+	m, ws := newCluster(t, 2, 3)
 	h, _ := m.SubmitFunc(ModeTask, "testlib", "echo", []byte("i"), "out")
 	if err := h.Wait(5 * time.Second); err != nil {
 		t.Fatal(err)
@@ -831,7 +838,7 @@ func TestManagerIntrospection(t *testing.T) {
 
 func TestManagerStoppedRejectsWork(t *testing.T) {
 	registerTestLib(t)
-	m, err := NewManager(ManagerOptions{PeerTransfers: true})
+	m, err := NewManager(WithPeerTransfers(true))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -846,7 +853,7 @@ func TestManagerStoppedRejectsWork(t *testing.T) {
 }
 
 func TestWaitAnyTimesOut(t *testing.T) {
-	m, _ := newCluster(t, ManagerOptions{PeerTransfers: true}, 1, 1)
+	m, _ := newCluster(t, 1, 1)
 	if _, err := m.WaitAny(30 * time.Millisecond); err == nil {
 		t.Fatal("WaitAny with no tasks returned")
 	}
@@ -854,8 +861,7 @@ func TestWaitAnyTimesOut(t *testing.T) {
 
 func TestHandleWaitTimeout(t *testing.T) {
 	registerTestLib(t)
-	m, err := NewManager(ManagerOptions{PeerTransfers: true,
-		InstallLibraries: []LibrarySpec{{Name: "testlib", Hoist: true}}})
+	m, err := NewManager(WithPeerTransfers(true), WithLibrary("testlib", true))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -874,7 +880,7 @@ func TestHandleWaitTimeout(t *testing.T) {
 }
 
 func TestFetchBytesErrors(t *testing.T) {
-	m, _ := newCluster(t, ManagerOptions{PeerTransfers: true}, 1, 1)
+	m, _ := newCluster(t, 1, 1)
 	if _, err := m.FetchBytes(CacheName("blob:" + strings.Repeat("a", 64))); err == nil {
 		t.Fatal("unknown file fetched")
 	}
@@ -884,7 +890,7 @@ func TestFetchBytesErrors(t *testing.T) {
 }
 
 func TestDuplicateInputNamesRejected(t *testing.T) {
-	m, _ := newCluster(t, ManagerOptions{PeerTransfers: true}, 1, 1)
+	m, _ := newCluster(t, 1, 1)
 	cn := m.DeclareBuffer([]byte("x"))
 	_, err := m.Submit(Task{
 		Mode: ModeTask, Library: "testlib", Func: "concat",
@@ -897,7 +903,7 @@ func TestDuplicateInputNamesRejected(t *testing.T) {
 }
 
 func TestDeclareBufferIdempotent(t *testing.T) {
-	m, _ := newCluster(t, ManagerOptions{PeerTransfers: true}, 1, 1)
+	m, _ := newCluster(t, 1, 1)
 	a := m.DeclareBuffer([]byte("same content"))
 	b := m.DeclareBuffer([]byte("same content"))
 	if a != b {
@@ -910,7 +916,7 @@ func TestDeclareBufferIdempotent(t *testing.T) {
 }
 
 func TestDeclareFileMissing(t *testing.T) {
-	m, _ := newCluster(t, ManagerOptions{PeerTransfers: true}, 1, 1)
+	m, _ := newCluster(t, 1, 1)
 	if _, err := m.DeclareFile("/nonexistent/path.bin"); err == nil {
 		t.Fatal("missing file declared")
 	}

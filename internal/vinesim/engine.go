@@ -8,6 +8,7 @@ import (
 	"hepvine/internal/core"
 	"hepvine/internal/dag"
 	"hepvine/internal/netsim"
+	"hepvine/internal/obs"
 	"hepvine/internal/params"
 	"hepvine/internal/randx"
 	"hepvine/internal/sim"
@@ -50,6 +51,16 @@ type state struct {
 
 	res  Result
 	done bool
+}
+
+// record emits one trace event stamped with the current virtual time.
+// A nil recorder costs one branch per call site.
+func (st *state) record(ev obs.Event) {
+	if st.cfg.Recorder == nil {
+		return
+	}
+	ev.T = st.eng.Now()
+	st.cfg.Recorder.Record(ev)
 }
 
 // Run executes the workload under the configuration and returns the result.
@@ -135,7 +146,18 @@ func Run(cfg Config, wl *core.Workload) *Result {
 	st.res.PeakCachePerWorker = make([]units.Bytes, len(st.pool.Workers))
 	st.res.BusyPerWorker = make([]time.Duration, len(st.pool.Workers))
 
-	st.pool.Start(func(n *cluster.Node) { st.schedule() })
+	// The whole graph is known up front; submit events land at t=0.
+	if cfg.Recorder != nil {
+		for _, k := range wl.Graph.Topo() {
+			st.record(obs.Event{Type: obs.EvTaskSubmit, Task: string(k)})
+		}
+	}
+
+	st.pool.Start(func(n *cluster.Node) {
+		st.record(obs.Event{Type: obs.EvWorkerJoin, Worker: n.Name,
+			Detail: fmt.Sprintf("%d cores", n.Cores)})
+		st.schedule()
+	})
 	if cfg.PreemptFraction > 0 {
 		st.pool.SchedulePreemptions(cfg.PreemptFraction, cfg.PreemptWindow, st.onPreempt)
 	}
@@ -289,6 +311,8 @@ func (st *state) schedule() {
 		if st.cfg.RecordTrace {
 			st.dispatchAt[k] = st.eng.Now()
 		}
+		st.record(obs.Event{Type: obs.EvTaskDispatch, Task: string(k),
+			Worker: node.Name, Attempt: att - 1})
 		st.mgrOp(st.dispatchCost(), func() { st.sendPayload(k, att) })
 	}
 }
@@ -380,20 +404,28 @@ func (st *state) stageOne(k dag.Key, att int, f storage.FileID, node *cluster.No
 	size := st.reps.Size(f)
 	_, isDataset := st.wl.DatasetFiles[f]
 
-	land := func() {
-		if st.stale(k, att) || !node.Alive {
-			return
+	landFrom := func(src string) func() {
+		return func() {
+			if st.stale(k, att) || !node.Alive {
+				return
+			}
+			if err := node.Disk.Put(f, size); err != nil {
+				// Cache overflow: the worker fails and is preempted
+				// (Fig. 11a's X marks).
+				st.res.DiskFailures++
+				st.failNode(node)
+				return
+			}
+			st.record(obs.Event{Type: obs.EvTransferDone, Src: src,
+				Dst: node.Name, Bytes: int64(size), Detail: string(f)})
+			st.bumpPeak(node)
+			st.reps.Add(f, node.ID)
+			onArrive()
 		}
-		if err := node.Disk.Put(f, size); err != nil {
-			// Cache overflow: the worker fails and is preempted
-			// (Fig. 11a's X marks).
-			st.res.DiskFailures++
-			st.failNode(node)
-			return
-		}
-		st.bumpPeak(node)
-		st.reps.Add(f, node.ID)
-		onArrive()
+	}
+	startTransfer := func(src string) {
+		st.record(obs.Event{Type: obs.EvTransferStart, Src: src,
+			Dst: node.Name, Bytes: int64(size), Detail: string(f)})
 	}
 
 	if st.cfg.Flow == FlowManager {
@@ -404,12 +436,14 @@ func (st *state) stageOne(k dag.Key, att int, f storage.FileID, node *cluster.No
 				st.reps.Add(f, st.pool.Manager.ID)
 				st.res.FSReadBytes += size
 				st.res.ManagerCount++
-				st.net.Transfer(st.pool.Manager.EP, node.EP, size, land)
+				startTransfer(st.pool.Manager.Name)
+				st.net.Transfer(st.pool.Manager.EP, node.EP, size, landFrom(st.pool.Manager.Name))
 			})
 			return
 		}
 		st.res.ManagerCount++
-		st.net.Transfer(st.pool.Manager.EP, node.EP, size, land)
+		startTransfer(st.pool.Manager.Name)
+		st.net.Transfer(st.pool.Manager.EP, node.EP, size, landFrom(st.pool.Manager.Name))
 		return
 	}
 
@@ -418,14 +452,16 @@ func (st *state) stageOne(k dag.Key, att int, f storage.FileID, node *cluster.No
 	holders := st.liveHolders(f, node.ID)
 	if len(holders) == 0 {
 		if isDataset {
+			startTransfer(st.fs.EP.Name)
 			st.fs.Read(node.EP, size, func() {
 				st.res.FSReadBytes += size
-				land()
+				landFrom(st.fs.EP.Name)()
 			})
 			return
 		}
 		if st.pool.Manager.Disk.Has(f) {
-			st.net.Transfer(st.pool.Manager.EP, node.EP, size, land)
+			startTransfer(st.pool.Manager.Name)
+			st.net.Transfer(st.pool.Manager.EP, node.EP, size, landFrom(st.pool.Manager.Name))
 			return
 		}
 		// Intermediate with no live replica anywhere: lost to preemption
@@ -461,6 +497,7 @@ func (st *state) stageOne(k dag.Key, att int, f storage.FileID, node *cluster.No
 		started = true
 		st.res.PeerCount++
 		srcNode := st.pool.Workers[src-1]
+		startTransfer(srcNode.Name)
 		st.net.Transfer(srcNode.EP, node.EP, size, func() {
 			st.transferDone(src)
 			if !srcNode.Alive {
@@ -472,7 +509,7 @@ func (st *state) stageOne(k dag.Key, att int, f storage.FileID, node *cluster.No
 				})
 				return
 			}
-			land()
+			landFrom(srcNode.Name)()
 		})
 	})
 	// Watchdog: a queued request whose last source dies would otherwise
@@ -540,6 +577,8 @@ func (st *state) startExec(k dag.Key, att int) {
 	if st.cfg.RecordTrace {
 		st.execAt[k] = st.eng.Now()
 	}
+	st.record(obs.Event{Type: obs.EvTaskStart, Task: string(k),
+		Worker: node.Name, Attempt: att - 1})
 	st.eng.Schedule(total, func() {
 		if st.stale(k, att) || !node.Alive {
 			return
@@ -557,6 +596,8 @@ func (st *state) startExec(k dag.Key, att int) {
 				End:      st.eng.Now(),
 			})
 		}
+		st.record(obs.Event{Type: obs.EvTaskDone, Task: string(k),
+			Worker: node.Name, Attempt: att - 1, Dur: total})
 		st.completeOnWorker(k, att, node)
 	})
 }
@@ -572,11 +613,17 @@ func (st *state) startupCost(node *cluster.Node) time.Duration {
 			importFS = params.VAST
 		}
 	}
+	setup := func(d time.Duration) {
+		st.record(obs.Event{Type: obs.EvLibrarySetup, Worker: node.Name,
+			Dur: d, Detail: importFS.Name})
+	}
 	if st.cfg.Scheduler == SchedDask {
 		cost := params.DaskWorkerOverhead
 		if !st.imported[node.ID] {
 			st.imported[node.ID] = true
-			cost += params.ImportCost(importFS)
+			imp := params.ImportCost(importFS)
+			setup(imp)
+			cost += imp
 		}
 		return cost
 	}
@@ -587,7 +634,9 @@ func (st *state) startupCost(node *cluster.Node) time.Duration {
 	if st.cfg.Hoist {
 		if !st.imported[node.ID] {
 			st.imported[node.ID] = true
-			cost += params.ImportCost(importFS)
+			imp := params.ImportCost(importFS)
+			setup(imp)
+			cost += imp
 		}
 	} else {
 		cost += params.ImportCost(importFS)
@@ -690,6 +739,7 @@ func (st *state) onPreempt(node *cluster.Node) {
 		return
 	}
 	st.res.Preempted++
+	st.record(obs.Event{Type: obs.EvWorkerLost, Worker: node.Name})
 
 	// Requeue its in-flight tasks.
 	for k, nid := range st.assigned {
@@ -701,6 +751,8 @@ func (st *state) onPreempt(node *cluster.Node) {
 		if st.tracker.State(k) == dag.Running {
 			st.tracker.Requeue(k)
 			st.res.TasksRerun++
+			st.record(obs.Event{Type: obs.EvTaskRetry, Task: string(k),
+				Worker: node.Name, Attempt: st.attempt[k] - 1, Detail: "worker lost"})
 		}
 	}
 
@@ -748,6 +800,10 @@ func (st *state) applyInvalidation(lost []dag.Key) {
 		return
 	}
 	st.res.TasksRerun += len(lost)
+	for _, k := range lost {
+		st.record(obs.Event{Type: obs.EvTaskRetry, Task: string(k),
+			Attempt: st.attempt[k], Detail: "output lost"})
+	}
 	for _, k := range changed {
 		// Any rolled-back task that was in flight must abandon its
 		// dispatch and return its core.
@@ -765,12 +821,15 @@ func (st *state) applyInvalidation(lost []dag.Key) {
 // files persist on the shared FS; the manager's copies persist in Work
 // Queue mode).
 func (st *state) evict(f storage.FileID) {
+	size := st.reps.Size(f)
 	for _, h := range st.reps.Holders(f) {
 		if h == st.pool.Manager.ID {
 			continue
 		}
 		if w := st.workerByID(h); w != nil {
 			w.Disk.Del(f)
+			st.record(obs.Event{Type: obs.EvCacheEvict, Worker: w.Name,
+				Bytes: int64(size), Detail: string(f)})
 		}
 		st.reps.Remove(f, h)
 	}
@@ -852,4 +911,33 @@ func (st *state) finishStats() {
 		}
 	}
 	st.res.MaxPairBytes = max
+
+	// Project the run's counters into the shared observability schema.
+	snap := &st.res.Snapshot
+	snap.TasksDone = st.res.TasksDone
+	snap.Retries = st.res.TasksRerun
+	snap.WorkersLost = st.res.Preempted
+	snap.PeerTransfers = st.res.PeerCount
+	snap.ManagerTransfers = st.res.ManagerCount
+	snap.DiskFailures = st.res.DiskFailures
+	snap.FSReadBytes = int64(st.res.FSReadBytes)
+	fsName := st.fs.EP.Name
+	mgrName := st.pool.Manager.Name
+	for src, row := range st.net.Transferred {
+		for dst, b := range row {
+			switch {
+			case src == fsName || dst == fsName:
+				// shared-FS traffic, counted via FSReadBytes
+			case src == mgrName || dst == mgrName:
+				snap.ManagerBytes += int64(b)
+			default:
+				snap.PeerBytes += int64(b)
+			}
+		}
+	}
+	for _, p := range st.res.PeakCachePerWorker {
+		if int64(p) > snap.CacheHighWater {
+			snap.CacheHighWater = int64(p)
+		}
+	}
 }

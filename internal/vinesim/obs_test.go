@@ -1,0 +1,130 @@
+package vinesim
+
+import (
+	"testing"
+	"time"
+
+	"hepvine/internal/obs"
+	"hepvine/internal/units"
+)
+
+// traceRun executes one stack-4 run with a recorder attached and a burst
+// of preemptions so the trace exercises retries and worker loss.
+func traceRun(t *testing.T) (*Result, []obs.Event) {
+	t.Helper()
+	cfg := quietConfig(4, 3)
+	cfg.PreemptFraction = 0.3
+	cfg.PreemptWindow = 30 * time.Second
+	rec := obs.NewRecorder()
+	cfg.Recorder = rec
+	res := Run(cfg, tinyWorkload(48, 2*time.Second, 5*units.MB))
+	if !res.Completed {
+		t.Fatalf("run failed: %s", res.Failure)
+	}
+	return res, rec.Events()
+}
+
+func TestRecorderTraceRenders(t *testing.T) {
+	res, events := traceRun(t)
+	if len(events) == 0 {
+		t.Fatal("no events recorded")
+	}
+
+	// Every plane-agnostic renderer must produce a non-empty figure.
+	pts := obs.Timeline(events, time.Second)
+	if len(pts) == 0 {
+		t.Fatal("empty timeline")
+	}
+	final := pts[len(pts)-1]
+	if final.Done < res.TasksDone {
+		t.Fatalf("timeline done %d < result %d", final.Done, res.TasksDone)
+	}
+	if final.Running != 0 || final.Waiting < 0 {
+		t.Fatalf("timeline did not drain: %+v", final)
+	}
+
+	matrix := obs.TransferMatrix(events)
+	if len(matrix) == 0 {
+		t.Fatal("empty transfer matrix")
+	}
+	peer := false
+	for src, row := range matrix {
+		if src == "manager" {
+			continue
+		}
+		for dst := range row {
+			if dst != "manager" {
+				peer = true
+			}
+		}
+	}
+	if !peer {
+		t.Fatal("stack 4 trace shows no peer transfers")
+	}
+
+	occ := obs.Occupancy(events, time.Second)
+	if len(occ.Workers) == 0 {
+		t.Fatal("empty occupancy")
+	}
+
+	// Counters surfaced in the shared snapshot must agree with the
+	// legacy result fields.
+	s := res.Snapshot
+	if s.TasksDone != res.TasksDone || s.Retries != res.TasksRerun ||
+		s.WorkersLost != res.Preempted || s.PeerTransfers != res.PeerCount ||
+		s.ManagerTransfers != res.ManagerCount || s.FSReadBytes != int64(res.FSReadBytes) {
+		t.Fatalf("snapshot %+v disagrees with result counters", s)
+	}
+	if s.PeerTransfers > 0 && s.PeerBytes == 0 {
+		t.Fatal("peer transfers recorded but no peer bytes attributed")
+	}
+}
+
+func TestRecorderDoesNotPerturbRun(t *testing.T) {
+	cfg := quietConfig(3, 2)
+	plain := Run(cfg, tinyWorkload(24, time.Second, units.MB))
+
+	traced := cfg
+	traced.Recorder = obs.NewRecorder()
+	withRec := Run(traced, tinyWorkload(24, time.Second, units.MB))
+
+	if plain.Runtime != withRec.Runtime || plain.TasksDone != withRec.TasksDone {
+		t.Fatalf("tracing changed the simulation: %v/%d vs %v/%d",
+			plain.Runtime, plain.TasksDone, withRec.Runtime, withRec.TasksDone)
+	}
+}
+
+func TestRecorderTraceDeterministic(t *testing.T) {
+	_, a := traceRun(t)
+	_, b := traceRun(t)
+	if len(a) != len(b) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("event %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+// benchRun is one Table-1-class stack-4 run, with or without tracing —
+// the pair bounds the recorder's overhead on simulation throughput.
+func benchRun(b *testing.B, traced bool) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg := StackConfig(4, 4, 4, 7)
+		cfg.PreemptFraction = 0
+		cfg.StartupSpread = 0
+		cfg.Horizon = time.Hour
+		if traced {
+			cfg.Recorder = obs.NewRecorder()
+		}
+		res := Run(cfg, tinyWorkload(96, time.Second, units.MB))
+		if !res.Completed {
+			b.Fatalf("run failed: %s", res.Failure)
+		}
+	}
+}
+
+func BenchmarkRunUntraced(b *testing.B) { benchRun(b, false) }
+func BenchmarkRunTraced(b *testing.B)   { benchRun(b, true) }

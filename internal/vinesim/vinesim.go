@@ -17,6 +17,7 @@ package vinesim
 import (
 	"time"
 
+	"hepvine/internal/obs"
 	"hepvine/internal/params"
 	"hepvine/internal/units"
 )
@@ -88,6 +89,12 @@ type Config struct {
 	// dispatch/start/end times) — the raw data behind Fig. 13's per-worker
 	// activity bars.
 	RecordTrace bool
+
+	// Recorder, if set, receives the same typed lifecycle events the live
+	// engine emits — task submit/dispatch/start/done/retry, transfers,
+	// worker join/loss, cache evictions — stamped with virtual time, so
+	// one trace format (and one set of renderers) serves both planes.
+	Recorder *obs.Recorder
 }
 
 func (c *Config) defaults() {
@@ -217,6 +224,10 @@ type Result struct {
 	FSReadBytes  units.Bytes
 
 	TasksDone int
+
+	// Snapshot is the run's counters in the shared observability schema,
+	// directly comparable with a live vine.Manager.Stats() snapshot.
+	Snapshot obs.Snapshot
 }
 
 // Throughput reports completed tasks per second.

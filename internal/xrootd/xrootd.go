@@ -33,6 +33,7 @@ import (
 	"sync"
 	"time"
 
+	"hepvine/internal/obs"
 	"hepvine/internal/rootio"
 )
 
@@ -47,6 +48,7 @@ type Server struct {
 	readers map[string]*rootio.Reader
 	closers map[string]io.Closer
 	stats   ServerStats
+	rec     *obs.Recorder
 	closed  bool
 }
 
@@ -84,6 +86,24 @@ func (s *Server) Stats() ServerStats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.stats
+}
+
+// SetRecorder attaches an event recorder: every column read emits one
+// EvTransferDone with Src "xrootd" and the served byte count, so
+// federation reads appear in the same transfer matrix as cluster
+// traffic. A nil recorder disables emission.
+func (s *Server) SetRecorder(rec *obs.Recorder) {
+	s.mu.Lock()
+	s.rec = rec
+	s.mu.Unlock()
+}
+
+// recorder returns the attached recorder (possibly nil — the nil
+// *Recorder is a valid no-op sink).
+func (s *Server) recorder() *obs.Recorder {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rec
 }
 
 // Close stops the server and closes cached files.
@@ -195,6 +215,10 @@ func (s *Server) handleReadF(w *bufio.Writer, fields []string) {
 	fmt.Fprintf(w, "OK %d\n", len(vals))
 	writeF64s(w, vals)
 	s.count(func(st *ServerStats) { st.Reads++; st.BytesSent += int64(8 * len(vals)) })
+	s.recorder().Emit(obs.Event{
+		Type: obs.EvTransferDone, Src: "xrootd", Dst: "client",
+		Bytes: int64(8 * len(vals)), Detail: name + "/" + branch,
+	})
 }
 
 func (s *Server) handleReadJ(w *bufio.Writer, fields []string) {
@@ -223,6 +247,10 @@ func (s *Server) handleReadJ(w *bufio.Writer, fields []string) {
 	s.count(func(st *ServerStats) {
 		st.Reads++
 		st.BytesSent += int64(8 * (len(j.Counts) + len(j.Values)))
+	})
+	s.recorder().Emit(obs.Event{
+		Type: obs.EvTransferDone, Src: "xrootd", Dst: "client",
+		Bytes: int64(8 * (len(j.Counts) + len(j.Values))), Detail: name + "/" + branch,
 	})
 }
 
