@@ -1,22 +1,26 @@
 # Convenience targets; everything is plain `go` underneath.
 # Run `make help` for the list.
 
-.PHONY: help check test race bench verify paper examples tidy
+.PHONY: help check test race chaos bench verify paper examples tidy
 
 help:                 ## list targets
 	@grep -E '^[a-z]+: *##' $(MAKEFILE_LIST) | awk -F': *## *' '{printf "  %-10s %s\n", $$1, $$2}'
 
-check:                ## full gate: vet + build + tests + race pass (use before sending a PR)
+check:                ## full gate: vet + build + tests + full race pass + chaos smoke (use before sending a PR)
 	go vet ./...
 	go build ./...
 	go test ./...
-	go test -race ./internal/vine/ ./internal/daskvine/
+	go test -race ./...
+	go test -race -count=1 -run TestChaosSoakDeterministic .
 
 test:                 ## full test suite
 	go build ./... && go vet ./... && go test ./...
 
-race:                 ## race-detector pass over the concurrent packages
-	go test -race ./internal/vine/ ./internal/daskvine/ ./internal/xrootd/
+race:                 ## race-detector pass over every package
+	go test -race ./...
+
+chaos:                ## deterministic chaos soak: kills + stall + dead replica, bit-identical results
+	go test -race -count=1 -v -run TestChaosSoakDeterministic .
 
 bench:                ## one benchmark per table/figure, reduced scale
 	go test -bench=. -benchmem ./...
@@ -34,6 +38,7 @@ examples:             ## run every example end to end
 	go run ./examples/serverless
 	go run ./examples/remotedata
 	go run ./examples/systematics
+	go run ./examples/chaos
 
 tidy:                 ## gofmt + vet
 	gofmt -w .

@@ -1,0 +1,431 @@
+// Package chaos is the live plane's fault injector: a deterministic,
+// seeded plan of scripted faults (worker kills, connection drops,
+// read/write stalls, byte corruption, partitions) delivered through
+// net.Conn and net.Listener wrappers. It is the live-TCP analogue of
+// internal/netsim's modelled failures: where the simulator *computes* the
+// effect of a lost worker, chaos *causes* one on a real loopback cluster
+// and lets the recovery machinery in internal/vine and internal/xrootd
+// prove itself.
+//
+// Every fault carries an offset from Plan.Start, so a plan built from a
+// seed replays identically across runs: same kills, same stall windows,
+// same order. Components opt in via their functional options
+// (vine.WithFaultInjector, xrootd dial/server options); a nil or absent
+// plan costs nothing.
+//
+// Labels name the fault domain of each wrapped endpoint, slash-separated
+// ("w0/control", "w0/transfer", "manager/fetch", "xrootd/client"). A
+// fault's Target matches a label exactly, by path prefix ("w0" matches
+// "w0/control"), or everything ("*") — so one Kill fault aimed at "w0"
+// severs a worker's control and data planes together, which is exactly
+// what an HTCondor eviction does (§IV: "preemption of up to 1% of
+// workers in each run").
+package chaos
+
+import (
+	"fmt"
+	"net"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"hepvine/internal/obs"
+	"hepvine/internal/randx"
+)
+
+// Kind names one fault mechanism.
+type Kind string
+
+// The fault vocabulary.
+const (
+	// KindKill closes every matching live connection at At and refuses
+	// all future matching connections — a worker eviction.
+	KindKill Kind = "kill"
+	// KindDrop closes every matching live connection at At once;
+	// reconnects succeed — a transient network reset.
+	KindDrop Kind = "drop"
+	// KindStall black-holes matching connections for [At, At+Dur]:
+	// reads and writes block until the window passes. The TCP session
+	// stays established — the fault only a heartbeat can detect.
+	KindStall Kind = "stall"
+	// KindCorrupt flips bits in the next successful read on each
+	// matching connection after At — a payload integrity failure.
+	KindCorrupt Kind = "corrupt"
+	// KindPartition makes matching connections error on use and
+	// matching dials fail for [At, At+Dur] — a routed-away network.
+	KindPartition Kind = "partition"
+)
+
+// Fault is one scripted failure.
+type Fault struct {
+	Kind   Kind
+	Target string        // label, label prefix, or "*"
+	At     time.Duration // offset from Plan.Start
+	Dur    time.Duration // window length (stall, partition)
+}
+
+func (f Fault) String() string {
+	s := fmt.Sprintf("%s %s @%v", f.Kind, f.Target, f.At)
+	if f.Dur > 0 {
+		s += fmt.Sprintf("+%v", f.Dur)
+	}
+	return s
+}
+
+// Plan schedules faults against wrapped connections. Build it, register
+// faults, hand it to the components under test, then Start it. All
+// methods are safe for concurrent use.
+type Plan struct {
+	rng *randx.RNG
+	rec *obs.Recorder
+
+	mu      sync.Mutex
+	faults  []Fault
+	started bool
+	t0      time.Time
+	conns   map[*faultConn]struct{}
+	dead    []string // kill targets already fired: future dials refused
+	timers  []*time.Timer
+	fired   int
+}
+
+// NewPlan returns an empty plan whose randomized builders draw from seed.
+func NewPlan(seed uint64) *Plan {
+	return &Plan{
+		rng:   randx.NewStream(seed, 913),
+		conns: make(map[*faultConn]struct{}),
+	}
+}
+
+// SetRecorder attaches an obs recorder; every fault firing emits one
+// EvChaosFault. A nil recorder disables emission.
+func (p *Plan) SetRecorder(rec *obs.Recorder) {
+	p.mu.Lock()
+	p.rec = rec
+	p.mu.Unlock()
+}
+
+// Add registers a scripted fault. Must be called before Start.
+func (p *Plan) Add(faults ...Fault) *Plan {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.started {
+		panic("chaos: Add after Start")
+	}
+	p.faults = append(p.faults, faults...)
+	return p
+}
+
+// AddRandomKills scripts n kills at seed-deterministic times in
+// [from, to), drawn over the target list round-robin-free: both the
+// victim and the moment come from the plan's RNG, so the same seed
+// always evicts the same workers at the same offsets.
+func (p *Plan) AddRandomKills(n int, targets []string, from, to time.Duration) *Plan {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.started {
+		panic("chaos: AddRandomKills after Start")
+	}
+	for i := 0; i < n && len(targets) > 0; i++ {
+		at := from + time.Duration(p.rng.Float64()*float64(to-from))
+		p.faults = append(p.faults, Fault{
+			Kind:   KindKill,
+			Target: targets[p.rng.Intn(len(targets))],
+			At:     at,
+		})
+	}
+	return p
+}
+
+// AddRandomStalls scripts n stall windows of length dur at
+// seed-deterministic times in [from, to).
+func (p *Plan) AddRandomStalls(n int, targets []string, from, to, dur time.Duration) *Plan {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.started {
+		panic("chaos: AddRandomStalls after Start")
+	}
+	for i := 0; i < n && len(targets) > 0; i++ {
+		at := from + time.Duration(p.rng.Float64()*float64(to-from))
+		p.faults = append(p.faults, Fault{
+			Kind:   KindStall,
+			Target: targets[p.rng.Intn(len(targets))],
+			At:     at,
+			Dur:    dur,
+		})
+	}
+	return p
+}
+
+// Faults returns the scripted plan sorted by offset — the reproducible
+// schedule a seed materializes into.
+func (p *Plan) Faults() []Fault {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := append([]Fault(nil), p.faults...)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].At < out[j].At })
+	return out
+}
+
+// Fired reports how many faults have fired so far.
+func (p *Plan) Fired() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.fired
+}
+
+// Start arms the plan: fault offsets become wall-clock firing times.
+// Idempotent.
+func (p *Plan) Start() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.started {
+		return
+	}
+	p.started = true
+	p.t0 = time.Now()
+	for _, f := range p.faults {
+		f := f
+		p.timers = append(p.timers, time.AfterFunc(f.At, func() { p.fire(f) }))
+	}
+}
+
+// Stop cancels every pending fault. Already-open stall and partition
+// windows keep draining by wall clock; new firings cease.
+func (p *Plan) Stop() {
+	p.mu.Lock()
+	timers := p.timers
+	p.timers = nil
+	p.mu.Unlock()
+	for _, t := range timers {
+		t.Stop()
+	}
+}
+
+// fire applies a fault's instantaneous effect. Window faults (stall,
+// partition) need no action here beyond the event — the wrappers consult
+// the window arithmetic on every I/O — but kill and drop must sever
+// connections that may be parked inside blocking reads.
+func (p *Plan) fire(f Fault) {
+	p.mu.Lock()
+	p.fired++
+	rec := p.rec
+	var victims []*faultConn
+	switch f.Kind {
+	case KindKill, KindDrop:
+		for c := range p.conns {
+			if matches(f.Target, c.label) {
+				victims = append(victims, c)
+			}
+		}
+		if f.Kind == KindKill {
+			p.dead = append(p.dead, f.Target)
+		}
+	case KindCorrupt:
+		for c := range p.conns {
+			if matches(f.Target, c.label) {
+				c.armCorrupt()
+			}
+		}
+	}
+	p.mu.Unlock()
+	rec.Emit(obs.Event{Type: obs.EvChaosFault, Worker: f.Target, Detail: f.String()})
+	for _, c := range victims {
+		c.Close()
+	}
+}
+
+// matches reports whether a fault target covers a label.
+func matches(target, label string) bool {
+	return target == "*" || label == target || strings.HasPrefix(label, target+"/")
+}
+
+// deadLocked reports whether a label belongs to a killed target.
+func (p *Plan) deadLocked(label string) bool {
+	for _, t := range p.dead {
+		if matches(t, label) {
+			return true
+		}
+	}
+	return false
+}
+
+// stallRemaining reports how long a label must keep blocking right now.
+func (p *Plan) stallRemaining(label string) time.Duration {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if !p.started {
+		return 0
+	}
+	now := time.Since(p.t0)
+	var rem time.Duration
+	for _, f := range p.faults {
+		if f.Kind != KindStall || !matches(f.Target, label) {
+			continue
+		}
+		if now >= f.At && now < f.At+f.Dur {
+			if r := f.At + f.Dur - now; r > rem {
+				rem = r
+			}
+		}
+	}
+	return rem
+}
+
+// partitioned reports whether a label is inside an active partition
+// window (or belongs to a killed target).
+func (p *Plan) partitioned(label string) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.deadLocked(label) {
+		return true
+	}
+	if !p.started {
+		return false
+	}
+	now := time.Since(p.t0)
+	for _, f := range p.faults {
+		if f.Kind == KindPartition && matches(f.Target, label) && now >= f.At && now < f.At+f.Dur {
+			return true
+		}
+	}
+	return false
+}
+
+// WrapConn attaches the plan to a live connection under the given label.
+// If the label is already partitioned or killed, the connection is closed
+// immediately and a stub that always errors is returned — the dial-time
+// refusal path.
+func (p *Plan) WrapConn(c net.Conn, label string) net.Conn {
+	if p == nil {
+		return c
+	}
+	fc := &faultConn{Conn: c, p: p, label: label}
+	if p.partitioned(label) {
+		c.Close()
+		fc.refused = true
+		return fc
+	}
+	p.mu.Lock()
+	p.conns[fc] = struct{}{}
+	p.mu.Unlock()
+	return fc
+}
+
+// WrapListener attaches the plan to a listener; accepted connections are
+// wrapped under label + "/conn".
+func (p *Plan) WrapListener(ln net.Listener, label string) net.Listener {
+	if p == nil {
+		return ln
+	}
+	return &faultListener{Listener: ln, p: p, label: label}
+}
+
+// faultConn is a net.Conn that consults the plan on every operation.
+type faultConn struct {
+	net.Conn
+	p     *Plan
+	label string
+
+	mu      sync.Mutex
+	corrupt bool // next successful read flips bits
+	closed  bool
+	refused bool
+}
+
+func (c *faultConn) armCorrupt() {
+	c.mu.Lock()
+	c.corrupt = true
+	c.mu.Unlock()
+}
+
+// gate enforces kills and partitions; it returns a terminal error when
+// the label is cut off.
+func (c *faultConn) gate(op string) error {
+	c.mu.Lock()
+	closed, refused := c.closed, c.refused
+	c.mu.Unlock()
+	if closed || refused {
+		return fmt.Errorf("chaos: %s on severed conn %s", op, c.label)
+	}
+	if c.p.partitioned(c.label) {
+		c.Close()
+		return fmt.Errorf("chaos: %s through partition at %s", op, c.label)
+	}
+	return nil
+}
+
+// stall blocks while the label sits inside a stall window. It re-checks
+// after each sleep so overlapping or extended windows chain, and bails
+// if the connection was severed mid-stall.
+func (c *faultConn) stall() {
+	for {
+		rem := c.p.stallRemaining(c.label)
+		if rem <= 0 {
+			return
+		}
+		time.Sleep(rem)
+		c.mu.Lock()
+		closed := c.closed
+		c.mu.Unlock()
+		if closed {
+			return
+		}
+	}
+}
+
+func (c *faultConn) Read(b []byte) (int, error) {
+	if err := c.gate("read"); err != nil {
+		return 0, err
+	}
+	c.stall()
+	n, err := c.Conn.Read(b)
+	if n > 0 {
+		c.mu.Lock()
+		flip := c.corrupt
+		c.corrupt = false
+		c.mu.Unlock()
+		if flip {
+			b[0] ^= 0xA5
+		}
+	}
+	return n, err
+}
+
+func (c *faultConn) Write(b []byte) (int, error) {
+	if err := c.gate("write"); err != nil {
+		return 0, err
+	}
+	c.stall()
+	return c.Conn.Write(b)
+}
+
+func (c *faultConn) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+	c.p.mu.Lock()
+	delete(c.p.conns, c)
+	c.p.mu.Unlock()
+	return c.Conn.Close()
+}
+
+// faultListener wraps accepted connections into the plan.
+type faultListener struct {
+	net.Listener
+	p     *Plan
+	label string
+}
+
+func (l *faultListener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return l.p.WrapConn(c, l.label+"/conn"), nil
+}

@@ -1,0 +1,277 @@
+package chaos
+
+import (
+	"io"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"hepvine/internal/obs"
+)
+
+// pipePair builds a loopback TCP pair so wrapped conns behave like the
+// real planes (net.Pipe has no buffering and deadlocks echo loops).
+func pipePair(t *testing.T) (client, server net.Conn) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	done := make(chan net.Conn, 1)
+	go func() {
+		c, err := ln.Accept()
+		if err != nil {
+			done <- nil
+			return
+		}
+		done <- c
+	}()
+	c, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := <-done
+	if s == nil {
+		t.Fatal("accept failed")
+	}
+	t.Cleanup(func() { c.Close(); s.Close() })
+	return c, s
+}
+
+func TestMatches(t *testing.T) {
+	cases := []struct {
+		target, label string
+		want          bool
+	}{
+		{"*", "anything", true},
+		{"w0", "w0", true},
+		{"w0", "w0/control", true},
+		{"w0", "w01/control", false},
+		{"w0/control", "w0", false},
+		{"w0", "manager/control", false},
+	}
+	for _, c := range cases {
+		if got := matches(c.target, c.label); got != c.want {
+			t.Errorf("matches(%q, %q) = %v, want %v", c.target, c.label, got, c.want)
+		}
+	}
+}
+
+func TestKillClosesAndRefuses(t *testing.T) {
+	p := NewPlan(1)
+	rec := obs.NewRecorder()
+	p.SetRecorder(rec)
+	c, s := pipePair(t)
+	wc := p.WrapConn(c, "w0/control")
+	p.Add(Fault{Kind: KindKill, Target: "w0", At: 20 * time.Millisecond})
+	p.Start()
+	defer p.Stop()
+
+	// The victim's blocking read errors when the kill fires.
+	errC := make(chan error, 1)
+	go func() {
+		buf := make([]byte, 8)
+		_, err := wc.Read(buf)
+		errC <- err
+	}()
+	select {
+	case err := <-errC:
+		if err == nil {
+			t.Fatal("read survived the kill")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("kill did not sever the blocking read")
+	}
+	_ = s
+
+	// Future conns for the killed target are refused at wrap time.
+	c2, _ := pipePair(t)
+	wc2 := p.WrapConn(c2, "w0/transfer")
+	if _, err := wc2.Write([]byte("x")); err == nil {
+		t.Fatal("write on post-kill conn succeeded")
+	}
+	// Unrelated labels are untouched.
+	c3, s3 := pipePair(t)
+	wc3 := p.WrapConn(c3, "w1/control")
+	if _, err := wc3.Write([]byte("ok")); err != nil {
+		t.Fatalf("unrelated conn hit: %v", err)
+	}
+	buf := make([]byte, 2)
+	if _, err := io.ReadFull(s3, buf); err != nil {
+		t.Fatal(err)
+	}
+
+	// The firing was traced.
+	found := false
+	for _, ev := range rec.Events() {
+		if ev.Type == obs.EvChaosFault && strings.Contains(ev.Detail, "kill w0") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no EvChaosFault in trace")
+	}
+}
+
+func TestStallDelaysIO(t *testing.T) {
+	p := NewPlan(1)
+	c, s := pipePair(t)
+	wc := p.WrapConn(c, "w0/control")
+	const dur = 120 * time.Millisecond
+	p.Add(Fault{Kind: KindStall, Target: "w0", At: 0, Dur: dur})
+	p.Start()
+	defer p.Stop()
+
+	start := time.Now()
+	if _, err := wc.Write([]byte("delayed")); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < dur-20*time.Millisecond {
+		t.Fatalf("write escaped the stall window after %v", elapsed)
+	}
+	buf := make([]byte, 7)
+	if _, err := io.ReadFull(s, buf); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "delayed" {
+		t.Fatalf("got %q", buf)
+	}
+	// After the window, I/O is immediate again.
+	start = time.Now()
+	if _, err := wc.Write([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 50*time.Millisecond {
+		t.Fatalf("post-window write still slow: %v", elapsed)
+	}
+}
+
+func TestCorruptFlipsBits(t *testing.T) {
+	p := NewPlan(1)
+	c, s := pipePair(t)
+	wc := p.WrapConn(c, "w0/control")
+	p.Add(Fault{Kind: KindCorrupt, Target: "w0", At: 0})
+	p.Start()
+	defer p.Stop()
+	time.Sleep(20 * time.Millisecond) // let the fault arm
+
+	if _, err := s.Write([]byte("AB")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 2)
+	if _, err := io.ReadFull(wc, buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] == 'A' {
+		t.Fatalf("first byte not corrupted: %q", buf)
+	}
+	// Corruption is one-shot.
+	if _, err := s.Write([]byte("CD")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := io.ReadFull(wc, buf); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "CD" {
+		t.Fatalf("second read corrupted too: %q", buf)
+	}
+}
+
+func TestPartitionWindowErrorsAndHeals(t *testing.T) {
+	p := NewPlan(1)
+	p.Add(Fault{Kind: KindPartition, Target: "w0", At: 0, Dur: 80 * time.Millisecond})
+	p.Start()
+	defer p.Stop()
+	time.Sleep(10 * time.Millisecond)
+
+	c, _ := pipePair(t)
+	wc := p.WrapConn(c, "w0/fetch")
+	if _, err := wc.Write([]byte("x")); err == nil {
+		t.Fatal("write crossed an active partition")
+	}
+	// After the window, fresh conns work.
+	time.Sleep(90 * time.Millisecond)
+	c2, s2 := pipePair(t)
+	wc2 := p.WrapConn(c2, "w0/fetch")
+	if _, err := wc2.Write([]byte("y")); err != nil {
+		t.Fatalf("post-partition conn failed: %v", err)
+	}
+	buf := make([]byte, 1)
+	if _, err := io.ReadFull(s2, buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomPlanDeterministic(t *testing.T) {
+	build := func() []Fault {
+		p := NewPlan(42)
+		p.AddRandomKills(3, []string{"w0", "w1", "w2"}, 100*time.Millisecond, time.Second)
+		p.AddRandomStalls(2, []string{"w0", "w1"}, 0, time.Second, 200*time.Millisecond)
+		return p.Faults()
+	}
+	a, b := build(), build()
+	if len(a) != 5 || len(b) != 5 {
+		t.Fatalf("plan sizes: %d, %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("fault %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	// A different seed materializes a different schedule.
+	p2 := NewPlan(43)
+	p2.AddRandomKills(3, []string{"w0", "w1", "w2"}, 100*time.Millisecond, time.Second)
+	c := p2.Faults()
+	same := true
+	for i := range c {
+		if c[i] != a[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("seeds 42 and 43 produced identical kill schedules")
+	}
+}
+
+func TestNilPlanIsTransparent(t *testing.T) {
+	var p *Plan
+	c, s := pipePair(t)
+	if got := p.WrapConn(c, "x"); got != c {
+		t.Fatal("nil plan wrapped the conn")
+	}
+	_ = s
+}
+
+func TestListenerWrapsAccepted(t *testing.T) {
+	p := NewPlan(1)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl := p.WrapListener(ln, "manager/transfer")
+	defer wl.Close()
+	go func() {
+		c, err := net.Dial("tcp", ln.Addr().String())
+		if err == nil {
+			c.Write([]byte("hi"))
+			c.Close()
+		}
+	}()
+	c, err := wl.Accept()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc, ok := c.(*faultConn)
+	if !ok {
+		t.Fatalf("accepted conn not wrapped: %T", c)
+	}
+	if fc.label != "manager/transfer/conn" {
+		t.Fatalf("label = %q", fc.label)
+	}
+	buf := make([]byte, 2)
+	if _, err := io.ReadFull(c, buf); err != nil {
+		t.Fatal(err)
+	}
+}

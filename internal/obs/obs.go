@@ -51,6 +51,12 @@ const (
 	EvWorkerLost    EventType = "worker_lost"    // Worker
 	EvCacheEvict    EventType = "cache_evict"    // Worker, Bytes, Detail=cachename
 	EvLibrarySetup  EventType = "library_setup"  // Worker, Dur, Detail=library
+
+	// Failure-domain vocabulary (liveness, fast-abort, fault injection).
+	EvHeartbeatMiss EventType = "heartbeat_miss" // Worker, Detail=silence duration / side
+	EvTaskAbort     EventType = "task_abort"     // Task, Worker, Attempt, Detail=deadline cause
+	EvChaosFault    EventType = "chaos_fault"    // Worker=target, Detail=kind+schedule
+	EvNetRetry      EventType = "net_retry"      // Src=endpoint, Attempt, Dur=backoff, Detail=cause
 )
 
 // Event is one trace record. T is the offset from the trace epoch

@@ -131,7 +131,7 @@ func Timeline(events []Event, step time.Duration) []TimelinePoint {
 				state[ev.Task] = stRunning
 				cur.Running++
 			}
-		case EvTaskRetry:
+		case EvTaskRetry, EvTaskAbort:
 			if state[ev.Task] == stRunning {
 				cur.Running--
 				cur.Waiting++
@@ -212,7 +212,7 @@ func Occupancy(events []Event, step time.Duration) OccupancySeries {
 			w := ev.Worker
 			workers[w] = true
 			open[ev.Task] = span{worker: w, start: ev.T}
-		case EvTaskDone, EvTaskRetry, EvTaskFail:
+		case EvTaskDone, EvTaskRetry, EvTaskAbort, EvTaskFail:
 			if sp, ok := open[ev.Task]; ok {
 				sp.end = ev.T
 				spans = append(spans, sp)

@@ -14,6 +14,11 @@ type Snapshot struct {
 	Retries     int
 	WorkersLost int
 
+	// Failure-domain detection: deadline fast-aborts of stragglers and
+	// workers declared lost by heartbeat silence rather than TCP error.
+	TasksAborted    int
+	HeartbeatMisses int
+
 	// Transfers, split by source as in §III.B: peer (worker→worker) vs
 	// manager-served (the Work Queue data path).
 	PeerTransfers    int
@@ -45,6 +50,8 @@ func (s Snapshot) Merge(o Snapshot) Snapshot {
 	s.TasksFailed += o.TasksFailed
 	s.Retries += o.Retries
 	s.WorkersLost += o.WorkersLost
+	s.TasksAborted += o.TasksAborted
+	s.HeartbeatMisses += o.HeartbeatMisses
 	s.PeerTransfers += o.PeerTransfers
 	s.ManagerTransfers += o.ManagerTransfers
 	s.PeerBytes += o.PeerBytes

@@ -1,0 +1,184 @@
+package vine
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"hepvine/internal/chaos"
+	"hepvine/internal/obs"
+)
+
+// Failure-domain regression tests: heartbeat liveness, deadline
+// fast-abort, and the typed retry/backoff history, each driven by the
+// deterministic chaos layer rather than by killing processes.
+
+// TestHeartbeatDetectsStalledWorker black-holes a worker's connections
+// (TCP session stays ESTABLISHED — no error ever surfaces) and asserts
+// the manager's heartbeat monitor still declares the worker lost.
+func TestHeartbeatDetectsStalledWorker(t *testing.T) {
+	registerTestLib(t)
+	rec := obs.NewRecorder()
+	m, err := NewManager(
+		WithLibrary("testlib", true),
+		WithHeartbeat(50*time.Millisecond, 250*time.Millisecond),
+		WithRecorder(rec),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(m.Stop)
+
+	// The injector wraps only the worker's side, so every byte in either
+	// direction stalls but neither endpoint sees a transport error.
+	plan := chaos.NewPlan(1).Add(chaos.Fault{
+		Kind: chaos.KindStall, Target: "w0",
+		At: 50 * time.Millisecond, Dur: 5 * time.Second,
+	})
+	t.Cleanup(plan.Stop)
+	w, err := NewWorker(m.Addr(),
+		WithName("w0"), WithCores(1), WithCacheDir(t.TempDir()),
+		WithFaultInjector(plan),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(w.Stop)
+	if err := m.WaitForWorkers(1, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	plan.Start()
+
+	deadline := time.Now().Add(3 * time.Second)
+	for m.WorkerCount() > 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("stalled worker never declared lost (heartbeat misses: %d)",
+				m.Stats().HeartbeatMisses)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	st := m.Stats()
+	if st.HeartbeatMisses < 1 {
+		t.Fatalf("HeartbeatMisses = %d, want >= 1", st.HeartbeatMisses)
+	}
+	if st.WorkersLost < 1 {
+		t.Fatalf("WorkersLost = %d, want >= 1", st.WorkersLost)
+	}
+	var sawMiss, sawLost bool
+	for _, ev := range rec.Events() {
+		switch ev.Type {
+		case obs.EvHeartbeatMiss:
+			sawMiss = true
+			if ev.Worker != "w0" || !strings.Contains(ev.Detail, "silent") {
+				t.Fatalf("malformed heartbeat-miss event: %+v", ev)
+			}
+		case obs.EvWorkerLost:
+			sawLost = true
+		}
+	}
+	if !sawMiss || !sawLost {
+		t.Fatalf("trace missing events: heartbeat_miss=%v worker_lost=%v", sawMiss, sawLost)
+	}
+}
+
+// TestTaskDeadlineFastAbort runs a 50ms task under a 25ms per-attempt
+// deadline on a two-worker cluster: the first attempt is fast-aborted
+// and speculatively re-dispatched, and whichever copy finishes first
+// wins — the task must still succeed.
+func TestTaskDeadlineFastAbort(t *testing.T) {
+	rec := obs.NewRecorder()
+	m, _ := newCluster(t, 2, 1,
+		WithHeartbeat(50*time.Millisecond, 5*time.Second),
+		WithRecorder(rec),
+	)
+	h, err := m.Submit(Task{
+		Library: "testlib", Func: "sleep50", Outputs: []string{"out"},
+		Deadline: 25 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Wait(5 * time.Second); err != nil {
+		t.Fatalf("task under deadline pressure failed: %v", err)
+	}
+	if got := fetchOutput(t, m, h, "out"); string(got) != "slept" {
+		t.Fatalf("output = %q", got)
+	}
+	if st := m.Stats(); st.TasksAborted < 1 {
+		t.Fatalf("TasksAborted = %d, want >= 1", st.TasksAborted)
+	}
+	aborts := 0
+	for _, ev := range rec.Events() {
+		if ev.Type == obs.EvTaskAbort {
+			aborts++
+			if !strings.Contains(ev.Detail, "deadline") || ev.Worker == "" {
+				t.Fatalf("malformed abort event: %+v", ev)
+			}
+		}
+	}
+	if aborts < 1 {
+		t.Fatal("no EvTaskAbort in trace")
+	}
+	var recorded bool
+	for _, f := range h.FailureRecords() {
+		if strings.Contains(f.Cause, "deadline") && f.Worker != "" {
+			recorded = true
+		}
+	}
+	if !recorded {
+		t.Fatalf("no deadline abort in failure history: %v", h.FailureHistory())
+	}
+}
+
+// TestRetryBackoffSurfaced asserts the typed failure history carries the
+// worker and the jittered backoff delay for every non-terminal attempt,
+// and that the rendered strings keep the stable "attempt N:" prefix.
+func TestRetryBackoffSurfaced(t *testing.T) {
+	m, _ := newCluster(t, 1, 2,
+		WithMaxRetries(2),
+		WithRetryBackoff(4*time.Millisecond, 16*time.Millisecond),
+	)
+	h, err := m.SubmitFunc(ModeTask, "testlib", "fail", nil, "out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Wait(5 * time.Second); err == nil {
+		t.Fatal("always-failing task succeeded")
+	}
+	recs := h.FailureRecords()
+	if len(recs) != 3 { // attempts 1, 2 (retried) and 3 (terminal)
+		t.Fatalf("failure records = %d, want 3: %v", len(recs), recs)
+	}
+	for i, f := range recs {
+		if f.Attempt != i+1 {
+			t.Fatalf("record %d has attempt %d", i, f.Attempt)
+		}
+		if f.Worker != "w0" {
+			t.Fatalf("record %d missing worker: %+v", i, f)
+		}
+		if !strings.Contains(f.Cause, "deliberate failure") {
+			t.Fatalf("record %d cause = %q", i, f.Cause)
+		}
+		terminal := i == len(recs)-1
+		if !terminal && f.Backoff <= 0 {
+			t.Fatalf("retried attempt %d has no backoff: %+v", i+1, f)
+		}
+		if terminal && f.Backoff != 0 {
+			t.Fatalf("terminal attempt carries backoff: %+v", f)
+		}
+	}
+	// Doubling schedule with jitter in [d/2, d): attempt 2's delay window
+	// sits strictly above attempt 1's minimum.
+	if recs[1].Backoff < recs[0].Backoff/2 {
+		t.Fatalf("backoff not growing: %v then %v", recs[0].Backoff, recs[1].Backoff)
+	}
+	for i, s := range h.FailureHistory() {
+		if !strings.HasPrefix(s, "attempt ") {
+			t.Fatalf("history line %d lost stable prefix: %q", i, s)
+		}
+		wantBackoff := i != len(recs)-1
+		if strings.Contains(s, "backoff") != wantBackoff {
+			t.Fatalf("history line %d backoff rendering wrong: %q", i, s)
+		}
+	}
+}

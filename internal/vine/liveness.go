@@ -1,0 +1,155 @@
+package vine
+
+import (
+	"fmt"
+	"time"
+
+	"hepvine/internal/obs"
+)
+
+// The manager-side failure detector. TCP alone is a poor liveness signal:
+// an ESTABLISHED session to a frozen node or across a black-holed link
+// can stay silent for many minutes before the kernel gives up. The
+// monitor closes that gap with two active checks:
+//
+//   - Heartbeats: any worker link quiet for hbInterval gets a ping; a
+//     worker silent for hbTimeout is declared lost immediately, requeueing
+//     its tasks without waiting for a TCP error that may never come.
+//
+//   - Deadlines: a running attempt past its deadline is fast-aborted —
+//     the task requeues onto a different worker while the straggler keeps
+//     running speculatively, and the first result wins (§V: recovering
+//     stragglers by re-execution rather than waiting them out).
+
+// monitor runs for the manager's lifetime, exiting when Stop closes
+// stopC. The tick tracks the heartbeat interval so detection latency
+// stays a small fraction of the configured timeout.
+func (m *Manager) monitor() {
+	tick := 50 * time.Millisecond
+	if m.hbInterval > 0 {
+		tick = m.hbInterval / 4
+	}
+	if tick < 5*time.Millisecond {
+		tick = 5 * time.Millisecond
+	}
+	if tick > 500*time.Millisecond {
+		tick = 500 * time.Millisecond
+	}
+	t := time.NewTicker(tick)
+	defer t.Stop()
+	for {
+		select {
+		case <-m.stopC:
+			return
+		case <-t.C:
+		}
+		m.sweep(time.Now())
+	}
+}
+
+// sweep performs one monitor pass: ping quiet links, expire silent
+// workers, fast-abort over-deadline attempts.
+func (m *Manager) sweep(now time.Time) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.stopped {
+		return
+	}
+
+	if m.hbInterval > 0 {
+		var lost []int
+		for id, w := range m.workers {
+			if !w.alive {
+				continue
+			}
+			if now.Sub(w.lastSeen) > m.hbTimeout {
+				lost = append(lost, id)
+				continue
+			}
+			if now.Sub(w.lastPing) >= m.hbInterval {
+				w.lastPing = now
+				w.conn.send(&message{Type: msgPing})
+			}
+		}
+		for _, id := range lost {
+			w := m.workers[id]
+			m.met.heartbeatMisses.Inc()
+			m.rec.Emit(obs.Event{Type: obs.EvHeartbeatMiss, Worker: w.name,
+				Detail: fmt.Sprintf("worker silent for %v (timeout %v)",
+					now.Sub(w.lastSeen).Round(time.Millisecond), m.hbTimeout)})
+			m.workerLostLocked(id)
+		}
+	}
+
+	var expired []*taskRecord
+	for _, rec := range m.tasks {
+		if rec.state == TaskRunning && !rec.deadlineAt.IsZero() && now.After(rec.deadlineAt) {
+			expired = append(expired, rec)
+		}
+	}
+	for _, rec := range expired {
+		m.abortLocked(rec, now)
+	}
+	if len(expired) > 0 {
+		m.scheduleLocked()
+	}
+}
+
+// deadlineFor resolves a task's per-attempt execution bound.
+func (m *Manager) deadlineFor(rec *taskRecord) time.Duration {
+	if rec.spec.Deadline > 0 {
+		return rec.spec.Deadline
+	}
+	return m.taskDeadline
+}
+
+// abortLocked fast-aborts one over-deadline running attempt. The straggler
+// is not killed — there is no per-task preemption in the wire protocol —
+// but its worker's cores are released and the task requeues immediately
+// (no backoff: a deadline expiry is the manager's own decision, not a
+// fault to be damped). If the straggler still finishes first, its result
+// is accepted; duplicate outputs are idempotent under content addressing.
+func (m *Manager) abortLocked(rec *taskRecord, now time.Time) {
+	w := m.workers[rec.worker]
+	name := workerNameOf(w)
+	d := m.deadlineFor(rec)
+	m.met.tasksAborted.Inc()
+	m.rec.Emit(obs.Event{Type: obs.EvTaskAbort, Task: rec.label(), Worker: name, Attempt: rec.retries,
+		Detail: fmt.Sprintf("deadline %v exceeded; re-dispatching speculatively", d)})
+	if rec.stragglers == nil {
+		rec.stragglers = make(map[int]bool)
+	}
+	rec.stragglers[rec.worker] = true
+	m.releaseWorkerLocked(rec)
+	rec.deadlineAt = time.Time{}
+	rec.retries++
+	terminal := rec.retries > m.opts.MaxRetries
+	m.recordFailureLocked(rec, TaskFailure{
+		Attempt: rec.retries, Worker: name,
+		Cause: fmt.Sprintf("aborted after deadline %v", d),
+	})
+	if terminal {
+		m.failLocked(rec, fmt.Errorf("vine: task %d failed after %d retries: deadline %v exceeded (history: %s)",
+			rec.id, rec.retries-1, d, joinHistory(rec.failures)))
+		return
+	}
+	m.met.retries.Inc()
+	if m.inputsAvailableLocked(rec) {
+		m.setTaskState(rec, TaskReady)
+		m.ready = append(m.ready, rec.id)
+	} else {
+		m.setTaskState(rec, TaskWaiting)
+		m.reviveProducersLocked(rec)
+	}
+}
+
+func joinHistory(fs []TaskFailure) string {
+	s := ""
+	for i, f := range fs {
+		if i > 0 {
+			s += "; "
+		}
+		s += f.String()
+	}
+	return s
+}

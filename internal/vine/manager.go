@@ -13,7 +13,12 @@ import (
 	"time"
 
 	"hepvine/internal/obs"
+	"hepvine/internal/randx"
 )
+
+// jitterStream is the randx stream id for retry-backoff jitter, distinct
+// from other seeded streams so the same seed never correlates decisions.
+const jitterStream = 417
 
 // TaskState tracks a task through the manager.
 type TaskState uint8
@@ -72,6 +77,46 @@ type Task struct {
 	// Memory is the task's RAM request in bytes (0 = none); the manager
 	// packs tasks onto workers within both core and memory budgets.
 	Memory int64
+	// Deadline bounds one execution attempt; an attempt running longer is
+	// fast-aborted and speculatively re-dispatched to a different worker,
+	// first result winning. 0 falls back to the manager's WithTaskDeadline
+	// default (itself 0 = unbounded).
+	Deadline time.Duration
+}
+
+// TaskFailure is one failed attempt in a task's retained history: which
+// attempt, on which worker, why, and how long the manager backed off
+// before requeueing it.
+type TaskFailure struct {
+	Attempt int
+	Worker  string
+	Cause   string
+	Backoff time.Duration
+}
+
+// String renders the attempt in the stable "attempt N: cause" form used
+// by FailureHistory and terminal errors.
+func (f TaskFailure) String() string {
+	s := fmt.Sprintf("attempt %d: %s", f.Attempt, f.Cause)
+	var extra []string
+	if f.Worker != "" {
+		extra = append(extra, "worker "+f.Worker)
+	}
+	if f.Backoff > 0 {
+		extra = append(extra, "backoff "+f.Backoff.Round(time.Millisecond).String())
+	}
+	if len(extra) > 0 {
+		s += " (" + strings.Join(extra, ", ") + ")"
+	}
+	return s
+}
+
+func formatFailures(fs []TaskFailure) []string {
+	out := make([]string, len(fs))
+	for i, f := range fs {
+		out[i] = f.String()
+	}
+	return out
 }
 
 // TaskHandle tracks a submitted task.
@@ -89,7 +134,7 @@ type TaskHandle struct {
 	setup    time.Duration
 	worker   string
 	retries  int
-	failures []string
+	failures []TaskFailure
 	notified bool
 }
 
@@ -160,7 +205,16 @@ func (h *TaskHandle) Retries() int {
 func (h *TaskHandle) FailureHistory() []string {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	return append([]string(nil), h.failures...)
+	return formatFailures(h.failures)
+}
+
+// FailureRecords reports the typed per-attempt failure history: attempt
+// number, the worker it failed on, the cause, and the backoff delay the
+// manager applied before requeueing. Bounded by WithFailureHistory.
+func (h *TaskHandle) FailureRecords() []TaskFailure {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return append([]TaskFailure(nil), h.failures...)
 }
 
 // ManagerOptions configure a manager.
@@ -220,6 +274,8 @@ type managerMetrics struct {
 	managerBytes     *obs.Counter
 	workersJoined    *obs.Counter
 	workersLost      *obs.Counter
+	tasksAborted     *obs.Counter
+	heartbeatMisses  *obs.Counter
 	execSeconds      *obs.Histogram
 }
 
@@ -234,6 +290,8 @@ func newManagerMetrics(reg *obs.Registry) managerMetrics {
 		managerBytes:     reg.Counter("vine_manager_bytes_total"),
 		workersJoined:    reg.Counter("vine_workers_joined_total"),
 		workersLost:      reg.Counter("vine_workers_lost_total"),
+		tasksAborted:     reg.Counter("vine_task_aborts_total"),
+		heartbeatMisses:  reg.Counter("vine_heartbeat_misses_total"),
 		execSeconds:      reg.Histogram("vine_task_exec_seconds"),
 	}
 }
@@ -252,6 +310,10 @@ type workerState struct {
 	cacheBytes   int64
 	outbound     int // active transfers served by this worker
 	alive        bool
+	// Liveness: lastSeen is bumped on every control-channel receive;
+	// lastPing is when the manager last probed an otherwise-quiet link.
+	lastSeen time.Time
+	lastPing time.Time
 	// pendingSources records in-flight inbound transfers and which worker
 	// serves each, so source capacity frees on completion or loss.
 	pendingSources []srcRecord
@@ -277,9 +339,18 @@ type taskRecord struct {
 	worker   int // assigned worker id (staging/running)
 	pending  map[CacheName]bool
 	retries  int
-	failures []string // bounded per-attempt causes (see WithFailureHistory)
+	failures []TaskFailure // bounded per-attempt causes (see WithFailureHistory)
 	defHash  string
+
+	// Fast-abort bookkeeping: stragglers holds worker ids of aborted
+	// attempts still running speculatively (first to finish wins);
+	// deadlineAt is when the current running attempt expires (zero =
+	// unbounded).
+	stragglers map[int]bool
+	deadlineAt time.Time
 }
+
+func (rec *taskRecord) isStraggler(wid int) bool { return rec.stragglers[wid] }
 
 // label is the task's identity in trace events.
 func (rec *taskRecord) label() string { return strconv.Itoa(rec.id) }
@@ -304,9 +375,20 @@ type Manager struct {
 
 	ln net.Listener
 	ts *transferServer
+	nc netConfig
+
+	// Liveness and retry policy (immutable after construction).
+	hbInterval   time.Duration
+	hbTimeout    time.Duration
+	taskDeadline time.Duration
+	backoffBase  time.Duration
+	backoffMax   time.Duration
+
+	stopC chan struct{} // closed by Stop; exits the monitor goroutine
 
 	mu        sync.Mutex
-	cond      *sync.Cond
+	change    chan struct{} // closed+replaced on any state change (broadcast)
+	rng       *randx.RNG    // retry jitter; guarded by mu
 	workers   map[int]*workerState
 	files     map[CacheName]*fileState
 	tasks     map[int]*taskRecord
@@ -316,6 +398,15 @@ type Manager struct {
 	nextWID   int
 	nextTID   int
 	stopped   bool
+}
+
+// notifyLocked wakes every goroutine blocked in WaitAny/WaitForWorkers by
+// closing the current change channel and installing a fresh one — the
+// channel-broadcast idiom, replacing the former sync.Cond (whose lack of
+// a timed wait forced busy-polling).
+func (m *Manager) notifyLocked() {
+	close(m.change)
+	m.change = make(chan struct{})
 }
 
 // defaultFailureHistory bounds the per-task failure causes retained for
@@ -336,17 +427,25 @@ func NewManager(options ...Option) (*Manager, error) {
 	}
 	reg := obs.NewRegistry()
 	m := &Manager{
-		opts:      opts,
-		failLimit: c.failureHistory,
-		rec:       c.rec,
-		reg:       reg,
-		met:       newManagerMetrics(reg),
-		workers:   make(map[int]*workerState),
-		files:     make(map[CacheName]*fileState),
-		tasks:     make(map[int]*taskRecord),
+		opts:         opts,
+		failLimit:    c.failureHistory,
+		rec:          c.rec,
+		reg:          reg,
+		met:          newManagerMetrics(reg),
+		nc:           c.netConfig(),
+		hbInterval:   c.hbInterval,
+		hbTimeout:    c.hbTimeout,
+		taskDeadline: c.taskDeadline,
+		backoffBase:  c.backoffBase,
+		backoffMax:   c.backoffMax,
+		stopC:        make(chan struct{}),
+		change:       make(chan struct{}),
+		rng:          randx.NewStream(c.retrySeed, jitterStream),
+		workers:      make(map[int]*workerState),
+		files:        make(map[CacheName]*fileState),
+		tasks:        make(map[int]*taskRecord),
 	}
-	m.cond = sync.NewCond(&m.mu)
-	ts, err := newTransferServer(m)
+	ts, err := newTransferServer(m, m.nc, "manager/transfer")
 	if err != nil {
 		return nil, err
 	}
@@ -356,8 +455,9 @@ func NewManager(options ...Option) (*Manager, error) {
 		ts.close()
 		return nil, err
 	}
-	m.ln = ln
+	m.ln = m.nc.listen(ln, "manager/control")
 	go m.acceptLoop()
+	go m.monitor()
 	return m, nil
 }
 
@@ -376,7 +476,8 @@ func (m *Manager) Stop() {
 	for _, w := range m.workers {
 		ws = append(ws, w)
 	}
-	m.cond.Broadcast()
+	m.notifyLocked()
+	close(m.stopC)
 	m.mu.Unlock()
 	for _, w := range ws {
 		w.conn.send(&message{Type: msgKill})
@@ -398,6 +499,8 @@ func (m *Manager) Stats() ManagerStats {
 		PeerBytes:        m.met.peerBytes.Value(),
 		ManagerBytes:     m.met.managerBytes.Value(),
 		WorkersLost:      int(m.met.workersLost.Value()),
+		TasksAborted:     int(m.met.tasksAborted.Value()),
+		HeartbeatMisses:  int(m.met.heartbeatMisses.Value()),
 	}
 }
 
@@ -426,17 +529,29 @@ func (m *Manager) WorkerCount() int {
 }
 
 // WaitForWorkers blocks until n workers are connected or the timeout
-// elapses.
+// elapses. It parks on the manager's change broadcast rather than
+// polling, so joins are observed immediately.
 func (m *Manager) WaitForWorkers(n int, timeout time.Duration) error {
-	deadline := time.Now().Add(timeout)
+	t := time.NewTimer(timeout)
+	defer t.Stop()
 	for {
-		if m.WorkerCount() >= n {
+		m.mu.Lock()
+		count := 0
+		for _, w := range m.workers {
+			if w.alive {
+				count++
+			}
+		}
+		ch := m.change
+		m.mu.Unlock()
+		if count >= n {
 			return nil
 		}
-		if time.Now().After(deadline) {
+		select {
+		case <-ch:
+		case <-t.C:
 			return fmt.Errorf("vine: only %d of %d workers after %v", m.WorkerCount(), n, timeout)
 		}
-		time.Sleep(5 * time.Millisecond)
 	}
 }
 
@@ -621,7 +736,7 @@ func (m *Manager) FetchBytes(name CacheName) ([]byte, error) {
 	if addr == "" {
 		return nil, fmt.Errorf("vine: no live replica of %s", name)
 	}
-	return fetchBytes(addr, name)
+	return m.nc.fetchBytes(addr, name, "manager/fetch")
 }
 
 // Unlink removes a file from all worker caches and the manager's tables.
@@ -707,9 +822,11 @@ func (m *Manager) handleWorker(cc *conn) {
 		memory:       hello.Memory,
 		cache:        make(map[CacheName]bool),
 		alive:        true,
+		lastSeen:     time.Now(),
 	}
 	m.workers[id] = w
 	libs := append([]LibrarySpec(nil), m.opts.InstallLibraries...)
+	m.notifyLocked()
 	m.mu.Unlock()
 	m.met.workersJoined.Inc()
 	m.rec.Emit(obs.Event{Type: obs.EvWorkerJoin, Worker: w.name, Detail: strconv.Itoa(w.cores) + " cores"})
@@ -728,6 +845,9 @@ func (m *Manager) handleWorker(cc *conn) {
 			m.workerLost(id)
 			return
 		}
+		m.mu.Lock()
+		w.lastSeen = time.Now()
+		m.mu.Unlock()
 		switch msg.Type {
 		case msgTaskDone:
 			if msg.TaskDone != nil {
@@ -737,6 +857,8 @@ func (m *Manager) handleWorker(cc *conn) {
 			if msg.TransferDone != nil {
 				m.onTransferDone(id, msg.TransferDone)
 			}
+		case msgPong:
+			// lastSeen bump above is the whole point.
 		}
 	}
 }
@@ -812,6 +934,9 @@ func (m *Manager) pickWorkerLocked(rec *taskRecord) int {
 	}
 	sort.Ints(ids)
 	for _, id := range ids {
+		if rec.isStraggler(id) {
+			continue // speculative re-dispatch must land elsewhere
+		}
 		w := m.workers[id]
 		if !w.alive || w.cores-w.usedCores < rec.spec.Cores {
 			continue
@@ -987,6 +1112,11 @@ type srcRecord struct {
 func (m *Manager) dispatchLocked(rec *taskRecord) {
 	w := m.workers[rec.worker]
 	m.setTaskState(rec, TaskRunning)
+	if d := m.deadlineFor(rec); d > 0 {
+		rec.deadlineAt = time.Now().Add(d)
+	} else {
+		rec.deadlineAt = time.Time{}
+	}
 	m.rec.Emit(obs.Event{Type: obs.EvTaskStart, Task: rec.label(), Worker: w.name, Attempt: rec.retries})
 	d := &dispatchMsg{
 		TaskID:  rec.id,
@@ -1026,7 +1156,9 @@ func (m *Manager) releaseWorkerLocked(rec *taskRecord) {
 
 // retryLocked requeues a task after a failure, up to MaxRetries. Every
 // attempt's cause is retained (bounded by failLimit) so the terminal
-// error reports the whole history, not just the last straw.
+// error reports the whole history, not just the last straw. Requeues
+// are delayed by exponential backoff with jitter so a flapping worker
+// or transient network fault isn't hammered at full rate.
 func (m *Manager) retryLocked(rec *taskRecord, cause error) {
 	worker := ""
 	if rec.worker >= 0 {
@@ -1036,27 +1168,92 @@ func (m *Manager) retryLocked(rec *taskRecord, cause error) {
 	}
 	m.releaseWorkerLocked(rec)
 	rec.retries++
+	terminal := rec.retries > m.opts.MaxRetries
+	var delay time.Duration
+	if !terminal {
+		delay = m.nextBackoffLocked(rec.retries)
+	}
+	m.recordFailureLocked(rec, TaskFailure{
+		Attempt: rec.retries, Worker: worker, Cause: cause.Error(), Backoff: delay,
+	})
+	m.rec.Emit(obs.Event{Type: obs.EvTaskRetry, Task: rec.label(), Worker: worker, Attempt: rec.retries, Dur: delay, Detail: cause.Error()})
+	if terminal {
+		m.failLocked(rec, fmt.Errorf("vine: task %d failed after %d retries: %w (history: %s)",
+			rec.id, rec.retries-1, cause, strings.Join(formatFailures(rec.failures), "; ")))
+		return
+	}
+	m.met.retries.Inc()
+	if m.inputsAvailableLocked(rec) {
+		m.requeueLocked(rec, delay)
+	} else {
+		m.setTaskState(rec, TaskWaiting)
+		m.reviveProducersLocked(rec)
+	}
+}
+
+// recordFailureLocked retains one attempt's failure (first failLimit kept)
+// and mirrors the history into the handle.
+func (m *Manager) recordFailureLocked(rec *taskRecord, f TaskFailure) {
 	if len(rec.failures) < m.failLimit {
-		rec.failures = append(rec.failures, fmt.Sprintf("attempt %d: %v", rec.retries, cause))
+		rec.failures = append(rec.failures, f)
 	}
 	rec.handle.mu.Lock()
 	rec.handle.retries = rec.retries
 	rec.handle.failures = rec.failures
 	rec.handle.mu.Unlock()
-	m.rec.Emit(obs.Event{Type: obs.EvTaskRetry, Task: rec.label(), Worker: worker, Attempt: rec.retries, Detail: cause.Error()})
-	if rec.retries > m.opts.MaxRetries {
-		m.failLocked(rec, fmt.Errorf("vine: task %d failed after %d retries: %w (history: %s)",
-			rec.id, rec.retries-1, cause, strings.Join(rec.failures, "; ")))
+}
+
+// nextBackoffLocked computes the jittered delay before retry attempt n:
+// base·2^(n-1) clamped to max, then jittered into [d/2, d) from the
+// manager's seeded stream. Base <= 0 disables backoff.
+func (m *Manager) nextBackoffLocked(attempt int) time.Duration {
+	if m.backoffBase <= 0 {
+		return 0
+	}
+	d := m.backoffBase
+	for i := 1; i < attempt; i++ {
+		d *= 2
+		if d >= m.backoffMax {
+			d = m.backoffMax
+			break
+		}
+	}
+	if d > m.backoffMax {
+		d = m.backoffMax
+	}
+	half := d / 2
+	return half + time.Duration(m.rng.Float64()*float64(half))
+}
+
+// requeueLocked returns a task to the ready queue, immediately or after
+// the backoff delay. A delayed task sits in TaskReady but off the queue
+// until its timer fires; intervening events (worker loss invalidating
+// inputs, straggler success) cancel the requeue via the state check.
+func (m *Manager) requeueLocked(rec *taskRecord, delay time.Duration) {
+	m.setTaskState(rec, TaskReady)
+	if delay <= 0 {
+		m.ready = append(m.ready, rec.id)
 		return
 	}
-	m.met.retries.Inc()
-	if m.inputsAvailableLocked(rec) {
-		m.setTaskState(rec, TaskReady)
-		m.ready = append(m.ready, rec.id)
-	} else {
-		m.setTaskState(rec, TaskWaiting)
-		m.reviveProducersLocked(rec)
-	}
+	id := rec.id
+	time.AfterFunc(delay, func() {
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		if m.stopped {
+			return
+		}
+		rec := m.tasks[id]
+		if rec == nil || rec.state != TaskReady {
+			return
+		}
+		for _, tid := range m.ready {
+			if tid == id {
+				return
+			}
+		}
+		m.ready = append(m.ready, id)
+		m.scheduleLocked()
+	})
 }
 
 func (m *Manager) failLocked(rec *taskRecord, err error) {
@@ -1072,7 +1269,7 @@ func (m *Manager) failLocked(rec *taskRecord, err error) {
 		close(rec.handle.doneC)
 	}
 	m.completed = append(m.completed, rec.id)
-	m.cond.Broadcast()
+	m.notifyLocked()
 }
 
 // reviveProducersLocked re-enqueues done tasks whose outputs a waiting task
@@ -1126,15 +1323,35 @@ func (m *Manager) onTaskDone(wid int, msg *taskDoneMsg) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	rec := m.tasks[msg.TaskID]
-	if rec == nil || rec.state != TaskRunning || rec.worker != wid {
+	if rec == nil {
+		return
+	}
+	// A result is acceptable from the primary attempt, or — first result
+	// wins — from a fast-aborted straggler still running speculatively
+	// while the task is queued, staging, or re-running elsewhere.
+	primary := rec.state == TaskRunning && rec.worker == wid
+	straggler := rec.isStraggler(wid) &&
+		(rec.state == TaskReady || rec.state == TaskWaiting ||
+			rec.state == TaskStaging || rec.state == TaskRunning)
+	if !primary && !straggler {
 		return // stale completion from a worker we already gave up on
 	}
 	w := m.workers[wid]
 	if !msg.OK {
+		if !primary {
+			// The speculative copy failed; the requeued attempt carries on.
+			delete(rec.stragglers, wid)
+			return
+		}
 		m.retryLocked(rec, fmt.Errorf("%s", msg.Error))
 		m.scheduleLocked()
 		return
 	}
+	if !primary {
+		// The straggler beat its replacement: drop the requeued attempt.
+		m.removeFromReadyLocked(rec.id)
+	}
+	rec.stragglers = nil
 	m.releaseWorkerLocked(rec)
 	wasDone := rec.handle.notified
 	m.setTaskState(rec, TaskDone)
@@ -1164,7 +1381,7 @@ func (m *Manager) onTaskDone(wid int, msg *taskDoneMsg) {
 		rec.handle.mu.Unlock()
 		close(rec.handle.doneC)
 		m.completed = append(m.completed, rec.id)
-		m.cond.Broadcast()
+		m.notifyLocked()
 	}
 	m.rec.Emit(obs.Event{
 		Type: obs.EvTaskDone, Task: rec.label(), Worker: workerNameOf(w),
@@ -1225,7 +1442,7 @@ func (m *Manager) replicateLocked(cn CacheName) {
 // Queue data path). Runs outside the lock; failures are benign — the worker
 // replica remains the source.
 func (m *Manager) pullToManager(addr, worker string, cn CacheName) {
-	data, err := fetchBytes(addr, cn)
+	data, err := m.nc.fetchBytes(addr, cn, "manager/fetch")
 	if err != nil {
 		return
 	}
@@ -1327,6 +1544,12 @@ func (m *Manager) onTransferDone(wid int, msg *transferDoneMsg) {
 func (m *Manager) workerLost(wid int) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	m.workerLostLocked(wid)
+}
+
+// workerLostLocked is workerLost with m.mu held — shared by the recv loop
+// (TCP error) and the heartbeat monitor (silence without a TCP error).
+func (m *Manager) workerLostLocked(wid int) {
 	w := m.workers[wid]
 	if w == nil || !w.alive {
 		return
@@ -1353,8 +1576,10 @@ func (m *Manager) workerLost(wid int) {
 		}
 	}
 
-	// Requeue its staging/running tasks.
+	// Requeue its staging/running tasks; forget any speculative copy it
+	// was still running.
 	for _, rec := range m.tasks {
+		delete(rec.stragglers, wid)
 		if (rec.state == TaskStaging || rec.state == TaskRunning) && rec.worker == wid {
 			m.retryLocked(rec, fmt.Errorf("worker %s lost", w.name))
 		}
@@ -1374,6 +1599,7 @@ func (m *Manager) workerLost(wid int) {
 	}
 	m.pumpTransfersLocked()
 	m.scheduleLocked()
+	m.notifyLocked()
 }
 
 func (m *Manager) removeFromReadyLocked(tid int) {
@@ -1387,30 +1613,34 @@ func (m *Manager) removeFromReadyLocked(tid int) {
 
 // WaitAny blocks until some task completes (or fails terminally) that has
 // not been returned before, or the timeout elapses (0 = forever). It
-// returns the task's handle.
+// returns the task's handle. Completions wake it through the manager's
+// change broadcast — no polling, timed or not.
 func (m *Manager) WaitAny(timeout time.Duration) (*TaskHandle, error) {
-	deadline := time.Now().Add(timeout)
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	var deadline <-chan time.Time
+	if timeout > 0 {
+		t := time.NewTimer(timeout)
+		defer t.Stop()
+		deadline = t.C
+	}
 	for {
+		m.mu.Lock()
 		if len(m.completed) > 0 {
 			id := m.completed[0]
 			m.completed = m.completed[1:]
-			return m.tasks[id].handle, nil
+			h := m.tasks[id].handle
+			m.mu.Unlock()
+			return h, nil
 		}
 		if m.stopped {
+			m.mu.Unlock()
 			return nil, fmt.Errorf("vine: manager stopped")
 		}
-		if timeout > 0 && time.Now().After(deadline) {
+		ch := m.change
+		m.mu.Unlock()
+		select {
+		case <-ch:
+		case <-deadline:
 			return nil, fmt.Errorf("vine: WaitAny timed out after %v", timeout)
-		}
-		if timeout > 0 {
-			// sync.Cond has no timed wait; poll coarsely.
-			m.mu.Unlock()
-			time.Sleep(time.Millisecond)
-			m.mu.Lock()
-		} else {
-			m.cond.Wait()
 		}
 	}
 }

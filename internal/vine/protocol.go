@@ -48,6 +48,13 @@ const (
 	msgLibrary      = "library"
 	msgUnlink       = "unlink"
 	msgKill         = "kill"
+
+	// Liveness probes. Type-only messages: the manager pings links that
+	// have been quiet for a heartbeat interval, the worker answers with a
+	// pong, and either side declares the peer lost after a timeout of
+	// total silence — catching stalls TCP alone never reports.
+	msgPing = "ping"
+	msgPong = "pong"
 )
 
 // helloMsg is the worker's registration.

@@ -23,6 +23,54 @@ import (
 //	→ GET <cachename>\n
 //	← OK <size>\n<size bytes>   |   ERR <reason>\n
 
+// netConfig is the dial/IO policy threaded through the data plane: how
+// long a dial may take, how long one whole exchange may take, and an
+// optional fault-injection layer under every conn.
+type netConfig struct {
+	dialTimeout time.Duration
+	ioTimeout   time.Duration
+	inject      NetFaultInjector
+}
+
+// defaultNetConfig matches the historical hardcoded policy.
+func defaultNetConfig() netConfig {
+	return netConfig{dialTimeout: defaultDialTimeout, ioTimeout: defaultTransferTimeout}
+}
+
+// dial opens an outbound connection under the configured timeout and
+// fault-injection layer. label names the connection's role for targeted
+// fault matching (e.g. "w0/fetch", "manager/control").
+func (nc netConfig) dial(addr, label string) (net.Conn, error) {
+	to := nc.dialTimeout
+	if to <= 0 {
+		to = defaultDialTimeout
+	}
+	c, err := net.DialTimeout("tcp", addr, to)
+	if err != nil {
+		return nil, err
+	}
+	if nc.inject != nil {
+		c = nc.inject.WrapConn(c, label)
+	}
+	return c, nil
+}
+
+// listen wraps a listener under the fault-injection layer, if any.
+func (nc netConfig) listen(ln net.Listener, label string) net.Listener {
+	if nc.inject != nil {
+		return nc.inject.WrapListener(ln, label)
+	}
+	return ln
+}
+
+func (nc netConfig) deadline() time.Time {
+	to := nc.ioTimeout
+	if to <= 0 {
+		to = defaultTransferTimeout
+	}
+	return time.Now().Add(to)
+}
+
 // transferSource resolves a cachename to a content stream.
 type transferSource interface {
 	openCache(name CacheName) (io.ReadCloser, int64, error)
@@ -32,6 +80,7 @@ type transferSource interface {
 type transferServer struct {
 	ln  net.Listener
 	src transferSource
+	nc  netConfig
 
 	mu     sync.Mutex
 	closed bool
@@ -41,12 +90,12 @@ type transferServer struct {
 	servedFiles int64
 }
 
-func newTransferServer(src transferSource) (*transferServer, error) {
+func newTransferServer(src transferSource, nc netConfig, label string) (*transferServer, error) {
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return nil, fmt.Errorf("vine: transfer listen: %w", err)
 	}
-	ts := &transferServer{ln: ln, src: src}
+	ts := &transferServer{ln: nc.listen(ln, label), src: src, nc: nc}
 	go ts.acceptLoop()
 	return ts, nil
 }
@@ -80,7 +129,7 @@ func (ts *transferServer) acceptLoop() {
 
 func (ts *transferServer) handle(c net.Conn) {
 	defer c.Close()
-	c.SetDeadline(time.Now().Add(5 * time.Minute))
+	c.SetDeadline(ts.nc.deadline())
 	r := bufio.NewReader(c)
 	line, err := r.ReadString('\n')
 	if err != nil {
@@ -109,13 +158,14 @@ func (ts *transferServer) handle(c net.Conn) {
 }
 
 // fetch retrieves a cachename from a transfer server, writing it to w.
-func fetch(addr string, name CacheName, w io.Writer) (int64, error) {
-	c, err := net.DialTimeout("tcp", addr, 30*time.Second)
+// label names the fetching endpoint for fault targeting.
+func (nc netConfig) fetch(addr string, name CacheName, w io.Writer, label string) (int64, error) {
+	c, err := nc.dial(addr, label)
 	if err != nil {
 		return 0, fmt.Errorf("vine: dialing %s: %w", addr, err)
 	}
 	defer c.Close()
-	c.SetDeadline(time.Now().Add(5 * time.Minute))
+	c.SetDeadline(nc.deadline())
 	if _, err := fmt.Fprintf(c, "GET %s\n", name); err != nil {
 		return 0, err
 	}
@@ -145,10 +195,15 @@ func fetch(addr string, name CacheName, w io.Writer) (int64, error) {
 	return n, nil
 }
 
-// fetchBytes retrieves a cachename into memory.
+// fetchBytes retrieves a cachename into memory under the default net
+// policy (no injection) — the manager collection path and test helper.
 func fetchBytes(addr string, name CacheName) ([]byte, error) {
+	return defaultNetConfig().fetchBytes(addr, name, "fetch")
+}
+
+func (nc netConfig) fetchBytes(addr string, name CacheName, label string) ([]byte, error) {
 	var b strings.Builder
-	if _, err := fetch(addr, name, &b); err != nil {
+	if _, err := nc.fetch(addr, name, &b, label); err != nil {
 		return nil, err
 	}
 	return []byte(b.String()), nil
@@ -156,13 +211,13 @@ func fetchBytes(addr string, name CacheName) ([]byte, error) {
 
 // fetchToFile retrieves a cachename into a file, atomically (temp + rename)
 // so a crashed transfer never leaves a corrupt cache entry.
-func fetchToFile(addr string, name CacheName, path string) (int64, error) {
+func (nc netConfig) fetchToFile(addr string, name CacheName, path, label string) (int64, error) {
 	tmp := path + ".part"
 	f, err := os.Create(tmp)
 	if err != nil {
 		return 0, err
 	}
-	n, err := fetch(addr, name, f)
+	n, err := nc.fetch(addr, name, f, label)
 	cerr := f.Close()
 	if err == nil {
 		err = cerr

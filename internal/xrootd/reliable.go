@@ -1,0 +1,258 @@
+package xrootd
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"time"
+
+	"hepvine/internal/obs"
+	"hepvine/internal/randx"
+	"hepvine/internal/rootio"
+)
+
+// The federation view of resilience (§III.A): a dataset is usually
+// replicated across several XRootD endpoints, so a client should survive
+// one endpoint dying mid-analysis by reconnecting — with backoff — and
+// failing over to the next replica server. ReliableClient wraps the plain
+// Client with exactly that policy; every retry is surfaced as an
+// obs.EvNetRetry event so failovers appear in the trace alongside task
+// retries and heartbeat misses.
+
+// reliableJitterStream separates retry jitter from every other seeded
+// stream derived from the same seed.
+const reliableJitterStream = 523
+
+// ReliableOptions shape the reconnect/failover policy. Zero values take
+// the stated defaults.
+type ReliableOptions struct {
+	// BackoffBase is the first retry delay; it doubles per attempt up to
+	// BackoffMax, jittered into [d/2, d). Defaults 50ms / 2s.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// MaxAttempts bounds total tries per operation across all servers
+	// (default 6).
+	MaxAttempts int
+	// DialTimeout bounds each reconnect dial (default 30s).
+	DialTimeout time.Duration
+	// Seed drives the jitter stream for reproducible schedules (default 1).
+	Seed uint64
+	// Wrapper injects a fault layer under each new connection (nil = none).
+	Wrapper ConnWrapper
+	// Label names this client for fault targeting (default "xrootd-client").
+	Label string
+	// Recorder receives EvNetRetry events (nil disables emission).
+	Recorder *obs.Recorder
+}
+
+func (o ReliableOptions) withDefaults() ReliableOptions {
+	if o.BackoffBase <= 0 {
+		o.BackoffBase = 50 * time.Millisecond
+	}
+	if o.BackoffMax < o.BackoffBase {
+		o.BackoffMax = 2 * time.Second
+		if o.BackoffMax < o.BackoffBase {
+			o.BackoffMax = o.BackoffBase
+		}
+	}
+	if o.MaxAttempts <= 0 {
+		o.MaxAttempts = 6
+	}
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = 30 * time.Second
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Label == "" {
+		o.Label = "xrootd-client"
+	}
+	return o
+}
+
+// ReliableClient is a Client with reconnect and multi-server failover.
+// Operations are serialized (the underlying protocol is sequential); one
+// ReliableClient per goroutine, like Client.
+type ReliableClient struct {
+	addrs []string
+	opts  ReliableOptions
+
+	mu  sync.Mutex
+	rng *randx.RNG
+	cur int // index into addrs of the current server
+	c   *Client
+}
+
+// DialReliable connects to the first reachable server in addrs, rotating
+// with backoff through the list. Later operations transparently reconnect
+// and fail over the same way.
+func DialReliable(addrs []string, opts ReliableOptions) (*ReliableClient, error) {
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("xrootd: no server addresses")
+	}
+	opts = opts.withDefaults()
+	rc := &ReliableClient{
+		addrs: append([]string(nil), addrs...),
+		opts:  opts,
+		rng:   randx.NewStream(opts.Seed, reliableJitterStream),
+	}
+	if err := rc.do(func(*Client) error { return nil }); err != nil {
+		return nil, err
+	}
+	return rc, nil
+}
+
+// Close drops the current connection, if any.
+func (rc *ReliableClient) Close() error {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	if rc.c != nil {
+		err := rc.c.Close()
+		rc.c = nil
+		return err
+	}
+	return nil
+}
+
+// Addr reports the currently-selected server address.
+func (rc *ReliableClient) Addr() string {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	return rc.addrs[rc.cur]
+}
+
+// isServerErr distinguishes an application-level refusal ("ERR ..." from
+// a healthy server) from a transport failure worth a reconnect.
+func isServerErr(err error) bool {
+	return err != nil && strings.Contains(err.Error(), "xrootd: server:")
+}
+
+// do runs op against a live connection, reconnecting with jittered
+// exponential backoff and rotating servers between attempts. Server-side
+// protocol errors return immediately — a healthy server answered; only
+// transport failures trigger failover.
+func (rc *ReliableClient) do(op func(*Client) error) error {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	var lastErr error
+	for attempt := 1; ; attempt++ {
+		addr := rc.addrs[rc.cur]
+		c, err := rc.ensureLocked(addr)
+		if err == nil {
+			err = op(c)
+			if err == nil {
+				return nil
+			}
+			if isServerErr(err) {
+				return err
+			}
+			// Transport failure mid-exchange: this conn is suspect.
+			c.Close()
+			rc.c = nil
+		}
+		lastErr = err
+		if attempt >= rc.opts.MaxAttempts {
+			break
+		}
+		delay := rc.backoffLocked(attempt)
+		rc.opts.Recorder.Emit(obs.Event{
+			Type: obs.EvNetRetry, Src: addr, Attempt: attempt, Dur: delay,
+			Detail: oneLine(err),
+		})
+		rc.cur = (rc.cur + 1) % len(rc.addrs)
+		time.Sleep(delay)
+	}
+	return fmt.Errorf("xrootd: %d attempts across %d servers failed: %w",
+		rc.opts.MaxAttempts, len(rc.addrs), lastErr)
+}
+
+func (rc *ReliableClient) ensureLocked(addr string) (*Client, error) {
+	if rc.c != nil {
+		return rc.c, nil
+	}
+	nc, err := net.DialTimeout("tcp", addr, rc.opts.DialTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("xrootd: dial %s: %w", addr, err)
+	}
+	if rc.opts.Wrapper != nil {
+		nc = rc.opts.Wrapper.WrapConn(nc, rc.opts.Label)
+	}
+	rc.c = &Client{conn: nc, r: bufio.NewReader(nc), w: bufio.NewWriter(nc)}
+	return rc.c, nil
+}
+
+func (rc *ReliableClient) backoffLocked(attempt int) time.Duration {
+	d := rc.opts.BackoffBase
+	for i := 1; i < attempt; i++ {
+		d *= 2
+		if d >= rc.opts.BackoffMax {
+			d = rc.opts.BackoffMax
+			break
+		}
+	}
+	half := d / 2
+	return half + time.Duration(rc.rng.Float64()*float64(half))
+}
+
+// Open reports a remote file's event count and basket size, with failover.
+func (rc *ReliableClient) Open(name string) (nEvents, basket int64, err error) {
+	err = rc.do(func(c *Client) error {
+		var e error
+		nEvents, basket, e = c.Open(name)
+		return e
+	})
+	return nEvents, basket, err
+}
+
+// ReadFlat reads a flat/counts branch range, with failover.
+func (rc *ReliableClient) ReadFlat(name, branch string, lo, hi int64) (vals []float64, err error) {
+	err = rc.do(func(c *Client) error {
+		var e error
+		vals, e = c.ReadFlat(name, branch, lo, hi)
+		return e
+	})
+	return vals, err
+}
+
+// ReadJagged reads a jagged branch range, with failover.
+func (rc *ReliableClient) ReadJagged(name, branch string, lo, hi int64) (j rootio.Jagged, err error) {
+	err = rc.do(func(c *Client) error {
+		var e error
+		j, e = c.ReadJagged(name, branch, lo, hi)
+		return e
+	})
+	return j, err
+}
+
+// OpenRemote opens a remote file view backed by the reliable client; the
+// returned file satisfies the same column-reader contract as RemoteFile
+// (coffea.ColumnReader) but survives endpoint loss mid-analysis.
+func (rc *ReliableClient) OpenRemote(name string) (*ReliableFile, error) {
+	n, _, err := rc.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return &ReliableFile{client: rc, name: name, nEvents: n}, nil
+}
+
+// ReliableFile is RemoteFile over a failover-capable client.
+type ReliableFile struct {
+	client  *ReliableClient
+	name    string
+	nEvents int64
+}
+
+// NEvents reports the remote file's event count.
+func (rf *ReliableFile) NEvents() int64 { return rf.nEvents }
+
+// ReadFlat reads a flat/counts branch range.
+func (rf *ReliableFile) ReadFlat(name string, lo, hi int64) ([]float64, error) {
+	return rf.client.ReadFlat(rf.name, name, lo, hi)
+}
+
+// ReadJagged reads a jagged branch range.
+func (rf *ReliableFile) ReadJagged(name string, lo, hi int64) (rootio.Jagged, error) {
+	return rf.client.ReadJagged(rf.name, name, lo, hi)
+}

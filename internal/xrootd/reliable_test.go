@@ -1,0 +1,170 @@
+package xrootd
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"hepvine/internal/obs"
+	"hepvine/internal/rootio"
+)
+
+// twoServers exports the same dataset from two independent endpoints —
+// the replicated-federation topology failover assumes.
+func twoServers(t *testing.T) (a, b *Server, name string) {
+	t.Helper()
+	dir := t.TempDir()
+	paths, err := rootio.WriteDataset(dir, rootio.DatasetSpec{
+		Name: "fed", Files: 1, EventsPerFile: 400, BasketSize: 128,
+		Gen: rootio.GenOptions{Seed: 7},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err = NewServer(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(a.Close)
+	b, err = NewServer(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(b.Close)
+	return a, b, strings.TrimPrefix(paths[0], dir+"/")
+}
+
+func fastRetry() ReliableOptions {
+	return ReliableOptions{
+		BackoffBase: 2 * time.Millisecond,
+		BackoffMax:  20 * time.Millisecond,
+		DialTimeout: 2 * time.Second,
+	}
+}
+
+func TestReliableFailsOverToReplica(t *testing.T) {
+	a, b, name := twoServers(t)
+	rec := obs.NewRecorder()
+	opts := fastRetry()
+	opts.Recorder = rec
+	rc, err := DialReliable([]string{a.Addr(), b.Addr()}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Close()
+
+	want, err := rc.ReadFlat(name, "MET_pt", 0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill the endpoint currently in use; the next read must fail over.
+	a.Close()
+	got, err := rc.ReadFlat(name, "MET_pt", 0, 100)
+	if err != nil {
+		t.Fatalf("read after endpoint loss: %v", err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("failover read: %d values, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("value %d differs after failover: %v vs %v", i, got[i], want[i])
+		}
+	}
+	if rc.Addr() != b.Addr() {
+		t.Fatalf("client still pinned to dead server %s", rc.Addr())
+	}
+
+	// The failover left a retry trail in the trace.
+	retries := 0
+	for _, ev := range rec.Events() {
+		if ev.Type == obs.EvNetRetry {
+			retries++
+			if ev.Src == "" || ev.Detail == "" {
+				t.Fatalf("EvNetRetry missing endpoint or cause: %+v", ev)
+			}
+		}
+	}
+	if retries == 0 {
+		t.Fatal("no EvNetRetry events recorded across a failover")
+	}
+	_ = b
+}
+
+func TestReliableReconnectsSameServer(t *testing.T) {
+	s, _, name := twoServers(t)
+	opts := fastRetry()
+	rc, err := DialReliable([]string{s.Addr()}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Close()
+	if _, _, err := rc.Open(name); err != nil {
+		t.Fatal(err)
+	}
+	// Sever just the connection (server stays up): next op reconnects.
+	rc.mu.Lock()
+	rc.c.conn.Close()
+	rc.mu.Unlock()
+	if _, err := rc.ReadFlat(name, "MET_pt", 0, 10); err != nil {
+		t.Fatalf("read after connection drop: %v", err)
+	}
+}
+
+func TestReliableServerErrNotRetried(t *testing.T) {
+	s, _, _ := twoServers(t)
+	opts := fastRetry()
+	opts.MaxAttempts = 4
+	rec := obs.NewRecorder()
+	opts.Recorder = rec
+	rc, err := DialReliable([]string{s.Addr()}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Close()
+	if _, _, err := rc.Open("no-such-file.vrt"); err == nil {
+		t.Fatal("open of missing file succeeded")
+	}
+	for _, ev := range rec.Events() {
+		if ev.Type == obs.EvNetRetry {
+			t.Fatalf("application-level ERR was retried: %+v", ev)
+		}
+	}
+}
+
+func TestReliableExhaustsAttempts(t *testing.T) {
+	opts := fastRetry()
+	opts.MaxAttempts = 3
+	opts.DialTimeout = 200 * time.Millisecond
+	_, err := DialReliable([]string{"127.0.0.1:1"}, opts)
+	if err == nil {
+		t.Fatal("dial to dead port succeeded")
+	}
+	if !strings.Contains(err.Error(), "3 attempts") {
+		t.Fatalf("terminal error doesn't report attempts: %v", err)
+	}
+}
+
+func TestReliableFileContract(t *testing.T) {
+	a, b, name := twoServers(t)
+	rc, err := DialReliable([]string{a.Addr(), b.Addr()}, fastRetry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Close()
+	rf, err := rc.OpenRemote(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rf.NEvents() != 400 {
+		t.Fatalf("NEvents = %d", rf.NEvents())
+	}
+	j, err := rf.ReadJagged("Jet_pt", 0, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(j.Counts) != 50 {
+		t.Fatalf("jagged counts = %d", len(j.Counts))
+	}
+}

@@ -37,19 +37,41 @@ import (
 	"hepvine/internal/rootio"
 )
 
+// ConnWrapper decorates connections for fault injection; internal/chaos
+// Plan implements it (along with the larger vine.NetFaultInjector).
+type ConnWrapper interface {
+	WrapConn(c net.Conn, label string) net.Conn
+}
+
 // Server exports rootio files from a directory.
 type Server struct {
 	dir   string
 	delay time.Duration // artificial per-request WAN latency
+	wrap  ConnWrapper
+	label string
 
 	ln net.Listener
 
 	mu      sync.Mutex
 	readers map[string]*rootio.Reader
 	closers map[string]io.Closer
+	conns   map[net.Conn]struct{}
 	stats   ServerStats
 	rec     *obs.Recorder
 	closed  bool
+}
+
+// ServerOption configures a Server beyond the required dir and delay.
+type ServerOption func(*Server)
+
+// WithConnWrapper injects a fault layer under every accepted connection.
+func WithConnWrapper(w ConnWrapper) ServerOption {
+	return func(s *Server) { s.wrap = w }
+}
+
+// WithLabel names the server for fault targeting (default "xrootd").
+func WithLabel(label string) ServerOption {
+	return func(s *Server) { s.label = label }
 }
 
 // ServerStats counts server activity.
@@ -61,7 +83,7 @@ type ServerStats struct {
 
 // NewServer starts serving dir on a loopback port. delay is added to every
 // request to model WAN round trips (0 for LAN).
-func NewServer(dir string, delay time.Duration) (*Server, error) {
+func NewServer(dir string, delay time.Duration, opts ...ServerOption) (*Server, error) {
 	if fi, err := os.Stat(dir); err != nil || !fi.IsDir() {
 		return nil, fmt.Errorf("xrootd: %s is not a directory", dir)
 	}
@@ -70,9 +92,13 @@ func NewServer(dir string, delay time.Duration) (*Server, error) {
 		return nil, err
 	}
 	s := &Server{
-		dir: dir, delay: delay, ln: ln,
+		dir: dir, delay: delay, ln: ln, label: "xrootd",
 		readers: make(map[string]*rootio.Reader),
 		closers: make(map[string]io.Closer),
+		conns:   make(map[net.Conn]struct{}),
+	}
+	for _, o := range opts {
+		o(s)
 	}
 	go s.acceptLoop()
 	return s, nil
@@ -106,7 +132,8 @@ func (s *Server) recorder() *obs.Recorder {
 	return s.rec
 }
 
-// Close stops the server and closes cached files.
+// Close stops the server: the listener and every live client connection
+// are severed (as when an endpoint truly dies) and cached files closed.
 func (s *Server) Close() {
 	s.mu.Lock()
 	if s.closed {
@@ -117,8 +144,16 @@ func (s *Server) Close() {
 	closers := s.closers
 	s.closers = map[string]io.Closer{}
 	s.readers = map[string]*rootio.Reader{}
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.conns = map[net.Conn]struct{}{}
 	s.mu.Unlock()
 	s.ln.Close()
+	for _, c := range conns {
+		c.Close()
+	}
 	for _, c := range closers {
 		c.Close()
 	}
@@ -130,6 +165,17 @@ func (s *Server) acceptLoop() {
 		if err != nil {
 			return
 		}
+		if s.wrap != nil {
+			c = s.wrap.WrapConn(c, s.label+"/conn")
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			c.Close()
+			return
+		}
+		s.conns[c] = struct{}{}
+		s.mu.Unlock()
 		go s.handle(c)
 	}
 }
@@ -157,7 +203,12 @@ func (s *Server) reader(name string) (*rootio.Reader, error) {
 }
 
 func (s *Server) handle(c net.Conn) {
-	defer c.Close()
+	defer func() {
+		c.Close()
+		s.mu.Lock()
+		delete(s.conns, c)
+		s.mu.Unlock()
+	}()
 	r := bufio.NewReader(c)
 	w := bufio.NewWriter(c)
 	for {
