@@ -1,7 +1,7 @@
 # Convenience targets; everything is plain `go` underneath.
 # Run `make help` for the list.
 
-.PHONY: help check test race chaos bench verify paper examples tidy
+.PHONY: help check test race chaos bench bench-sched verify paper examples tidy
 
 help:                 ## list targets
 	@grep -E '^[a-z]+: *##' $(MAKEFILE_LIST) | awk -F': *## *' '{printf "  %-10s %s\n", $$1, $$2}'
@@ -25,6 +25,9 @@ chaos:                ## deterministic chaos soak: kills + stall + dead replica,
 bench:                ## one benchmark per table/figure, reduced scale
 	go test -bench=. -benchmem ./...
 
+bench-sched:          ## compare placement policies (locality/binpack/spread/random) on DV3-Medium
+	go run ./cmd/vinebench -scale 0.25 sched
+
 verify:               ## assert every reproduced shape claim at paper scale
 	go run ./cmd/vinebench -scale 1 verify
 
@@ -39,6 +42,7 @@ examples:             ## run every example end to end
 	go run ./examples/remotedata
 	go run ./examples/systematics
 	go run ./examples/chaos
+	go run ./examples/multitenant
 
 tidy:                 ## gofmt + vet
 	gofmt -w .

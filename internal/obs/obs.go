@@ -52,6 +52,11 @@ const (
 	EvCacheEvict    EventType = "cache_evict"    // Worker, Bytes, Detail=cachename
 	EvLibrarySetup  EventType = "library_setup"  // Worker, Dur, Detail=library
 
+	// Scheduling vocabulary: one decision per placement. Worker is the
+	// chosen worker, Dur the task's queue wait, Detail the policy's
+	// reason string (policy, queue, winning score).
+	EvSchedDecision EventType = "sched_decision" // Task, Worker, Dur=queue wait, Detail=reason
+
 	// Failure-domain vocabulary (liveness, fast-abort, fault injection).
 	EvHeartbeatMiss EventType = "heartbeat_miss" // Worker, Detail=silence duration / side
 	EvTaskAbort     EventType = "task_abort"     // Task, Worker, Attempt, Detail=deadline cause

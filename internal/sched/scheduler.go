@@ -1,0 +1,367 @@
+package sched
+
+import "sort"
+
+// DefaultQueue is where tasks land when they name no queue.
+const DefaultQueue = "default"
+
+// Assignment is one placement decision handed to the caller's place
+// callback. The caller owns the actual dispatch; the Scheduler has
+// already reserved the cores/memory in its own index.
+type Assignment struct {
+	Task   *Task
+	Worker int
+	Queue  string
+	Score  float64 // the winning candidate's primary (first-scorer) score
+	Wait   int64   // ns the task spent queued before this decision
+}
+
+// node is the scheduler's capacity + cache index for one worker. files
+// mirrors the worker's cache so locality scoring is a map lookup per
+// input instead of a scan of manager-global state.
+type node struct {
+	id         int
+	cores      int
+	freeCores  int
+	memory     int64
+	freeMemory int64
+	files      map[string]int64 // cache name -> size
+}
+
+// Scheduler owns the ready set and the worker index for one plane. It is
+// not goroutine-safe: the live manager calls it under its own mutex, the
+// simulator is single-threaded.
+type Scheduler struct {
+	policy *Policy
+	queues map[string]*queue
+	order  []string // queue creation order, for stable stats/iteration
+	nodes  map[int]*node
+	ids    []int // sorted worker ids, maintained at join/lost (no per-task sort)
+	queued map[string]*Task
+	nseq   uint64
+
+	cands   []Candidate // scratch, reused across Assign calls
+	blocked []*Task     // scratch: popped but unplaceable this round
+}
+
+// New builds a scheduler around a policy (nil means Locality) with the
+// given tenant queues. The default queue always exists with weight 1
+// unless overridden.
+func New(policy *Policy, queues ...QueueConfig) *Scheduler {
+	if policy == nil {
+		policy = Locality()
+	}
+	s := &Scheduler{
+		policy: policy,
+		queues: make(map[string]*queue),
+		nodes:  make(map[int]*node),
+		queued: make(map[string]*Task),
+	}
+	s.AddQueue(QueueConfig{Name: DefaultQueue, Weight: 1})
+	for _, qc := range queues {
+		s.AddQueue(qc)
+	}
+	return s
+}
+
+// Policy reports the active policy.
+func (s *Scheduler) Policy() *Policy { return s.policy }
+
+// AddQueue registers or reconfigures a tenant queue.
+func (s *Scheduler) AddQueue(qc QueueConfig) {
+	name := qc.Name
+	if name == "" {
+		name = DefaultQueue
+	}
+	if q, ok := s.queues[name]; ok {
+		if qc.Weight > 0 {
+			q.weight = qc.Weight
+		}
+		return
+	}
+	s.queues[name] = newQueue(name, qc.Weight)
+	s.order = append(s.order, name)
+}
+
+// ---- worker index ----
+
+// WorkerJoin indexes a new worker. Joining twice resets its capacity view.
+func (s *Scheduler) WorkerJoin(id, cores int, memory int64) {
+	if _, ok := s.nodes[id]; !ok {
+		// Insert into the sorted id slice in place — this is the
+		// join-time cost that removes the per-task rebuild+sort.
+		i := sort.SearchInts(s.ids, id)
+		s.ids = append(s.ids, 0)
+		copy(s.ids[i+1:], s.ids[i:])
+		s.ids[i] = id
+	}
+	s.nodes[id] = &node{
+		id: id, cores: cores, freeCores: cores,
+		memory: memory, freeMemory: memory,
+		files: make(map[string]int64),
+	}
+}
+
+// WorkerLost drops a worker from the index.
+func (s *Scheduler) WorkerLost(id int) {
+	if _, ok := s.nodes[id]; !ok {
+		return
+	}
+	delete(s.nodes, id)
+	i := sort.SearchInts(s.ids, id)
+	if i < len(s.ids) && s.ids[i] == id {
+		s.ids = append(s.ids[:i], s.ids[i+1:]...)
+	}
+}
+
+// WorkerIDs returns the maintained ascending-sorted id slice. Callers
+// must treat it as read-only and not retain it across scheduler calls.
+func (s *Scheduler) WorkerIDs() []int { return s.ids }
+
+// Reserve charges cores/memory for a placement made outside Assign
+// (the live engine's replica pushes do not go through here, but tests do).
+func (s *Scheduler) Reserve(worker, cores int, memory int64) {
+	if n, ok := s.nodes[worker]; ok {
+		n.freeCores -= cores
+		n.freeMemory -= memory
+	}
+}
+
+// Release returns a finished task's cores/memory to the index. Unknown
+// workers (already lost) are a no-op.
+func (s *Scheduler) Release(worker, cores int, memory int64) {
+	if n, ok := s.nodes[worker]; ok {
+		n.freeCores += cores
+		if n.freeCores > n.cores {
+			n.freeCores = n.cores
+		}
+		n.freeMemory += memory
+		if n.freeMemory > n.memory {
+			n.freeMemory = n.memory
+		}
+	}
+}
+
+// ---- file index (locality) ----
+
+// FileCached records that a worker now holds a cached file.
+func (s *Scheduler) FileCached(worker int, name string, size int64) {
+	if n, ok := s.nodes[worker]; ok {
+		n.files[name] = size
+	}
+}
+
+// FileEvicted records that a worker dropped one cached file.
+func (s *Scheduler) FileEvicted(worker int, name string) {
+	if n, ok := s.nodes[worker]; ok {
+		delete(n.files, name)
+	}
+}
+
+// FileForgotten removes a file from every worker's index (manager-side
+// unlink of a whole logical file).
+func (s *Scheduler) FileForgotten(name string) {
+	for _, n := range s.nodes {
+		delete(n.files, name)
+	}
+}
+
+// ---- ready set ----
+
+// Enqueue makes a task ready. Re-enqueueing a task that is already
+// queued is a no-op, which makes delayed-requeue timers idempotent. A
+// task entering an empty queue has that queue's virtual clock clamped
+// forward so an idle tenant cannot bank credit and then monopolise.
+func (s *Scheduler) Enqueue(t *Task, now int64) {
+	if s.queued[t.ID] == t {
+		return
+	}
+	name := t.Queue
+	if name == "" {
+		name = DefaultQueue
+	}
+	q, ok := s.queues[name]
+	if !ok {
+		s.AddQueue(QueueConfig{Name: name})
+		q = s.queues[name]
+	}
+	if len(q.heap) == 0 {
+		if min, any := s.minActiveServed(); any && q.served < min {
+			q.served = min
+		}
+	}
+	s.nseq++
+	t.seq = s.nseq
+	t.EnqueuedAt = now
+	s.queued[t.ID] = t
+	q.push(t)
+}
+
+// minActiveServed is the smallest virtual clock among queues with work.
+func (s *Scheduler) minActiveServed() (float64, bool) {
+	min, any := 0.0, false
+	for _, q := range s.queues {
+		if len(q.heap) == 0 {
+			continue
+		}
+		if !any || q.served < min {
+			min, any = q.served, true
+		}
+	}
+	return min, any
+}
+
+// Dequeue removes a task from the ready set (it was cancelled, failed
+// permanently, or won by a straggler while queued). The heap entry
+// becomes a tombstone skipped at pop time.
+func (s *Scheduler) Dequeue(id string) bool {
+	if _, ok := s.queued[id]; !ok {
+		return false
+	}
+	delete(s.queued, id)
+	return true
+}
+
+// Pending is the number of live (non-tombstoned) ready tasks.
+func (s *Scheduler) Pending() int { return len(s.queued) }
+
+// Queues snapshots per-queue stats in creation order.
+func (s *Scheduler) Queues() []QueueStats {
+	out := make([]QueueStats, 0, len(s.order))
+	for _, name := range s.order {
+		q := s.queues[name]
+		pending := 0
+		for _, t := range q.heap {
+			if s.queued[t.ID] == t {
+				pending++
+			}
+		}
+		out = append(out, QueueStats{
+			Name: q.name, Weight: q.weight, Pending: pending,
+			Dispatched: q.dispatched, WaitTotal: q.waitTotal, Served: q.served,
+		})
+	}
+	return out
+}
+
+// ---- placement ----
+
+// nextQueue picks the tenant owed the next dispatch: smallest virtual
+// clock among queues with live work, creation order breaking ties.
+func (s *Scheduler) nextQueue() *queue {
+	var best *queue
+	for _, name := range s.order {
+		q := s.queues[name]
+		if !s.hasLive(q) {
+			continue
+		}
+		if best == nil || q.served < best.served {
+			best = q
+		}
+	}
+	return best
+}
+
+// hasLive reports whether a queue holds at least one non-tombstone task,
+// discarding dead heap heads as it looks.
+func (s *Scheduler) hasLive(q *queue) bool {
+	for len(q.heap) > 0 {
+		if s.queued[q.heap[0].ID] == q.heap[0] {
+			return true
+		}
+		q.pop() // tombstone: dropped at the heap, already gone from queued
+	}
+	return false
+}
+
+// Assign drains the ready set onto workers until no queued task fits
+// anywhere, invoking place once per decision, and returns the number of
+// placements. Cores and memory are reserved in the index as decisions
+// are made, so one Assign round packs consistently without dispatches
+// having landed yet. The hot path allocates nothing in steady state: the
+// candidate buffer and blocked stash are reused, the worker id slice is
+// maintained incrementally, and score vectors live on the stack.
+func (s *Scheduler) Assign(now int64, place func(Assignment)) int {
+	placed := 0
+	maxFree := s.maxFreeCores()
+	s.blocked = s.blocked[:0]
+	for {
+		q := s.nextQueue()
+		if q == nil {
+			break
+		}
+		t := q.pop()
+		if s.queued[t.ID] != t {
+			continue // tombstone that arrived behind a live head
+		}
+		if t.Cores > maxFree {
+			// No worker can take it this round; park it off-heap so the
+			// round terminates, re-queue it when the round ends.
+			s.blocked = append(s.blocked, t)
+			continue
+		}
+		idx, score := s.policy.Pick(t, s.candidates(t))
+		if idx < 0 {
+			s.blocked = append(s.blocked, t)
+			continue
+		}
+		win := s.cands[idx].ID
+		n := s.nodes[win]
+		n.freeCores -= t.Cores
+		n.freeMemory -= t.Memory
+		if n.freeCores+t.Cores >= maxFree {
+			maxFree = s.maxFreeCores()
+		}
+		delete(s.queued, t.ID)
+		wait := now - t.EnqueuedAt
+		if wait < 0 {
+			wait = 0
+		}
+		q.charge(t.Cores)
+		q.dispatched++
+		q.waitTotal += wait
+		place(Assignment{Task: t, Worker: win, Queue: q.name, Score: score, Wait: wait})
+		placed++
+	}
+	// Blocked tasks go back with their original seq and EnqueuedAt, so
+	// FIFO order and measured wait both survive the failed attempt.
+	for _, t := range s.blocked {
+		name := t.Queue
+		if name == "" {
+			name = DefaultQueue
+		}
+		s.queues[name].push(t)
+	}
+	s.blocked = s.blocked[:0]
+	return placed
+}
+
+func (s *Scheduler) maxFreeCores() int {
+	max := 0
+	for _, id := range s.ids {
+		if f := s.nodes[id].freeCores; f > max {
+			max = f
+		}
+	}
+	return max
+}
+
+// candidates fills the scratch buffer with every indexed worker in
+// ascending id order, computing LocalBytes from the file index. Filtering
+// is the policy's job; the scheduler only precomputes the facts.
+func (s *Scheduler) candidates(t *Task) []Candidate {
+	s.cands = s.cands[:0]
+	for _, id := range s.ids {
+		n := s.nodes[id]
+		var local int64
+		for _, in := range t.Inputs {
+			local += n.files[in]
+		}
+		s.cands = append(s.cands, Candidate{
+			ID: id, Cores: n.cores, FreeCores: n.freeCores,
+			Memory: n.memory, FreeMemory: n.freeMemory,
+			LocalBytes: local,
+		})
+	}
+	return s.cands
+}

@@ -1,0 +1,103 @@
+package vine
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+// TestDiskLimitEvictsAndRestages is the WithDiskLimit eviction-path
+// contract: a cache too small for the working set evicts LRU entries
+// (CacheEvictions increments), the manager learns via the eviction
+// notice, and a task that needs an evicted input gets it re-staged —
+// every task still succeeds.
+func TestDiskLimitEvictsAndRestages(t *testing.T) {
+	registerTestLib(t)
+	m, err := NewManager(WithPeerTransfers(true), WithLibrary("testlib", true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(m.Stop)
+	// 1000-byte cache, 400-byte files: an input plus its output fit, but
+	// each new staging or output must push something old out.
+	w, err := NewWorker(m.Addr(), WithName("w0"), WithCores(1),
+		WithCacheDir(t.TempDir()), WithDiskLimit(1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(w.Stop)
+	if err := m.WaitForWorkers(1, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	bufA := m.DeclareBuffer(bytes.Repeat([]byte("a"), 400))
+	bufB := m.DeclareBuffer(bytes.Repeat([]byte("b"), 400))
+
+	run := func(in CacheName) *TaskHandle {
+		t.Helper()
+		h, err := m.Submit(Task{
+			Library: "testlib", Func: "upper",
+			Inputs:  []FileRef{{Name: "in", CacheName: in}},
+			Outputs: []string{"out"},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := h.Wait(10 * time.Second); err != nil {
+			t.Fatalf("task with input %s failed instead of evicting: %v", in, err)
+		}
+		return h
+	}
+
+	run(bufA)      // stages A, produces 400B output
+	run(bufB)      // staging B must evict A
+	h := run(bufA) // A is gone from the worker: must be re-staged, not failed
+
+	if got := w.Stats().CacheEvictions; got < 2 {
+		t.Fatalf("CacheEvictions = %d, want >= 2 (A evicted for B, something evicted for A again)", got)
+	}
+	out := fetchOutput(t, m, h, "out")
+	if !bytes.Equal(out, bytes.Repeat([]byte("A"), 400)) {
+		t.Fatalf("re-staged task produced wrong output (%d bytes)", len(out))
+	}
+	// The manager's replica table must agree with the worker: no file
+	// claims more live replicas than exist.
+	if rc := m.ReplicaCount(bufA); rc < 1 {
+		t.Fatalf("input A replica count = %d after re-staging", rc)
+	}
+}
+
+// TestEvictionNeverDropsPinnedInputs runs tasks whose input+output
+// exactly fill the cache; the input must survive (pinned) while the
+// output is written, so the task completes instead of failing mid-run.
+func TestEvictionNeverDropsPinnedInputs(t *testing.T) {
+	registerTestLib(t)
+	m, err := NewManager(WithPeerTransfers(true), WithLibrary("testlib", true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(m.Stop)
+	w, err := NewWorker(m.Addr(), WithName("w0"), WithCores(1),
+		WithCacheDir(t.TempDir()), WithDiskLimit(800))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(w.Stop)
+	if err := m.WaitForWorkers(1, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	in := m.DeclareBuffer(bytes.Repeat([]byte("x"), 400))
+	for i := 0; i < 3; i++ {
+		h, err := m.Submit(Task{
+			Library: "testlib", Func: "upper",
+			Inputs:  []FileRef{{Name: "in", CacheName: in}},
+			Outputs: []string{"out"},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := h.Wait(10 * time.Second); err != nil {
+			t.Fatalf("round %d: %v", i, err)
+		}
+	}
+}

@@ -135,8 +135,7 @@ func (m *Manager) abortLocked(rec *taskRecord, now time.Time) {
 	}
 	m.met.retries.Inc()
 	if m.inputsAvailableLocked(rec) {
-		m.setTaskState(rec, TaskReady)
-		m.ready = append(m.ready, rec.id)
+		m.enqueueReadyLocked(rec)
 	} else {
 		m.setTaskState(rec, TaskWaiting)
 		m.reviveProducersLocked(rec)

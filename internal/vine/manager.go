@@ -14,6 +14,7 @@ import (
 
 	"hepvine/internal/obs"
 	"hepvine/internal/randx"
+	"hepvine/internal/sched"
 )
 
 // jitterStream is the randx stream id for retry-backoff jitter, distinct
@@ -77,6 +78,13 @@ type Task struct {
 	// Memory is the task's RAM request in bytes (0 = none); the manager
 	// packs tasks onto workers within both core and memory budgets.
 	Memory int64
+	// Queue names the submission queue (tenant) the task belongs to;
+	// empty means the default queue. Queues share the cluster by the
+	// weighted fair-share configured with WithQueue.
+	Queue string
+	// Priority orders tasks within their queue: higher runs first, equal
+	// priorities run in submission order.
+	Priority int
 	// Deadline bounds one execution attempt; an attempt running longer is
 	// fast-aborted and speculatively re-dispatched to a different worker,
 	// first result winning. 0 falls back to the manager's WithTaskDeadline
@@ -277,6 +285,7 @@ type managerMetrics struct {
 	tasksAborted     *obs.Counter
 	heartbeatMisses  *obs.Counter
 	execSeconds      *obs.Histogram
+	queueWait        *obs.Histogram
 }
 
 func newManagerMetrics(reg *obs.Registry) managerMetrics {
@@ -293,6 +302,7 @@ func newManagerMetrics(reg *obs.Registry) managerMetrics {
 		tasksAborted:     reg.Counter("vine_task_aborts_total"),
 		heartbeatMisses:  reg.Counter("vine_heartbeat_misses_total"),
 		execSeconds:      reg.Histogram("vine_task_exec_seconds"),
+		queueWait:        reg.Histogram("vine_task_queue_wait_seconds"),
 	}
 }
 
@@ -348,6 +358,10 @@ type taskRecord struct {
 	// unbounded).
 	stragglers map[int]bool
 	deadlineAt time.Time
+
+	// sq is the task's persistent scheduler-side record, created at
+	// Submit and re-enqueued on every requeue.
+	sq *sched.Task
 }
 
 func (rec *taskRecord) isStraggler(wid int) bool { return rec.stragglers[wid] }
@@ -386,13 +400,16 @@ type Manager struct {
 
 	stopC chan struct{} // closed by Stop; exits the monitor goroutine
 
+	start time.Time // epoch for queue-wait accounting
+
 	mu        sync.Mutex
 	change    chan struct{} // closed+replaced on any state change (broadcast)
 	rng       *randx.RNG    // retry jitter; guarded by mu
 	workers   map[int]*workerState
 	files     map[CacheName]*fileState
 	tasks     map[int]*taskRecord
-	ready     []int
+	sched     *sched.Scheduler // ready set + worker index; guarded by mu
+	queueMet  map[string]*obs.Counter
 	completed []int // task ids completed but not yet returned by WaitAny
 	queuedTx  []pendingTransfer
 	nextWID   int
@@ -444,6 +461,9 @@ func NewManager(options ...Option) (*Manager, error) {
 		workers:      make(map[int]*workerState),
 		files:        make(map[CacheName]*fileState),
 		tasks:        make(map[int]*taskRecord),
+		sched:        sched.New(c.schedPolicy, c.queues...),
+		queueMet:     make(map[string]*obs.Counter),
+		start:        time.Now(),
 	}
 	ts, err := newTransferServer(m, m.nc, "manager/transfer")
 	if err != nil {
@@ -688,10 +708,17 @@ func (m *Manager) Submit(t Task) (*TaskHandle, error) {
 		}
 	}
 	m.tasks[id] = rec
+	inputs := make([]string, len(t.Inputs))
+	for i, in := range t.Inputs {
+		inputs[i] = string(in.CacheName)
+	}
+	rec.sq = &sched.Task{
+		ID: rec.label(), Queue: t.Queue, Priority: t.Priority,
+		Cores: t.Cores, Memory: t.Memory, Inputs: inputs,
+	}
 	m.rec.Emit(obs.Event{Type: obs.EvTaskSubmit, Task: rec.label(), Detail: t.Library + "/" + t.Func})
 	if m.inputsAvailableLocked(rec) {
-		m.setTaskState(rec, TaskReady)
-		m.ready = append(m.ready, id)
+		m.enqueueReadyLocked(rec)
 	} else {
 		// An input may already have been lost with its worker (all its
 		// replicas died before this submission): re-run producers now,
@@ -757,6 +784,7 @@ func (m *Manager) Unlink(name CacheName) {
 		}
 	}
 	delete(m.files, name)
+	m.sched.FileForgotten(string(name))
 	m.mu.Unlock()
 	for _, c := range conns {
 		c.send(&message{Type: msgUnlink, Unlink: &unlinkMsg{CacheName: string(name)}})
@@ -825,6 +853,7 @@ func (m *Manager) handleWorker(cc *conn) {
 		lastSeen:     time.Now(),
 	}
 	m.workers[id] = w
+	m.sched.WorkerJoin(id, hello.Cores, hello.Memory)
 	libs := append([]LibrarySpec(nil), m.opts.InstallLibraries...)
 	m.notifyLocked()
 	m.mu.Unlock()
@@ -856,6 +885,10 @@ func (m *Manager) handleWorker(cc *conn) {
 		case msgTransferDone:
 			if msg.TransferDone != nil {
 				m.onTransferDone(id, msg.TransferDone)
+			}
+		case msgEvicted:
+			if msg.Evicted != nil {
+				m.onEvicted(id, msg.Evicted)
 			}
 		case msgPong:
 			// lastSeen bump above is the whole point.
@@ -899,72 +932,73 @@ func (m *Manager) setTaskState(rec *taskRecord, s TaskState) {
 	rec.handle.mu.Unlock()
 }
 
-// scheduleLocked assigns ready tasks to workers and starts staging.
+// nowOff is the manager's scheduling clock: nanoseconds since start,
+// the timebase for queue-wait accounting.
+func (m *Manager) nowOff() int64 { return time.Since(m.start).Nanoseconds() }
+
+// enqueueReadyLocked hands a task to the scheduler's ready set,
+// refreshing the exclusion set so speculative re-dispatches avoid
+// straggler workers. Re-enqueueing a queued task is a no-op.
+func (m *Manager) enqueueReadyLocked(rec *taskRecord) {
+	m.setTaskState(rec, TaskReady)
+	rec.sq.Exclude = rec.stragglers
+	m.sched.Enqueue(rec.sq, m.nowOff())
+}
+
+// scheduleLocked drains the scheduler onto workers and starts staging.
+// Placement is delegated to the sched subsystem: the policy pipeline
+// picks a worker per task, weighted fair-share picks which queue goes
+// next, and the scheduler's own indexes (sorted worker ids, per-worker
+// file sets) keep the hot path free of per-task rebuild/sort work.
 func (m *Manager) scheduleLocked() {
 	if m.stopped {
 		return
 	}
-	var still []int
-	for _, tid := range m.ready {
-		rec := m.tasks[tid]
-		if rec == nil || rec.state != TaskReady {
-			continue
+	m.sched.Assign(m.nowOff(), func(a sched.Assignment) {
+		id, err := strconv.Atoi(a.Task.ID)
+		if err != nil {
+			return
 		}
-		wid := m.pickWorkerLocked(rec)
-		if wid < 0 {
-			still = append(still, tid)
-			continue
+		if rec := m.tasks[id]; rec != nil {
+			m.assignLocked(rec, a)
 		}
-		m.assignLocked(rec, wid)
-	}
-	m.ready = still
+	})
 	m.pumpTransfersLocked()
 }
 
-// pickWorkerLocked chooses the best worker for a task: enough free cores,
-// maximizing input bytes already cached locally (move tasks to data);
-// ties broken by most free cores, then lowest id for determinism.
-func (m *Manager) pickWorkerLocked(rec *taskRecord) int {
-	best := -1
-	var bestLocal int64 = -1
-	bestFree := -1
-	ids := make([]int, 0, len(m.workers))
-	for id := range m.workers {
-		ids = append(ids, id)
+// QueueStats snapshots the per-queue scheduler state: pending depth,
+// dispatch count, and cumulative queue wait per tenant.
+func (m *Manager) QueueStats() []sched.QueueStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.sched.Queues()
+}
+
+// queueCounterLocked interns the per-queue dispatch counter.
+func (m *Manager) queueCounterLocked(queue string) *obs.Counter {
+	c, ok := m.queueMet[queue]
+	if !ok {
+		c = m.reg.Counter(fmt.Sprintf("vine_queue_tasks_dispatched_total{queue=%q}", queue))
+		m.queueMet[queue] = c
 	}
-	sort.Ints(ids)
-	for _, id := range ids {
-		if rec.isStraggler(id) {
-			continue // speculative re-dispatch must land elsewhere
-		}
-		w := m.workers[id]
-		if !w.alive || w.cores-w.usedCores < rec.spec.Cores {
-			continue
-		}
-		if w.memory > 0 && rec.spec.Memory > 0 && w.memory-w.usedMemory < rec.spec.Memory {
-			continue
-		}
-		var local int64
-		for _, in := range rec.spec.Inputs {
-			if w.cache[in.CacheName] {
-				local += m.files[in.CacheName].size
-			}
-		}
-		free := w.cores - w.usedCores
-		if local > bestLocal || (local == bestLocal && free > bestFree) {
-			best, bestLocal, bestFree = id, local, free
-		}
-	}
-	return best
+	return c
 }
 
 // assignLocked reserves the worker and begins staging missing inputs.
-func (m *Manager) assignLocked(rec *taskRecord, wid int) {
+func (m *Manager) assignLocked(rec *taskRecord, a sched.Assignment) {
+	wid := a.Worker
 	w := m.workers[wid]
 	w.usedCores += rec.spec.Cores
 	w.usedMemory += rec.spec.Memory
 	rec.worker = wid
-	m.rec.Emit(obs.Event{Type: obs.EvTaskDispatch, Task: rec.label(), Worker: w.name, Attempt: rec.retries})
+	wait := time.Duration(a.Wait)
+	m.met.queueWait.Observe(wait.Seconds())
+	m.queueCounterLocked(a.Queue).Inc()
+	if m.rec != nil {
+		reason := fmt.Sprintf("policy=%s queue=%s score=%g", m.sched.Policy().Name, a.Queue, a.Score)
+		m.rec.Emit(obs.Event{Type: obs.EvSchedDecision, Task: rec.label(), Worker: w.name, Dur: wait, Detail: reason})
+		m.rec.Emit(obs.Event{Type: obs.EvTaskDispatch, Task: rec.label(), Worker: w.name, Attempt: rec.retries, Dur: wait, Detail: reason})
+	}
 	rec.pending = make(map[CacheName]bool)
 	for _, in := range rec.spec.Inputs {
 		if !w.cache[in.CacheName] {
@@ -1136,7 +1170,9 @@ func (m *Manager) dispatchLocked(rec *taskRecord) {
 	w.conn.send(&message{Type: msgDispatch, Dispatch: d})
 }
 
-// releaseWorkerLocked returns a task's cores.
+// releaseWorkerLocked returns a task's cores, in both the manager's
+// worker table and the scheduler's capacity index (a no-op there if the
+// worker is already lost).
 func (m *Manager) releaseWorkerLocked(rec *taskRecord) {
 	if rec.worker >= 0 {
 		if w := m.workers[rec.worker]; w != nil {
@@ -1149,6 +1185,7 @@ func (m *Manager) releaseWorkerLocked(rec *taskRecord) {
 				w.usedMemory = 0
 			}
 		}
+		m.sched.Release(rec.worker, rec.spec.Cores, rec.spec.Memory)
 	}
 	rec.worker = -1
 	rec.pending = nil
@@ -1230,11 +1267,11 @@ func (m *Manager) nextBackoffLocked(attempt int) time.Duration {
 // until its timer fires; intervening events (worker loss invalidating
 // inputs, straggler success) cancel the requeue via the state check.
 func (m *Manager) requeueLocked(rec *taskRecord, delay time.Duration) {
-	m.setTaskState(rec, TaskReady)
 	if delay <= 0 {
-		m.ready = append(m.ready, rec.id)
+		m.enqueueReadyLocked(rec)
 		return
 	}
+	m.setTaskState(rec, TaskReady)
 	id := rec.id
 	time.AfterFunc(delay, func() {
 		m.mu.Lock()
@@ -1246,12 +1283,9 @@ func (m *Manager) requeueLocked(rec *taskRecord, delay time.Duration) {
 		if rec == nil || rec.state != TaskReady {
 			return
 		}
-		for _, tid := range m.ready {
-			if tid == id {
-				return
-			}
-		}
-		m.ready = append(m.ready, id)
+		// Enqueue dedups on the task record, so a task that was already
+		// requeued by an intervening event is left alone.
+		m.enqueueReadyLocked(rec)
 		m.scheduleLocked()
 	})
 }
@@ -1292,8 +1326,7 @@ func (m *Manager) reviveProducersLocked(rec *taskRecord) {
 		case TaskDone:
 			// Re-run it. Its handle stays done; outputs regain replicas.
 			if m.inputsAvailableLocked(prod) {
-				m.setTaskState(prod, TaskReady)
-				m.ready = append(m.ready, prod.id)
+				m.enqueueReadyLocked(prod)
 			} else {
 				m.setTaskState(prod, TaskWaiting)
 				m.reviveProducersLocked(prod)
@@ -1311,8 +1344,7 @@ func (m *Manager) reviveProducersLocked(rec *taskRecord) {
 func (m *Manager) promoteWaitersLocked() {
 	for _, rec := range m.tasks {
 		if rec.state == TaskWaiting && m.inputsAvailableLocked(rec) {
-			m.setTaskState(rec, TaskReady)
-			m.ready = append(m.ready, rec.id)
+			m.enqueueReadyLocked(rec)
 		}
 	}
 }
@@ -1349,7 +1381,7 @@ func (m *Manager) onTaskDone(wid int, msg *taskDoneMsg) {
 	}
 	if !primary {
 		// The straggler beat its replacement: drop the requeued attempt.
-		m.removeFromReadyLocked(rec.id)
+		m.sched.Dequeue(rec.label())
 	}
 	rec.stragglers = nil
 	m.releaseWorkerLocked(rec)
@@ -1369,6 +1401,7 @@ func (m *Manager) onTaskDone(wid int, msg *taskDoneMsg) {
 			w.cache[cn] = true
 			w.cacheBytes += size
 		}
+		m.sched.FileCached(wid, cnStr, size)
 	}
 	if !wasDone {
 		m.met.tasksDone.Inc()
@@ -1420,17 +1453,14 @@ func (m *Manager) replicateLocked(cn CacheName) {
 	if need <= 0 {
 		return
 	}
-	ids := make([]int, 0, len(m.workers))
-	for id := range m.workers {
-		ids = append(ids, id)
-	}
-	sort.Ints(ids)
-	for _, id := range ids {
+	// The scheduler maintains the sorted live-worker id slice; no
+	// per-call rebuild+sort here either.
+	for _, id := range m.sched.WorkerIDs() {
 		if need == 0 {
 			break
 		}
 		w := m.workers[id]
-		if !w.alive || w.cache[cn] {
+		if w == nil || !w.alive || w.cache[cn] {
 			continue
 		}
 		m.queueTransferLocked(cn, id)
@@ -1504,6 +1534,7 @@ func (m *Manager) onTransferDone(wid int, msg *transferDoneMsg) {
 		w.cache[name] = true
 		if fs != nil {
 			w.cacheBytes += fs.size
+			m.sched.FileCached(wid, string(name), fs.size)
 		}
 		// Unblock staging tasks on this worker waiting for the file.
 		if fs != nil {
@@ -1539,6 +1570,57 @@ func (m *Manager) onTransferDone(wid int, msg *transferDoneMsg) {
 	m.scheduleLocked()
 }
 
+// onEvicted records that a worker dropped a cached file under disk
+// pressure: the replica table and scheduler index stop counting the
+// copy, staging tasks that believed the file was already local get it
+// re-staged, and ready tasks whose last source vanished fall back to
+// producer revival — the file degrades to a transfer, not a failure.
+func (m *Manager) onEvicted(wid int, msg *evictedMsg) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	w := m.workers[wid]
+	if w == nil {
+		return
+	}
+	name := CacheName(msg.CacheName)
+	if w.cache[name] {
+		delete(w.cache, name)
+		w.cacheBytes -= msg.Size
+	}
+	m.sched.FileEvicted(wid, string(name))
+	fs := m.files[name]
+	if fs == nil {
+		return
+	}
+	delete(fs.workers, wid)
+	// Staging tasks on this worker that already counted the file as
+	// local must fetch it again before dispatch.
+	for _, rec := range m.tasks {
+		if rec.worker != wid || rec.state != TaskStaging || rec.pending[name] {
+			continue
+		}
+		for _, in := range rec.spec.Inputs {
+			if in.CacheName == name {
+				rec.pending[name] = true
+				fs.refWaiters = append(fs.refWaiters, rec)
+				m.queueTransferLocked(name, wid)
+				break
+			}
+		}
+	}
+	// If the eviction removed the last live source, queued consumers
+	// wait for a producer re-run instead of staging from nowhere.
+	if !m.hasSourceLocked(name) {
+		for _, rec := range m.tasks {
+			if rec.state == TaskReady && !m.inputsAvailableLocked(rec) {
+				m.sched.Dequeue(rec.label())
+				m.setTaskState(rec, TaskWaiting)
+				m.reviveProducersLocked(rec)
+			}
+		}
+	}
+}
+
 // workerLost handles a disconnect: replicas vanish, its tasks requeue, and
 // lost outputs trigger producer re-runs.
 func (m *Manager) workerLost(wid int) {
@@ -1556,6 +1638,7 @@ func (m *Manager) workerLostLocked(wid int) {
 	}
 	w.alive = false
 	w.conn.close()
+	m.sched.WorkerLost(wid)
 	m.met.workersLost.Inc()
 	m.rec.Emit(obs.Event{Type: obs.EvWorkerLost, Worker: w.name})
 
@@ -1589,7 +1672,7 @@ func (m *Manager) workerLostLocked(wid int) {
 	// revive producers.
 	for _, rec := range m.tasks {
 		if rec.state == TaskReady && !m.inputsAvailableLocked(rec) {
-			m.removeFromReadyLocked(rec.id)
+			m.sched.Dequeue(rec.label())
 			m.setTaskState(rec, TaskWaiting)
 			m.reviveProducersLocked(rec)
 		}
@@ -1600,15 +1683,6 @@ func (m *Manager) workerLostLocked(wid int) {
 	m.pumpTransfersLocked()
 	m.scheduleLocked()
 	m.notifyLocked()
-}
-
-func (m *Manager) removeFromReadyLocked(tid int) {
-	for i, id := range m.ready {
-		if id == tid {
-			m.ready = append(m.ready[:i], m.ready[i+1:]...)
-			return
-		}
-	}
 }
 
 // WaitAny blocks until some task completes (or fails terminally) that has

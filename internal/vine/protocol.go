@@ -36,6 +36,7 @@ type message struct {
 	TransferDone *transferDoneMsg `json:"transfer_done,omitempty"`
 	Library      *libraryMsg      `json:"library,omitempty"`
 	Unlink       *unlinkMsg       `json:"unlink,omitempty"`
+	Evicted      *evictedMsg      `json:"evicted,omitempty"`
 }
 
 // Message type tags.
@@ -47,6 +48,7 @@ const (
 	msgTransferDone = "transfer_done"
 	msgLibrary      = "library"
 	msgUnlink       = "unlink"
+	msgEvicted      = "evicted"
 	msgKill         = "kill"
 
 	// Liveness probes. Type-only messages: the manager pings links that
@@ -124,6 +126,15 @@ type libraryMsg struct {
 // unlinkMsg removes a file from the worker cache.
 type unlinkMsg struct {
 	CacheName string `json:"cachename"`
+}
+
+// evictedMsg tells the manager a worker dropped a cached file to stay
+// under its disk limit, so the replica table and scheduler index stop
+// counting the copy and future placements re-stage it instead of
+// assuming locality.
+type evictedMsg struct {
+	CacheName string `json:"cachename"`
+	Size      int64  `json:"size"`
 }
 
 const maxFrame = 64 << 20 // 64 MB control-message cap

@@ -1,0 +1,213 @@
+package vine
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"hepvine/internal/obs"
+	"hepvine/internal/sched"
+)
+
+// submitEcho submits one echo task with scheduling attributes set.
+func submitEcho(t *testing.T, m *Manager, queue string, prio int, tag string) *TaskHandle {
+	t.Helper()
+	h, err := m.Submit(Task{
+		Library: "testlib", Func: "echo", Args: []byte(tag),
+		Outputs: []string{"out"}, Queue: queue, Priority: prio,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+// TestPriorityOrdersDispatch submits a backlog before any worker exists,
+// then attaches a single one-core worker and checks the scheduler drains
+// it highest-priority-first, FIFO within a class.
+func TestPriorityOrdersDispatch(t *testing.T) {
+	registerTestLib(t)
+	rec := obs.NewRecorder()
+	m, err := NewManager(WithPeerTransfers(true), WithLibrary("testlib", true), WithRecorder(rec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Stop()
+
+	handles := []*TaskHandle{
+		submitEcho(t, m, "", 0, "low-first"),
+		submitEcho(t, m, "", 7, "high"),
+		submitEcho(t, m, "", 0, "low-second"),
+		submitEcho(t, m, "", 3, "mid"),
+	}
+	w, err := NewWorker(m.Addr(), WithName("w0"), WithCores(1), WithCacheDir(t.TempDir()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Stop()
+	for _, h := range handles {
+		if err := h.Wait(5 * time.Second); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var order []string
+	for _, ev := range rec.Events() {
+		if ev.Type == obs.EvSchedDecision {
+			order = append(order, ev.Task)
+		}
+	}
+	want := []string{"1", "3", "0", "2"} // task ids: high, mid, low-first, low-second
+	if len(order) != len(want) {
+		t.Fatalf("saw %d decisions, want %d: %v", len(order), len(want), order)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("dispatch order %v, want %v", order, want)
+		}
+	}
+}
+
+// TestQueuesShareAndReport drives two weighted queues through one
+// single-core worker and checks the per-queue stats, the queue-wait
+// histogram, and the per-queue dispatch counters all materialise.
+func TestQueuesShareAndReport(t *testing.T) {
+	registerTestLib(t)
+	m, err := NewManager(
+		WithPeerTransfers(true), WithLibrary("testlib", true),
+		WithQueue("interactive", 3), WithQueue("batch", 1),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Stop()
+
+	var handles []*TaskHandle
+	for i := 0; i < 6; i++ {
+		handles = append(handles, submitEcho(t, m, "interactive", 0, fmt.Sprintf("i%d", i)))
+		handles = append(handles, submitEcho(t, m, "batch", 0, fmt.Sprintf("b%d", i)))
+	}
+	w, err := NewWorker(m.Addr(), WithName("w0"), WithCores(1), WithCacheDir(t.TempDir()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Stop()
+	for _, h := range handles {
+		if err := h.Wait(5 * time.Second); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	stats := m.QueueStats()
+	byName := map[string]sched.QueueStats{}
+	for _, qs := range stats {
+		byName[qs.Name] = qs
+	}
+	if byName["interactive"].Dispatched != 6 || byName["batch"].Dispatched != 6 {
+		t.Fatalf("queue stats missing dispatches: %+v", stats)
+	}
+	if byName["interactive"].Weight != 3 {
+		t.Fatalf("interactive weight = %v, want 3", byName["interactive"].Weight)
+	}
+
+	var buf bytes.Buffer
+	if err := m.WriteMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, want := range []string{
+		"vine_task_queue_wait_seconds",
+		`vine_queue_tasks_dispatched_total{queue="interactive"}`,
+		`vine_queue_tasks_dispatched_total{queue="batch"}`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("metrics dump missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestDispatchEventCarriesReason asserts the satellite contract: every
+// EvTaskDispatch now carries the placement reason and queue wait.
+func TestDispatchEventCarriesReason(t *testing.T) {
+	registerTestLib(t)
+	rec := obs.NewRecorder()
+	m, err := NewManager(WithPeerTransfers(true), WithLibrary("testlib", true), WithRecorder(rec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Stop()
+	w, err := NewWorker(m.Addr(), WithName("w0"), WithCores(2), WithCacheDir(t.TempDir()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Stop()
+	if err := m.WaitForWorkers(1, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	h := submitEcho(t, m, "", 0, "x")
+	if err := h.Wait(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, ev := range rec.Events() {
+		if ev.Type != obs.EvTaskDispatch {
+			continue
+		}
+		found = true
+		if !strings.Contains(ev.Detail, "policy=locality") || !strings.Contains(ev.Detail, "queue=default") {
+			t.Fatalf("dispatch detail %q missing placement reason", ev.Detail)
+		}
+	}
+	if !found {
+		t.Fatal("no EvTaskDispatch recorded")
+	}
+}
+
+// TestWithSchedulerPolicySwap runs the cluster under the spread policy
+// and checks tasks land on both workers rather than packing onto one.
+func TestWithSchedulerPolicySwap(t *testing.T) {
+	registerTestLib(t)
+	rec := obs.NewRecorder()
+	m, err := NewManager(
+		WithPeerTransfers(true), WithLibrary("testlib", true),
+		WithScheduler(sched.Spread()), WithRecorder(rec),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Stop()
+	for i := 0; i < 2; i++ {
+		w, err := NewWorker(m.Addr(), WithName(fmt.Sprintf("w%d", i)), WithCores(4), WithCacheDir(t.TempDir()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer w.Stop()
+	}
+	if err := m.WaitForWorkers(2, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	var handles []*TaskHandle
+	for i := 0; i < 4; i++ {
+		h, err := m.Submit(Task{Library: "testlib", Func: "sleep50", Outputs: []string{"out"}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		handles = append(handles, h)
+	}
+	for _, h := range handles {
+		if err := h.Wait(5 * time.Second); err != nil {
+			t.Fatal(err)
+		}
+	}
+	used := map[string]bool{}
+	for _, ev := range rec.Events() {
+		if ev.Type == obs.EvSchedDecision {
+			used[ev.Worker] = true
+		}
+	}
+	if len(used) < 2 {
+		t.Fatalf("spread policy used only %v, want both workers", used)
+	}
+}

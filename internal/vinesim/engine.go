@@ -11,6 +11,7 @@ import (
 	"hepvine/internal/obs"
 	"hepvine/internal/params"
 	"hepvine/internal/randx"
+	"hepvine/internal/sched"
 	"hepvine/internal/sim"
 	"hepvine/internal/storage"
 	"hepvine/internal/units"
@@ -29,6 +30,7 @@ type state struct {
 	reps    *core.ReplicaTable
 	gov     *core.Governor
 	rng     *randx.RNG
+	policy  *sched.Policy
 
 	// manager serial server
 	mgrFree time.Duration
@@ -42,6 +44,11 @@ type state struct {
 	retired    map[dag.Key]bool          // first retirement done (re-runs skip GC accounting)
 	dispatchAt map[dag.Key]time.Duration // when the current attempt entered the pipeline
 	execAt     map[dag.Key]time.Duration // when user code started
+	readyAt    map[dag.Key]time.Duration // when the task (last) became ready, for queue wait
+
+	// schedCands is the per-placement candidate scratch buffer, reused so
+	// steady-state scheduling stays allocation-free like the live plane.
+	schedCands []sched.Candidate
 
 	// refs counts not-yet-done consumers per file; at zero the file is
 	// garbage-collected from worker caches (TaskVine deletes cache entries
@@ -72,6 +79,12 @@ func Run(cfg Config, wl *core.Workload) *Result {
 
 	st := &state{cfg: cfg, wl: wl}
 	st.res.Config = cfg
+	pol, err := sched.ByName(cfg.Policy, cfg.Seed)
+	if err != nil {
+		st.res.Failure = err.Error()
+		return &st.res
+	}
+	st.policy = pol
 
 	// Dask.Distributed runs one single-core, share-nothing worker process
 	// per core: model each as its own node with a slice of the NIC/disk.
@@ -105,6 +118,7 @@ func Run(cfg Config, wl *core.Workload) *Result {
 	st.retired = make(map[dag.Key]bool)
 	st.dispatchAt = make(map[dag.Key]time.Duration)
 	st.execAt = make(map[dag.Key]time.Duration)
+	st.readyAt = make(map[dag.Key]time.Duration)
 	st.refs = make(map[storage.FileID]int)
 	for _, k := range wl.Graph.Keys() {
 		spec := wl.Graph.Task(k).Spec.(*core.SimSpec)
@@ -284,16 +298,29 @@ func (st *state) schedule() {
 		spec := st.wl.Graph.Task(k).Spec.(*core.SimSpec)
 		inputs := st.inputFiles(k, spec)
 
-		var cands []core.Candidate
+		// Present candidates in ascending node id (pool order) so the
+		// policy's first-wins tie-break reproduces the historical
+		// lowest-id determinism.
+		st.schedCands = st.schedCands[:0]
 		for _, w := range st.pool.Workers {
 			if w.Alive && w.FreeCores > 0 {
-				cands = append(cands, core.Candidate{Node: w.ID, FreeCores: w.FreeCores})
+				st.schedCands = append(st.schedCands, sched.Candidate{
+					ID:         w.ID,
+					Cores:      w.Cores,
+					FreeCores:  w.FreeCores,
+					LocalBytes: localBytes(st.reps, inputs, w.ID),
+				})
 			}
 		}
-		if len(cands) == 0 {
+		if len(st.schedCands) == 0 {
 			return
 		}
-		nodeID := st.reps.PickWorker(cands, inputs)
+		task := sched.Task{ID: string(k), Cores: 1}
+		idx, score := st.policy.Pick(&task, st.schedCands)
+		if idx < 0 {
+			return
+		}
+		nodeID := st.schedCands[idx].ID
 		node := st.pool.Workers[nodeID-1]
 
 		got := st.tracker.NextReady(1)
@@ -308,13 +335,38 @@ func (st *state) schedule() {
 		st.dispatched[k] = true
 		st.attempt[k]++
 		att := st.attempt[k]
-		if st.cfg.RecordTrace {
-			st.dispatchAt[k] = st.eng.Now()
+		now := st.eng.Now()
+		wait := now - st.readyAt[k] // zero-value readyAt = ready since t0
+		if wait < 0 {
+			wait = 0
 		}
-		st.record(obs.Event{Type: obs.EvTaskDispatch, Task: string(k),
-			Worker: node.Name, Attempt: att - 1})
+		st.res.QueueWaitTotal += wait
+		st.res.QueueWaitCount++
+		if st.cfg.RecordTrace {
+			st.dispatchAt[k] = now
+		}
+		if st.cfg.Recorder != nil {
+			detail := fmt.Sprintf("policy=%s score=%g", st.policy.Name, score)
+			st.record(obs.Event{Type: obs.EvSchedDecision, Task: string(k),
+				Worker: node.Name, Dur: wait, Detail: detail})
+			st.record(obs.Event{Type: obs.EvTaskDispatch, Task: string(k),
+				Worker: node.Name, Attempt: att - 1, Dur: wait, Detail: detail})
+		}
 		st.mgrOp(st.dispatchCost(), func() { st.sendPayload(k, att) })
 	}
+}
+
+// localBytes sums the sizes of inputs already resident on a node — the
+// replica-table feed for the policy's locality scorer, mirroring the live
+// manager's per-worker file index.
+func localBytes(reps *core.ReplicaTable, inputs []storage.FileID, node int) int64 {
+	var local units.Bytes
+	for _, f := range inputs {
+		if reps.Holds(f, node) {
+			local += reps.Size(f)
+		}
+	}
+	return int64(local)
 }
 
 // inputFiles lists a task's input files: dataset files plus dep outputs.
@@ -688,8 +740,12 @@ func (st *state) retire(k dag.Key) {
 	if st.tracker.State(k) != dag.Running {
 		return // rolled back by recovery while the notice was in flight
 	}
-	if _, err := st.tracker.Complete(k); err != nil {
+	newlyReady, err := st.tracker.Complete(k)
+	if err != nil {
 		return
+	}
+	for _, r := range newlyReady {
+		st.readyAt[r] = st.eng.Now()
 	}
 	st.res.TasksDone++
 	// Garbage-collect inputs this completion released (first run only; a
@@ -750,6 +806,7 @@ func (st *state) onPreempt(node *cluster.Node) {
 		st.attempt[k]++ // invalidate outstanding callbacks
 		if st.tracker.State(k) == dag.Running {
 			st.tracker.Requeue(k)
+			st.readyAt[k] = st.eng.Now()
 			st.res.TasksRerun++
 			st.record(obs.Event{Type: obs.EvTaskRetry, Task: string(k),
 				Worker: node.Name, Attempt: st.attempt[k] - 1, Detail: "worker lost"})
@@ -801,6 +858,7 @@ func (st *state) applyInvalidation(lost []dag.Key) {
 	}
 	st.res.TasksRerun += len(lost)
 	for _, k := range lost {
+		st.readyAt[k] = st.eng.Now() // rolled back to re-run; wait clock restarts
 		st.record(obs.Event{Type: obs.EvTaskRetry, Task: string(k),
 			Attempt: st.attempt[k], Detail: "output lost"})
 	}

@@ -1,0 +1,126 @@
+package vinesim
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"hepvine/internal/core"
+	"hepvine/internal/obs"
+	"hepvine/internal/randx"
+	"hepvine/internal/sched"
+	"hepvine/internal/storage"
+	"hepvine/internal/units"
+)
+
+// TestLocalityPolicyMatchesReplicaTablePick is the adapter's regression
+// oracle: placement through the shared sched.Locality policy must agree
+// with core.ReplicaTable.PickWorker (the legacy simulator path, kept for
+// exactly this comparison) on randomized replica tables and worker loads.
+func TestLocalityPolicyMatchesReplicaTablePick(t *testing.T) {
+	rng := randx.NewStream(99, 1)
+	pol := sched.Locality()
+	for trial := 0; trial < 2000; trial++ {
+		nWorkers := 1 + int(rng.Uint64()%12)
+		nFiles := int(rng.Uint64() % 8)
+		reps := core.NewReplicaTable()
+		var inputs []storage.FileID
+		for i := 0; i < nFiles; i++ {
+			f := storage.FileID(fmt.Sprintf("f%d", i))
+			inputs = append(inputs, f)
+			reps.SetSize(f, units.Bytes(rng.Uint64()%5)*100*units.MB)
+			for n := 1; n <= nWorkers; n++ {
+				if rng.Uint64()%3 == 0 {
+					reps.Add(f, n)
+				}
+			}
+		}
+		var legacy []core.Candidate
+		var cands []sched.Candidate
+		for n := 1; n <= nWorkers; n++ {
+			if rng.Uint64()%4 == 0 {
+				continue // worker busy or dead
+			}
+			free := 1 + int(rng.Uint64()%8)
+			legacy = append(legacy, core.Candidate{Node: n, FreeCores: free})
+			cands = append(cands, sched.Candidate{
+				ID: n, Cores: 8, FreeCores: free,
+				LocalBytes: localBytes(reps, inputs, n),
+			})
+		}
+		if len(legacy) == 0 {
+			continue
+		}
+		want := reps.PickWorker(legacy, inputs)
+		idx, _ := pol.Pick(&sched.Task{ID: "t", Cores: 1}, cands)
+		if idx < 0 {
+			t.Fatalf("trial %d: policy rejected all of %d candidates", trial, len(cands))
+		}
+		if got := cands[idx].ID; got != want {
+			t.Fatalf("trial %d: locality policy chose node %d, legacy chose %d\ncands: %+v",
+				trial, got, want, cands)
+		}
+	}
+}
+
+// TestPolicyNamesRunAndDiverge runs the tiny workload under every stock
+// policy: each must complete, report queue waits, and emit one
+// EvSchedDecision per dispatch carrying the policy name.
+func TestPolicyNamesRunAndDiverge(t *testing.T) {
+	for _, name := range sched.Names() {
+		rec := obs.NewRecorder()
+		cfg := quietConfig(4, 3)
+		cfg.Policy = name
+		cfg.Recorder = rec
+		res := Run(cfg, tinyWorkload(24, time.Second, units.MB))
+		if !res.Completed {
+			t.Fatalf("policy %s failed: %s", name, res.Failure)
+		}
+		if res.QueueWaitCount == 0 {
+			t.Fatalf("policy %s recorded no queue waits", name)
+		}
+		if res.MeanQueueWait() < 0 {
+			t.Fatalf("policy %s negative mean wait", name)
+		}
+		decisions := 0
+		for _, ev := range rec.Events() {
+			if ev.Type != obs.EvSchedDecision {
+				continue
+			}
+			decisions++
+			if !strings.Contains(ev.Detail, "policy="+name) {
+				t.Fatalf("policy %s decision detail %q", name, ev.Detail)
+			}
+		}
+		if decisions != res.QueueWaitCount {
+			t.Fatalf("policy %s: %d decisions vs %d waits", name, decisions, res.QueueWaitCount)
+		}
+	}
+}
+
+// TestDefaultPolicyIsLocality checks "" and "locality" produce identical
+// runs, so existing configs keep their exact historical behaviour.
+func TestDefaultPolicyIsLocality(t *testing.T) {
+	base := quietConfig(4, 3)
+	named := base
+	named.Policy = "locality"
+	r1 := Run(base, tinyWorkload(24, time.Second, units.MB))
+	r2 := Run(named, tinyWorkload(24, time.Second, units.MB))
+	if r1.Runtime != r2.Runtime || r1.PeerCount != r2.PeerCount {
+		t.Fatalf("default differs from locality: %v/%d vs %v/%d",
+			r1.Runtime, r1.PeerCount, r2.Runtime, r2.PeerCount)
+	}
+}
+
+// TestUnknownPolicyFailsFast makes a config typo a loud failure, not a
+// silent fallback to some other placement.
+func TestUnknownPolicyFailsFast(t *testing.T) {
+	cfg := quietConfig(4, 2)
+	cfg.Policy = "bogus"
+	res := Run(cfg, tinyWorkload(4, time.Second, units.MB))
+	if res.Completed || !strings.Contains(res.Failure, "bogus") {
+		t.Fatalf("expected unknown-policy failure, got completed=%v failure=%q",
+			res.Completed, res.Failure)
+	}
+}

@@ -78,6 +78,13 @@ type Config struct {
 
 	Scheduler Scheduler
 
+	// Policy names the placement policy (internal/sched registry:
+	// "locality", "binpack", "spread", "random"). Empty selects locality —
+	// the same data-gravity greedy the live manager defaults to, so the
+	// simulator keeps modelling the engine it is meant to predict. The
+	// seed only affects the random policy.
+	Policy string
+
 	Seed        uint64
 	SampleEvery time.Duration
 	Horizon     time.Duration // abort if not done by then (default 4h)
@@ -225,9 +232,23 @@ type Result struct {
 
 	TasksDone int
 
+	// QueueWaitTotal accumulates ready→dispatch latency over
+	// QueueWaitCount placements (re-dispatches restart the clock), the
+	// simulation-plane analogue of vine_task_queue_wait_seconds.
+	QueueWaitTotal time.Duration
+	QueueWaitCount int
+
 	// Snapshot is the run's counters in the shared observability schema,
 	// directly comparable with a live vine.Manager.Stats() snapshot.
 	Snapshot obs.Snapshot
+}
+
+// MeanQueueWait reports the average ready→dispatch latency.
+func (r *Result) MeanQueueWait() time.Duration {
+	if r.QueueWaitCount == 0 {
+		return 0
+	}
+	return r.QueueWaitTotal / time.Duration(r.QueueWaitCount)
 }
 
 // Throughput reports completed tasks per second.
