@@ -1,7 +1,7 @@
 # Convenience targets; everything is plain `go` underneath.
 # Run `make help` for the list.
 
-.PHONY: help check test race chaos bench bench-sched verify paper examples tidy
+.PHONY: help check test race chaos bench bench-sched bench-recovery verify paper examples tidy
 
 help:                 ## list targets
 	@grep -E '^[a-z]+: *##' $(MAKEFILE_LIST) | awk -F': *## *' '{printf "  %-10s %s\n", $$1, $$2}'
@@ -19,14 +19,17 @@ test:                 ## full test suite
 race:                 ## race-detector pass over every package
 	go test -race ./...
 
-chaos:                ## deterministic chaos soak: kills + stall + dead replica, bit-identical results
-	go test -race -count=1 -v -run TestChaosSoakDeterministic .
+chaos:                ## deterministic chaos suite: kills, stall, dead replica, sole-replica loss, corrupt payloads
+	go test -race -count=1 -v -run 'TestChaosSoakDeterministic|TestChaosSoakLineageRecovery|TestChaosCorruptTransferHealed' .
 
 bench:                ## one benchmark per table/figure, reduced scale
 	go test -bench=. -benchmem ./...
 
 bench-sched:          ## compare placement policies (locality/binpack/spread/random) on DV3-Medium
 	go run ./cmd/vinebench -scale 0.25 sched
+
+bench-recovery:       ## recovery overhead: faulted vs fault-free live run, bit-identical histograms
+	go run ./cmd/vinebench -scale 0.25 recovery
 
 verify:               ## assert every reproduced shape claim at paper scale
 	go run ./cmd/vinebench -scale 1 verify

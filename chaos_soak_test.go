@@ -11,12 +11,14 @@ import (
 	"bytes"
 	"fmt"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
 	"hepvine/internal/apps"
 	"hepvine/internal/chaos"
 	"hepvine/internal/coffea"
+	"hepvine/internal/dag"
 	"hepvine/internal/daskvine"
 	"hepvine/internal/hist"
 	"hepvine/internal/obs"
@@ -27,13 +29,17 @@ import (
 
 // soakPlan is the seeded fault schedule, relative to plan.Start():
 // kill two of the four workers, black-hole a third for a second, and
-// declare one XRootD endpoint dead before the read phase begins.
+// declare one XRootD endpoint dead before the read phase begins. The
+// offsets are packed into the first ~60ms because the fault-free
+// workload itself runs in well under 100ms (staging transfers avoid the
+// kernel sendfile path and its loopback delayed-ACK stalls); every
+// fault must land while work is still in flight.
 func soakPlan(seed uint64, rec *obs.Recorder) *chaos.Plan {
 	p := chaos.NewPlan(seed).Add(
 		chaos.Fault{Kind: chaos.KindKill, Target: "xra", At: 10 * time.Millisecond},
-		chaos.Fault{Kind: chaos.KindKill, Target: "w0", At: 60 * time.Millisecond},
-		chaos.Fault{Kind: chaos.KindStall, Target: "w2", At: 90 * time.Millisecond, Dur: time.Second},
-		chaos.Fault{Kind: chaos.KindKill, Target: "w1", At: 140 * time.Millisecond},
+		chaos.Fault{Kind: chaos.KindKill, Target: "w0", At: 25 * time.Millisecond},
+		chaos.Fault{Kind: chaos.KindStall, Target: "w2", At: 40 * time.Millisecond, Dur: time.Second},
+		chaos.Fault{Kind: chaos.KindKill, Target: "w1", At: 60 * time.Millisecond},
 	)
 	p.SetRecorder(rec)
 	return p
@@ -159,7 +165,287 @@ func runSoak(t *testing.T, seed uint64) (result []byte, fired int) {
 		t.Fatal("no EvNetRetry recorded across the dead-replica failover")
 	}
 
+	// The schedule sits entirely inside the workload's lifetime, but the
+	// last timer can still be pending if the run finished unusually
+	// fast; wait it out so Fired is stable before the caller asserts.
+	for deadline := time.Now().Add(2 * time.Second); plan.Fired() < 4 && time.Now().Before(deadline); {
+		time.Sleep(time.Millisecond)
+	}
+
 	return append(met.Marshal(), remote.Marshal()...), plan.Fired()
+}
+
+// recoveryWorkload builds a deliberately lopsided two-chunk analysis: one
+// 400-event file and one 8000-event file, one chunk each, fanned into a
+// single accumulation. The fast chunk finishes long before the slow one,
+// which pins a window where its histogram is the sole replica of an
+// intermediate the root still needs.
+func recoveryWorkload(t *testing.T) (*dag.Graph, dag.Key) {
+	t.Helper()
+	dir := t.TempDir()
+	small, err := rootio.WriteDataset(dir, rootio.DatasetSpec{
+		Name: "RecSmall", Files: 1, EventsPerFile: 400,
+		Gen: rootio.GenOptions{Seed: 13},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := rootio.WriteDataset(dir, rootio.DatasetSpec{
+		Name: "RecBig", Files: 1, EventsPerFile: 8000,
+		Gen: rootio.GenOptions{Seed: 17},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	chunks, err := coffea.PartitionPerFile("Rec", []coffea.FileInfo{
+		{Path: small[0], NEvents: 400},
+		{Path: big[0], NEvents: 8000},
+	}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	graph, root, err := coffea.BuildGraph("met", chunks, coffea.GraphOptions{FanIn: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return graph, root
+}
+
+// runRecovery executes the lopsided workload on a two-worker cluster.
+// With kill set, the worker that produced the first processor output is
+// stopped the instant that output exists — mid-run, while it holds the
+// only replica of an intermediate the final accumulation still needs —
+// so the run can only complete through lineage re-execution.
+func runRecovery(t *testing.T, seed uint64, kill bool) ([]byte, vine.ManagerStats, *obs.Recorder) {
+	t.Helper()
+	apps.RegisterProcessors()
+	if err := vine.RegisterLibrary(daskvine.NewLibrary(20 * time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	graph, root := recoveryWorkload(t)
+
+	rec := obs.NewRecorder()
+	mgr, err := vine.NewManager(
+		vine.WithPeerTransfers(true),
+		vine.WithLibrary(daskvine.LibraryName, true),
+		vine.WithRecorder(rec),
+		vine.WithMaxRetries(10),
+		vine.WithRetryBackoff(5*time.Millisecond, 40*time.Millisecond),
+		vine.WithRetrySeed(seed),
+		vine.WithRecoveryTimeout(20*time.Second),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mgr.Stop()
+	workers := make(map[string]*vine.Worker, 2)
+	for i := 0; i < 2; i++ {
+		name := fmt.Sprintf("w%d", i)
+		w, err := vine.NewWorker(mgr.Addr(),
+			vine.WithName(name),
+			vine.WithCores(1),
+			vine.WithCacheDir(t.TempDir()),
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer w.Stop()
+		workers[name] = w
+	}
+	if err := mgr.WaitForWorkers(2, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	opts := daskvine.Options{Mode: vine.ModeFunctionCall, Timeout: 60 * time.Second}
+	if kill {
+		var once sync.Once
+		opts.OnTaskDone = func(key dag.Key, h *vine.TaskHandle) {
+			if _, ok := graph.Task(key).Spec.(*coffea.ProcessSpec); !ok {
+				return
+			}
+			once.Do(func() {
+				if w := workers[h.Worker()]; w != nil {
+					w.Stop()
+				}
+			})
+		}
+	}
+	res, err := daskvine.Run(mgr, graph, root, opts)
+	if err != nil {
+		t.Fatalf("workload failed (kill=%v): %v", kill, err)
+	}
+	met := res.H["met"]
+	if met == nil || met.Entries == 0 {
+		t.Fatalf("empty MET histogram (kill=%v)", kill)
+	}
+	return met.Marshal(), mgr.Stats(), rec
+}
+
+// TestChaosSoakLineageRecovery kills the only worker holding an
+// intermediate mid-run: the run must still complete — via lineage
+// re-execution of the lost producer, visible in counters and trace —
+// and the recovered histogram must be bit-identical to a fault-free
+// run, twice over with the same seed.
+func TestChaosSoakLineageRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in -short mode")
+	}
+	base, _, _ := runRecovery(t, 7, false)
+	got, st, rec := runRecovery(t, 7, true)
+	if !bytes.Equal(base, got) {
+		t.Fatalf("recovered run diverged from fault-free run: %d vs %d bytes", len(base), len(got))
+	}
+	if st.LineageReruns < 1 {
+		t.Fatalf("LineageReruns = %d, want >= 1", st.LineageReruns)
+	}
+	rollbacks := 0
+	for _, ev := range rec.Events() {
+		if ev.Type == obs.EvLineageRollback {
+			rollbacks++
+		}
+	}
+	if rollbacks == 0 {
+		t.Fatal("no EvLineageRollback in the trace of a sole-replica loss")
+	}
+	again, st2, _ := runRecovery(t, 7, true)
+	if !bytes.Equal(got, again) {
+		t.Fatal("same-seed recovery runs diverged")
+	}
+	if st2.LineageReruns < 1 {
+		t.Fatalf("rerun LineageReruns = %d, want >= 1", st2.LineageReruns)
+	}
+}
+
+// TestChaosCorruptTransferHealed seeds one payload corruption per worker
+// fetch stream and proves the integrity envelope end to end: the flip is
+// detected by the CRC-32C check, surfaced as EvFileCorrupt, the replica
+// quarantined, and the run heals — from another clean replica or, when
+// the corrupted copy was the last one, through lineage re-execution —
+// with histograms bit-identical to the fault-free pass.
+func TestChaosCorruptTransferHealed(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in -short mode")
+	}
+	apps.RegisterProcessors()
+	if err := vine.RegisterLibrary(daskvine.NewLibrary(20 * time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	graph, root := recoveryWorkload(t)
+
+	rec := obs.NewRecorder()
+	// One corruption armed per worker: whichever worker pulls a payload
+	// first claims its flip. Offset 16 lands inside the transfer body,
+	// past the "OK <size>\n" header.
+	plan := chaos.NewPlan(21).Add(
+		chaos.Fault{Kind: chaos.KindCorrupt, Target: "w0/fetch", At: time.Millisecond, Offset: 16},
+		chaos.Fault{Kind: chaos.KindCorrupt, Target: "w1/fetch", At: time.Millisecond, Offset: 16},
+	)
+	plan.SetRecorder(rec)
+	defer plan.Stop()
+
+	mgr, err := vine.NewManager(
+		vine.WithPeerTransfers(true),
+		vine.WithLibrary(daskvine.LibraryName, true),
+		vine.WithRecorder(rec),
+		vine.WithMaxRetries(10),
+		vine.WithRetryBackoff(5*time.Millisecond, 40*time.Millisecond),
+		vine.WithRetrySeed(21),
+		vine.WithRecoveryTimeout(20*time.Second),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mgr.Stop()
+	for i := 0; i < 2; i++ {
+		w, err := vine.NewWorker(mgr.Addr(),
+			vine.WithName(fmt.Sprintf("w%d", i)),
+			vine.WithCores(1),
+			vine.WithCacheDir(t.TempDir()),
+			vine.WithFaultInjector(plan),
+			vine.WithTransferTimeout(time.Second),
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer w.Stop()
+	}
+	if err := mgr.WaitForWorkers(2, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	opts := daskvine.Options{Mode: vine.ModeFunctionCall, Timeout: 60 * time.Second}
+
+	// Pass 1: plan not started — a fault-free baseline that also warms
+	// every dataset replica onto the workers, so the corruptions armed
+	// for pass 2 land on intermediate (histogram) transfers.
+	var hmu sync.Mutex
+	handles := make(map[dag.Key]*vine.TaskHandle)
+	warmOpts := opts
+	warmOpts.OnTaskDone = func(key dag.Key, h *vine.TaskHandle) {
+		hmu.Lock()
+		handles[key] = h
+		hmu.Unlock()
+	}
+	base, err := daskvine.Run(mgr, graph, root, warmOpts)
+	if err != nil {
+		t.Fatalf("baseline run failed: %v", err)
+	}
+
+	// Forget every pass-1 output (the done-callbacks race Run's return,
+	// so wait for all of them first). Pass 2 then has warm dataset
+	// replicas but no histogram replicas: its accumulation must move at
+	// least one freshly produced hist blob worker→worker, which is the
+	// transfer the armed corruption will hit.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		hmu.Lock()
+		n := len(handles)
+		hmu.Unlock()
+		if n == graph.Len() || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	hmu.Lock()
+	for _, h := range handles {
+		if cn, ok := h.Output("hist"); ok {
+			mgr.Unlink(cn)
+		}
+	}
+	hmu.Unlock()
+
+	plan.Start()
+	deadline = time.Now().Add(2 * time.Second)
+	for plan.Fired() < 2 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if plan.Fired() < 2 {
+		t.Fatalf("only %d of 2 corruption faults armed", plan.Fired())
+	}
+
+	// Pass 2: the same graph, resubmitted. Content-addressed cachenames
+	// make the reruns byte-compatible, and the first payload a worker
+	// fetches arrives with one bit flipped.
+	faulted, err := daskvine.Run(mgr, graph, root, opts)
+	if err != nil {
+		t.Fatalf("corrupted run failed to heal: %v", err)
+	}
+	if !bytes.Equal(base.H["met"].Marshal(), faulted.H["met"].Marshal()) {
+		t.Fatal("healed run's histogram differs from fault-free baseline")
+	}
+	st := mgr.Stats()
+	if st.CorruptTransfers < 1 {
+		t.Fatalf("CorruptTransfers = %d, want >= 1", st.CorruptTransfers)
+	}
+	corrupt := 0
+	for _, ev := range rec.Events() {
+		if ev.Type == obs.EvFileCorrupt {
+			corrupt++
+		}
+	}
+	if corrupt == 0 {
+		t.Fatal("no EvFileCorrupt event for the seeded corruption")
+	}
 }
 
 // TestChaosSoakDeterministic is the headline robustness test: the same

@@ -67,9 +67,9 @@ func run() error {
 	// and derived from one seed, so a rerun reproduces the same failures.
 	rec := obs.NewRecorder()
 	plan := chaos.NewPlan(7).Add(
-		chaos.Fault{Kind: chaos.KindKill, Target: "w0", At: 80 * time.Millisecond},
-		chaos.Fault{Kind: chaos.KindStall, Target: "w2", At: 120 * time.Millisecond, Dur: time.Second},
-		chaos.Fault{Kind: chaos.KindKill, Target: "w1", At: 200 * time.Millisecond},
+		chaos.Fault{Kind: chaos.KindKill, Target: "w0", At: 20 * time.Millisecond},
+		chaos.Fault{Kind: chaos.KindStall, Target: "w2", At: 35 * time.Millisecond, Dur: time.Second},
+		chaos.Fault{Kind: chaos.KindKill, Target: "w1", At: 55 * time.Millisecond},
 	)
 	plan.SetRecorder(rec)
 	defer plan.Stop()

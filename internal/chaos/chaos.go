@@ -49,8 +49,15 @@ const (
 	// reads and writes block until the window passes. The TCP session
 	// stays established — the fault only a heartbeat can detect.
 	KindStall Kind = "stall"
-	// KindCorrupt flips bits in the next successful read on each
-	// matching connection after At — a payload integrity failure.
+	// KindCorrupt flips exactly one byte of matching traffic after At —
+	// a payload integrity failure. The fault is armed globally: the
+	// first matching connection to read data after the firing claims it
+	// and flips the byte Offset bytes into its post-claim stream, so a
+	// short-lived transfer connection opened after At is corrupted just
+	// as reliably as a long-lived control link, and each fault corrupts
+	// exactly once. Since PR 4 the vine and xrootd payload checksums
+	// detect the flip and heal it (quarantine + refetch + lineage
+	// rollback) instead of letting it reach a histogram.
 	KindCorrupt Kind = "corrupt"
 	// KindPartition makes matching connections error on use and
 	// matching dials fail for [At, At+Dur] — a routed-away network.
@@ -63,6 +70,7 @@ type Fault struct {
 	Target string        // label, label prefix, or "*"
 	At     time.Duration // offset from Plan.Start
 	Dur    time.Duration // window length (stall, partition)
+	Offset int64         // corrupt: bytes into the claimed stream to flip (default 0 = first byte)
 }
 
 func (f Fault) String() string {
@@ -70,7 +78,18 @@ func (f Fault) String() string {
 	if f.Dur > 0 {
 		s += fmt.Sprintf("+%v", f.Dur)
 	}
+	if f.Offset > 0 {
+		s += fmt.Sprintf(" off=%d", f.Offset)
+	}
 	return s
+}
+
+// corruptArm is an armed corruption waiting to be claimed: the first
+// connection whose label matches target to read data takes it and flips
+// one byte skip bytes into its remaining stream.
+type corruptArm struct {
+	target string
+	skip   int64
 }
 
 // Plan schedules faults against wrapped connections. Build it, register
@@ -85,7 +104,8 @@ type Plan struct {
 	started bool
 	t0      time.Time
 	conns   map[*faultConn]struct{}
-	dead    []string // kill targets already fired: future dials refused
+	dead    []string     // kill targets already fired: future dials refused
+	armed   []corruptArm // fired corruptions awaiting a matching read
 	timers  []*time.Timer
 	fired   int
 }
@@ -223,11 +243,9 @@ func (p *Plan) fire(f Fault) {
 			p.dead = append(p.dead, f.Target)
 		}
 	case KindCorrupt:
-		for c := range p.conns {
-			if matches(f.Target, c.label) {
-				c.armCorrupt()
-			}
-		}
+		// Armed globally, claimed by the first matching read — conns
+		// opened after the firing (short-lived fetches) are covered too.
+		p.armed = append(p.armed, corruptArm{target: f.Target, skip: f.Offset})
 	}
 	p.mu.Unlock()
 	rec.Emit(obs.Event{Type: obs.EvChaosFault, Worker: f.Target, Detail: f.String()})
@@ -239,6 +257,20 @@ func (p *Plan) fire(f Fault) {
 // matches reports whether a fault target covers a label.
 func matches(target, label string) bool {
 	return target == "*" || label == target || strings.HasPrefix(label, target+"/")
+}
+
+// claimCorrupt hands the oldest armed corruption matching label to the
+// caller, removing it from the plan — exactly one read stream per fault.
+func (p *Plan) claimCorrupt(label string) (skip int64, ok bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for i, a := range p.armed {
+		if matches(a.target, label) {
+			p.armed = append(p.armed[:i], p.armed[i+1:]...)
+			return a.skip, true
+		}
+	}
+	return 0, false
 }
 
 // deadLocked reports whether a label belongs to a killed target.
@@ -329,15 +361,13 @@ type faultConn struct {
 	label string
 
 	mu      sync.Mutex
-	corrupt bool // next successful read flips bits
 	closed  bool
 	refused bool
-}
-
-func (c *faultConn) armCorrupt() {
-	c.mu.Lock()
-	c.corrupt = true
-	c.mu.Unlock()
+	// Claimed corruption: one byte gets flipped flipSkip bytes into the
+	// reads that follow the claim. Deterministic regardless of how the
+	// stream is segmented into Read calls.
+	flipArmed bool
+	flipSkip  int64
 }
 
 // gate enforces kills and partitions; it returns a terminal error when
@@ -383,11 +413,23 @@ func (c *faultConn) Read(b []byte) (int, error) {
 	n, err := c.Conn.Read(b)
 	if n > 0 {
 		c.mu.Lock()
-		flip := c.corrupt
-		c.corrupt = false
+		armed, skip := c.flipArmed, c.flipSkip
 		c.mu.Unlock()
-		if flip {
-			b[0] ^= 0xA5
+		if !armed {
+			if s, ok := c.p.claimCorrupt(c.label); ok {
+				armed, skip = true, s
+			}
+		}
+		if armed {
+			if skip < int64(n) {
+				b[skip] ^= 0xA5
+				armed = false
+			} else {
+				skip -= int64(n)
+			}
+			c.mu.Lock()
+			c.flipArmed, c.flipSkip = armed, skip
+			c.mu.Unlock()
 		}
 	}
 	return n, err

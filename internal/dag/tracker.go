@@ -267,6 +267,11 @@ func (t *Tracker) Requeue(k Key) error {
 //
 // The rollback is minimal: completed descendants whose outputs still exist
 // are untouched — their values already live in the cluster.
+//
+// The live plane mirrors these semantics in vine.Manager (recoverFileLocked
+// and reviveProducersLocked): a lost last replica re-enqueues only its Done
+// producer, recursing up the chain exactly when the producer's own inputs
+// are gone too.
 func (t *Tracker) Invalidate(lost []Key) ([]Key, error) {
 	lostSet := make(map[Key]bool, len(lost))
 	for _, k := range lost {

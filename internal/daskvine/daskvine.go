@@ -220,6 +220,10 @@ func Run(m *vine.Manager, g *dag.Graph, root dag.Key, opts Options) (*coffea.His
 		return nil, err
 	}
 	cn, _ := rootH.Output("hist")
+	// FetchBytes recovers through worker loss: a vanished last replica
+	// triggers a lineage rollback of the producing task instead of an
+	// error, so a preemption at the very end of a run costs a re-run of
+	// the final reduce, not the whole analysis.
 	blob, err := m.FetchBytes(cn)
 	if err != nil {
 		return nil, fmt.Errorf("daskvine: fetching result: %w", err)

@@ -42,7 +42,11 @@ func NewGenericResult(m *vine.Manager) *GenericResult {
 	return &GenericResult{Handles: make(map[dag.Key]*vine.TaskHandle), mgr: m}
 }
 
-// Fetch retrieves a task's named output bytes.
+// Fetch retrieves a task's named output bytes. It rides FetchBytes'
+// lineage recovery: if the last replica of the output died with its
+// worker, the manager rolls the producer back and re-executes it, so
+// Fetch blocks through the recovery (bounded by vine.WithRecoveryTimeout)
+// instead of erroring.
 func (r *GenericResult) Fetch(k dag.Key, output string) ([]byte, error) {
 	h, ok := r.Handles[k]
 	if !ok {

@@ -62,6 +62,12 @@ const (
 	EvTaskAbort     EventType = "task_abort"     // Task, Worker, Attempt, Detail=deadline cause
 	EvChaosFault    EventType = "chaos_fault"    // Worker=target, Detail=kind+schedule
 	EvNetRetry      EventType = "net_retry"      // Src=endpoint, Attempt, Dur=backoff, Detail=cause
+
+	// Integrity and lineage vocabulary: a payload whose checksum failed
+	// verification on receipt, and a completed producer task rolled back
+	// to regenerate an output whose last replica was lost.
+	EvFileCorrupt     EventType = "file_corrupt"     // Src, Dst, Detail=cachename+cause
+	EvLineageRollback EventType = "lineage_rollback" // Task=producer, Detail=cachename
 )
 
 // Event is one trace record. T is the offset from the trace epoch

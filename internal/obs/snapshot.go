@@ -19,6 +19,12 @@ type Snapshot struct {
 	TasksAborted    int
 	HeartbeatMisses int
 
+	// Integrity and lineage recovery: transfers whose CRC-32C failed
+	// verification on receipt, and completed producer tasks re-enqueued
+	// because the last replica of an output they produced was lost.
+	CorruptTransfers int
+	LineageReruns    int
+
 	// Transfers, split by source as in §III.B: peer (worker→worker) vs
 	// manager-served (the Work Queue data path).
 	PeerTransfers    int
@@ -52,6 +58,8 @@ func (s Snapshot) Merge(o Snapshot) Snapshot {
 	s.WorkersLost += o.WorkersLost
 	s.TasksAborted += o.TasksAborted
 	s.HeartbeatMisses += o.HeartbeatMisses
+	s.CorruptTransfers += o.CorruptTransfers
+	s.LineageReruns += o.LineageReruns
 	s.PeerTransfers += o.PeerTransfers
 	s.ManagerTransfers += o.ManagerTransfers
 	s.PeerBytes += o.PeerBytes

@@ -193,3 +193,9 @@ var ResultNoticeBytes = units.Bytes(2 << 10)
 // DefaultTransferCapPerSource mirrors the live engine's default governor
 // cap on concurrent outbound peer transfers per worker.
 var DefaultTransferCapPerSource = 3
+
+// DefaultTransferAttempts mirrors the live engine's per-file staging
+// attempt bound: how many times one file may fail over to another replica
+// before the failure escalates to a task-level retry (and, with no clean
+// replica left, a lineage rollback of the producer).
+var DefaultTransferAttempts = 3

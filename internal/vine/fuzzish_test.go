@@ -3,6 +3,9 @@ package vine
 import (
 	"bytes"
 	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"io"
 	"testing"
 	"testing/quick"
 
@@ -31,14 +34,97 @@ func TestReadFrameNeverPanics(t *testing.T) {
 	}
 }
 
-// A frame with a plausible length header but corrupt JSON must error.
+// A frame with a plausible header but corrupt JSON must error. The payload
+// CRC is computed over the corrupt bytes, so this exercises the JSON layer
+// behind an honest checksum.
 func TestReadFrameCorruptBody(t *testing.T) {
 	var buf bytes.Buffer
-	var hdr [4]byte
-	binary.LittleEndian.PutUint32(hdr[:], 5)
+	body := []byte("{bad}")
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[:4], uint32(len(body)))
+	binary.LittleEndian.PutUint32(hdr[4:], crc32.Checksum(body, castagnoli))
 	buf.Write(hdr[:])
-	buf.WriteString("{bad}")
+	buf.Write(body)
 	if _, err := readFrame(&buf); err == nil {
 		t.Fatal("corrupt JSON frame accepted")
+	}
+}
+
+// encodeFrame round-trips a real message through writeFrame.
+func encodeFrame(t *testing.T, m *message) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := writeFrame(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// Every truncation of a valid frame must fail with an error (io.EOF /
+// io.ErrUnexpectedEOF), never a panic, never a spuriously decoded message.
+func TestReadFrameTruncations(t *testing.T) {
+	frame := encodeFrame(t, &message{Type: msgPutURL, PutURL: &putURLMsg{
+		CacheName: "blob:deadbeef", Addr: "127.0.0.1:9", Size: 42,
+	}})
+	for cut := 0; cut < len(frame); cut++ {
+		if _, err := readFrame(bytes.NewReader(frame[:cut])); err == nil {
+			t.Fatalf("truncated frame (%d of %d bytes) accepted", cut, len(frame))
+		}
+	}
+}
+
+// Every single-byte flip of a valid frame must be rejected — a payload
+// flip with the typed ErrCorruptFrame, a header flip with either
+// ErrCorruptFrame or a framing error — and never decode into a message.
+func TestReadFrameBitFlips(t *testing.T) {
+	frame := encodeFrame(t, &message{Type: msgTransferDone, TransferDone: &transferDoneMsg{
+		CacheName: "blob:cafe", OK: true, Size: 7,
+	}})
+	for pos := 0; pos < len(frame); pos++ {
+		for _, mask := range []byte{0x01, 0x80, 0xA5} {
+			mut := append([]byte(nil), frame...)
+			mut[pos] ^= mask
+			m, err := readFrame(bytes.NewReader(mut))
+			if err == nil {
+				t.Fatalf("bit flip at %d (mask %02x) accepted: %+v", pos, mask, m)
+			}
+			if pos >= 8 && !errors.Is(err, ErrCorruptFrame) {
+				t.Fatalf("payload flip at %d (mask %02x): got %v, want ErrCorruptFrame", pos, mask, err)
+			}
+		}
+	}
+}
+
+// Random corruption of valid frames: quick-check that no mutation panics
+// and payload-region mutations always carry the typed sentinel.
+func TestReadFrameRandomCorruption(t *testing.T) {
+	frame := encodeFrame(t, &message{Type: msgTaskDone, TaskDone: &taskDoneMsg{
+		TaskID: 3, OK: true, OutputSizes: map[string]int64{"out:ab:hist": 128},
+	}})
+	check := func(seed uint16) bool {
+		rng := randx.New(uint64(seed) + 7)
+		mut := append([]byte(nil), frame...)
+		flips := 1 + rng.Intn(4)
+		payloadOnly := true
+		for i := 0; i < flips; i++ {
+			pos := rng.Intn(len(mut))
+			if pos < 8 {
+				payloadOnly = false
+			}
+			mut[pos] ^= byte(1 + rng.Intn(255))
+		}
+		m, err := readFrame(bytes.NewReader(mut))
+		if err == nil {
+			// All flips cancelled out (possible when the same position is
+			// hit twice with the same mask) — must decode identically.
+			return m != nil
+		}
+		if payloadOnly && !errors.Is(err, ErrCorruptFrame) && !errors.Is(err, io.ErrUnexpectedEOF) {
+			t.Errorf("payload corruption gave untyped error: %v", err)
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
 	}
 }

@@ -1,0 +1,41 @@
+package vine
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// The integrity envelope: every payload that crosses a socket — control
+// frames, transfer-plane bodies (staging, peer transfers, output returns) —
+// carries a CRC-32C computed at the source and verified on receipt. TCP's
+// own checksum is too weak to trust for scientific results (it misses
+// whole classes of in-flight and in-memory corruption), and a histogram
+// silently built from flipped bits is worse than a failed run. A mismatch
+// is a *typed* failure so every layer above can tell "this replica served
+// bad bytes" apart from "the network hiccuped" and respond with the
+// recovery ladder: retry → replica failover → quarantine → lineage
+// rollback (see manager.go).
+
+// castagnoli is the CRC-32C (Castagnoli) table shared by the control and
+// data planes. CRC-32C over IEEE because it is the checksum with hardware
+// support on every platform Go targets (SSE4.2 crc32 / ARMv8 CRC32C), so
+// the per-byte cost is negligible next to the copy itself.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrCorruptTransfer is the sentinel wrapped by every transfer-plane
+// payload-checksum failure. Receivers match it with errors.Is to route the
+// failure into quarantine + failover instead of a plain retry.
+var ErrCorruptTransfer = errors.New("vine: transfer payload checksum mismatch")
+
+// ErrCorruptFrame is the sentinel wrapped by every control-channel frame
+// whose payload does not match its header CRC. A corrupt frame poisons the
+// whole stream (framing can no longer be trusted), so the connection is
+// dropped and the peer declared lost.
+var ErrCorruptFrame = errors.New("vine: control frame checksum mismatch")
+
+// corruptTransferErr builds the typed error for a body whose trailer CRC
+// disagrees with the received bytes.
+func corruptTransferErr(name CacheName, addr string, want, got uint32) error {
+	return fmt.Errorf("%w: %s from %s (crc32c %08x, want %08x)", ErrCorruptTransfer, name, addr, got, want)
+}

@@ -2,6 +2,7 @@ package vine
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"io"
 	"net"
@@ -200,6 +201,16 @@ func (h *TaskHandle) SetupTime() time.Duration {
 	return h.setup
 }
 
+// Worker reports the name of the worker whose result was accepted, or ""
+// while the task is still pending. After a lineage re-run the name keeps
+// pointing at the original executor — the handle describes the first
+// accepted completion, not the replica locations.
+func (h *TaskHandle) Worker() string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.worker
+}
+
 // Retries reports how many times the task was re-dispatched.
 func (h *TaskHandle) Retries() int {
 	h.mu.Lock()
@@ -284,6 +295,8 @@ type managerMetrics struct {
 	workersLost      *obs.Counter
 	tasksAborted     *obs.Counter
 	heartbeatMisses  *obs.Counter
+	corruptTransfers *obs.Counter
+	lineageReruns    *obs.Counter
 	execSeconds      *obs.Histogram
 	queueWait        *obs.Histogram
 }
@@ -301,6 +314,8 @@ func newManagerMetrics(reg *obs.Registry) managerMetrics {
 		workersLost:      reg.Counter("vine_workers_lost_total"),
 		tasksAborted:     reg.Counter("vine_task_aborts_total"),
 		heartbeatMisses:  reg.Counter("vine_heartbeat_misses_total"),
+		corruptTransfers: reg.Counter("vine_corrupt_transfers_total"),
+		lineageReruns:    reg.Counter("vine_lineage_reruns_total"),
 		execSeconds:      reg.Histogram("vine_task_exec_seconds"),
 		queueWait:        reg.Histogram("vine_task_queue_wait_seconds"),
 	}
@@ -369,12 +384,21 @@ func (rec *taskRecord) isStraggler(wid int) bool { return rec.stragglers[wid] }
 // label is the task's identity in trace events.
 func (rec *taskRecord) label() string { return strconv.Itoa(rec.id) }
 
-// pendingTransfer is a queued staging operation.
+// pendingTransfer is a queued staging operation. attempts counts how many
+// times this file has already failed to reach this destination, so the
+// failover ladder (retry from another replica) stays bounded.
 type pendingTransfer struct {
-	name   CacheName
-	dest   int // worker id
-	source int // worker id, or -1 for manager
+	name     CacheName
+	dest     int // worker id
+	source   int // worker id, or -1 for manager
+	attempts int
 }
+
+// maxTransferAttempts bounds per-file staging attempts across sources
+// before the failure escalates to a task-level retry (and, if no clean
+// replica remains, a lineage rollback). Mirrored as
+// params.DefaultTransferAttempts.
+const maxTransferAttempts = 3
 
 // Manager is the TaskVine manager: it accepts workers, schedules tasks
 // where their data lives, orchestrates peer transfers, and re-runs work
@@ -391,12 +415,13 @@ type Manager struct {
 	ts *transferServer
 	nc netConfig
 
-	// Liveness and retry policy (immutable after construction).
-	hbInterval   time.Duration
-	hbTimeout    time.Duration
-	taskDeadline time.Duration
-	backoffBase  time.Duration
-	backoffMax   time.Duration
+	// Liveness, retry, and recovery policy (immutable after construction).
+	hbInterval      time.Duration
+	hbTimeout       time.Duration
+	taskDeadline    time.Duration
+	backoffBase     time.Duration
+	backoffMax      time.Duration
+	recoveryTimeout time.Duration
 
 	stopC chan struct{} // closed by Stop; exits the monitor goroutine
 
@@ -444,26 +469,27 @@ func NewManager(options ...Option) (*Manager, error) {
 	}
 	reg := obs.NewRegistry()
 	m := &Manager{
-		opts:         opts,
-		failLimit:    c.failureHistory,
-		rec:          c.rec,
-		reg:          reg,
-		met:          newManagerMetrics(reg),
-		nc:           c.netConfig(),
-		hbInterval:   c.hbInterval,
-		hbTimeout:    c.hbTimeout,
-		taskDeadline: c.taskDeadline,
-		backoffBase:  c.backoffBase,
-		backoffMax:   c.backoffMax,
-		stopC:        make(chan struct{}),
-		change:       make(chan struct{}),
-		rng:          randx.NewStream(c.retrySeed, jitterStream),
-		workers:      make(map[int]*workerState),
-		files:        make(map[CacheName]*fileState),
-		tasks:        make(map[int]*taskRecord),
-		sched:        sched.New(c.schedPolicy, c.queues...),
-		queueMet:     make(map[string]*obs.Counter),
-		start:        time.Now(),
+		opts:            opts,
+		failLimit:       c.failureHistory,
+		rec:             c.rec,
+		reg:             reg,
+		met:             newManagerMetrics(reg),
+		nc:              c.netConfig(),
+		hbInterval:      c.hbInterval,
+		hbTimeout:       c.hbTimeout,
+		taskDeadline:    c.taskDeadline,
+		backoffBase:     c.backoffBase,
+		backoffMax:      c.backoffMax,
+		recoveryTimeout: c.recoveryTimeout,
+		stopC:           make(chan struct{}),
+		change:          make(chan struct{}),
+		rng:             randx.NewStream(c.retrySeed, jitterStream),
+		workers:         make(map[int]*workerState),
+		files:           make(map[CacheName]*fileState),
+		tasks:           make(map[int]*taskRecord),
+		sched:           sched.New(c.schedPolicy, c.queues...),
+		queueMet:        make(map[string]*obs.Counter),
+		start:           time.Now(),
 	}
 	ts, err := newTransferServer(m, m.nc, "manager/transfer")
 	if err != nil {
@@ -521,6 +547,8 @@ func (m *Manager) Stats() ManagerStats {
 		WorkersLost:      int(m.met.workersLost.Value()),
 		TasksAborted:     int(m.met.tasksAborted.Value()),
 		HeartbeatMisses:  int(m.met.heartbeatMisses.Value()),
+		CorruptTransfers: int(m.met.corruptTransfers.Value()),
+		LineageReruns:    int(m.met.lineageReruns.Value()),
 	}
 }
 
@@ -736,34 +764,93 @@ func (m *Manager) SubmitFunc(mode TaskMode, library, fn string, args []byte, out
 }
 
 // FetchBytes retrieves a file from the cluster: from the manager's own
-// store if present, else from any worker replica.
+// store if present, else from any worker replica. When every replica is
+// gone — the classic "the preempted worker held the only copy" — it
+// triggers a lineage rollback of the producer and waits (bounded by
+// WithRecoveryTimeout) for the regenerated bytes, so callers like the
+// daskvine bridge ride through worker loss instead of erroring. A fetch
+// whose payload fails its checksum quarantines that replica and retries
+// from another, falling back to rollback when no clean copy remains.
 func (m *Manager) FetchBytes(name CacheName) ([]byte, error) {
-	m.mu.Lock()
-	fs, ok := m.files[name]
-	if !ok {
-		m.mu.Unlock()
-		return nil, fmt.Errorf("vine: unknown file %s", name)
-	}
-	if fs.onManager {
-		path, data := fs.mgrPath, fs.mgrData
-		m.mu.Unlock()
-		if path != "" {
-			return os.ReadFile(path)
+	deadline := time.Now().Add(m.recoveryTimeout)
+	badFetches := 0
+	for {
+		m.mu.Lock()
+		if m.stopped {
+			m.mu.Unlock()
+			return nil, fmt.Errorf("vine: manager stopped")
 		}
-		return append([]byte(nil), data...), nil
-	}
-	var addr string
-	for wid := range fs.workers {
-		if w := m.workers[wid]; w != nil && w.alive {
-			addr = w.transferAddr
-			break
+		fs, ok := m.files[name]
+		if !ok {
+			m.mu.Unlock()
+			return nil, fmt.Errorf("vine: unknown file %s", name)
+		}
+		if fs.onManager {
+			path, data := fs.mgrPath, fs.mgrData
+			m.mu.Unlock()
+			if path != "" {
+				return os.ReadFile(path)
+			}
+			return append([]byte(nil), data...), nil
+		}
+		addr, src, srcName := "", -1, ""
+		ids := make([]int, 0, len(fs.workers))
+		for wid := range fs.workers {
+			ids = append(ids, wid)
+		}
+		sort.Ints(ids)
+		for _, wid := range ids {
+			if w := m.workers[wid]; w != nil && w.alive {
+				addr, src, srcName = w.transferAddr, wid, w.name
+				break
+			}
+		}
+		if addr == "" {
+			// No live replica anywhere: lineage rollback. Re-enqueue the
+			// producer and park on the change broadcast until the file
+			// regenerates (its content-addressed cachename is stable, so
+			// the re-run's output lands under the same key).
+			if !m.recoverFileLocked(name) {
+				m.mu.Unlock()
+				return nil, fmt.Errorf("vine: no live replica of %s and no recoverable producer", name)
+			}
+			m.scheduleLocked()
+			ch := m.change
+			m.mu.Unlock()
+			select {
+			case <-ch:
+			case <-time.After(time.Until(deadline)):
+				return nil, fmt.Errorf("vine: recovery of %s timed out after %v", name, m.recoveryTimeout)
+			}
+			continue
+		}
+		m.mu.Unlock()
+		data, err := m.nc.fetchBytes(addr, name, "manager/fetch")
+		if err == nil {
+			return data, nil
+		}
+		badFetches++
+		if errors.Is(err, ErrCorruptTransfer) {
+			m.mu.Lock()
+			m.met.corruptTransfers.Inc()
+			m.rec.Emit(obs.Event{Type: obs.EvFileCorrupt, Src: srcName, Dst: "manager", Detail: string(name) + ": " + err.Error()})
+			m.quarantineReplicaLocked(name, src)
+			m.mu.Unlock()
+		}
+		if badFetches >= 4*maxTransferAttempts || time.Now().After(deadline) {
+			return nil, fmt.Errorf("vine: fetching %s: %w", name, err)
+		}
+		// Brief park before retrying: a worker-loss event (which purges
+		// the dead replica from the table) wakes the retry early, so a
+		// fetch racing the loss detection doesn't hammer a dead address.
+		m.mu.Lock()
+		ch := m.change
+		m.mu.Unlock()
+		select {
+		case <-ch:
+		case <-time.After(50 * time.Millisecond):
 		}
 	}
-	m.mu.Unlock()
-	if addr == "" {
-		return nil, fmt.Errorf("vine: no live replica of %s", name)
-	}
-	return m.nc.fetchBytes(addr, name, "manager/fetch")
 }
 
 // Unlink removes a file from all worker caches and the manager's tables.
@@ -1108,9 +1195,16 @@ func (m *Manager) pumpTransfersLocked() {
 		}
 		if src < 0 {
 			if !fs.onManager {
-				// No source at all right now; the file is being
-				// regenerated. Drop the transfer; staging restarts when
-				// the producer completes.
+				// Every replica vanished while the transfer sat queued.
+				// The staging tasks waiting on it must not be left
+				// parked: route them through the task-retry path, which
+				// revives the producer (lineage rollback) and restages
+				// once the file regenerates.
+				for _, rec := range fs.refWaiters {
+					if rec.worker == tx.dest && rec.state == TaskStaging && rec.pending[tx.name] {
+						m.retryLocked(rec, fmt.Errorf("staging %s: no live replica", tx.name))
+					}
+				}
 				continue
 			}
 			addr = m.ts.Addr()
@@ -1131,15 +1225,17 @@ func (m *Manager) pumpTransfersLocked() {
 			CacheName: string(tx.name), Addr: addr, Size: fs.size,
 		}})
 		// Remember who served it so capacity frees on completion.
-		dw.pendingSources = append(dw.pendingSources, srcRecord{name: tx.name, source: src})
+		dw.pendingSources = append(dw.pendingSources, srcRecord{name: tx.name, source: src, attempts: tx.attempts})
 	}
 	m.queuedTx = still
 }
 
-// srcRecord pairs an in-flight inbound transfer with the worker serving it.
+// srcRecord pairs an in-flight inbound transfer with the worker serving it
+// and the attempt count carried over from the queued transfer.
 type srcRecord struct {
-	name   CacheName
-	source int
+	name     CacheName
+	source   int
+	attempts int
 }
 
 // dispatchLocked sends a fully-staged task to its worker.
@@ -1306,6 +1402,45 @@ func (m *Manager) failLocked(rec *taskRecord, err error) {
 	m.notifyLocked()
 }
 
+// recoverFileLocked is the lineage rollback: when every replica of name
+// is gone, re-enqueue its producer — the live-plane mirror of
+// dag.Tracker.Invalidate — so the file regenerates under the same
+// content-addressed cachename. Reports whether regeneration is underway
+// (or the file turned out to have a live source after all); false means
+// the file is unrecoverable — a declared file with no producer, or a
+// producer that failed terminally.
+func (m *Manager) recoverFileLocked(name CacheName) bool {
+	if m.hasSourceLocked(name) {
+		return true
+	}
+	fs := m.files[name]
+	if fs == nil || fs.producer < 0 {
+		return false
+	}
+	prod := m.tasks[fs.producer]
+	if prod == nil {
+		return false
+	}
+	switch prod.state {
+	case TaskDone:
+		// Roll the completed producer back to the queue. Its handle stays
+		// done — downstream consumers only need the bytes back.
+		m.met.lineageReruns.Inc()
+		m.rec.Emit(obs.Event{Type: obs.EvLineageRollback, Task: prod.label(), Detail: string(name)})
+		if m.inputsAvailableLocked(prod) {
+			m.enqueueReadyLocked(prod)
+		} else {
+			// The producer's own inputs are gone too: recurse up the chain.
+			m.setTaskState(prod, TaskWaiting)
+			m.reviveProducersLocked(prod)
+		}
+		return true
+	case TaskWaiting, TaskReady, TaskStaging, TaskRunning:
+		return true // already on its way
+	}
+	return false // TaskFailed
+}
+
 // reviveProducersLocked re-enqueues done tasks whose outputs a waiting task
 // needs but which no longer exist anywhere (lost to preemption). Recurses
 // up the producer chain as needed.
@@ -1318,22 +1453,10 @@ func (m *Manager) reviveProducersLocked(rec *taskRecord) {
 		if fs == nil || fs.producer < 0 {
 			continue // declared file with no source: unrecoverable here
 		}
-		prod := m.tasks[fs.producer]
-		if prod == nil {
+		if m.tasks[fs.producer] == nil {
 			continue
 		}
-		switch prod.state {
-		case TaskDone:
-			// Re-run it. Its handle stays done; outputs regain replicas.
-			if m.inputsAvailableLocked(prod) {
-				m.enqueueReadyLocked(prod)
-			} else {
-				m.setTaskState(prod, TaskWaiting)
-				m.reviveProducersLocked(prod)
-			}
-		case TaskWaiting, TaskReady, TaskStaging, TaskRunning:
-			// Already on its way.
-		case TaskFailed:
+		if !m.recoverFileLocked(in.CacheName) {
 			m.failLocked(rec, fmt.Errorf("vine: input %s lost and its producer failed", in.CacheName))
 		}
 	}
@@ -1414,8 +1537,10 @@ func (m *Manager) onTaskDone(wid int, msg *taskDoneMsg) {
 		rec.handle.mu.Unlock()
 		close(rec.handle.doneC)
 		m.completed = append(m.completed, rec.id)
-		m.notifyLocked()
 	}
+	// Wake waiters even on a lineage re-run (wasDone): the fresh replica
+	// is what a parked FetchBytes recovery loop is waiting for.
+	m.notifyLocked()
 	m.rec.Emit(obs.Event{
 		Type: obs.EvTaskDone, Task: rec.label(), Worker: workerNameOf(w),
 		Attempt: rec.retries, Dur: time.Duration(msg.ExecNanos),
@@ -1506,10 +1631,12 @@ func (m *Manager) onTransferDone(wid int, msg *transferDoneMsg) {
 		return
 	}
 	name := CacheName(msg.CacheName)
-	// Free the source's outbound slot.
-	srcName := "manager"
+	// Free the source's outbound slot, remembering who served the transfer
+	// and how many attempts this file has burned reaching this worker.
+	srcName, srcID, attempts := "manager", -1, 0
 	for i, sr := range w.pendingSources {
 		if sr.name == name {
+			srcID, attempts = sr.source, sr.attempts
 			if sr.source >= 0 {
 				if sw := m.workers[sr.source]; sw != nil {
 					srcName = sw.name
@@ -1552,8 +1679,17 @@ func (m *Manager) onTransferDone(wid int, msg *transferDoneMsg) {
 			fs.refWaiters = stillWaiting
 		}
 	} else {
-		// Transfer failed: retry every staging task on this worker that
-		// waits for the file.
+		// Transfer failed. The recovery ladder: a corrupt payload first
+		// quarantines the serving replica; then, while attempts remain and
+		// a clean source still exists, the transfer fails over to another
+		// replica without burning a task retry; only when the ladder is
+		// exhausted do the waiting tasks take a retry — which itself falls
+		// through to lineage rollback if no source remains.
+		if msg.Corrupt {
+			m.met.corruptTransfers.Inc()
+			m.rec.Emit(obs.Event{Type: obs.EvFileCorrupt, Src: srcName, Dst: w.name, Detail: string(name) + ": " + msg.Error})
+			m.quarantineReplicaLocked(name, srcID)
+		}
 		var victims []*taskRecord
 		if fs != nil {
 			for _, rec := range fs.refWaiters {
@@ -1562,12 +1698,51 @@ func (m *Manager) onTransferDone(wid int, msg *transferDoneMsg) {
 				}
 			}
 		}
-		for _, rec := range victims {
-			m.retryLocked(rec, fmt.Errorf("staging %s: %s", name, msg.Error))
+		if len(victims) > 0 && attempts+1 < maxTransferAttempts && m.hasSourceLocked(name) {
+			m.queuedTx = append(m.queuedTx, pendingTransfer{
+				name: name, dest: wid, source: m.pickSourceLocked(name, wid), attempts: attempts + 1,
+			})
+		} else {
+			for _, rec := range victims {
+				m.retryLocked(rec, fmt.Errorf("staging %s: %s", name, msg.Error))
+			}
 		}
 	}
 	m.pumpTransfersLocked()
 	m.scheduleLocked()
+}
+
+// quarantineReplicaLocked removes a replica that served bytes failing
+// their checksum: the manager stops counting the copy, the scheduler's
+// file index forgets it, and the holder is told to unlink it so the bad
+// bytes can't resurface as a future source. A manager-store source (-1)
+// is left alone — its copy is re-read from disk or memory on the next
+// fetch, so an in-flight corruption clears itself on retry.
+func (m *Manager) quarantineReplicaLocked(name CacheName, src int) {
+	if src < 0 {
+		return
+	}
+	fs := m.files[name]
+	if fs != nil {
+		delete(fs.workers, src)
+	}
+	sw := m.workers[src]
+	if sw == nil {
+		return
+	}
+	if sw.cache[name] {
+		delete(sw.cache, name)
+		if fs != nil {
+			sw.cacheBytes -= fs.size
+			if sw.cacheBytes < 0 {
+				sw.cacheBytes = 0
+			}
+		}
+	}
+	m.sched.FileEvicted(src, string(name))
+	if sw.alive {
+		sw.conn.send(&message{Type: msgUnlink, Unlink: &unlinkMsg{CacheName: string(name)}})
+	}
 }
 
 // onEvicted records that a worker dropped a cached file under disk
@@ -1652,12 +1827,15 @@ func (m *Manager) workerLostLocked(wid int) {
 	}
 	w.pendingSources = nil
 
-	// Drop its replicas.
-	for name := range w.cache {
-		if fs := m.files[name]; fs != nil {
-			delete(fs.workers, wid)
-		}
+	// Drop its replicas — sweeping the whole replica table, not just the
+	// worker's own cache view, so no fileState can keep listing the dead
+	// worker and pickSourceLocked can never hand it out between the
+	// heartbeat miss and cleanup.
+	for _, fs := range m.files {
+		delete(fs.workers, wid)
 	}
+	w.cache = make(map[CacheName]bool)
+	w.cacheBytes = 0
 
 	// Requeue its staging/running tasks; forget any speculative copy it
 	// was still running.

@@ -18,14 +18,17 @@ import (
 	"encoding/binary"
 	"encoding/json"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"net"
 	"sync"
 )
 
 // Control-channel message. Exactly one pointer field is set, discriminated
-// by Type. The framing is a 4-byte little-endian length followed by JSON —
-// simple, debuggable, stdlib-only.
+// by Type. The framing is a 4-byte little-endian length, a 4-byte
+// little-endian CRC-32C of the payload, then JSON — simple, debuggable,
+// stdlib-only, and a flipped bit anywhere in the payload surfaces as a
+// typed ErrCorruptFrame instead of whatever json.Unmarshal makes of it.
 type message struct {
 	Type string `json:"type"`
 
@@ -106,12 +109,16 @@ type putURLMsg struct {
 	Size      int64  `json:"size"`
 }
 
-// transferDoneMsg acknowledges a putURL.
+// transferDoneMsg acknowledges a putURL. Corrupt distinguishes a payload
+// whose CRC-32C failed verification from an ordinary transport failure:
+// the manager quarantines the serving replica before retrying, instead of
+// fetching the same bad bytes again.
 type transferDoneMsg struct {
 	CacheName string `json:"cachename"`
 	OK        bool   `json:"ok"`
 	Error     string `json:"error,omitempty"`
 	Size      int64  `json:"size"`
+	Corrupt   bool   `json:"corrupt,omitempty"`
 }
 
 // libraryMsg instantiates a library (serverless host environment) on the
@@ -219,8 +226,9 @@ func writeFrame(w io.Writer, m *message) error {
 	if len(data) > maxFrame {
 		return fmt.Errorf("vine: frame too large (%d bytes)", len(data))
 	}
-	var hdr [4]byte
-	binary.LittleEndian.PutUint32(hdr[:], uint32(len(data)))
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[:4], uint32(len(data)))
+	binary.LittleEndian.PutUint32(hdr[4:], crc32.Checksum(data, castagnoli))
 	if _, err := w.Write(hdr[:]); err != nil {
 		return err
 	}
@@ -229,17 +237,21 @@ func writeFrame(w io.Writer, m *message) error {
 }
 
 func readFrame(r io.Reader) (*message, error) {
-	var hdr [4]byte
+	var hdr [8]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return nil, err
 	}
-	n := binary.LittleEndian.Uint32(hdr[:])
+	n := binary.LittleEndian.Uint32(hdr[:4])
 	if n > maxFrame {
 		return nil, fmt.Errorf("vine: oversized frame (%d bytes)", n)
 	}
 	data := make([]byte, n)
 	if _, err := io.ReadFull(r, data); err != nil {
 		return nil, err
+	}
+	want := binary.LittleEndian.Uint32(hdr[4:])
+	if got := crc32.Checksum(data, castagnoli); got != want {
+		return nil, fmt.Errorf("%w: crc32c %08x, want %08x over %d bytes", ErrCorruptFrame, got, want, n)
 	}
 	var m message
 	if err := json.Unmarshal(data, &m); err != nil {

@@ -2,7 +2,9 @@ package vine
 
 import (
 	"bufio"
+	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"net"
 	"os"
@@ -18,10 +20,15 @@ import (
 // from worker A's transfer address instead of routing bytes through itself
 // or a shared filesystem.
 //
-// Wire protocol (line-oriented, then raw bytes):
+// Wire protocol (line-oriented, then raw bytes, then a checksum trailer):
 //
 //	→ GET <cachename>\n
-//	← OK <size>\n<size bytes>   |   ERR <reason>\n
+//	← OK <size>\n<size bytes><4-byte LE CRC-32C>   |   ERR <reason>\n
+//
+// The server computes the CRC-32C while streaming (single pass, no
+// buffering of the body) and appends it as a trailer; the fetcher verifies
+// it over the received bytes and reports a mismatch as ErrCorruptTransfer,
+// which the manager treats as a poisoned replica, not a flaky network.
 
 // netConfig is the dial/IO policy threaded through the data plane: how
 // long a dial may take, how long one whole exchange may take, and an
@@ -150,7 +157,17 @@ func (ts *transferServer) handle(c net.Conn) {
 	if _, err := fmt.Fprintf(c, "OK %d\n", size); err != nil {
 		return
 	}
-	n, _ := io.Copy(c, rc)
+	// The TeeReader keeps the copy on the ordinary read/write loop; it
+	// must not be "optimized away", because a bare *os.File source would
+	// take Go's sendfile/splice fast path, which on loopback stalls
+	// ~40ms per transfer against delayed ACKs.
+	h := crc32.New(castagnoli)
+	n, err := io.Copy(c, io.TeeReader(rc, h))
+	if err == nil && n == size {
+		var trailer [4]byte
+		binary.LittleEndian.PutUint32(trailer[:], h.Sum32())
+		c.Write(trailer[:])
+	}
 	ts.mu.Lock()
 	ts.servedBytes += n
 	ts.servedFiles++
@@ -185,12 +202,21 @@ func (nc netConfig) fetch(addr string, name CacheName, w io.Writer, label string
 	if err != nil || size < 0 {
 		return 0, fmt.Errorf("vine: malformed transfer size in %q", line)
 	}
-	n, err := io.Copy(w, io.LimitReader(r, size))
+	h := crc32.New(castagnoli)
+	n, err := io.Copy(io.MultiWriter(w, h), io.LimitReader(r, size))
 	if err != nil {
 		return n, fmt.Errorf("vine: transfer body: %w", err)
 	}
 	if n != size {
 		return n, fmt.Errorf("vine: short transfer: %d of %d bytes", n, size)
+	}
+	var trailer [4]byte
+	if _, err := io.ReadFull(r, trailer[:]); err != nil {
+		return n, fmt.Errorf("vine: reading transfer checksum: %w", err)
+	}
+	want := binary.LittleEndian.Uint32(trailer[:])
+	if got := h.Sum32(); got != want {
+		return n, corruptTransferErr(name, addr, want, got)
 	}
 	return n, nil
 }

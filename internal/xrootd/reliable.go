@@ -124,7 +124,10 @@ func (rc *ReliableClient) Addr() string {
 }
 
 // isServerErr distinguishes an application-level refusal ("ERR ..." from
-// a healthy server) from a transport failure worth a reconnect.
+// a healthy server) from a transport failure worth a reconnect. A
+// checksum mismatch (ErrCorruptPayload) deliberately falls on the
+// transport side: the bytes are untrustworthy, so the exchange retries
+// against another replica rather than returning corrupt data.
 func isServerErr(err error) bool {
 	return err != nil && strings.Contains(err.Error(), "xrootd: server:")
 }
@@ -132,7 +135,7 @@ func isServerErr(err error) bool {
 // do runs op against a live connection, reconnecting with jittered
 // exponential backoff and rotating servers between attempts. Server-side
 // protocol errors return immediately — a healthy server answered; only
-// transport failures trigger failover.
+// transport failures (including corrupt payloads) trigger failover.
 func (rc *ReliableClient) do(op func(*Client) error) error {
 	rc.mu.Lock()
 	defer rc.mu.Unlock()

@@ -12,8 +12,13 @@
 // Wire protocol (line-oriented request, framed binary response):
 //
 //	→ OPEN <name>\n                      ← OK <nevents> <basket>\n | ERR <msg>\n
-//	→ READF <name> <branch> <lo> <hi>\n  ← OK <n>\n then n float64 (LE)
-//	→ READJ <name> <branch> <lo> <hi>\n  ← OK <nc> <nv>\n then counts + values
+//	→ READF <name> <branch> <lo> <hi>\n  ← OK <n> <crc>\n then n float64 (LE)
+//	→ READJ <name> <branch> <lo> <hi>\n  ← OK <nc> <nv> <crc>\n then counts + values
+//
+// <crc> is the CRC-32C of the binary payload (counts bytes then value
+// bytes for READJ), computed server-side and verified by the client; a
+// mismatch surfaces as ErrCorruptPayload, which ReliableClient treats as
+// a transport-grade failure and retries against another replica.
 //
 // An optional artificial round-trip delay models WAN latency, so tests and
 // examples can contrast "remote federation" with "local staging"
@@ -23,7 +28,9 @@ package xrootd
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"math"
 	"net"
@@ -36,6 +43,18 @@ import (
 	"hepvine/internal/obs"
 	"hepvine/internal/rootio"
 )
+
+// castagnoli is the CRC-32C table for payload checksums — the same
+// polynomial the vine transfer plane uses, hardware-accelerated on every
+// Go target.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrCorruptPayload is the sentinel wrapped by every column read whose
+// payload bytes do not match the server's checksum. It is deliberately
+// NOT a server-reported error ("xrootd: server: ..."), so ReliableClient
+// classifies it as transport trouble and fails over to another replica
+// instead of giving up.
+var ErrCorruptPayload = errors.New("xrootd: payload checksum mismatch")
 
 // ConnWrapper decorates connections for fault injection; internal/chaos
 // Plan implements it (along with the larger vine.NetFaultInjector).
@@ -263,8 +282,9 @@ func (s *Server) handleReadF(w *bufio.Writer, fields []string) {
 		fmt.Fprintf(w, "ERR %s\n", oneLine(err))
 		return
 	}
-	fmt.Fprintf(w, "OK %d\n", len(vals))
-	writeF64s(w, vals)
+	buf := f64sBytes(vals)
+	fmt.Fprintf(w, "OK %d %d\n", len(vals), crc32.Checksum(buf, castagnoli))
+	w.Write(buf)
 	s.count(func(st *ServerStats) { st.Reads++; st.BytesSent += int64(8 * len(vals)) })
 	s.recorder().Emit(obs.Event{
 		Type: obs.EvTransferDone, Src: "xrootd", Dst: "client",
@@ -288,13 +308,15 @@ func (s *Server) handleReadJ(w *bufio.Writer, fields []string) {
 		fmt.Fprintf(w, "ERR %s\n", oneLine(err))
 		return
 	}
-	fmt.Fprintf(w, "OK %d %d\n", len(j.Counts), len(j.Values))
 	counts := make([]float64, len(j.Counts))
 	for i, n := range j.Counts {
 		counts[i] = float64(n)
 	}
-	writeF64s(w, counts)
-	writeF64s(w, j.Values)
+	cbuf, vbuf := f64sBytes(counts), f64sBytes(j.Values)
+	crc := crc32.Update(crc32.Checksum(cbuf, castagnoli), castagnoli, vbuf)
+	fmt.Fprintf(w, "OK %d %d %d\n", len(j.Counts), len(j.Values), crc)
+	w.Write(cbuf)
+	w.Write(vbuf)
 	s.count(func(st *ServerStats) {
 		st.Reads++
 		st.BytesSent += int64(8 * (len(j.Counts) + len(j.Values)))
@@ -325,12 +347,14 @@ func oneLine(err error) string {
 	return strings.ReplaceAll(err.Error(), "\n", " ")
 }
 
-func writeF64s(w io.Writer, vals []float64) {
+// f64sBytes encodes vals as little-endian float64 bytes — one buffer per
+// response so the checksum and the write see identical bytes.
+func f64sBytes(vals []float64) []byte {
 	buf := make([]byte, 8*len(vals))
 	for i, v := range vals {
 		binary.LittleEndian.PutUint64(buf[i*8:], math.Float64bits(v))
 	}
-	w.Write(buf)
+	return buf
 }
 
 // Client accesses a remote server. It is safe for sequential use; open one
@@ -368,7 +392,8 @@ func (c *Client) Open(name string) (nEvents, basket int64, err error) {
 	return nEvents, basket, nil
 }
 
-// ReadFlat reads a flat/counts branch range from a remote file.
+// ReadFlat reads a flat/counts branch range from a remote file, verifying
+// the payload against the server's CRC-32C.
 func (c *Client) ReadFlat(name, branch string, lo, hi int64) ([]float64, error) {
 	if err := c.send("READF %s %s %d %d\n", name, branch, lo, hi); err != nil {
 		return nil, err
@@ -378,13 +403,23 @@ func (c *Client) ReadFlat(name, branch string, lo, hi int64) ([]float64, error) 
 		return nil, err
 	}
 	var n int
-	if _, err := fmt.Sscanf(line, "%d", &n); err != nil || n < 0 {
+	var want uint32
+	if _, err := fmt.Sscanf(line, "%d %d", &n, &want); err != nil || n < 0 {
 		return nil, fmt.Errorf("xrootd: malformed READF reply %q", line)
 	}
-	return c.readF64s(n)
+	var got uint32
+	vals, err := c.readF64s(n, &got)
+	if err != nil {
+		return nil, err
+	}
+	if got != want {
+		return nil, fmt.Errorf("%w: READF %s/%s (crc32c %08x, want %08x)", ErrCorruptPayload, name, branch, got, want)
+	}
+	return vals, nil
 }
 
-// ReadJagged reads a jagged branch range from a remote file.
+// ReadJagged reads a jagged branch range from a remote file, verifying
+// both payload sections against the server's CRC-32C.
 func (c *Client) ReadJagged(name, branch string, lo, hi int64) (rootio.Jagged, error) {
 	if err := c.send("READJ %s %s %d %d\n", name, branch, lo, hi); err != nil {
 		return rootio.Jagged{}, err
@@ -394,16 +429,21 @@ func (c *Client) ReadJagged(name, branch string, lo, hi int64) (rootio.Jagged, e
 		return rootio.Jagged{}, err
 	}
 	var nc, nv int
-	if _, err := fmt.Sscanf(line, "%d %d", &nc, &nv); err != nil || nc < 0 || nv < 0 {
+	var want uint32
+	if _, err := fmt.Sscanf(line, "%d %d %d", &nc, &nv, &want); err != nil || nc < 0 || nv < 0 {
 		return rootio.Jagged{}, fmt.Errorf("xrootd: malformed READJ reply %q", line)
 	}
-	countsF, err := c.readF64s(nc)
+	var got uint32
+	countsF, err := c.readF64s(nc, &got)
 	if err != nil {
 		return rootio.Jagged{}, err
 	}
-	values, err := c.readF64s(nv)
+	values, err := c.readF64s(nv, &got)
 	if err != nil {
 		return rootio.Jagged{}, err
+	}
+	if got != want {
+		return rootio.Jagged{}, fmt.Errorf("%w: READJ %s/%s (crc32c %08x, want %08x)", ErrCorruptPayload, name, branch, got, want)
 	}
 	counts := make([]int, nc)
 	for i, v := range countsF {
@@ -435,7 +475,10 @@ func (c *Client) status() (string, error) {
 	return strings.TrimSpace(strings.TrimPrefix(line, "OK")), nil
 }
 
-func (c *Client) readF64s(n int) ([]float64, error) {
+// readF64s reads n little-endian float64s, folding the raw bytes into the
+// caller's running CRC-32C so multi-section payloads (READJ) accumulate
+// one checksum.
+func (c *Client) readF64s(n int, crc *uint32) ([]float64, error) {
 	if n > 1<<26 {
 		return nil, fmt.Errorf("xrootd: implausible payload of %d values", n)
 	}
@@ -443,6 +486,7 @@ func (c *Client) readF64s(n int) ([]float64, error) {
 	if _, err := io.ReadFull(c.r, buf); err != nil {
 		return nil, fmt.Errorf("xrootd: reading payload: %w", err)
 	}
+	*crc = crc32.Update(*crc, castagnoli, buf)
 	out := make([]float64, n)
 	for i := range out {
 		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[i*8:]))
