@@ -1,7 +1,7 @@
 # Convenience targets; everything is plain `go` underneath.
 # Run `make help` for the list.
 
-.PHONY: help check test race chaos bench bench-sched bench-recovery verify paper examples tidy
+.PHONY: help check test race chaos bench bench-sched bench-recovery bench-warm journal-fuzz verify paper examples tidy
 
 help:                 ## list targets
 	@grep -E '^[a-z]+: *##' $(MAKEFILE_LIST) | awk -F': *## *' '{printf "  %-10s %s\n", $$1, $$2}'
@@ -19,8 +19,8 @@ test:                 ## full test suite
 race:                 ## race-detector pass over every package
 	go test -race ./...
 
-chaos:                ## deterministic chaos suite: kills, stall, dead replica, sole-replica loss, corrupt payloads
-	go test -race -count=1 -v -run 'TestChaosSoakDeterministic|TestChaosSoakLineageRecovery|TestChaosCorruptTransferHealed' .
+chaos:                ## deterministic chaos suite: kills, stall, dead replica, sole-replica loss, corrupt payloads, manager-kill resume
+	go test -race -count=1 -v -run 'TestChaosSoakDeterministic|TestChaosSoakLineageRecovery|TestChaosCorruptTransferHealed|TestChaosManagerKillResume' .
 
 bench:                ## one benchmark per table/figure, reduced scale
 	go test -bench=. -benchmem ./...
@@ -30,6 +30,12 @@ bench-sched:          ## compare placement policies (locality/binpack/spread/ran
 
 bench-recovery:       ## recovery overhead: faulted vs fault-free live run, bit-identical histograms
 	go run ./cmd/vinebench -scale 0.25 recovery
+
+bench-warm:           ## warm restart: cold vs warm vs crash-resume on DV3, tasks re-executed + wall-clock ratio
+	go run ./cmd/vinebench -scale 0.25 warm
+
+journal-fuzz:         ## journal frame-corruption fuzz with randomized seeds (pin one with JOURNAL_FUZZ_SEED=n)
+	JOURNAL_FUZZ_SEED=$${JOURNAL_FUZZ_SEED:-0} go test -count=8 -v -run TestFrameCorruptionFuzz ./internal/journal/
 
 verify:               ## assert every reproduced shape claim at paper scale
 	go run ./cmd/vinebench -scale 1 verify

@@ -1,0 +1,228 @@
+// Manager-kill resume soak: the chunked-MET workload runs against a
+// journaled manager that is crashed mid-run through the chaos plan's
+// process-level crash fault. A second manager incarnation replays the
+// journal on the same address, the surviving workers reconnect with
+// their cache inventories, and the identical resubmission must finish
+// with bit-identical histograms while re-executing only the tasks that
+// had not completed at the kill.
+package benchrun
+
+import (
+	"bytes"
+	"fmt"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"hepvine/internal/apps"
+	"hepvine/internal/chaos"
+	"hepvine/internal/coffea"
+	"hepvine/internal/dag"
+	"hepvine/internal/daskvine"
+	"hepvine/internal/journal"
+	"hepvine/internal/rootio"
+	"hepvine/internal/vine"
+)
+
+// resumeWorkload builds the shared dataset and graph once per test.
+func resumeWorkload(t *testing.T) (*dag.Graph, dag.Key) {
+	t.Helper()
+	dir := t.TempDir()
+	const events = 8000
+	paths, err := rootio.WriteDataset(dir, rootio.DatasetSpec{
+		Name: "ResumeMu", Files: 4, EventsPerFile: events,
+		Gen: rootio.GenOptions{Seed: 19},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	files := make([]coffea.FileInfo, len(paths))
+	for i, p := range paths {
+		files[i] = coffea.FileInfo{Path: p, NEvents: events}
+	}
+	chunks, err := coffea.PartitionPerFile("ResumeMu", files, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	graph, root, err := coffea.BuildGraph("met", chunks, coffea.GraphOptions{FanIn: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return graph, root
+}
+
+func TestChaosManagerKillResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in -short mode")
+	}
+	apps.RegisterProcessors()
+	if err := vine.RegisterLibrary(daskvine.NewLibrary(20 * time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	graph, root := resumeWorkload(t)
+
+	// Fault-free baseline on a throwaway cluster.
+	baseline := func() []byte {
+		mgr, err := vine.NewManager(
+			vine.WithPeerTransfers(true),
+			vine.WithLibrary(daskvine.LibraryName, true),
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer mgr.Stop()
+		for i := 0; i < 3; i++ {
+			w, err := vine.NewWorker(mgr.Addr(),
+				vine.WithName(fmt.Sprintf("b%d", i)), vine.WithCores(2),
+				vine.WithCacheDir(t.TempDir()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer w.Stop()
+		}
+		if err := mgr.WaitForWorkers(3, 5*time.Second); err != nil {
+			t.Fatal(err)
+		}
+		res, err := daskvine.Run(mgr, graph, root, daskvine.Options{
+			Mode: vine.ModeFunctionCall, Timeout: 60 * time.Second,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.H["met"].Marshal()
+	}()
+
+	// Incarnation 1: journaled manager, persistent reconnecting workers.
+	// The chaos plan carries a process-level crash fault; it is started
+	// deterministically after a third of the graph has completed, so a
+	// known-nonzero slice of work is durable at the kill.
+	runDir := t.TempDir()
+	jr, err := journal.Open(filepath.Join(runDir, "journal"), journal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr1, err := vine.NewManager(
+		vine.WithPeerTransfers(true),
+		vine.WithLibrary(daskvine.LibraryName, true),
+		vine.WithJournal(jr),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mgr1.Stop()
+	addr := mgr1.Addr()
+
+	plan := chaos.NewPlan(23).Add(
+		chaos.Fault{Kind: chaos.KindCrash, Target: "manager", At: 0},
+	)
+	defer plan.Stop()
+	plan.RegisterCrash("manager", func() {
+		jr.Sync()
+		mgr1.Crash()
+	})
+
+	const nWorkers = 3
+	for i := 0; i < nWorkers; i++ {
+		w, err := vine.NewWorker(addr,
+			vine.WithName(fmt.Sprintf("w%d", i)),
+			vine.WithCores(2),
+			vine.WithCacheDir(filepath.Join(runDir, fmt.Sprintf("worker-%d", i))),
+			vine.WithPersistentCache(true),
+			vine.WithReconnect(40, 25*time.Millisecond),
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer w.Stop()
+	}
+	if err := mgr1.WaitForWorkers(nWorkers, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	crashAfter := graph.Len() / 3
+	var dones atomic.Int64
+	var once sync.Once
+	_, err = daskvine.Run(mgr1, graph, root, daskvine.Options{
+		Mode: vine.ModeFunctionCall, Timeout: 60 * time.Second,
+		OnTaskDone: func(key dag.Key, h *vine.TaskHandle) {
+			if int(dones.Add(1)) >= crashAfter {
+				once.Do(plan.Start)
+			}
+		},
+	})
+	if err == nil {
+		t.Fatal("run survived a manager crash")
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for plan.Fired() < 1 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if plan.Fired() < 1 {
+		t.Fatal("crash fault never fired")
+	}
+	completedAtKill := mgr1.Stats().TasksDone
+	if completedAtKill == 0 {
+		t.Fatal("manager crashed before any task completed; crash trigger broken")
+	}
+	// Close flushes whatever the group-commit window still held.
+	if err := jr.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Incarnation 2: same journal, same address. The workers from the
+	// first incarnation are still alive and redialing; they must re-register
+	// with their cache inventories before the identical resubmission.
+	jr2, err := journal.Open(filepath.Join(runDir, "journal"), journal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jr2.Close()
+	// The crashed incarnation's listener may take a beat to release the
+	// port; retry the bind until it does.
+	var mgr2 *vine.Manager
+	for bindDeadline := time.Now().Add(5 * time.Second); ; {
+		mgr2, err = vine.NewManager(
+			vine.WithPeerTransfers(true),
+			vine.WithLibrary(daskvine.LibraryName, true),
+			vine.WithJournal(jr2),
+			vine.WithListenAddr(addr),
+		)
+		if err == nil {
+			break
+		}
+		if time.Now().After(bindDeadline) {
+			t.Fatal(err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	defer mgr2.Stop()
+	if err := mgr2.WaitForWorkers(nWorkers, 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := daskvine.Run(mgr2, graph, root, daskvine.Options{
+		Mode: vine.ModeFunctionCall, Timeout: 60 * time.Second,
+	})
+	if err != nil {
+		t.Fatalf("resumed run failed: %v", err)
+	}
+	if got := res.H["met"].Marshal(); !bytes.Equal(baseline, got) {
+		t.Fatalf("resumed run diverged from fault-free baseline: %d vs %d bytes", len(baseline), len(got))
+	}
+	st := mgr2.Stats()
+	if st.JournalReplayed == 0 {
+		t.Fatal("second incarnation replayed nothing")
+	}
+	if st.TasksDone >= graph.Len() {
+		t.Fatalf("resume re-executed the whole graph: %d of %d tasks", st.TasksDone, graph.Len())
+	}
+	// Acceptance: at least half of the work completed at the kill comes
+	// back warm (the rest may have raced the group-commit window or lost
+	// its replicas with in-flight transfers).
+	if st.WarmHits*2 < completedAtKill {
+		t.Fatalf("WarmHits = %d, want >= half of the %d tasks completed at the kill",
+			st.WarmHits, completedAtKill)
+	}
+}

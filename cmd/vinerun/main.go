@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
@@ -25,6 +26,7 @@ import (
 	"hepvine/internal/coffea"
 	"hepvine/internal/dag"
 	"hepvine/internal/daskvine"
+	"hepvine/internal/journal"
 	"hepvine/internal/obs"
 	"hepvine/internal/rootio"
 	"hepvine/internal/vine"
@@ -45,15 +47,16 @@ func main() {
 	timeout := flag.Duration("timeout", 10*time.Minute, "workflow timeout")
 	trace := flag.String("trace", "", "write a JSONL event trace to this file")
 	metrics := flag.Bool("metrics", false, "dump the manager metrics registry after the run")
+	journalDir := flag.String("journal", "", "durable run directory: journal + persistent worker caches; repeat a run against it for a warm restart")
 	flag.Parse()
 
-	if err := run(*processor, *data, *generate, *fileset, *chunk, *fanIn, *workers, *cores, *minWorkers, *mode, *hoist, *timeout, *trace, *metrics); err != nil {
+	if err := run(*processor, *data, *generate, *fileset, *chunk, *fanIn, *workers, *cores, *minWorkers, *mode, *hoist, *timeout, *trace, *metrics, *journalDir); err != nil {
 		log.Fatalf("vinerun: %v", err)
 	}
 }
 
 func run(processor, data, generate, filesetPath string, chunkSize int64, fanIn, nWorkers, cores, minWorkers int,
-	mode string, hoist bool, timeout time.Duration, tracePath string, dumpMetrics bool) error {
+	mode string, hoist bool, timeout time.Duration, tracePath string, dumpMetrics bool, journalDir string) error {
 
 	apps.RegisterProcessors()
 	if err := vine.RegisterLibrary(daskvine.NewLibrary(100 * time.Millisecond)); err != nil {
@@ -133,22 +136,51 @@ func run(processor, data, generate, filesetPath string, chunkSize int64, fanIn, 
 	if tracePath != "" {
 		rec = obs.NewRecorder()
 	}
-	mgr, err := vine.NewManager(
+	mgrOpts := []vine.Option{
 		vine.WithPeerTransfers(true),
 		vine.WithLibrary(daskvine.LibraryName, hoist),
 		vine.WithRecorder(rec),
-	)
+	}
+	var jr *journal.Journal
+	if journalDir != "" {
+		if err := os.MkdirAll(journalDir, 0o755); err != nil {
+			return err
+		}
+		jr, err = journal.Open(filepath.Join(journalDir, "journal"), journal.Options{})
+		if err != nil {
+			return err
+		}
+		defer jr.Close()
+		mgrOpts = append(mgrOpts, vine.WithJournal(jr))
+	}
+	mgr, err := vine.NewManager(mgrOpts...)
 	if err != nil {
 		return err
 	}
 	defer mgr.Stop()
 	fmt.Printf("manager listening at %s\n", mgr.Addr())
+	if jr != nil {
+		jst := jr.Stats()
+		if jst.Replayed > 0 {
+			fmt.Printf("journal: replayed %d records (%d skipped) from %s\n", jst.Replayed, jst.Skipped, jr.Dir())
+		}
+	}
 	for i := 0; i < nWorkers; i++ {
-		w, err := vine.NewWorker(mgr.Addr(),
+		wOpts := []vine.Option{
 			vine.WithName(fmt.Sprintf("local-%d", i)),
 			vine.WithCores(cores),
 			vine.WithRecorder(rec),
-		)
+		}
+		if journalDir != "" {
+			// Stable per-worker cache dirs make the second run warm: the
+			// scrubbed survivors come back as replicas in the hello.
+			wOpts = append(wOpts,
+				vine.WithCacheDir(filepath.Join(journalDir, fmt.Sprintf("worker-%d", i))),
+				vine.WithPersistentCache(true),
+				vine.WithReconnect(20, 250*time.Millisecond),
+			)
+		}
+		w, err := vine.NewWorker(mgr.Addr(), wOpts...)
 		if err != nil {
 			return err
 		}
@@ -176,6 +208,10 @@ func run(processor, data, generate, filesetPath string, chunkSize int64, fanIn, 
 	fmt.Printf("\ncompleted in %v: %d tasks (%d retries), %d peer transfers (%.1f MB), %d manager transfers, %d workers lost\n",
 		elapsed.Round(time.Millisecond), st.TasksDone, st.Retries,
 		st.PeerTransfers, float64(st.PeerBytes)/1e6, st.ManagerTransfers, st.WorkersLost)
+	if jr != nil {
+		fmt.Printf("durability: %d warm hits, %d journal appends, %d records replayed at startup\n",
+			st.WarmHits, st.JournalAppends, st.JournalReplayed)
+	}
 
 	if tracePath != "" {
 		f, err := os.Create(tracePath)

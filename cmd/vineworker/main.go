@@ -27,10 +27,19 @@ func main() {
 	name := flag.String("name", "", "worker name (default: local address)")
 	dir := flag.String("dir", "", "cache directory (default: a temp dir)")
 	disk := flag.Int64("disk", 0, "cache byte limit; 0 = unlimited")
+	persist := flag.Bool("persist", false, "keep the cache across restarts: scrub it on startup and report survivors to the manager (requires -dir)")
+	orphanTTL := flag.Duration("orphan-ttl", 10*time.Minute, "with -persist, evict cache entries the manager never re-recognizes after this long")
+	reconnect := flag.Int("reconnect", 0, "redial the manager up to N times after a lost connection (0 = exit on disconnect)")
+	backoff := flag.Duration("backoff", 250*time.Millisecond, "delay between reconnect attempts")
 	flag.Parse()
 
 	if *manager == "" {
 		fmt.Fprintln(os.Stderr, "vineworker: -manager is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *persist && *dir == "" {
+		fmt.Fprintln(os.Stderr, "vineworker: -persist requires -dir")
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -41,12 +50,22 @@ func main() {
 		log.Fatal(err)
 	}
 
-	w, err := vine.NewWorker(*manager,
+	opts := []vine.Option{
 		vine.WithName(*name),
 		vine.WithCores(*cores),
 		vine.WithCacheDir(*dir),
 		vine.WithDiskLimit(*disk),
-	)
+	}
+	if *persist {
+		opts = append(opts,
+			vine.WithPersistentCache(true),
+			vine.WithOrphanTTL(*orphanTTL),
+		)
+	}
+	if *reconnect > 0 {
+		opts = append(opts, vine.WithReconnect(*reconnect, *backoff))
+	}
+	w, err := vine.NewWorker(*manager, opts...)
 	if err != nil {
 		log.Fatalf("vineworker: %v", err)
 	}

@@ -1,0 +1,219 @@
+package bench
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hepvine/internal/apps"
+	"hepvine/internal/coffea"
+	"hepvine/internal/dag"
+	"hepvine/internal/daskvine"
+	"hepvine/internal/journal"
+	"hepvine/internal/rootio"
+	"hepvine/internal/vine"
+)
+
+// The warm experiment quantifies the durability subsystem on the DV3
+// analysis: the same workflow runs cold (fresh journal, empty caches),
+// warm (identical resubmission against the surviving journal + worker
+// caches), and crash-resume (the manager is killed mid-run and restarted
+// on the same journal with fresh worker processes pointed at the same
+// persistent cache dirs). The headline numbers are tasks re-executed,
+// bytes re-staged, and the warm/cold wall-clock ratio — the paper's
+// near-interactive repeat-run story, extended to survive manager loss.
+
+func init() {
+	register(Experiment{
+		ID:    "warm",
+		Title: "Warm restart: cold vs warm vs crash-resume (DV3)",
+		Paper: "§V targets near-interactive turnaround; a durable journal makes the repeat run skip all completed work",
+		Run:   runWarm,
+	})
+}
+
+// warmOutcome captures one incarnation of the workflow.
+type warmOutcome struct {
+	result   []byte
+	dur      time.Duration
+	executed int // tasks actually run on workers in this incarnation
+	warmHits int
+	replayed int
+	staged   int64 // bytes moved to workers (manager + peer transfers)
+}
+
+func runWarm(opts Options, w io.Writer) error {
+	apps.RegisterProcessors()
+	if err := vine.RegisterLibrary(daskvine.NewLibrary(10 * time.Millisecond)); err != nil {
+		return err
+	}
+
+	dir, err := os.MkdirTemp("", "vinebench-warm-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	nfiles := opts.scaled(8, 3)
+	const events = 4000
+	paths, err := rootio.WriteDataset(filepath.Join(dir, "data"), rootio.DatasetSpec{
+		Name: "WarmBench", Files: nfiles, EventsPerFile: events,
+		Gen: rootio.GenOptions{Seed: opts.Seed, SignalFrac: 0.05, MeanPhot: 1.2},
+	})
+	if err != nil {
+		return err
+	}
+	files := make([]coffea.FileInfo, len(paths))
+	for i, p := range paths {
+		files[i] = coffea.FileInfo{Path: p, NEvents: events}
+	}
+	chunks, err := coffea.PartitionPerFile("WarmBench", files, 2)
+	if err != nil {
+		return err
+	}
+	graph, root, err := coffea.BuildGraph("dv3", chunks, coffea.GraphOptions{FanIn: 3})
+	if err != nil {
+		return err
+	}
+
+	const nWorkers = 3
+	// runOnce executes the graph against runDir's journal and worker cache
+	// dirs. crashAfter > 0 kills the manager after that many task
+	// completions; the incarnation then reports the error from Run so the
+	// caller can resume on the same runDir.
+	runOnce := func(runDir string, crashAfter int) (warmOutcome, error) {
+		var o warmOutcome
+		jr, err := journal.Open(filepath.Join(runDir, "journal"), journal.Options{})
+		if err != nil {
+			return o, err
+		}
+		defer jr.Close()
+		mgr, err := vine.NewManager(
+			vine.WithPeerTransfers(true),
+			vine.WithLibrary(daskvine.LibraryName, true),
+			vine.WithJournal(jr),
+			vine.WithRetrySeed(opts.Seed),
+		)
+		if err != nil {
+			return o, err
+		}
+		defer mgr.Stop()
+		for i := 0; i < nWorkers; i++ {
+			wk, err := vine.NewWorker(mgr.Addr(),
+				vine.WithName(fmt.Sprintf("w%d", i)),
+				vine.WithCores(2),
+				vine.WithCacheDir(filepath.Join(runDir, fmt.Sprintf("worker-%d", i))),
+				vine.WithPersistentCache(true),
+			)
+			if err != nil {
+				return o, err
+			}
+			defer wk.Stop()
+		}
+		if err := mgr.WaitForWorkers(nWorkers, 10*time.Second); err != nil {
+			return o, err
+		}
+
+		ropts := daskvine.Options{Mode: vine.ModeFunctionCall, Timeout: 2 * time.Minute}
+		if crashAfter > 0 {
+			var dones atomic.Int64
+			var once sync.Once
+			ropts.OnTaskDone = func(key dag.Key, h *vine.TaskHandle) {
+				if int(dones.Add(1)) >= crashAfter {
+					once.Do(func() {
+						jr.Sync() // make everything completed so far durable
+						mgr.Crash()
+					})
+				}
+			}
+		}
+		start := time.Now()
+		res, err := daskvine.Run(mgr, graph, root, ropts)
+		o.dur = time.Since(start)
+		st := mgr.Stats()
+		o.executed = st.TasksDone
+		o.warmHits = st.WarmHits
+		o.replayed = st.JournalReplayed
+		o.staged = st.ManagerBytes + st.PeerBytes
+		if err != nil {
+			return o, err
+		}
+		o.result = res.H["dijet_mass"].Marshal()
+		return o, nil
+	}
+
+	runDir := filepath.Join(dir, "run")
+	cold, err := runOnce(runDir, 0)
+	if err != nil {
+		return fmt.Errorf("cold run: %w", err)
+	}
+	warm, err := runOnce(runDir, 0)
+	if err != nil {
+		return fmt.Errorf("warm run: %w", err)
+	}
+
+	crashDir := filepath.Join(dir, "crash")
+	killed, _ := runOnce(crashDir, graph.Len()/2) // error expected: manager crashed mid-run
+	resume, err := runOnce(crashDir, 0)
+	if err != nil {
+		return fmt.Errorf("crash-resume run: %w", err)
+	}
+
+	ratio := func(o warmOutcome) float64 {
+		if cold.dur <= 0 {
+			return 0
+		}
+		return o.dur.Seconds() / cold.dur.Seconds()
+	}
+
+	csv, err := opts.csvFile("warm")
+	if err != nil {
+		return err
+	}
+	if csv != nil {
+		defer csv.Close()
+		fmt.Fprintln(csv, "scenario,runtime_s,tasks_executed,warm_hits,replayed_records,bytes_staged,ratio_vs_cold")
+		for _, r := range []struct {
+			name string
+			o    warmOutcome
+		}{{"cold", cold}, {"warm", warm}, {"crash-killed", killed}, {"crash-resume", resume}} {
+			fmt.Fprintf(csv, "%s,%.3f,%d,%d,%d,%d,%.3f\n", r.name,
+				r.o.dur.Seconds(), r.o.executed, r.o.warmHits, r.o.replayed, r.o.staged, ratio(r.o))
+		}
+	}
+
+	row(w, "Scenario", "Runtime", "Executed", "Warm hits", "Staged MB", "vs cold")
+	for _, r := range []struct {
+		name string
+		o    warmOutcome
+	}{{"cold", cold}, {"warm", warm}, {"crash-resume", resume}} {
+		row(w, r.name, fmt.Sprintf("%.2fs", r.o.dur.Seconds()),
+			fmt.Sprintf("%d", r.o.executed), fmt.Sprintf("%d", r.o.warmHits),
+			fmt.Sprintf("%.1f", float64(r.o.staged)/1e6),
+			fmt.Sprintf("%.2fx", ratio(r.o)))
+	}
+	fmt.Fprintf(w, "   crash incarnation completed %d/%d tasks before the kill; resume re-executed %d\n",
+		killed.executed, graph.Len(), resume.executed)
+
+	if warm.executed != 0 {
+		return fmt.Errorf("warm: repeat run re-executed %d tasks, want 0", warm.executed)
+	}
+	if warm.warmHits == 0 {
+		return fmt.Errorf("warm: repeat run reported no warm hits")
+	}
+	if !bytes.Equal(cold.result, warm.result) {
+		return fmt.Errorf("warm: repeat run's histograms differ from the cold run")
+	}
+	if !bytes.Equal(cold.result, resume.result) {
+		return fmt.Errorf("warm: crash-resume histograms differ from the cold run")
+	}
+	if resume.executed >= graph.Len() {
+		return fmt.Errorf("warm: crash-resume re-executed the whole graph (%d tasks)", resume.executed)
+	}
+	return nil
+}

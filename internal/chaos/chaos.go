@@ -62,6 +62,11 @@ const (
 	// KindPartition makes matching connections error on use and
 	// matching dials fail for [At, At+Dur] — a routed-away network.
 	KindPartition Kind = "partition"
+	// KindCrash invokes the callback registered for Target (RegisterCrash)
+	// at At — a process-level fault the connection wrappers can't express,
+	// such as the manager dying mid-run with its journal mid-write. The
+	// callback runs outside the plan lock, once per matching fault.
+	KindCrash Kind = "crash"
 )
 
 // Fault is one scripted failure.
@@ -99,23 +104,35 @@ type Plan struct {
 	rng *randx.RNG
 	rec *obs.Recorder
 
-	mu      sync.Mutex
-	faults  []Fault
-	started bool
-	t0      time.Time
-	conns   map[*faultConn]struct{}
-	dead    []string     // kill targets already fired: future dials refused
-	armed   []corruptArm // fired corruptions awaiting a matching read
-	timers  []*time.Timer
-	fired   int
+	mu       sync.Mutex
+	faults   []Fault
+	started  bool
+	t0       time.Time
+	conns    map[*faultConn]struct{}
+	dead     []string     // kill targets already fired: future dials refused
+	armed    []corruptArm // fired corruptions awaiting a matching read
+	crashFns map[string]func()
+	timers   []*time.Timer
+	fired    int
 }
 
 // NewPlan returns an empty plan whose randomized builders draw from seed.
 func NewPlan(seed uint64) *Plan {
 	return &Plan{
-		rng:   randx.NewStream(seed, 913),
-		conns: make(map[*faultConn]struct{}),
+		rng:      randx.NewStream(seed, 913),
+		conns:    make(map[*faultConn]struct{}),
+		crashFns: make(map[string]func()),
 	}
+}
+
+// RegisterCrash installs the callback a KindCrash fault aimed at name (or
+// a prefix of it, or "*") invokes. Typically mgr.Crash for a manager-kill
+// scenario. Callable before or after Start; a later registration does not
+// rerun already-fired crashes.
+func (p *Plan) RegisterCrash(name string, fn func()) {
+	p.mu.Lock()
+	p.crashFns[name] = fn
+	p.mu.Unlock()
 }
 
 // SetRecorder attaches an obs recorder; every fault firing emits one
@@ -247,10 +264,21 @@ func (p *Plan) fire(f Fault) {
 		// opened after the firing (short-lived fetches) are covered too.
 		p.armed = append(p.armed, corruptArm{target: f.Target, skip: f.Offset})
 	}
+	var crashes []func()
+	if f.Kind == KindCrash {
+		for name, fn := range p.crashFns {
+			if matches(f.Target, name) {
+				crashes = append(crashes, fn)
+			}
+		}
+	}
 	p.mu.Unlock()
 	rec.Emit(obs.Event{Type: obs.EvChaosFault, Worker: f.Target, Detail: f.String()})
 	for _, c := range victims {
 		c.Close()
+	}
+	for _, fn := range crashes {
+		fn()
 	}
 }
 

@@ -275,3 +275,48 @@ func TestListenerWrapsAccepted(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestCrashInvokesRegisteredCallback(t *testing.T) {
+	p := NewPlan(5)
+	fired := make(chan string, 4)
+	p.RegisterCrash("manager", func() { fired <- "manager" })
+	p.RegisterCrash("sidecar", func() { fired <- "sidecar" })
+	p.Add(Fault{Kind: KindCrash, Target: "manager", At: time.Millisecond})
+	p.Start()
+	defer p.Stop()
+
+	select {
+	case who := <-fired:
+		if who != "manager" {
+			t.Fatalf("crash hit %q, want manager", who)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("crash callback never invoked")
+	}
+	// Only the matching target fires, and only once.
+	select {
+	case who := <-fired:
+		t.Fatalf("unexpected extra crash callback for %q", who)
+	case <-time.After(50 * time.Millisecond):
+	}
+	if p.Fired() != 1 {
+		t.Fatalf("Fired = %d, want 1", p.Fired())
+	}
+}
+
+func TestCrashUnregisteredTargetStillCounts(t *testing.T) {
+	// A crash fault with no registered callback is a no-op that still
+	// counts as fired — plans stay usable before the process wires in
+	// its crashable components.
+	p := NewPlan(5)
+	p.Add(Fault{Kind: KindCrash, Target: "nobody", At: time.Millisecond})
+	p.Start()
+	defer p.Stop()
+	deadline := time.Now().Add(2 * time.Second)
+	for p.Fired() < 1 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if p.Fired() != 1 {
+		t.Fatalf("Fired = %d, want 1", p.Fired())
+	}
+}

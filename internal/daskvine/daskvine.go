@@ -203,6 +203,18 @@ func Run(m *vine.Manager, g *dag.Graph, root dag.Key, opts Options) (*coffea.His
 			Type: obs.EvTaskSubmit, Task: string(k),
 			Detail: "vine:" + strconv.Itoa(h.ID),
 		})
+		// Resubmission is idempotent against a journal-resumed manager:
+		// dataset declarations and task definition hashes are both
+		// content-addressed, so a node that already completed in a prior
+		// incarnation dedupes to its done handle and the run skips straight
+		// to whatever merge work is genuinely missing. Surface the join
+		// between the dag key and the warm decision in the graph trace.
+		if h.WarmHit() {
+			opts.Recorder.Emit(obs.Event{
+				Type: obs.EvWarmHit, Task: string(k),
+				Detail: "vine:" + strconv.Itoa(h.ID),
+			})
+		}
 		if opts.OnTaskDone != nil {
 			key, hh := k, h
 			go func() {

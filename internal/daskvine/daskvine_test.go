@@ -3,6 +3,7 @@ package daskvine
 import (
 	"fmt"
 	"math"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -11,6 +12,8 @@ import (
 	"hepvine/internal/coffea"
 	"hepvine/internal/dag"
 	"hepvine/internal/hist"
+	"hepvine/internal/journal"
+	"hepvine/internal/obs"
 	"hepvine/internal/rootio"
 	"hepvine/internal/vine"
 )
@@ -251,4 +254,86 @@ func TestRunValidation(t *testing.T) {
 		t.Fatal("unfinalized graph accepted")
 	}
 	_ = root
+}
+
+// TestRunWarmResubmission proves idempotent graph resubmission end to
+// end: the same graph run twice against one journal — second incarnation
+// of the manager, fresh workers on the same persistent cache dirs —
+// completes without executing a single task, every node surfacing as an
+// EvWarmHit in the graph-level trace.
+func TestRunWarmResubmission(t *testing.T) {
+	chunks := setup(t)
+	g, root, err := coffea.BuildGraph("dv-test", chunks, coffea.GraphOptions{FanIn: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runDir := t.TempDir()
+	runOnce := func() (*coffea.HistSet, vine.ManagerStats, *obs.Recorder) {
+		jr, err := journal.Open(filepath.Join(runDir, "journal"), journal.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer jr.Close()
+		rec := obs.NewRecorder()
+		m, err := vine.NewManager(
+			vine.WithPeerTransfers(true),
+			vine.WithLibrary(LibraryName, true),
+			vine.WithJournal(jr),
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer m.Stop()
+		for i := 0; i < 2; i++ {
+			w, err := vine.NewWorker(m.Addr(),
+				vine.WithName(fmt.Sprintf("w%d", i)),
+				vine.WithCores(2),
+				vine.WithCacheDir(filepath.Join(runDir, fmt.Sprintf("worker-%d", i))),
+				vine.WithPersistentCache(true),
+			)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer w.Stop()
+		}
+		if err := m.WaitForWorkers(2, 5*time.Second); err != nil {
+			t.Fatal(err)
+		}
+		res, err := Run(m, g, root, Options{
+			Mode: vine.ModeFunctionCall, Timeout: 60 * time.Second, Recorder: rec,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, m.Stats(), rec
+	}
+
+	cold, cst, _ := runOnce()
+	if cst.TasksDone != g.Len() {
+		t.Fatalf("cold run done %d of %d", cst.TasksDone, g.Len())
+	}
+	warm, wst, rec := runOnce()
+	assertMatchesLocal(t, warm, chunks)
+	for _, n := range cold.Names() {
+		for i := range cold.H[n].Counts {
+			if cold.H[n].Counts[i] != warm.H[n].Counts[i] {
+				t.Fatalf("%s bin %d diverged across warm restart", n, i)
+			}
+		}
+	}
+	if wst.TasksDone != 0 {
+		t.Fatalf("warm resubmission executed %d tasks, want 0", wst.TasksDone)
+	}
+	if wst.WarmHits != g.Len() {
+		t.Fatalf("WarmHits = %d, want %d", wst.WarmHits, g.Len())
+	}
+	warmEvents := 0
+	for _, ev := range rec.Events() {
+		if ev.Type == obs.EvWarmHit {
+			warmEvents++
+		}
+	}
+	if warmEvents != g.Len() {
+		t.Fatalf("EvWarmHit events = %d, want one per node (%d)", warmEvents, g.Len())
+	}
 }

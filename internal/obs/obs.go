@@ -68,6 +68,15 @@ const (
 	// to regenerate an output whose last replica was lost.
 	EvFileCorrupt     EventType = "file_corrupt"     // Src, Dst, Detail=cachename+cause
 	EvLineageRollback EventType = "lineage_rollback" // Task=producer, Detail=cachename
+
+	// Durability vocabulary: the run journal and the warm-restart path.
+	// A journal append persists one state transition; a warm hit is a
+	// resubmitted task served from replayed journal state without
+	// re-execution; a manager resume is one restart reconciled against
+	// the journal and surviving worker inventories.
+	EvJournalAppend EventType = "journal_append" // Task (when task-scoped), Detail=record kind
+	EvWarmHit       EventType = "warm_hit"       // Task, Detail=def hash / replica state
+	EvManagerResume EventType = "manager_resume" // Detail=replayed/skipped/warm counts
 )
 
 // Event is one trace record. T is the offset from the trace epoch

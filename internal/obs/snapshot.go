@@ -25,6 +25,13 @@ type Snapshot struct {
 	CorruptTransfers int
 	LineageReruns    int
 
+	// Durability: journal records appended this run, records replayed at
+	// the last resume, and resubmitted tasks satisfied from replayed
+	// journal state without re-execution (the warm path).
+	JournalAppends  int
+	JournalReplayed int
+	WarmHits        int
+
 	// Transfers, split by source as in §III.B: peer (worker→worker) vs
 	// manager-served (the Work Queue data path).
 	PeerTransfers    int
@@ -60,6 +67,9 @@ func (s Snapshot) Merge(o Snapshot) Snapshot {
 	s.HeartbeatMisses += o.HeartbeatMisses
 	s.CorruptTransfers += o.CorruptTransfers
 	s.LineageReruns += o.LineageReruns
+	s.JournalAppends += o.JournalAppends
+	s.JournalReplayed += o.JournalReplayed
+	s.WarmHits += o.WarmHits
 	s.PeerTransfers += o.PeerTransfers
 	s.ManagerTransfers += o.ManagerTransfers
 	s.PeerBytes += o.PeerBytes

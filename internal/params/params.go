@@ -199,3 +199,21 @@ var DefaultTransferCapPerSource = 3
 // before the failure escalates to a task-level retry (and, with no clean
 // replica left, a lineage rollback of the producer).
 var DefaultTransferAttempts = 3
+
+// ---- durability (run journal + warm restart) ----
+
+// DefaultJournalCompactEvery mirrors the live engine's compaction cadence:
+// after this many completed tasks the manager cuts the write-ahead log and
+// folds the prefix into a snapshot, bounding replay time for long runs.
+var DefaultJournalCompactEvery = 512
+
+// DefaultOrphanTTL mirrors the persistent worker cache's grace window for
+// entries the manager does not recognize at re-registration: survivors of a
+// previous run are kept this long for a resuming manager to claim before
+// the orphan GC reclaims the disk.
+var DefaultOrphanTTL = 10 * time.Minute
+
+// DefaultReconnectBackoff mirrors the worker's delay between redial
+// attempts after losing its control connection — long enough not to hammer
+// a restarting manager, short enough that a warm resume feels immediate.
+var DefaultReconnectBackoff = 50 * time.Millisecond

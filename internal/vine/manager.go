@@ -13,6 +13,7 @@ import (
 	"sync"
 	"time"
 
+	"hepvine/internal/journal"
 	"hepvine/internal/obs"
 	"hepvine/internal/randx"
 	"hepvine/internal/sched"
@@ -145,6 +146,16 @@ type TaskHandle struct {
 	retries  int
 	failures []TaskFailure
 	notified bool
+	warm     bool
+}
+
+// WarmHit reports whether this handle was satisfied from replayed journal
+// state (a resubmission of an already-completed definition) rather than a
+// fresh execution.
+func (h *TaskHandle) WarmHit() bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.warm
 }
 
 // Output reports the cachename assigned to a named output.
@@ -297,6 +308,12 @@ type managerMetrics struct {
 	heartbeatMisses  *obs.Counter
 	corruptTransfers *obs.Counter
 	lineageReruns    *obs.Counter
+	warmHits         *obs.Counter
+	journalAppends   *obs.Counter
+	journalBytes     *obs.Counter
+	journalSnapshots *obs.Counter
+	journalReplayed  *obs.Counter
+	journalSkipped   *obs.Counter
 	execSeconds      *obs.Histogram
 	queueWait        *obs.Histogram
 }
@@ -316,6 +333,12 @@ func newManagerMetrics(reg *obs.Registry) managerMetrics {
 		heartbeatMisses:  reg.Counter("vine_heartbeat_misses_total"),
 		corruptTransfers: reg.Counter("vine_corrupt_transfers_total"),
 		lineageReruns:    reg.Counter("vine_lineage_reruns_total"),
+		warmHits:         reg.Counter("vine_warm_hits_total"),
+		journalAppends:   reg.Counter("vine_journal_appends_total"),
+		journalBytes:     reg.Counter("vine_journal_bytes_total"),
+		journalSnapshots: reg.Counter("vine_journal_snapshots_total"),
+		journalReplayed:  reg.Counter("vine_journal_replayed_records_total"),
+		journalSkipped:   reg.Counter("vine_journal_skipped_frames_total"),
 		execSeconds:      reg.Histogram("vine_task_exec_seconds"),
 		queueWait:        reg.Histogram("vine_task_queue_wait_seconds"),
 	}
@@ -427,6 +450,15 @@ type Manager struct {
 
 	start time.Time // epoch for queue-wait accounting
 
+	// Durability (see journal.go). jr is the attached run journal (nil =
+	// durability off); replayed indexes journal-materialized completed
+	// tasks by definition hash for the warm Submit path; journalDones
+	// counts journaled completions toward the next auto-compaction.
+	jr           *journal.Journal
+	compactEvery int
+	replayed     map[string]*taskRecord
+	journalDones int
+
 	mu        sync.Mutex
 	change    chan struct{} // closed+replaced on any state change (broadcast)
 	rng       *randx.RNG    // retry jitter; guarded by mu
@@ -490,13 +522,33 @@ func NewManager(options ...Option) (*Manager, error) {
 		sched:           sched.New(c.schedPolicy, c.queues...),
 		queueMet:        make(map[string]*obs.Counter),
 		start:           time.Now(),
+		jr:              c.jr,
+		compactEvery:    c.journalCompactEvery,
+		replayed:        make(map[string]*taskRecord),
+	}
+	// Replay the journal before anything can connect or submit: the replay
+	// runs single-threaded over fresh state, so no locking is needed, and a
+	// resumed manager starts life already knowing every completed task.
+	if m.jr != nil {
+		warmable, err := m.replayJournal()
+		if err != nil {
+			return nil, fmt.Errorf("vine: journal replay: %w", err)
+		}
+		st := m.jr.Stats()
+		m.rec.Emit(obs.Event{Type: obs.EvManagerResume, Detail: fmt.Sprintf(
+			"%d records replayed, %d frames skipped, %d torn tails, %d tasks warmable",
+			st.Replayed, st.Skipped, st.TornTails, warmable)})
 	}
 	ts, err := newTransferServer(m, m.nc, "manager/transfer")
 	if err != nil {
 		return nil, err
 	}
 	m.ts = ts
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	addr := c.listenAddr
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		ts.close()
 		return nil, err
@@ -510,7 +562,10 @@ func NewManager(options ...Option) (*Manager, error) {
 // Addr reports the manager's control address for workers to dial.
 func (m *Manager) Addr() string { return m.ln.Addr().String() }
 
-// Stop shuts the manager down and disconnects workers.
+// Stop shuts the manager down and disconnects workers. Tasks still in
+// flight have their handles failed so blocked Wait calls return; with a
+// journal attached the log is synced first, so a later resume sees
+// everything this run completed.
 func (m *Manager) Stop() {
 	m.mu.Lock()
 	if m.stopped {
@@ -522,9 +577,13 @@ func (m *Manager) Stop() {
 	for _, w := range m.workers {
 		ws = append(ws, w)
 	}
+	m.failPendingLocked(errors.New("vine: manager stopped"))
 	m.notifyLocked()
 	close(m.stopC)
 	m.mu.Unlock()
+	if m.jr != nil {
+		m.jr.Sync()
+	}
 	for _, w := range ws {
 		w.conn.send(&message{Type: msgKill})
 		w.conn.close()
@@ -549,6 +608,9 @@ func (m *Manager) Stats() ManagerStats {
 		HeartbeatMisses:  int(m.met.heartbeatMisses.Value()),
 		CorruptTransfers: int(m.met.corruptTransfers.Value()),
 		LineageReruns:    int(m.met.lineageReruns.Value()),
+		JournalAppends:   int(m.met.journalAppends.Value()),
+		JournalReplayed:  int(m.met.journalReplayed.Value()),
+		WarmHits:         int(m.met.warmHits.Value()),
 	}
 }
 
@@ -631,20 +693,26 @@ func (m *Manager) DeclareBuffer(data []byte) CacheName {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if fs, ok := m.files[name]; ok {
+		hadSource := fs.onManager
 		fs.onManager = true
 		if fs.mgrData == nil && fs.mgrPath == "" {
 			fs.mgrData = append([]byte(nil), data...)
 			fs.size = int64(len(data))
 		}
+		if !hadSource {
+			m.journalLocked(declRecord(name, fs))
+		}
 		return name
 	}
-	m.files[name] = &fileState{
+	fs := &fileState{
 		size:      int64(len(data)),
 		workers:   make(map[int]bool),
 		onManager: true,
 		producer:  -1,
 		mgrData:   append([]byte(nil), data...),
 	}
+	m.files[name] = fs
+	m.journalLocked(declRecord(name, fs))
 	return name
 }
 
@@ -658,20 +726,26 @@ func (m *Manager) DeclareFile(path string) (CacheName, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if fs, ok := m.files[name]; ok {
+		hadSource := fs.onManager
 		fs.onManager = true
 		if fs.mgrPath == "" && fs.mgrData == nil {
 			fs.mgrPath = path
 			fs.size = size
 		}
+		if !hadSource {
+			m.journalLocked(declRecord(name, fs))
+		}
 		return name, nil
 	}
-	m.files[name] = &fileState{
+	fs := &fileState{
 		size:      size,
 		workers:   make(map[int]bool),
 		onManager: true,
 		producer:  -1,
 		mgrPath:   path,
 	}
+	m.files[name] = fs
+	m.journalLocked(declRecord(name, fs))
 	return name, nil
 }
 
@@ -716,6 +790,32 @@ func (m *Manager) Submit(t Task) (*TaskHandle, error) {
 	if m.stopped {
 		return nil, fmt.Errorf("vine: manager stopped")
 	}
+	// Warm path: a journal-resumed manager already holds this definition
+	// completed. If the requested outputs are exactly the replayed ones and
+	// none has been unlinked, hand back the done handle — the task never
+	// re-executes. It's a warm *hit* only when every output still has a
+	// live source; otherwise the bytes regenerate through lineage on first
+	// consumer access, which still beats re-running the whole graph.
+	if old, ok := m.replayed[defHash]; ok && old.state == TaskDone && m.outputsMatchLocked(old, t.Outputs) {
+		warm := true
+		for _, out := range t.Outputs {
+			if !m.hasSourceLocked(old.handle.outputs[out]) {
+				warm = false
+				break
+			}
+		}
+		detail := "all outputs live"
+		if warm {
+			old.handle.mu.Lock()
+			old.handle.warm = true
+			old.handle.mu.Unlock()
+			m.met.warmHits.Inc()
+		} else {
+			detail = "outputs need lineage regeneration"
+		}
+		m.rec.Emit(obs.Event{Type: obs.EvWarmHit, Task: old.label(), Detail: defHash + ": " + detail})
+		return old.handle, nil
+	}
 	id := m.nextTID
 	m.nextTID++
 	h.ID = id
@@ -745,6 +845,7 @@ func (m *Manager) Submit(t Task) (*TaskHandle, error) {
 		Cores: t.Cores, Memory: t.Memory, Inputs: inputs,
 	}
 	m.rec.Emit(obs.Event{Type: obs.EvTaskSubmit, Task: rec.label(), Detail: t.Library + "/" + t.Func})
+	m.journalLocked(taskDefRecord(rec))
 	if m.inputsAvailableLocked(rec) {
 		m.enqueueReadyLocked(rec)
 	} else {
@@ -872,6 +973,7 @@ func (m *Manager) Unlink(name CacheName) {
 	}
 	delete(m.files, name)
 	m.sched.FileForgotten(string(name))
+	m.journalLocked(&journal.Record{Kind: journal.KindUnlink, CacheName: string(name)})
 	m.mu.Unlock()
 	for _, c := range conns {
 		c.send(&message{Type: msgUnlink, Unlink: &unlinkMsg{CacheName: string(name)}})
@@ -926,6 +1028,15 @@ func (m *Manager) handleWorker(cc *conn) {
 		cc.close()
 		return
 	}
+	// A reconnecting worker may beat the heartbeat monitor to the punch:
+	// retire any live registration under the same name first, so capacity
+	// and replicas aren't double-counted across two ids — and so the
+	// inventory below re-registers the replicas the stale entry just lost.
+	for oldID, old := range m.workers {
+		if old.alive && old.name == hello.Name {
+			m.workerLostLocked(oldID)
+		}
+	}
 	id := m.nextWID
 	m.nextWID++
 	w := &workerState{
@@ -941,11 +1052,42 @@ func (m *Manager) handleWorker(cc *conn) {
 	}
 	m.workers[id] = w
 	m.sched.WorkerJoin(id, hello.Cores, hello.Memory)
+	// Ingest the cache inventory: every surviving entry the manager knows
+	// about becomes a replica again, so completed work is never re-staged
+	// just because a connection (or the manager itself) bounced. Unknown
+	// or size-mismatched entries are left unacknowledged; the worker's
+	// orphan TTL reclaims them.
+	var known []string
+	for _, e := range hello.Inventory {
+		cn := CacheName(e.CacheName)
+		fs := m.files[cn]
+		if fs == nil || (fs.size != 0 && fs.size != e.Size) {
+			continue
+		}
+		if fs.size == 0 {
+			fs.size = e.Size
+		}
+		fs.workers[id] = true
+		w.cache[cn] = true
+		w.cacheBytes += e.Size
+		m.sched.FileCached(id, e.CacheName, e.Size)
+		known = append(known, e.CacheName)
+	}
+	if len(known) > 0 {
+		m.promoteWaitersLocked()
+	}
 	libs := append([]LibrarySpec(nil), m.opts.InstallLibraries...)
 	m.notifyLocked()
 	m.mu.Unlock()
 	m.met.workersJoined.Inc()
-	m.rec.Emit(obs.Event{Type: obs.EvWorkerJoin, Worker: w.name, Detail: strconv.Itoa(w.cores) + " cores"})
+	joinDetail := strconv.Itoa(w.cores) + " cores"
+	if len(hello.Inventory) > 0 {
+		joinDetail += fmt.Sprintf(", %d/%d cached files recognized", len(known), len(hello.Inventory))
+	}
+	m.rec.Emit(obs.Event{Type: obs.EvWorkerJoin, Worker: w.name, Detail: joinDetail})
+	if len(hello.Inventory) > 0 {
+		cc.send(&message{Type: msgInventoryAck, InventoryAck: &inventoryAckMsg{Known: known}})
+	}
 
 	for _, l := range libs {
 		cc.send(&message{Type: msgLibrary, Library: &libraryMsg{Name: l.Name, Hoist: l.Hoist}})
@@ -1248,6 +1390,7 @@ func (m *Manager) dispatchLocked(rec *taskRecord) {
 		rec.deadlineAt = time.Time{}
 	}
 	m.rec.Emit(obs.Event{Type: obs.EvTaskStart, Task: rec.label(), Worker: w.name, Attempt: rec.retries})
+	m.journalLocked(&journal.Record{Kind: journal.KindDispatch, TaskID: rec.id, Worker: w.name})
 	d := &dispatchMsg{
 		TaskID:  rec.id,
 		Mode:    string(rec.spec.Mode),
@@ -1390,6 +1533,7 @@ func (m *Manager) failLocked(rec *taskRecord, err error) {
 	m.setTaskState(rec, TaskFailed)
 	m.met.tasksFailed.Inc()
 	m.rec.Emit(obs.Event{Type: obs.EvTaskFail, Task: rec.label(), Detail: err.Error()})
+	m.journalLocked(&journal.Record{Kind: journal.KindTaskFail, TaskID: rec.id, Error: err.Error()})
 	rec.handle.mu.Lock()
 	rec.handle.err = err
 	notified := rec.handle.notified
@@ -1537,6 +1681,11 @@ func (m *Manager) onTaskDone(wid int, msg *taskDoneMsg) {
 		rec.handle.mu.Unlock()
 		close(rec.handle.doneC)
 		m.completed = append(m.completed, rec.id)
+		m.journalLocked(&journal.Record{
+			Kind: journal.KindTaskDone, TaskID: rec.id, Worker: workerNameOf(w),
+			OutputSizes: msg.OutputSizes, ExecNanos: msg.ExecNanos, SetupNanos: msg.SetupNanos,
+		})
+		m.maybeCompactJournalLocked()
 	}
 	// Wake waiters even on a lineage re-run (wasDone): the fresh replica
 	// is what a parked FetchBytes recovery loop is waiting for.

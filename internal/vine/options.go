@@ -4,6 +4,7 @@ import (
 	"net"
 	"time"
 
+	"hepvine/internal/journal"
 	"hepvine/internal/obs"
 	"hepvine/internal/sched"
 )
@@ -34,6 +35,15 @@ const (
 	defaultBackoffBase       = 20 * time.Millisecond
 	defaultBackoffMax        = 2 * time.Second
 	defaultRecoveryTimeout   = 30 * time.Second
+
+	// defaultOrphanTTL bounds how long a persistent-cache entry no manager
+	// has reclaimed survives before the worker GCs it. Mirrored as
+	// params.DefaultOrphanTTL.
+	defaultOrphanTTL = 10 * time.Minute
+	// defaultJournalCompactEvery is how many task completions the manager
+	// journals between snapshot compactions. Mirrored as
+	// params.DefaultJournalCompactEvery.
+	defaultJournalCompactEvery = 512
 )
 
 // config is the merged pre-construction state for both constructors.
@@ -62,19 +72,26 @@ type config struct {
 	// Scheduling policy and tenant queues.
 	schedPolicy *sched.Policy
 	queues      []sched.QueueConfig
+
+	// Durability: the run journal and the manager's listen address (a
+	// restarted manager must rebind the address its workers reconnect to).
+	jr                  *journal.Journal
+	journalCompactEvery int
+	listenAddr          string
 }
 
 func buildConfig(opts []Option) config {
 	c := config{
-		failureHistory:  defaultFailureHistory,
-		dialTimeout:     defaultDialTimeout,
-		transferTimeout: defaultTransferTimeout,
-		hbInterval:      defaultHeartbeatInterval,
-		hbTimeout:       defaultHeartbeatTimeout,
-		backoffBase:     defaultBackoffBase,
-		backoffMax:      defaultBackoffMax,
-		retrySeed:       1,
-		recoveryTimeout: defaultRecoveryTimeout,
+		failureHistory:      defaultFailureHistory,
+		dialTimeout:         defaultDialTimeout,
+		transferTimeout:     defaultTransferTimeout,
+		hbInterval:          defaultHeartbeatInterval,
+		hbTimeout:           defaultHeartbeatTimeout,
+		backoffBase:         defaultBackoffBase,
+		backoffMax:          defaultBackoffMax,
+		retrySeed:           1,
+		recoveryTimeout:     defaultRecoveryTimeout,
+		journalCompactEvery: defaultJournalCompactEvery,
 	}
 	for _, o := range opts {
 		o(&c)
@@ -271,6 +288,61 @@ func WithScheduler(p *sched.Policy) Option {
 func WithQueue(name string, weight float64) Option {
 	return func(c *config) {
 		c.queues = append(c.queues, sched.QueueConfig{Name: name, Weight: weight})
+	}
+}
+
+// WithJournal attaches a durable run journal: the manager appends every
+// task definition, dispatch, completion, and file declaration, and replays
+// the journal's state at construction — completed tasks whose outputs
+// survive on reconnecting workers are never re-executed (manager; default
+// none). The caller owns the journal's lifecycle; Stop syncs it but does
+// not close it, so a restarted manager can reuse the same handle.
+func WithJournal(j *journal.Journal) Option {
+	return func(c *config) { c.jr = j }
+}
+
+// WithJournalCompactEvery sets how many journaled task completions pass
+// between automatic snapshot compactions (manager; default 512; <= 0
+// disables automatic compaction — CompactJournal remains available).
+func WithJournalCompactEvery(n int) Option {
+	return func(c *config) { c.journalCompactEvery = n }
+}
+
+// WithListenAddr pins the manager's control listen address instead of an
+// ephemeral loopback port, so a restarted manager comes back where its
+// workers reconnect (manager; default "127.0.0.1:0").
+func WithListenAddr(addr string) Option {
+	return func(c *config) { c.listenAddr = addr }
+}
+
+// WithPersistentCache keeps the worker's on-disk cache across restarts:
+// entries are indexed with their CRC-32C, scrubbed on startup (corrupt or
+// unindexed files are dropped), and the surviving inventory is reported in
+// the register handshake so the manager re-learns replicas instead of
+// re-staging. Stop no longer removes the cache directory (worker; default
+// off; pair with WithCacheDir for a stable location).
+func WithPersistentCache(on bool) Option {
+	return func(c *config) { c.wrk.Persist = on }
+}
+
+// WithOrphanTTL bounds how long a persistent-cache entry that no manager
+// reclaims (acknowledges in the inventory handshake or touches afterwards)
+// survives before the worker GCs it (worker; default 10m; <= 0 disables
+// the GC).
+func WithOrphanTTL(d time.Duration) Option {
+	return func(c *config) { c.wrk.OrphanTTL = d }
+}
+
+// WithReconnect lets the worker survive a manager restart: on a connection
+// error or manager silence it re-dials the manager address up to attempts
+// times, backoff apart, and re-registers with its current cache inventory
+// instead of draining (worker; default 0 = drain as before).
+func WithReconnect(attempts int, backoff time.Duration) Option {
+	return func(c *config) {
+		c.wrk.ReconnectAttempts = attempts
+		if backoff > 0 {
+			c.wrk.ReconnectBackoff = backoff
+		}
 	}
 }
 

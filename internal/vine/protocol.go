@@ -40,6 +40,7 @@ type message struct {
 	Library      *libraryMsg      `json:"library,omitempty"`
 	Unlink       *unlinkMsg       `json:"unlink,omitempty"`
 	Evicted      *evictedMsg      `json:"evicted,omitempty"`
+	InventoryAck *inventoryAckMsg `json:"inventory_ack,omitempty"`
 }
 
 // Message type tags.
@@ -52,6 +53,7 @@ const (
 	msgLibrary      = "library"
 	msgUnlink       = "unlink"
 	msgEvicted      = "evicted"
+	msgInventoryAck = "inventory_ack"
 	msgKill         = "kill"
 
 	// Liveness probes. Type-only messages: the manager pings links that
@@ -62,13 +64,31 @@ const (
 	msgPong = "pong"
 )
 
-// helloMsg is the worker's registration.
+// helloMsg is the worker's registration. Inventory lists the cachenames the
+// worker already holds — CRC-scrubbed survivors of a persistent cache on a
+// fresh start, or the intact in-memory cache on a reconnect — so the manager
+// re-learns replicas instead of re-staging them.
 type helloMsg struct {
-	Name         string `json:"name"`
-	Cores        int    `json:"cores"`
-	Memory       int64  `json:"memory"` // bytes advertised; 0 = unreported
-	TransferAddr string `json:"transfer_addr"`
-	DiskLimit    int64  `json:"disk_limit"` // bytes; 0 = unlimited
+	Name         string           `json:"name"`
+	Cores        int              `json:"cores"`
+	Memory       int64            `json:"memory"` // bytes advertised; 0 = unreported
+	TransferAddr string           `json:"transfer_addr"`
+	DiskLimit    int64            `json:"disk_limit"` // bytes; 0 = unlimited
+	Inventory    []inventoryEntry `json:"inventory,omitempty"`
+}
+
+// inventoryEntry names one surviving cache entry in a hello handshake.
+type inventoryEntry struct {
+	CacheName string `json:"cachename"`
+	Size      int64  `json:"size"`
+}
+
+// inventoryAckMsg is the manager's answer to a hello inventory: which
+// entries it recognizes (and re-registered as replicas). Entries the
+// manager does not know stay orphaned on the worker and age out under the
+// worker's TTL GC instead of leaking disk forever.
+type inventoryAckMsg struct {
+	Known []string `json:"known,omitempty"`
 }
 
 // fileRefWire names one task input within the task sandbox.

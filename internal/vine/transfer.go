@@ -175,50 +175,53 @@ func (ts *transferServer) handle(c net.Conn) {
 }
 
 // fetch retrieves a cachename from a transfer server, writing it to w.
-// label names the fetching endpoint for fault targeting.
-func (nc netConfig) fetch(addr string, name CacheName, w io.Writer, label string) (int64, error) {
+// label names the fetching endpoint for fault targeting. The verified
+// CRC-32C of the payload is returned alongside the size so callers (the
+// worker's persistent cache index) can record it without re-reading the
+// bytes.
+func (nc netConfig) fetch(addr string, name CacheName, w io.Writer, label string) (int64, uint32, error) {
 	c, err := nc.dial(addr, label)
 	if err != nil {
-		return 0, fmt.Errorf("vine: dialing %s: %w", addr, err)
+		return 0, 0, fmt.Errorf("vine: dialing %s: %w", addr, err)
 	}
 	defer c.Close()
 	c.SetDeadline(nc.deadline())
 	if _, err := fmt.Fprintf(c, "GET %s\n", name); err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	r := bufio.NewReader(c)
 	line, err := r.ReadString('\n')
 	if err != nil {
-		return 0, fmt.Errorf("vine: reading transfer header: %w", err)
+		return 0, 0, fmt.Errorf("vine: reading transfer header: %w", err)
 	}
 	line = strings.TrimSpace(line)
 	if strings.HasPrefix(line, "ERR ") {
-		return 0, fmt.Errorf("vine: transfer of %s from %s refused: %s", name, addr, line[4:])
+		return 0, 0, fmt.Errorf("vine: transfer of %s from %s refused: %s", name, addr, line[4:])
 	}
 	if !strings.HasPrefix(line, "OK ") {
-		return 0, fmt.Errorf("vine: malformed transfer header %q", line)
+		return 0, 0, fmt.Errorf("vine: malformed transfer header %q", line)
 	}
 	size, err := strconv.ParseInt(strings.TrimSpace(line[3:]), 10, 64)
 	if err != nil || size < 0 {
-		return 0, fmt.Errorf("vine: malformed transfer size in %q", line)
+		return 0, 0, fmt.Errorf("vine: malformed transfer size in %q", line)
 	}
 	h := crc32.New(castagnoli)
 	n, err := io.Copy(io.MultiWriter(w, h), io.LimitReader(r, size))
 	if err != nil {
-		return n, fmt.Errorf("vine: transfer body: %w", err)
+		return n, 0, fmt.Errorf("vine: transfer body: %w", err)
 	}
 	if n != size {
-		return n, fmt.Errorf("vine: short transfer: %d of %d bytes", n, size)
+		return n, 0, fmt.Errorf("vine: short transfer: %d of %d bytes", n, size)
 	}
 	var trailer [4]byte
 	if _, err := io.ReadFull(r, trailer[:]); err != nil {
-		return n, fmt.Errorf("vine: reading transfer checksum: %w", err)
+		return n, 0, fmt.Errorf("vine: reading transfer checksum: %w", err)
 	}
 	want := binary.LittleEndian.Uint32(trailer[:])
 	if got := h.Sum32(); got != want {
-		return n, corruptTransferErr(name, addr, want, got)
+		return n, got, corruptTransferErr(name, addr, want, got)
 	}
-	return n, nil
+	return n, want, nil
 }
 
 // fetchBytes retrieves a cachename into memory under the default net
@@ -229,32 +232,33 @@ func fetchBytes(addr string, name CacheName) ([]byte, error) {
 
 func (nc netConfig) fetchBytes(addr string, name CacheName, label string) ([]byte, error) {
 	var b strings.Builder
-	if _, err := nc.fetch(addr, name, &b, label); err != nil {
+	if _, _, err := nc.fetch(addr, name, &b, label); err != nil {
 		return nil, err
 	}
 	return []byte(b.String()), nil
 }
 
 // fetchToFile retrieves a cachename into a file, atomically (temp + rename)
-// so a crashed transfer never leaves a corrupt cache entry.
-func (nc netConfig) fetchToFile(addr string, name CacheName, path, label string) (int64, error) {
+// so a crashed transfer never leaves a corrupt cache entry. Returns size
+// and verified payload CRC-32C.
+func (nc netConfig) fetchToFile(addr string, name CacheName, path, label string) (int64, uint32, error) {
 	tmp := path + ".part"
 	f, err := os.Create(tmp)
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
-	n, err := nc.fetch(addr, name, f, label)
+	n, crc, err := nc.fetch(addr, name, f, label)
 	cerr := f.Close()
 	if err == nil {
 		err = cerr
 	}
 	if err != nil {
 		os.Remove(tmp)
-		return n, err
+		return n, crc, err
 	}
 	if err := os.Rename(tmp, path); err != nil {
 		os.Remove(tmp)
-		return n, err
+		return n, crc, err
 	}
-	return n, nil
+	return n, crc, nil
 }
