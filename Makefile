@@ -1,7 +1,7 @@
 # Convenience targets; everything is plain `go` underneath.
 # Run `make help` for the list.
 
-.PHONY: help check test race chaos bench bench-sched bench-recovery bench-warm journal-fuzz verify paper examples tidy
+.PHONY: help check test race chaos chaos-ha bench bench-sched bench-recovery bench-warm bench-ha journal-fuzz verify paper examples tidy
 
 help:                 ## list targets
 	@grep -E '^[a-z]+: *##' $(MAKEFILE_LIST) | awk -F': *## *' '{printf "  %-10s %s\n", $$1, $$2}'
@@ -22,6 +22,9 @@ race:                 ## race-detector pass over every package
 chaos:                ## deterministic chaos suite: kills, stall, dead replica, sole-replica loss, corrupt payloads, manager-kill resume
 	go test -race -count=1 -v -run 'TestChaosSoakDeterministic|TestChaosSoakLineageRecovery|TestChaosCorruptTransferHealed|TestChaosManagerKillResume' .
 
+chaos-ha:             ## availability suite: hot-standby failover soak + split-brain fencing regression
+	go test -race -count=1 -v -run 'TestChaosFailoverToStandby|TestChaosFencedPrimaryRefusesDispatch' .
+
 bench:                ## one benchmark per table/figure, reduced scale
 	go test -bench=. -benchmem ./...
 
@@ -33,6 +36,9 @@ bench-recovery:       ## recovery overhead: faulted vs fault-free live run, bit-
 
 bench-warm:           ## warm restart: cold vs warm vs crash-resume on DV3, tasks re-executed + wall-clock ratio
 	go run ./cmd/vinebench -scale 0.25 warm
+
+bench-ha:             ## hot-standby failover: takeover latency + re-executed tasks vs fault-free baseline
+	go run ./cmd/vinebench -scale 0.25 ha
 
 journal-fuzz:         ## journal frame-corruption fuzz with randomized seeds (pin one with JOURNAL_FUZZ_SEED=n)
 	JOURNAL_FUZZ_SEED=$${JOURNAL_FUZZ_SEED:-0} go test -count=8 -v -run TestFrameCorruptionFuzz ./internal/journal/

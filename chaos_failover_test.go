@@ -1,0 +1,330 @@
+// Hot-standby failover soak: the chunked-MET workload runs against a
+// journaled primary whose leadership lease a hot standby is watching
+// while it tails the journal. The primary is killed mid-run through the
+// chaos plan; the standby's lease expires, it drains the journal tail,
+// takes over on its pre-chosen address, and the workers — launched with
+// the full manager address list — redial through to it and re-register
+// with their cache inventories. The identical resubmission must finish
+// bit-identical to a fault-free baseline, re-executing only the tasks
+// that had not completed at the kill, with takeover latency (lease
+// expiry → first dispatch) bounded under 2× the lease TTL.
+//
+// A second test pins down the split-brain guard: a paused-then-resumed
+// primary whose lease was usurped must observe the loss and refuse to
+// dispatch anything ever again.
+package benchrun
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"hepvine/internal/apps"
+	"hepvine/internal/chaos"
+	"hepvine/internal/dag"
+	"hepvine/internal/daskvine"
+	"hepvine/internal/ha"
+	"hepvine/internal/journal"
+	"hepvine/internal/vine"
+)
+
+// freeAddr reserves a loopback address the way a deployment would choose
+// a standby's: before any failure, as part of cluster configuration.
+func freeAddr(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+func TestChaosFailoverToStandby(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in -short mode")
+	}
+	apps.RegisterProcessors()
+	if err := vine.RegisterLibrary(daskvine.NewLibrary(20 * time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	graph, root := resumeWorkload(t)
+
+	// Fault-free baseline on a throwaway cluster.
+	baseline := func() []byte {
+		mgr, err := vine.NewManager(
+			vine.WithPeerTransfers(true),
+			vine.WithLibrary(daskvine.LibraryName, true),
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer mgr.Stop()
+		for i := 0; i < 3; i++ {
+			w, err := vine.NewWorker(mgr.Addr(),
+				vine.WithName(fmt.Sprintf("fb%d", i)), vine.WithCores(2),
+				vine.WithCacheDir(t.TempDir()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer w.Stop()
+		}
+		if err := mgr.WaitForWorkers(3, 5*time.Second); err != nil {
+			t.Fatal(err)
+		}
+		res, err := daskvine.Run(mgr, graph, root, daskvine.Options{
+			Mode: vine.ModeFunctionCall, Timeout: 60 * time.Second,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.H["met"].Marshal()
+	}()
+
+	// Primary: journaled, lease-holding. The standby watches the same
+	// journal directory and lease file and owns a pre-chosen address.
+	runDir := t.TempDir()
+	journalDir := filepath.Join(runDir, "journal")
+	ttl := ha.DefaultTTL
+	jr, err := journal.Open(journalDir, journal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lease1, err := ha.AcquireLease(ha.DefaultLeasePath(journalDir), "primary", ttl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr1, err := vine.NewManager(
+		vine.WithPeerTransfers(true),
+		vine.WithLibrary(daskvine.LibraryName, true),
+		vine.WithJournal(jr),
+		vine.WithLease(lease1),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mgr1.Stop()
+
+	standbyAddr := freeAddr(t)
+	standby, err := ha.NewStandby(ha.Config{
+		JournalDir: journalDir,
+		TTL:        ttl,
+		Addr:       standbyAddr,
+		Name:       "standby-1",
+		ManagerOptions: []vine.Option{
+			vine.WithPeerTransfers(true),
+			vine.WithLibrary(daskvine.LibraryName, true),
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer standby.Stop()
+
+	// Workers know the whole manager list up front; on silence they redial
+	// through it instead of draining.
+	const nWorkers = 3
+	workers := make([]*vine.Worker, nWorkers)
+	for i := 0; i < nWorkers; i++ {
+		w, err := vine.NewWorker(mgr1.Addr(),
+			vine.WithName(fmt.Sprintf("w%d", i)),
+			vine.WithCores(2),
+			vine.WithCacheDir(filepath.Join(runDir, fmt.Sprintf("worker-%d", i))),
+			vine.WithPersistentCache(true),
+			vine.WithReconnect(400, 25*time.Millisecond),
+			vine.WithManagers(standbyAddr),
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer w.Stop()
+		workers[i] = w
+	}
+	if err := mgr1.WaitForWorkers(nWorkers, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	// The crash fault flushes the journal's group-commit window, stops
+	// lease renewal, and kills the primary in-process — the closest
+	// in-process analogue of a machine loss whose last fsyncs survived.
+	plan := chaos.NewPlan(29).Add(
+		chaos.Fault{Kind: chaos.KindCrash, Target: "primary", At: 0},
+	)
+	defer plan.Stop()
+	plan.RegisterCrash("primary", func() {
+		jr.Sync()
+		lease1.Release()
+		mgr1.Crash()
+	})
+
+	crashAfter := graph.Len() / 3
+	var dones atomic.Int64
+	var once sync.Once
+	_, err = daskvine.Run(mgr1, graph, root, daskvine.Options{
+		Mode: vine.ModeFunctionCall, Timeout: 60 * time.Second,
+		OnTaskDone: func(key dag.Key, h *vine.TaskHandle) {
+			if int(dones.Add(1)) >= crashAfter {
+				once.Do(plan.Start)
+			}
+		},
+	})
+	if err == nil {
+		t.Fatal("run survived a primary crash")
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for plan.Fired() < 1 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if plan.Fired() < 1 {
+		t.Fatal("crash fault never fired")
+	}
+	completedAtKill := mgr1.Stats().TasksDone
+	if completedAtKill == 0 {
+		t.Fatal("primary crashed before any task completed; crash trigger broken")
+	}
+	if err := jr.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// No human restarts anything from here: the standby's lease watch does
+	// the promotion on its own.
+	select {
+	case <-standby.Ready():
+	case <-time.After(15 * time.Second):
+		t.Fatal("standby never took over after the primary crash")
+	}
+	if err := standby.Err(); err != nil {
+		t.Fatalf("standby takeover failed: %v", err)
+	}
+	mgr2 := standby.Manager()
+	if got := mgr2.Addr(); got != standbyAddr {
+		t.Fatalf("standby bound %s, want pre-chosen %s", got, standbyAddr)
+	}
+	if err := mgr2.WaitForWorkers(nWorkers, 10*time.Second); err != nil {
+		t.Fatalf("workers never redialed through to the standby: %v", err)
+	}
+
+	// The identical resubmission against the new incarnation.
+	res, err := daskvine.Run(mgr2, graph, root, daskvine.Options{
+		Mode: vine.ModeFunctionCall, Timeout: 60 * time.Second,
+	})
+	if err != nil {
+		t.Fatalf("post-failover run failed: %v", err)
+	}
+	if got := res.H["met"].Marshal(); !bytes.Equal(baseline, got) {
+		t.Fatalf("post-failover run diverged from fault-free baseline: %d vs %d bytes",
+			len(baseline), len(got))
+	}
+
+	st := mgr2.Stats()
+	if st.JournalReplayed == 0 {
+		t.Fatal("standby materialized nothing from the tailed journal")
+	}
+	if st.TasksDone >= graph.Len() {
+		t.Fatalf("failover re-executed the whole graph: %d of %d tasks", st.TasksDone, graph.Len())
+	}
+	// Acceptance: at least half of the work completed at the kill comes
+	// back warm (the rest may have raced the group-commit window or lost
+	// its replicas with in-flight transfers).
+	if st.WarmHits*2 < completedAtKill {
+		t.Fatalf("WarmHits = %d, want >= half of the %d tasks completed at the kill",
+			st.WarmHits, completedAtKill)
+	}
+	if mgr2.Failovers() < 1 {
+		t.Fatalf("Failovers = %d, want >= 1", mgr2.Failovers())
+	}
+	lat := mgr2.TakeoverLatency()
+	if lat <= 0 {
+		t.Fatal("takeover latency never observed; no post-takeover dispatch")
+	}
+	if lat >= 2*ttl {
+		t.Fatalf("takeover latency %v, want < 2x lease TTL (%v)", lat, 2*ttl)
+	}
+	takeovers := 0
+	for _, w := range workers {
+		takeovers += w.Takeovers()
+	}
+	if takeovers < nWorkers {
+		t.Fatalf("workers saw %d takeover notices, want >= %d (one per worker)", takeovers, nWorkers)
+	}
+}
+
+// TestChaosFencedPrimaryRefusesDispatch: a primary paused past its lease
+// TTL (stop-the-world analogue) whose lease is usurped must fence itself
+// on resume — tasks submitted to it park forever instead of racing the
+// new incarnation's dispatches.
+func TestChaosFencedPrimaryRefusesDispatch(t *testing.T) {
+	apps.RegisterProcessors()
+	_ = vine.RegisterLibrary(daskvine.NewLibrary(20 * time.Millisecond)) // may already be registered
+
+	ttl := 200 * time.Millisecond
+	leasePath := filepath.Join(t.TempDir(), "lease.json")
+	lease, err := ha.AcquireLease(leasePath, "primary", ttl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lease.Release()
+	mgr, err := vine.NewManager(
+		vine.WithLibrary(daskvine.LibraryName, false),
+		vine.WithLease(lease),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mgr.Stop()
+	w, err := vine.NewWorker(mgr.Addr(),
+		vine.WithName("fence-w"), vine.WithCores(2), vine.WithCacheDir(t.TempDir()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Stop()
+	if err := mgr.WaitForWorkers(1, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	// Pause the primary's renewals, let the lease lapse, usurp it.
+	lease.Suspend()
+	time.Sleep(ttl + 50*time.Millisecond)
+	usurper, err := ha.AcquireLease(leasePath, "usurper", ttl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer usurper.Release()
+
+	// On resume the next renewal sees the usurper's epoch and the manager
+	// fences itself.
+	lease.Resume()
+	fenceDeadline := time.Now().Add(5 * time.Second)
+	for !mgr.LeaseLost() && time.Now().Before(fenceDeadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if !mgr.LeaseLost() {
+		t.Fatal("paused-then-resumed primary never noticed its lost lease")
+	}
+
+	// A fenced manager accepts the submission (the client learns about the
+	// failover from the takeover notice, not an error) but must never
+	// dispatch it.
+	h, err := mgr.Submit(vine.Task{
+		Mode: vine.ModeFunctionCall, Library: daskvine.LibraryName,
+		Func: "noop", Outputs: []string{"o"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Wait(700 * time.Millisecond); err == nil {
+		t.Fatal("fenced primary completed a task; dispatch was not fenced")
+	}
+	if st := h.State(); st == vine.TaskRunning || st == vine.TaskDone {
+		t.Fatalf("fenced primary moved task to %v", st)
+	}
+	if n := w.Stats().TasksRun; n != 0 {
+		t.Fatalf("worker ran %d tasks under a fenced primary", n)
+	}
+}

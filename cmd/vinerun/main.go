@@ -11,6 +11,16 @@
 // With external workers (start vineworker against the printed address):
 //
 //	vinerun -processor met -data ./mydata -workers 0 -min-workers 2
+//
+// Hot standby (high availability): a journaled primary holds a leadership
+// lease in its run directory; a second vinerun started with -standby tails
+// the same journal, and when the primary dies it takes over on the given
+// address and drives the identical workflow to completion, warm from the
+// replayed history. Point workers at both with vineworker -managers.
+//
+//	vinerun -processor met -data ./mydata -journal ./run -workers 0          # primary
+//	vinerun -processor met -data ./mydata -journal ./run -workers 0 \
+//	        -standby 127.0.0.1:9200                                          # standby
 package main
 
 import (
@@ -18,14 +28,17 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"time"
 
 	"hepvine/internal/apps"
 	"hepvine/internal/coffea"
 	"hepvine/internal/dag"
 	"hepvine/internal/daskvine"
+	"hepvine/internal/ha"
 	"hepvine/internal/journal"
 	"hepvine/internal/obs"
 	"hepvine/internal/rootio"
@@ -48,15 +61,20 @@ func main() {
 	trace := flag.String("trace", "", "write a JSONL event trace to this file")
 	metrics := flag.Bool("metrics", false, "dump the manager metrics registry after the run")
 	journalDir := flag.String("journal", "", "durable run directory: journal + persistent worker caches; repeat a run against it for a warm restart")
+	standby := flag.String("standby", "", "run as a hot standby that takes over on this address when the primary's lease lapses (requires -journal)")
 	flag.Parse()
 
-	if err := run(*processor, *data, *generate, *fileset, *chunk, *fanIn, *workers, *cores, *minWorkers, *mode, *hoist, *timeout, *trace, *metrics, *journalDir); err != nil {
+	if err := run(*processor, *data, *generate, *fileset, *chunk, *fanIn, *workers, *cores, *minWorkers, *mode, *hoist, *timeout, *trace, *metrics, *journalDir, *standby); err != nil {
 		log.Fatalf("vinerun: %v", err)
 	}
 }
 
 func run(processor, data, generate, filesetPath string, chunkSize int64, fanIn, nWorkers, cores, minWorkers int,
-	mode string, hoist bool, timeout time.Duration, tracePath string, dumpMetrics bool, journalDir string) error {
+	mode string, hoist bool, timeout time.Duration, tracePath string, dumpMetrics bool, journalDir, standbyAddr string) error {
+
+	if standbyAddr != "" && journalDir == "" {
+		return fmt.Errorf("-standby requires -journal (the directory whose journal and lease it watches)")
+	}
 
 	apps.RegisterProcessors()
 	if err := vine.RegisterLibrary(daskvine.NewLibrary(100 * time.Millisecond)); err != nil {
@@ -141,8 +159,42 @@ func run(processor, data, generate, filesetPath string, chunkSize int64, fanIn, 
 		vine.WithLibrary(daskvine.LibraryName, hoist),
 		vine.WithRecorder(rec),
 	}
+	var mgr *vine.Manager
 	var jr *journal.Journal
-	if journalDir != "" {
+	switch {
+	case standbyAddr != "":
+		// Hot standby: tail the primary's journal and lease; on takeover
+		// the standby's manager comes up warm and this process drives the
+		// identical workflow to completion.
+		sb, err := ha.NewStandby(ha.Config{
+			JournalDir:     filepath.Join(journalDir, "journal"),
+			Addr:           standbyAddr,
+			Name:           fmt.Sprintf("standby-%d", os.Getpid()),
+			ManagerOptions: mgrOpts,
+			Recorder:       rec,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("hot standby: tailing %s, will take over on %s when the primary's lease lapses\n",
+			filepath.Join(journalDir, "journal"), standbyAddr)
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+		select {
+		case <-sb.Ready():
+		case s := <-sig:
+			fmt.Printf("standby: %v before takeover (%d journal records folded), exiting\n", s, sb.Applied())
+			sb.Stop()
+			return nil
+		}
+		signal.Stop(sig)
+		if err := sb.Err(); err != nil {
+			return err
+		}
+		defer sb.Stop()
+		mgr = sb.Manager()
+		fmt.Printf("takeover: manager listening at %s (%d journal records folded)\n", mgr.Addr(), sb.Applied())
+	case journalDir != "":
 		if err := os.MkdirAll(journalDir, 0o755); err != nil {
 			return err
 		}
@@ -151,14 +203,25 @@ func run(processor, data, generate, filesetPath string, chunkSize int64, fanIn, 
 			return err
 		}
 		defer jr.Close()
-		mgrOpts = append(mgrOpts, vine.WithJournal(jr))
+		// Hold the leadership lease alongside the journal so a -standby
+		// vinerun can detect this primary's death and take over.
+		lease, err := ha.AcquireLease(ha.DefaultLeasePath(jr.Dir()), "primary", ha.DefaultTTL)
+		if err != nil {
+			return err
+		}
+		defer lease.Release()
+		mgrOpts = append(mgrOpts, vine.WithJournal(jr), vine.WithLease(lease))
+		fallthrough
+	default:
+		if mgr == nil {
+			mgr, err = vine.NewManager(mgrOpts...)
+			if err != nil {
+				return err
+			}
+			defer mgr.Stop()
+		}
+		fmt.Printf("manager listening at %s\n", mgr.Addr())
 	}
-	mgr, err := vine.NewManager(mgrOpts...)
-	if err != nil {
-		return err
-	}
-	defer mgr.Stop()
-	fmt.Printf("manager listening at %s\n", mgr.Addr())
 	if jr != nil {
 		jst := jr.Stats()
 		if jst.Replayed > 0 {
@@ -208,9 +271,13 @@ func run(processor, data, generate, filesetPath string, chunkSize int64, fanIn, 
 	fmt.Printf("\ncompleted in %v: %d tasks (%d retries), %d peer transfers (%.1f MB), %d manager transfers, %d workers lost\n",
 		elapsed.Round(time.Millisecond), st.TasksDone, st.Retries,
 		st.PeerTransfers, float64(st.PeerBytes)/1e6, st.ManagerTransfers, st.WorkersLost)
-	if jr != nil {
+	if jr != nil || standbyAddr != "" {
 		fmt.Printf("durability: %d warm hits, %d journal appends, %d records replayed at startup\n",
 			st.WarmHits, st.JournalAppends, st.JournalReplayed)
+	}
+	if standbyAddr != "" {
+		fmt.Printf("availability: takeover latency %v (lease expiry to first dispatch)\n",
+			mgr.TakeoverLatency().Round(time.Millisecond))
 	}
 
 	if tracePath != "" {

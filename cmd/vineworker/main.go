@@ -5,6 +5,10 @@
 // HTCondor execute nodes.
 //
 //	vineworker -manager 127.0.0.1:9123 [-cores 12] [-name nodeA] [-dir /tmp/cache] [-disk 108e9]
+//
+// With -managers, the worker knows the cluster's full manager address
+// list (primary first, hot standbys after) and redials through it on
+// silence — riding through a lease-based failover instead of exiting.
 package main
 
 import (
@@ -13,6 +17,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -31,6 +36,7 @@ func main() {
 	orphanTTL := flag.Duration("orphan-ttl", 10*time.Minute, "with -persist, evict cache entries the manager never re-recognizes after this long")
 	reconnect := flag.Int("reconnect", 0, "redial the manager up to N times after a lost connection (0 = exit on disconnect)")
 	backoff := flag.Duration("backoff", 250*time.Millisecond, "delay between reconnect attempts")
+	managers := flag.String("managers", "", "comma-separated standby manager addresses to redial through on failover (implies reconnection)")
 	flag.Parse()
 
 	if *manager == "" {
@@ -61,6 +67,20 @@ func main() {
 			vine.WithPersistentCache(true),
 			vine.WithOrphanTTL(*orphanTTL),
 		)
+	}
+	if *managers != "" {
+		var list []string
+		for _, a := range strings.Split(*managers, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				list = append(list, a)
+			}
+		}
+		opts = append(opts, vine.WithManagers(list...))
+		if *reconnect <= 0 {
+			// A worker that knows standby addresses but exits on the first
+			// disconnect could never ride through a failover.
+			*reconnect = 400
+		}
 	}
 	if *reconnect > 0 {
 		opts = append(opts, vine.WithReconnect(*reconnect, *backoff))

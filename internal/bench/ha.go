@@ -1,0 +1,274 @@
+package bench
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hepvine/internal/apps"
+	"hepvine/internal/chaos"
+	"hepvine/internal/coffea"
+	"hepvine/internal/dag"
+	"hepvine/internal/daskvine"
+	"hepvine/internal/ha"
+	"hepvine/internal/journal"
+	"hepvine/internal/rootio"
+	"hepvine/internal/vine"
+)
+
+// The ha experiment quantifies the hot-standby failover path on the DV3
+// analysis: a fault-free baseline run, then a run whose journaled,
+// lease-holding primary is crashed halfway while a standby tails the
+// journal. The headline numbers are takeover latency (lease expiry →
+// first dispatch by the standby, bounded under 2× the lease TTL), tasks
+// re-executed after failover, and the failover/baseline wall-clock ratio
+// — what a scheduler crash actually costs a near-interactive analysis
+// when nobody has to restart anything by hand.
+
+func init() {
+	register(Experiment{
+		ID:    "ha",
+		Title: "Hot-standby failover: takeover latency and re-executed work (DV3)",
+		Paper: "§V targets near-interactive turnaround; a lease-based hot standby keeps a scheduler crash from costing more than the lease TTL plus the unfinished tasks",
+		Run:   runHA,
+	})
+}
+
+func runHA(opts Options, w io.Writer) error {
+	apps.RegisterProcessors()
+	if err := vine.RegisterLibrary(daskvine.NewLibrary(10 * time.Millisecond)); err != nil {
+		return err
+	}
+
+	dir, err := os.MkdirTemp("", "vinebench-ha-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	nfiles := opts.scaled(8, 3)
+	const events = 4000
+	paths, err := rootio.WriteDataset(filepath.Join(dir, "data"), rootio.DatasetSpec{
+		Name: "HABench", Files: nfiles, EventsPerFile: events,
+		Gen: rootio.GenOptions{Seed: opts.Seed, SignalFrac: 0.05, MeanPhot: 1.2},
+	})
+	if err != nil {
+		return err
+	}
+	files := make([]coffea.FileInfo, len(paths))
+	for i, p := range paths {
+		files[i] = coffea.FileInfo{Path: p, NEvents: events}
+	}
+	chunks, err := coffea.PartitionPerFile("HABench", files, 2)
+	if err != nil {
+		return err
+	}
+	graph, root, err := coffea.BuildGraph("dv3", chunks, coffea.GraphOptions{FanIn: 3})
+	if err != nil {
+		return err
+	}
+
+	const nWorkers = 3
+
+	// Fault-free baseline on a throwaway cluster.
+	var baseline []byte
+	var baseDur time.Duration
+	{
+		mgr, err := vine.NewManager(
+			vine.WithPeerTransfers(true),
+			vine.WithLibrary(daskvine.LibraryName, true),
+			vine.WithRetrySeed(opts.Seed),
+		)
+		if err != nil {
+			return err
+		}
+		for i := 0; i < nWorkers; i++ {
+			wk, err := vine.NewWorker(mgr.Addr(),
+				vine.WithName(fmt.Sprintf("b%d", i)), vine.WithCores(2),
+				vine.WithCacheDir(filepath.Join(dir, fmt.Sprintf("base-%d", i))))
+			if err != nil {
+				mgr.Stop()
+				return err
+			}
+			defer wk.Stop()
+		}
+		if err := mgr.WaitForWorkers(nWorkers, 10*time.Second); err != nil {
+			mgr.Stop()
+			return err
+		}
+		start := time.Now()
+		res, err := daskvine.Run(mgr, graph, root, daskvine.Options{
+			Mode: vine.ModeFunctionCall, Timeout: 2 * time.Minute,
+		})
+		baseDur = time.Since(start)
+		mgr.Stop()
+		if err != nil {
+			return fmt.Errorf("baseline run: %w", err)
+		}
+		baseline = res.H["dijet_mass"].Marshal()
+	}
+
+	// Failover run: journaled lease-holding primary, hot standby on a
+	// pre-chosen address, workers knowing both.
+	runDir := filepath.Join(dir, "run")
+	journalDir := filepath.Join(runDir, "journal")
+	ttl := ha.DefaultTTL
+	jr, err := journal.Open(journalDir, journal.Options{})
+	if err != nil {
+		return err
+	}
+	lease, err := ha.AcquireLease(ha.DefaultLeasePath(journalDir), "primary", ttl)
+	if err != nil {
+		return err
+	}
+	mgr1, err := vine.NewManager(
+		vine.WithPeerTransfers(true),
+		vine.WithLibrary(daskvine.LibraryName, true),
+		vine.WithJournal(jr),
+		vine.WithLease(lease),
+		vine.WithRetrySeed(opts.Seed),
+	)
+	if err != nil {
+		return err
+	}
+	defer mgr1.Stop()
+
+	probe, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	standbyAddr := probe.Addr().String()
+	probe.Close()
+	standby, err := ha.NewStandby(ha.Config{
+		JournalDir: journalDir,
+		TTL:        ttl,
+		Addr:       standbyAddr,
+		Name:       "standby",
+		ManagerOptions: []vine.Option{
+			vine.WithPeerTransfers(true),
+			vine.WithLibrary(daskvine.LibraryName, true),
+			vine.WithRetrySeed(opts.Seed),
+		},
+	})
+	if err != nil {
+		return err
+	}
+	defer standby.Stop()
+
+	for i := 0; i < nWorkers; i++ {
+		wk, err := vine.NewWorker(mgr1.Addr(),
+			vine.WithName(fmt.Sprintf("w%d", i)),
+			vine.WithCores(2),
+			vine.WithCacheDir(filepath.Join(runDir, fmt.Sprintf("worker-%d", i))),
+			vine.WithPersistentCache(true),
+			vine.WithReconnect(400, 25*time.Millisecond),
+			vine.WithManagers(standbyAddr),
+		)
+		if err != nil {
+			return err
+		}
+		defer wk.Stop()
+	}
+	if err := mgr1.WaitForWorkers(nWorkers, 10*time.Second); err != nil {
+		return err
+	}
+
+	plan := chaos.NewPlan(opts.Seed).Add(
+		chaos.Fault{Kind: chaos.KindCrash, Target: "primary", At: 0},
+	)
+	defer plan.Stop()
+	plan.RegisterCrash("primary", func() {
+		jr.Sync()
+		lease.Release()
+		mgr1.Crash()
+	})
+
+	crashAfter := graph.Len() / 2
+	var dones atomic.Int64
+	var once sync.Once
+	start := time.Now()
+	_, err = daskvine.Run(mgr1, graph, root, daskvine.Options{
+		Mode: vine.ModeFunctionCall, Timeout: 2 * time.Minute,
+		OnTaskDone: func(key dag.Key, h *vine.TaskHandle) {
+			if int(dones.Add(1)) >= crashAfter {
+				once.Do(plan.Start)
+			}
+		},
+	})
+	if err == nil {
+		return fmt.Errorf("ha: run survived the primary crash")
+	}
+	completedAtKill := mgr1.Stats().TasksDone
+	if err := jr.Close(); err != nil {
+		return err
+	}
+
+	select {
+	case <-standby.Ready():
+	case <-time.After(30 * time.Second):
+		return fmt.Errorf("ha: standby never took over")
+	}
+	if err := standby.Err(); err != nil {
+		return fmt.Errorf("ha: standby takeover: %w", err)
+	}
+	mgr2 := standby.Manager()
+	if err := mgr2.WaitForWorkers(nWorkers, 15*time.Second); err != nil {
+		return fmt.Errorf("ha: workers never redialed to the standby: %w", err)
+	}
+	res, err := daskvine.Run(mgr2, graph, root, daskvine.Options{
+		Mode: vine.ModeFunctionCall, Timeout: 2 * time.Minute,
+	})
+	failoverDur := time.Since(start)
+	if err != nil {
+		return fmt.Errorf("ha: post-failover run: %w", err)
+	}
+	if got := res.H["dijet_mass"].Marshal(); !bytes.Equal(baseline, got) {
+		return fmt.Errorf("ha: post-failover histograms differ from the baseline")
+	}
+
+	st := mgr2.Stats()
+	lat := mgr2.TakeoverLatency()
+
+	csv, err := opts.csvFile("ha")
+	if err != nil {
+		return err
+	}
+	if csv != nil {
+		defer csv.Close()
+		fmt.Fprintln(csv, "metric,value")
+		fmt.Fprintf(csv, "baseline_runtime_s,%.3f\n", baseDur.Seconds())
+		fmt.Fprintf(csv, "failover_runtime_s,%.3f\n", failoverDur.Seconds())
+		fmt.Fprintf(csv, "takeover_latency_s,%.3f\n", lat.Seconds())
+		fmt.Fprintf(csv, "lease_ttl_s,%.3f\n", ttl.Seconds())
+		fmt.Fprintf(csv, "graph_tasks,%d\n", graph.Len())
+		fmt.Fprintf(csv, "completed_at_kill,%d\n", completedAtKill)
+		fmt.Fprintf(csv, "reexecuted_after_failover,%d\n", st.TasksDone)
+		fmt.Fprintf(csv, "warm_hits,%d\n", st.WarmHits)
+	}
+
+	row(w, "Scenario", "Runtime", "Executed", "Warm hits", "Takeover")
+	row(w, "baseline", fmt.Sprintf("%.2fs", baseDur.Seconds()),
+		fmt.Sprintf("%d", graph.Len()), "-", "-")
+	row(w, "failover", fmt.Sprintf("%.2fs", failoverDur.Seconds()),
+		fmt.Sprintf("%d", st.TasksDone), fmt.Sprintf("%d", st.WarmHits),
+		fmt.Sprintf("%.0fms", lat.Seconds()*1e3))
+	fmt.Fprintf(w, "   primary crashed with %d/%d tasks done; standby took over in %v (lease TTL %v), re-executing %d\n",
+		completedAtKill, graph.Len(), lat.Round(time.Millisecond), ttl, st.TasksDone)
+
+	if lat <= 0 || lat >= 2*ttl {
+		return fmt.Errorf("ha: takeover latency %v outside (0, 2x TTL %v)", lat, ttl)
+	}
+	if st.TasksDone >= graph.Len() {
+		return fmt.Errorf("ha: failover re-executed the whole graph (%d tasks)", st.TasksDone)
+	}
+	if st.WarmHits*2 < completedAtKill {
+		return fmt.Errorf("ha: only %d warm hits for %d tasks completed at the kill", st.WarmHits, completedAtKill)
+	}
+	return nil
+}

@@ -1,0 +1,269 @@
+package ha
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"hepvine/internal/journal"
+	"hepvine/internal/obs"
+	"hepvine/internal/vine"
+)
+
+// Config configures a hot standby.
+type Config struct {
+	// JournalDir is the primary's journal directory (shared filesystem or
+	// shared volume). The standby tails segments and snapshots in here and
+	// expects the leadership lease alongside them.
+	JournalDir string
+
+	// LeasePath overrides the lease file location. Default:
+	// JournalDir/lease.json.
+	LeasePath string
+
+	// TTL is the lease duration the standby both watches for and acquires
+	// with. Default DefaultTTL. It must match the primary's TTL for the
+	// takeover-latency bound (< 2×TTL) to mean anything.
+	TTL time.Duration
+
+	// Addr is the address the standby binds on takeover. Required: workers
+	// are launched with the full manager address list, so the standby's
+	// address is chosen before the failure, not after.
+	Addr string
+
+	// Name identifies this standby as a lease holder. Default "standby".
+	Name string
+
+	// PollInterval is the journal-tail and lease-watch cadence.
+	// Default TTL/8.
+	PollInterval time.Duration
+
+	// ManagerOptions are extra vine options applied to the takeover
+	// manager (scheduling policy, heartbeat tuning, recorder...). The
+	// standby appends its own journal/replay/lease/listen options last.
+	ManagerOptions []vine.Option
+
+	// Recorder receives standby lifecycle events. May be nil.
+	Recorder *obs.Recorder
+}
+
+// Standby tails a primary manager's journal into a hot vine.ReplayState
+// and watches the leadership lease. While the primary renews, the standby
+// is pure follower: every appended record is folded within a poll
+// interval, so its state is never more than ~TTL/8 behind. When the lease
+// expires it acquires leadership under a new epoch, drains the remaining
+// tail, reopens the journal for writing, and starts a real manager from
+// the pre-folded state — Ready() closes and workers redialing through
+// their address list find it listening.
+type Standby struct {
+	cfg    Config
+	lease  *Lease
+	fl     *journal.Follower
+	state  *vine.ReplayState
+	readyC chan struct{}
+	stopC  chan struct{}
+
+	mu      sync.Mutex
+	mgr     *vine.Manager
+	err     error
+	stopped bool
+}
+
+// NewStandby starts tailing and lease-watching in the background.
+func NewStandby(cfg Config) (*Standby, error) {
+	if cfg.JournalDir == "" {
+		return nil, fmt.Errorf("ha: standby needs a JournalDir")
+	}
+	if cfg.Addr == "" {
+		return nil, fmt.Errorf("ha: standby needs a takeover Addr")
+	}
+	if cfg.LeasePath == "" {
+		cfg.LeasePath = filepath.Join(cfg.JournalDir, "lease.json")
+	}
+	if cfg.TTL <= 0 {
+		cfg.TTL = DefaultTTL
+	}
+	if cfg.Name == "" {
+		cfg.Name = "standby"
+	}
+	if cfg.PollInterval <= 0 {
+		cfg.PollInterval = cfg.TTL / 8
+	}
+	s := &Standby{
+		cfg:    cfg,
+		state:  vine.NewReplayState(),
+		readyC: make(chan struct{}),
+		stopC:  make(chan struct{}),
+	}
+	s.fl = journal.NewFollower(cfg.JournalDir, journal.FollowerOptions{
+		PollInterval: cfg.PollInterval,
+		OnReset:      s.state.Reset,
+	})
+	go s.run()
+	return s, nil
+}
+
+// DefaultLeasePath is where a journaled manager's lease lives by
+// convention: alongside the segments it fences.
+func DefaultLeasePath(journalDir string) string {
+	return filepath.Join(journalDir, "lease.json")
+}
+
+// run is the standby loop: tail, watch, take over.
+func (s *Standby) run() {
+	tick := time.NewTicker(s.cfg.PollInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-s.stopC:
+			s.fl.Close()
+			return
+		case <-tick.C:
+		}
+		s.fl.Poll(s.state.Apply)
+
+		info, err := ReadLease(s.cfg.LeasePath)
+		if err != nil {
+			// No lease yet (primary not started) or transient read error:
+			// keep tailing.
+			if !os.IsNotExist(err) {
+				s.emit(obs.Event{Type: obs.EvLeaseLost, Src: s.cfg.Name,
+					Detail: fmt.Sprintf("lease unreadable: %v", err)})
+			}
+			continue
+		}
+		now := time.Now()
+		if !info.Expired(now) {
+			continue
+		}
+		if err := s.takeover(info); err != nil {
+			s.fail(err)
+			return
+		}
+		return
+	}
+}
+
+// takeover promotes this standby to primary. expired is the lapsed lease
+// it observed; its Expiry() anchors the takeover-latency measurement
+// (lease expiry → first dispatch), matching the availability gap a client
+// actually experiences.
+func (s *Standby) takeover(expired LeaseInfo) error {
+	lease, err := AcquireLease(s.cfg.LeasePath, s.cfg.Name, s.cfg.TTL)
+	if err != nil {
+		// Another standby beat us to it; that incarnation owns the run now.
+		return fmt.Errorf("ha: standby %s lost the takeover race: %w", s.cfg.Name, err)
+	}
+	s.emit(obs.Event{Type: obs.EvTakeover, Src: s.cfg.Name, Attempt: int(lease.Epoch()),
+		Detail: fmt.Sprintf("lease of %q expired %s ago, draining journal tail",
+			expired.Holder, time.Since(expired.Expiry()).Round(time.Millisecond))})
+
+	// Drain every record the dead primary managed to sync. Anything past a
+	// torn tail was never acknowledged durable, so losing it is within the
+	// journal's contract — the re-run client resubmits those tasks.
+	s.fl.Drain(s.state.Apply)
+	s.fl.Close()
+
+	// Reopen for writing: Open picks a fresh generation above everything
+	// on disk, so the new incarnation's records never interleave with the
+	// old segments the follower just consumed.
+	jr, err := journal.Open(s.cfg.JournalDir, journal.Options{})
+	if err != nil {
+		lease.Release()
+		return fmt.Errorf("ha: standby reopening journal: %w", err)
+	}
+
+	opts := append([]vine.Option{}, s.cfg.ManagerOptions...)
+	opts = append(opts,
+		vine.WithJournal(jr),
+		vine.WithReplayState(s.state),
+		vine.WithListenAddr(s.cfg.Addr),
+		vine.WithLease(lease),
+		vine.WithTakeoverFrom(expired.Expiry(), lease.Epoch()),
+	)
+	if s.cfg.Recorder != nil {
+		opts = append(opts, vine.WithRecorder(s.cfg.Recorder))
+	}
+	// The old primary may hold the port through its TIME_WAIT teardown
+	// when Addr was previously bound in-process; retry briefly.
+	var mgr *vine.Manager
+	deadline := time.Now().Add(2 * s.cfg.TTL)
+	for {
+		mgr, err = vine.NewManager(opts...)
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			lease.Release()
+			jr.Close()
+			return fmt.Errorf("ha: standby binding %s: %w", s.cfg.Addr, err)
+		}
+		time.Sleep(s.cfg.PollInterval)
+	}
+
+	s.mu.Lock()
+	s.lease = lease
+	s.mgr = mgr
+	s.mu.Unlock()
+	close(s.readyC)
+	return nil
+}
+
+func (s *Standby) fail(err error) {
+	s.mu.Lock()
+	s.err = err
+	s.mu.Unlock()
+	close(s.readyC)
+	s.emit(obs.Event{Type: obs.EvLeaseLost, Src: s.cfg.Name, Detail: err.Error()})
+}
+
+func (s *Standby) emit(ev obs.Event) {
+	if s.cfg.Recorder != nil {
+		s.cfg.Recorder.Emit(ev)
+	}
+}
+
+// Ready is closed when the standby has taken over (Manager() is live) or
+// permanently failed (Err() is non-nil).
+func (s *Standby) Ready() <-chan struct{} { return s.readyC }
+
+// Manager returns the post-takeover manager, or nil before takeover.
+func (s *Standby) Manager() *vine.Manager {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.mgr
+}
+
+// Err reports a permanent standby failure (lost takeover race, journal
+// reopen failure, bind failure), or nil.
+func (s *Standby) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// Applied reports how many journal records the standby has folded so far
+// — the "hotness" of its replay state.
+func (s *Standby) Applied() int64 { return s.state.Applied() }
+
+// Stop halts a standby that has not taken over. After takeover the
+// manager's own Stop governs; Stop then also releases the lease.
+func (s *Standby) Stop() {
+	s.mu.Lock()
+	if s.stopped {
+		s.mu.Unlock()
+		return
+	}
+	s.stopped = true
+	lease, mgr := s.lease, s.mgr
+	s.mu.Unlock()
+	close(s.stopC)
+	if mgr != nil {
+		mgr.Stop()
+	}
+	if lease != nil {
+		lease.Release()
+	}
+}

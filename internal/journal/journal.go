@@ -473,6 +473,14 @@ func replaySegment(path string, fn func(Record)) (replayed, skipped, torn int64)
 // snapshot reflects at least every record in segments <= G; replaying a
 // later record whose effect is already in the snapshot is harmless because
 // records are idempotent upserts.
+//
+// An empty active segment (a size-triggered rotation just fired, or nothing
+// was appended since the last Cut) is not sealed: the previous generation is
+// already the high-water mark, and sealing an empty segment would let a
+// snapshot cover a generation that live followers never need to read —
+// tripping their lapped-by-compaction reset even though they missed nothing.
+// With no sealed data at all the returned generation is 0, which
+// WriteSnapshot treats as a no-op.
 func (j *Journal) Cut() (uint64, error) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
@@ -482,6 +490,9 @@ func (j *Journal) Cut() (uint64, error) {
 	j.flushLocked()
 	if j.err != nil {
 		return 0, j.err
+	}
+	if j.size == 0 {
+		return j.gen - 1, nil
 	}
 	g := j.gen
 	j.rotateLocked()

@@ -77,6 +77,14 @@ const (
 	EvJournalAppend EventType = "journal_append" // Task (when task-scoped), Detail=record kind
 	EvWarmHit       EventType = "warm_hit"       // Task, Detail=def hash / replica state
 	EvManagerResume EventType = "manager_resume" // Detail=replayed/skipped/warm counts
+
+	// Availability vocabulary: hot-standby failover. A takeover is a
+	// standby manager assuming a dead primary's role (Dur = lease expiry →
+	// first dispatch when observed manager-side); a lease loss is a primary
+	// discovering another holder owns its lease and fencing itself so two
+	// managers never dispatch concurrently.
+	EvTakeover  EventType = "takeover"   // Src=new holder, Attempt=epoch, Dur=takeover latency
+	EvLeaseLost EventType = "lease_lost" // Src=holder that lost it, Detail=cause
 )
 
 // Event is one trace record. T is the offset from the trace epoch

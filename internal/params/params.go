@@ -217,3 +217,22 @@ var DefaultOrphanTTL = 10 * time.Minute
 // attempts after losing its control connection — long enough not to hammer
 // a restarting manager, short enough that a warm resume feels immediate.
 var DefaultReconnectBackoff = 50 * time.Millisecond
+
+// ---- availability (hot standby + lease failover) ----
+
+// DefaultLeaseTTL mirrors internal/ha's leadership lease duration: the
+// window a primary may go silent before a standby takes over. Takeover
+// latency (lease expiry → first dispatch by the standby) is bounded by
+// under 2× this value in the chaos HA suite.
+var DefaultLeaseTTL = time.Second
+
+// DefaultLeaseRenewEvery mirrors the holder's renewal cadence (TTL/3):
+// two consecutive missed renewals still leave slack before expiry, so a
+// single slow fsync of the lease file does not trigger a failover.
+var DefaultLeaseRenewEvery = DefaultLeaseTTL / 3
+
+// DefaultStandbyPoll mirrors the standby's journal-tail and lease-watch
+// cadence (TTL/8): replay state stays within one poll of the primary's
+// synced history, and lease expiry is noticed well inside the takeover
+// latency bound.
+var DefaultStandbyPoll = DefaultLeaseTTL / 8

@@ -1,0 +1,98 @@
+package vine
+
+import (
+	"time"
+
+	"hepvine/internal/obs"
+)
+
+// Manager-side high availability: lease fencing and takeover accounting.
+//
+// The lease protocol itself (file format, renewal, expiry arithmetic)
+// lives in internal/ha; the manager only needs the narrow waist below —
+// "has my lease been lost?" — so vine never imports ha (ha constructs
+// vine.Managers, and the dependency must point one way).
+//
+// Fencing is the split-brain guard: a primary that was paused (GC,
+// SIGSTOP, scheduler stall) past its lease TTL may wake up *after* a
+// standby has taken over. Its renewer notices the foreign epoch on the
+// lease and fires Lost; from that moment this manager must never dispatch
+// again — the standby owns the workers, the address, and the journal.
+// Fenced is one-way: there is no un-fence, only a new manager.
+
+// Lease is the manager's view of an external leadership lease.
+// internal/ha.Lease implements it.
+type Lease interface {
+	// Lost is closed when the lease is observed held by another epoch or
+	// holder — leadership is gone and will not come back.
+	Lost() <-chan struct{}
+	// Holder names this lease's owner (diagnostics).
+	Holder() string
+	// Epoch is the fencing token: strictly increasing across acquisitions.
+	Epoch() uint64
+}
+
+// watchLease fences the manager the moment its leadership lease is lost.
+// Runs for the manager's lifetime when WithLease was given.
+func (m *Manager) watchLease() {
+	select {
+	case <-m.stopC:
+		return
+	case <-m.lease.Lost():
+	}
+	m.mu.Lock()
+	if m.fenced || m.stopped {
+		m.mu.Unlock()
+		return
+	}
+	m.fenced = true
+	m.met.leaseLosses.Inc()
+	m.notifyLocked()
+	m.mu.Unlock()
+	m.rec.Emit(obs.Event{Type: obs.EvLeaseLost, Src: m.lease.Holder(),
+		Attempt: int(m.lease.Epoch()),
+		Detail:  "lease held by another manager; dispatch fenced"})
+}
+
+// LeaseLost reports whether the manager has fenced itself after losing its
+// leadership lease. A fenced manager accepts connections and answers
+// queries but never dispatches another task.
+func (m *Manager) LeaseLost() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.fenced
+}
+
+// Failovers reports how many takeovers this manager performed (0 for a
+// primary, 1 for a standby that assumed a dead primary's role).
+func (m *Manager) Failovers() int { return int(m.met.failovers.Value()) }
+
+// TakeoverLatency reports the time from the old primary's lease expiry to
+// this manager's first task dispatch — the paper-facing availability
+// number. Zero until the first post-takeover dispatch, and always zero on
+// a manager that was never a standby.
+func (m *Manager) TakeoverLatency() time.Duration {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.takeoverLat
+}
+
+// observeTakeoverLocked records takeover latency at the first dispatch
+// after a takeover (requires m.mu).
+func (m *Manager) observeTakeoverLocked() {
+	if m.takeoverFrom.IsZero() || m.takeoverLat != 0 {
+		return
+	}
+	m.takeoverLat = time.Since(m.takeoverFrom)
+	if m.takeoverLat <= 0 {
+		m.takeoverLat = time.Nanosecond
+	}
+	m.met.takeoverLatency.Observe(m.takeoverLat.Seconds())
+	holder := ""
+	if m.lease != nil {
+		holder = m.lease.Holder()
+	}
+	m.rec.Emit(obs.Event{Type: obs.EvTakeover, Src: holder,
+		Attempt: int(m.takeoverEpoch), Dur: m.takeoverLat,
+		Detail: "first dispatch after takeover"})
+}

@@ -2,6 +2,7 @@ package vine
 
 import (
 	"errors"
+	"fmt"
 	"strconv"
 	"time"
 
@@ -116,54 +117,44 @@ func declRecord(name CacheName, fs *fileState) *journal.Record {
 	return r
 }
 
-// replayFile is the journal's view of one file while records stream by.
-type replayFile struct {
-	size     int64
-	path     string
-	data     []byte
-	producer int
-}
-
 // replayJournal reconstructs manager state from the attached journal. It
 // runs at construction, before any goroutine or connection exists, so no
 // locking is needed. Returns the number of completed tasks materialized.
+//
+// Two sources feed it: without WithReplayState the journal is read from
+// disk here; with it (the hot-standby takeover path) the fold arrived
+// pre-built from a journal.Follower and only materialization remains.
 func (m *Manager) replayJournal() (int, error) {
-	defs := make(map[int]journal.Record)
-	dones := make(map[int]journal.Record)
-	files := make(map[CacheName]*replayFile)
-	maxID := -1
-	st, err := m.jr.Replay(func(r journal.Record) {
-		switch r.Kind {
-		case journal.KindTaskDef:
-			if r.Spec != nil {
-				defs[r.TaskID] = r
-			}
-			if r.TaskID > maxID {
-				maxID = r.TaskID
-			}
-		case journal.KindTaskDone:
-			dones[r.TaskID] = r
-			for cn, size := range r.OutputSizes {
-				files[CacheName(cn)] = &replayFile{size: size, producer: r.TaskID}
-			}
-		case journal.KindTaskFail:
-			// Terminal failures are forgotten: a resubmission retries fresh.
-			delete(dones, r.TaskID)
-		case journal.KindFileDecl:
-			files[CacheName(r.CacheName)] = &replayFile{
-				size: r.Size, path: r.Path, data: r.Data, producer: -1,
-			}
-		case journal.KindUnlink:
-			delete(files, CacheName(r.CacheName))
-		case journal.KindDispatch:
-			// Dispatches are observability records; placement is not replayed.
+	rs := m.preState
+	if rs == nil {
+		rs = NewReplayState()
+		st, err := m.jr.Replay(rs.Apply)
+		if err != nil {
+			return 0, err
 		}
-	})
-	if err != nil {
-		return 0, err
+		m.met.journalReplayed.Add(st.Replayed)
+		m.met.journalSkipped.Add(st.Skipped)
+		if st.Skipped > 0 {
+			// Corrupt frames were silently dropped from the fold; make the
+			// loss visible (a skipped task_def means its task re-runs, a
+			// skipped file_decl means a re-declare or lineage recovery).
+			m.met.replaySkipped.Add(st.Skipped)
+			m.rec.Emit(obs.Event{Type: obs.EvFileCorrupt, Src: "journal",
+				Detail: fmt.Sprintf("replay skipped %d corrupt frames (of %d replayed)", st.Skipped, st.Replayed)})
+		}
+	} else {
+		m.met.journalReplayed.Add(rs.Applied())
 	}
-	m.met.journalReplayed.Add(st.Replayed)
-	m.met.journalSkipped.Add(st.Skipped)
+	return m.materializeReplay(rs)
+}
+
+// materializeReplay turns a folded ReplayState into live manager state:
+// fileState entries (with manager sources re-verified) and done
+// taskRecords with closed handles.
+func (m *Manager) materializeReplay(rs *ReplayState) (int, error) {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	defs, dones, files, maxID := rs.defs, rs.dones, rs.files, rs.maxID
 
 	// Materialize files first, so task outputs and declared inputs exist
 	// before any handle references them.

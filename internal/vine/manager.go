@@ -314,8 +314,12 @@ type managerMetrics struct {
 	journalSnapshots *obs.Counter
 	journalReplayed  *obs.Counter
 	journalSkipped   *obs.Counter
+	replaySkipped    *obs.Counter
+	leaseLosses      *obs.Counter
+	failovers        *obs.Counter
 	execSeconds      *obs.Histogram
 	queueWait        *obs.Histogram
+	takeoverLatency  *obs.Histogram
 }
 
 func newManagerMetrics(reg *obs.Registry) managerMetrics {
@@ -339,8 +343,12 @@ func newManagerMetrics(reg *obs.Registry) managerMetrics {
 		journalSnapshots: reg.Counter("vine_journal_snapshots_total"),
 		journalReplayed:  reg.Counter("vine_journal_replayed_records_total"),
 		journalSkipped:   reg.Counter("vine_journal_skipped_frames_total"),
+		replaySkipped:    reg.Counter("vine_journal_replay_skipped_total"),
+		leaseLosses:      reg.Counter("vine_lease_losses_total"),
+		failovers:        reg.Counter("vine_failovers_total"),
 		execSeconds:      reg.Histogram("vine_task_exec_seconds"),
 		queueWait:        reg.Histogram("vine_task_queue_wait_seconds"),
+		takeoverLatency:  reg.Histogram("vine_takeover_latency_seconds"),
 	}
 }
 
@@ -459,6 +467,16 @@ type Manager struct {
 	replayed     map[string]*taskRecord
 	journalDones int
 
+	// Availability (see ha.go). lease is the leadership lease this manager
+	// holds (nil = HA off); preState is a follower-built journal fold a
+	// standby hands over so takeover skips re-reading the log;
+	// takeoverFrom/takeoverEpoch mark when and under which fencing epoch
+	// this manager assumed a dead primary's role.
+	lease         Lease
+	preState      *ReplayState
+	takeoverFrom  time.Time
+	takeoverEpoch uint64
+
 	mu        sync.Mutex
 	change    chan struct{} // closed+replaced on any state change (broadcast)
 	rng       *randx.RNG    // retry jitter; guarded by mu
@@ -472,6 +490,11 @@ type Manager struct {
 	nextWID   int
 	nextTID   int
 	stopped   bool
+	// fenced is set (one-way) when the leadership lease is lost: the
+	// manager stays up for queries but never dispatches again, so a
+	// paused-then-resumed old primary cannot split-brain the cluster.
+	fenced      bool
+	takeoverLat time.Duration // lease expiry → first dispatch; 0 until observed
 }
 
 // notifyLocked wakes every goroutine blocked in WaitAny/WaitForWorkers by
@@ -525,19 +548,29 @@ func NewManager(options ...Option) (*Manager, error) {
 		jr:              c.jr,
 		compactEvery:    c.journalCompactEvery,
 		replayed:        make(map[string]*taskRecord),
+		lease:           c.lease,
+		preState:        c.replayState,
+		takeoverFrom:    c.takeoverFrom,
+		takeoverEpoch:   c.takeoverEpoch,
 	}
 	// Replay the journal before anything can connect or submit: the replay
 	// runs single-threaded over fresh state, so no locking is needed, and a
 	// resumed manager starts life already knowing every completed task.
-	if m.jr != nil {
+	if m.jr != nil || m.preState != nil {
 		warmable, err := m.replayJournal()
 		if err != nil {
 			return nil, fmt.Errorf("vine: journal replay: %w", err)
 		}
-		st := m.jr.Stats()
-		m.rec.Emit(obs.Event{Type: obs.EvManagerResume, Detail: fmt.Sprintf(
-			"%d records replayed, %d frames skipped, %d torn tails, %d tasks warmable",
-			st.Replayed, st.Skipped, st.TornTails, warmable)})
+		if m.preState != nil {
+			m.rec.Emit(obs.Event{Type: obs.EvManagerResume, Detail: fmt.Sprintf(
+				"%d records folded by standby tail, %d tasks warmable",
+				m.preState.Applied(), warmable)})
+		} else {
+			st := m.jr.Stats()
+			m.rec.Emit(obs.Event{Type: obs.EvManagerResume, Detail: fmt.Sprintf(
+				"%d records replayed, %d frames skipped, %d torn tails, %d tasks warmable",
+				st.Replayed, st.Skipped, st.TornTails, warmable)})
+		}
 	}
 	ts, err := newTransferServer(m, m.nc, "manager/transfer")
 	if err != nil {
@@ -554,6 +587,14 @@ func NewManager(options ...Option) (*Manager, error) {
 		return nil, err
 	}
 	m.ln = m.nc.listen(ln, "manager/control")
+	if m.takeoverEpoch > 0 {
+		m.met.failovers.Inc()
+		m.rec.Emit(obs.Event{Type: obs.EvManagerResume, Detail: fmt.Sprintf(
+			"takeover epoch %d listening on %s", m.takeoverEpoch, m.ln.Addr())})
+	}
+	if m.lease != nil {
+		go m.watchLease()
+	}
 	go m.acceptLoop()
 	go m.monitor()
 	return m, nil
@@ -1088,6 +1129,16 @@ func (m *Manager) handleWorker(cc *conn) {
 	if len(hello.Inventory) > 0 {
 		cc.send(&message{Type: msgInventoryAck, InventoryAck: &inventoryAckMsg{Known: known}})
 	}
+	if m.takeoverEpoch > 0 {
+		// Announce the takeover so workers (and their operators) know which
+		// incarnation they re-registered with; the epoch lets a worker
+		// discard notices from a fenced older manager.
+		holder := ""
+		if m.lease != nil {
+			holder = m.lease.Holder()
+		}
+		cc.send(&message{Type: msgTakeover, Takeover: &takeoverMsg{Holder: holder, Epoch: m.takeoverEpoch}})
+	}
 
 	for _, l := range libs {
 		cc.send(&message{Type: msgLibrary, Library: &libraryMsg{Name: l.Name, Hoist: l.Hoist}})
@@ -1180,7 +1231,7 @@ func (m *Manager) enqueueReadyLocked(rec *taskRecord) {
 // next, and the scheduler's own indexes (sorted worker ids, per-worker
 // file sets) keep the hot path free of per-task rebuild/sort work.
 func (m *Manager) scheduleLocked() {
-	if m.stopped {
+	if m.stopped || m.fenced {
 		return
 	}
 	m.sched.Assign(m.nowOff(), func(a sched.Assignment) {
@@ -1382,7 +1433,13 @@ type srcRecord struct {
 
 // dispatchLocked sends a fully-staged task to its worker.
 func (m *Manager) dispatchLocked(rec *taskRecord) {
+	if m.fenced {
+		// Lease lost between staging and dispatch: the task stays parked;
+		// the standby that owns the lease will run it from a resubmission.
+		return
+	}
 	w := m.workers[rec.worker]
+	m.observeTakeoverLocked()
 	m.setTaskState(rec, TaskRunning)
 	if d := m.deadlineFor(rec); d > 0 {
 		rec.deadlineAt = time.Now().Add(d)

@@ -78,6 +78,13 @@ type config struct {
 	jr                  *journal.Journal
 	journalCompactEvery int
 	listenAddr          string
+
+	// Availability: the leadership lease, a standby's pre-built journal
+	// fold, and the takeover provenance (see ha.go and internal/ha).
+	lease         Lease
+	replayState   *ReplayState
+	takeoverFrom  time.Time
+	takeoverEpoch uint64
 }
 
 func buildConfig(opts []Option) config {
@@ -344,6 +351,46 @@ func WithReconnect(attempts int, backoff time.Duration) Option {
 			c.wrk.ReconnectBackoff = backoff
 		}
 	}
+}
+
+// WithLease attaches a leadership lease: the manager watches it and fences
+// itself — permanently refusing to dispatch — the moment the lease is
+// observed held by another manager. This is the split-brain guard for
+// hot-standby HA: a paused-then-resumed old primary discovers the usurper's
+// epoch and goes quiet instead of double-dispatching (manager; default
+// none). internal/ha.AcquireLease produces a suitable Lease.
+func WithLease(l Lease) Option {
+	return func(c *config) { c.lease = l }
+}
+
+// WithReplayState hands the manager a journal fold built ahead of time —
+// a hot standby streams the primary's journal through a journal.Follower
+// into a ReplayState while the primary is alive, so takeover materializes
+// state instead of re-reading the log (manager; default none = fold the
+// attached journal from disk).
+func WithReplayState(st *ReplayState) Option {
+	return func(c *config) { c.replayState = st }
+}
+
+// WithTakeoverFrom marks this manager as a failover incarnation: expiry is
+// when the dead primary's lease ran out, epoch the fencing token the
+// standby acquired. The manager announces the takeover to registering
+// workers and reports the expiry→first-dispatch gap as
+// vine_takeover_latency_seconds (manager; default none).
+func WithTakeoverFrom(expiry time.Time, epoch uint64) Option {
+	return func(c *config) {
+		c.takeoverFrom = expiry
+		c.takeoverEpoch = epoch
+	}
+}
+
+// WithManagers gives the worker fallback manager addresses beyond the one
+// passed to NewWorker: on a connection error or manager silence the redial
+// budget cycles through the whole list (primary first), so a worker
+// survives a failover to a hot standby at a different address without
+// operator action (worker; default none; repeatable).
+func WithManagers(addrs ...string) Option {
+	return func(c *config) { c.wrk.Managers = append(c.wrk.Managers, addrs...) }
 }
 
 // WithManagerOptions applies a legacy ManagerOptions struct wholesale.

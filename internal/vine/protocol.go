@@ -41,6 +41,7 @@ type message struct {
 	Unlink       *unlinkMsg       `json:"unlink,omitempty"`
 	Evicted      *evictedMsg      `json:"evicted,omitempty"`
 	InventoryAck *inventoryAckMsg `json:"inventory_ack,omitempty"`
+	Takeover     *takeoverMsg     `json:"takeover,omitempty"`
 }
 
 // Message type tags.
@@ -55,6 +56,7 @@ const (
 	msgEvicted      = "evicted"
 	msgInventoryAck = "inventory_ack"
 	msgKill         = "kill"
+	msgTakeover     = "takeover"
 
 	// Liveness probes. Type-only messages: the manager pings links that
 	// have been quiet for a heartbeat interval, the worker answers with a
@@ -153,6 +155,15 @@ type libraryMsg struct {
 // unlinkMsg removes a file from the worker cache.
 type unlinkMsg struct {
 	CacheName string `json:"cachename"`
+}
+
+// takeoverMsg announces that a standby manager has assumed a dead
+// primary's role. Sent to each worker as it (re)registers with the new
+// incarnation; Epoch is the fencing token from the leadership lease, so a
+// worker can tell incarnations apart.
+type takeoverMsg struct {
+	Holder string `json:"holder"`
+	Epoch  uint64 `json:"epoch"`
 }
 
 // evictedMsg tells the manager a worker dropped a cached file to stay

@@ -1,0 +1,106 @@
+package vine
+
+import (
+	"sync"
+
+	"hepvine/internal/journal"
+)
+
+// ReplayState is the journal fold a manager materializes from at
+// construction: the definitions and completions still standing after
+// terminal failures and unlinks are applied, plus every file the run knows
+// about. NewManager builds one internally when replaying an attached
+// journal from disk; a hot standby (internal/ha) builds one *ahead of
+// time* by streaming a journal.Follower into Apply while the primary is
+// still alive, then hands it to NewManager via WithReplayState — takeover
+// pays only for materialization, not for re-reading the log.
+//
+// Apply is safe to call concurrently with Reset (a Follower's OnReset
+// hook); the fold itself is single-writer in both uses.
+type ReplayState struct {
+	mu      sync.Mutex
+	defs    map[int]journal.Record
+	dones   map[int]journal.Record
+	files   map[CacheName]*replayFile
+	maxID   int
+	applied int64
+}
+
+// replayFile is the fold's view of one file while records stream by.
+type replayFile struct {
+	size     int64
+	path     string
+	data     []byte
+	producer int
+}
+
+// NewReplayState returns an empty fold ready for Apply.
+func NewReplayState() *ReplayState {
+	s := &ReplayState{}
+	s.resetLocked()
+	return s
+}
+
+func (s *ReplayState) resetLocked() {
+	s.defs = make(map[int]journal.Record)
+	s.dones = make(map[int]journal.Record)
+	s.files = make(map[CacheName]*replayFile)
+	s.maxID = -1
+}
+
+// Reset discards the fold — the journal.Follower OnReset contract, fired
+// when compaction outruns the tail and state must rebuild from a snapshot.
+func (s *ReplayState) Reset() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.resetLocked()
+}
+
+// Apply folds one journal record. Records are idempotent upserts, so
+// re-applying (after a Follower reset replays a covering snapshot) is
+// harmless.
+func (s *ReplayState) Apply(r journal.Record) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.applied++
+	switch r.Kind {
+	case journal.KindTaskDef:
+		if r.Spec != nil {
+			s.defs[r.TaskID] = r
+		}
+		if r.TaskID > s.maxID {
+			s.maxID = r.TaskID
+		}
+	case journal.KindTaskDone:
+		s.dones[r.TaskID] = r
+		for cn, size := range r.OutputSizes {
+			s.files[CacheName(cn)] = &replayFile{size: size, producer: r.TaskID}
+		}
+	case journal.KindTaskFail:
+		// Terminal failures are forgotten: a resubmission retries fresh.
+		delete(s.dones, r.TaskID)
+	case journal.KindFileDecl:
+		s.files[CacheName(r.CacheName)] = &replayFile{
+			size: r.Size, path: r.Path, data: r.Data, producer: -1,
+		}
+	case journal.KindUnlink:
+		delete(s.files, CacheName(r.CacheName))
+	case journal.KindDispatch:
+		// Dispatches are observability records; placement is not replayed.
+	}
+}
+
+// Applied reports how many records have been folded in (across resets).
+func (s *ReplayState) Applied() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.applied
+}
+
+// Completed reports how many tasks the fold currently holds as done —
+// the standby's view of replay progress.
+func (s *ReplayState) Completed() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.dones)
+}

@@ -333,10 +333,12 @@ func (w *Worker) reconnect(old *conn) bool {
 	done := make(chan struct{})
 	w.redialC = done
 	attempts, backoff := w.reconnectAttempts, w.reconnectBackoff
+	addrs, start := w.addrs, w.addrIdx
 	w.mu.Unlock()
 
 	old.close()
 	var nc *conn
+	dialed := -1
 	for i := 1; i <= attempts; i++ {
 		// Back off before every attempt: even an immediately-successful
 		// dial against a half-up manager shouldn't spin.
@@ -344,16 +346,21 @@ func (w *Worker) reconnect(old *conn) bool {
 		case <-w.doneC:
 		case <-time.After(backoff):
 		}
+		// Cycle the manager address list, starting from the last address
+		// known good: attempt 1 retries the primary, later attempts rotate
+		// through the standbys, so a failover lands within one lap.
+		addr := addrs[(start+i-1)%len(addrs)]
 		select {
 		case <-w.doneC:
 			// Stopped while waiting; give up without dialing.
 		default:
-			raw, err := w.nc.dial(w.addr, w.label+"/control")
+			raw, err := w.nc.dial(addr, w.label+"/control")
 			if err == nil {
 				nc = newConn(raw)
+				dialed = (start + i - 1) % len(addrs)
 			} else {
 				w.rec.Emit(obs.Event{Type: obs.EvNetRetry, Worker: w.Name, Attempt: i,
-					Dur: backoff, Detail: "manager redial: " + err.Error()})
+					Dur: backoff, Detail: "manager redial " + addr + ": " + err.Error()})
 			}
 		}
 		if nc != nil {
@@ -380,6 +387,7 @@ func (w *Worker) reconnect(old *conn) bool {
 		return false
 	}
 	w.conn = nc
+	w.addrIdx = dialed
 	w.lastMgr = time.Now()
 	inv := w.inventoryLocked()
 	w.met.reconnects.Inc()
