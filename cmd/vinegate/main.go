@@ -1,0 +1,332 @@
+// Command vinegate is the analysis-facility front door: it runs one
+// (optionally journaled) TaskVine manager behind a multi-tenant HTTP
+// submission service, and doubles as the command-line client for it.
+//
+// Daemon — 4 in-process workers, journaled run state, two tenants with
+// 2:1 fair share:
+//
+//	vinegate serve -listen 127.0.0.1:9123 -journal ./run -workers 4 \
+//	        -tenants alice=2,bob=1
+//
+// Clients (any HTTP speaker works; these modes wrap the same API):
+//
+//	vinegate open   -gate http://127.0.0.1:9123 -tenant alice -session s1
+//	vinegate submit -gate ... -tenant alice -session s1 -file dag.json
+//	vinegate status -gate ... -tenant alice -session s1 [-task t1]
+//	vinegate events -gate ... -tenant alice -session s1 -since 0 -wait 5s
+//	vinegate fetch  -gate ... -tenant alice -name out:...:out -o hist.bin
+//	vinegate stats  -gate ...
+//	vinegate close  -gate ... -tenant alice -session s1
+//
+// dag.json is a gate.SubmitRequest: a list of task specs, producers
+// before consumers, with within-DAG input references by task label.
+// On SIGINT/SIGTERM the daemon drains: new submissions get 503,
+// in-flight tasks finish, the journal is synced, then it exits.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"hepvine/internal/gate"
+	"hepvine/internal/ha"
+	"hepvine/internal/journal"
+	"hepvine/internal/params"
+	"hepvine/internal/vine"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("vinegate: ")
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "serve":
+		err = serve(os.Args[2:])
+	case "open", "close", "submit", "status", "events", "fetch", "stats":
+		err = client(os.Args[1], os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: vinegate <mode> [flags]
+modes: serve | open | close | submit | status | events | fetch | stats
+run "vinegate <mode> -h" for that mode's flags`)
+}
+
+// demoLib is the library the daemon registers so the README walkthrough
+// (and any curl session) has something runnable without writing Go.
+func demoLib() *vine.Library {
+	return &vine.Library{
+		Name: "demo",
+		Funcs: map[string]vine.Function{
+			"echo": func(c *vine.Call) error {
+				c.SetOutput("out", append([]byte("echo:"), c.Args...))
+				return nil
+			},
+			"upper": func(c *vine.Call) error {
+				in, err := c.Input("in")
+				if err != nil {
+					return err
+				}
+				c.SetOutput("out", bytes.ToUpper(in))
+				return nil
+			},
+			"wordcount": func(c *vine.Call) error {
+				in, err := c.Input("in")
+				if err != nil {
+					return err
+				}
+				n := len(bytes.Fields(in))
+				c.SetOutput("out", []byte(strconv.Itoa(n)))
+				return nil
+			},
+		},
+	}
+}
+
+// ---- serve ----
+
+func serve(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	listen := fs.String("listen", "127.0.0.1:9123", "HTTP listen address for the gate API")
+	journalDir := fs.String("journal", "", "durable run directory (journal + lease + worker caches)")
+	workers := fs.Int("workers", 4, "in-process workers to start (0 = external vineworkers only)")
+	cores := fs.Int("cores", 4, "cores per in-process worker")
+	tenants := fs.String("tenants", "", "pre-configured tenants as name=weight[,name=weight...]")
+	maxSessions := fs.Int("max-sessions", params.DefaultGateMaxSessions, "default per-tenant session cap")
+	maxInFlight := fs.Int("max-inflight", params.DefaultGateMaxInFlight, "default per-tenant in-flight task cap")
+	rate := fs.Float64("rate", params.DefaultGateSubmitRate, "default per-tenant submissions/sec")
+	burst := fs.Int("burst", params.DefaultGateSubmitBurst, "default per-tenant submission burst")
+	drainTimeout := fs.Duration("drain-timeout", params.DefaultGateDrainTimeout, "max wait for in-flight tasks at shutdown")
+	fs.Parse(args)
+
+	vine.MustRegisterLibrary(demoLib())
+	cfg := gate.Config{
+		Default: gate.TenantConfig{
+			MaxSessions: *maxSessions, MaxInFlight: *maxInFlight,
+			SubmitRate: *rate, SubmitBurst: *burst,
+		},
+		Tenants:      make(map[string]gate.TenantConfig),
+		DrainTimeout: *drainTimeout,
+	}
+	if *tenants != "" {
+		for _, part := range strings.Split(*tenants, ",") {
+			name, weightStr, ok := strings.Cut(strings.TrimSpace(part), "=")
+			if !ok || name == "" {
+				return fmt.Errorf("bad -tenants entry %q, want name=weight", part)
+			}
+			w, err := strconv.ParseFloat(weightStr, 64)
+			if err != nil || w <= 0 {
+				return fmt.Errorf("bad weight in -tenants entry %q", part)
+			}
+			tc := cfg.Default
+			tc.QueueWeight = w
+			cfg.Tenants[name] = tc
+		}
+	}
+
+	mgrOpts := []vine.Option{
+		vine.WithPeerTransfers(true),
+		vine.WithLibrary("demo", true),
+	}
+	var jr *journal.Journal
+	if *journalDir != "" {
+		if err := os.MkdirAll(*journalDir, 0o755); err != nil {
+			return err
+		}
+		var err error
+		jr, err = journal.Open(filepath.Join(*journalDir, "journal"), journal.Options{})
+		if err != nil {
+			return err
+		}
+		defer jr.Close()
+		lease, err := ha.AcquireLease(ha.DefaultLeasePath(jr.Dir()), "vinegate", ha.DefaultTTL)
+		if err != nil {
+			return err
+		}
+		defer lease.Release()
+		mgrOpts = append(mgrOpts, vine.WithJournal(jr), vine.WithLease(lease))
+	}
+	mgr, err := vine.NewManager(mgrOpts...)
+	if err != nil {
+		return err
+	}
+	defer mgr.Stop()
+	if jr != nil {
+		if st := jr.Stats(); st.Replayed > 0 {
+			log.Printf("journal: replayed %d records (%d skipped) from %s", st.Replayed, st.Skipped, jr.Dir())
+		}
+	}
+	for i := 0; i < *workers; i++ {
+		wOpts := []vine.Option{
+			vine.WithName(fmt.Sprintf("local-%d", i)),
+			vine.WithCores(*cores),
+			vine.WithLibrary("demo", true),
+		}
+		if *journalDir != "" {
+			wOpts = append(wOpts,
+				vine.WithCacheDir(filepath.Join(*journalDir, fmt.Sprintf("worker-%d", i))),
+				vine.WithPersistentCache(true),
+				vine.WithReconnect(20, 250*time.Millisecond),
+			)
+		}
+		w, err := vine.NewWorker(mgr.Addr(), wOpts...)
+		if err != nil {
+			return err
+		}
+		defer w.Stop()
+	}
+	if *workers > 0 {
+		if err := mgr.WaitForWorkers(*workers, time.Minute); err != nil {
+			return err
+		}
+	}
+	g := gate.New(mgr, cfg)
+	srv := &http.Server{Addr: *listen, Handler: g.Handler()}
+	errC := make(chan error, 1)
+	go func() { errC <- srv.ListenAndServe() }()
+	log.Printf("gate API on http://%s, manager (workers) on %s, %d local workers", *listen, mgr.Addr(), *workers)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case s := <-sig:
+		log.Printf("%v: draining (up to %v for %d in-flight tasks)...", s, *drainTimeout, mgr.InFlight())
+		if err := g.Drain(*drainTimeout); err != nil {
+			log.Printf("drain: %v", err)
+		}
+		srv.Close()
+		<-errC
+		mgr.Stop() // syncs the journal
+		log.Printf("drained and stopped")
+		return nil
+	case err := <-errC:
+		return err
+	}
+}
+
+// ---- client modes ----
+
+func client(mode string, args []string) error {
+	fs := flag.NewFlagSet(mode, flag.ExitOnError)
+	base := fs.String("gate", envOr("VINEGATE_URL", "http://127.0.0.1:9123"), "gate base URL")
+	tenant := fs.String("tenant", envOr("VINEGATE_TENANT", ""), "tenant identity (X-Vine-Tenant)")
+	session := fs.String("session", "", "session name")
+	file := fs.String("file", "", "submit: SubmitRequest JSON file (- = stdin)")
+	task := fs.String("task", "", "status: poll one task id instead of the session")
+	wait := fs.Duration("wait", 0, "events: server-side long-poll window; status: poll until terminal")
+	since := fs.Int64("since", 0, "events: return events with seq > since")
+	name := fs.String("name", "", "fetch: result cachename")
+	out := fs.String("o", "", "fetch: output file (default stdout)")
+	fs.Parse(args)
+
+	c := &gate.Client{Base: *base, Tenant: *tenant}
+	switch mode {
+	case "open":
+		st, err := c.OpenSession(*session)
+		return emit(st, err)
+	case "close":
+		if err := c.CloseSession(*session); err != nil {
+			return err
+		}
+		fmt.Printf("closed %s\n", *session)
+		return nil
+	case "submit":
+		if *file == "" {
+			return fmt.Errorf("submit needs -file (SubmitRequest JSON, - for stdin)")
+		}
+		var data []byte
+		var err error
+		if *file == "-" {
+			data, err = io.ReadAll(os.Stdin)
+		} else {
+			data, err = os.ReadFile(*file)
+		}
+		if err != nil {
+			return err
+		}
+		var req gate.SubmitRequest
+		if err := json.Unmarshal(data, &req); err != nil {
+			return fmt.Errorf("parsing %s: %w", *file, err)
+		}
+		resp, err := c.Submit(*session, req)
+		return emit(resp, err)
+	case "status":
+		if *task != "" {
+			if *wait > 0 {
+				st, err := c.WaitTask(*session, *task, *wait)
+				return emit(st, err)
+			}
+			st, err := c.TaskStatus(*session, *task)
+			return emit(st, err)
+		}
+		st, err := c.SessionStatus(*session)
+		return emit(st, err)
+	case "events":
+		evs, err := c.Events(*session, *since, *wait)
+		return emit(evs, err)
+	case "fetch":
+		if *name == "" {
+			return fmt.Errorf("fetch needs -name")
+		}
+		data, err := c.Fetch(*name)
+		if err != nil {
+			return err
+		}
+		if *out == "" || *out == "-" {
+			_, err = os.Stdout.Write(data)
+			return err
+		}
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("%d bytes -> %s\n", len(data), *out)
+		return nil
+	case "stats":
+		st, err := c.Stats()
+		return emit(st, err)
+	}
+	return fmt.Errorf("unknown mode %q", mode)
+}
+
+// emit prints the reply as indented JSON (the client modes are meant to
+// compose with jq and shell scripts).
+func emit(v any, err error) error {
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}
+
+func envOr(key, def string) string {
+	if v := os.Getenv(key); v != "" {
+		return v
+	}
+	return def
+}

@@ -1,0 +1,355 @@
+// Front-door e2e: two tenants push the same analysis DAG through the
+// vinegate HTTP service against one journaled manager. The first tenant
+// executes it; the second gets the whole graph as warm hits — its queue
+// schedules nothing — and a third, tightly-capped tenant is turned away
+// with HTTP 429 until its backlog drains. Every result fetched over
+// HTTP must be bit-identical to a direct library run of the same graph
+// on a gate-less cluster.
+package benchrun
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"hepvine/internal/gate"
+	"hepvine/internal/journal"
+	"hepvine/internal/vine"
+)
+
+// gateE2ELib is a small deterministic analysis: "hist" folds a chunk of
+// raw bytes into a 256-bin byte-value histogram, "merge" sums any
+// number of histograms. Deterministic in, deterministic out — the
+// bit-identical comparisons below depend on it.
+func registerGateE2ELib(t *testing.T) {
+	t.Helper()
+	vine.MustRegisterLibrary(&vine.Library{
+		Name: "gatee2e",
+		Funcs: map[string]vine.Function{
+			"hist": func(c *vine.Call) error {
+				chunk, err := c.Input("chunk")
+				if err != nil {
+					return err
+				}
+				var counts [256]uint64
+				for _, b := range chunk {
+					counts[b]++
+				}
+				out := make([]byte, 256*8)
+				for i, n := range counts {
+					binary.BigEndian.PutUint64(out[i*8:], n)
+				}
+				c.SetOutput("hist", out)
+				return nil
+			},
+			"merge": func(c *vine.Call) error {
+				var counts [256]uint64
+				for _, name := range c.InputNames() {
+					part, err := c.Input(name)
+					if err != nil {
+						return err
+					}
+					if len(part) != 256*8 {
+						return fmt.Errorf("bad partial size %d", len(part))
+					}
+					for i := range counts {
+						counts[i] += binary.BigEndian.Uint64(part[i*8:])
+					}
+				}
+				out := make([]byte, 256*8)
+				for i, n := range counts {
+					binary.BigEndian.PutUint64(out[i*8:], n)
+				}
+				c.SetOutput("hist", out)
+				return nil
+			},
+			"slowecho": func(c *vine.Call) error {
+				time.Sleep(400 * time.Millisecond)
+				c.SetOutput("out", append([]byte("slow:"), c.Args...))
+				return nil
+			},
+		},
+	})
+}
+
+// gateE2EChunks synthesizes the shared input chunks: deterministic
+// pseudo-event payloads both planes declare byte-for-byte.
+func gateE2EChunks() [][]byte {
+	chunks := make([][]byte, 3)
+	for i := range chunks {
+		chunk := make([]byte, 64<<10)
+		state := uint32(2654435761 * uint32(i+1))
+		for j := range chunk {
+			state = state*1664525 + 1013904223
+			chunk[j] = byte(state >> 24)
+		}
+		chunks[i] = chunk
+	}
+	return chunks
+}
+
+// gateE2EDAG builds the wire-form DAG over the declared chunk names:
+// one hist per chunk, one merge over all of them by within-DAG refs.
+func gateE2EDAG(chunkNames []string) gate.SubmitRequest {
+	var req gate.SubmitRequest
+	merge := gate.TaskSpec{
+		Label: "merge", Library: "gatee2e", Func: "merge", Outputs: []string{"hist"},
+	}
+	for i, cn := range chunkNames {
+		label := fmt.Sprintf("hist%d", i)
+		req.Tasks = append(req.Tasks, gate.TaskSpec{
+			Label: label, Library: "gatee2e", Func: "hist",
+			Inputs:  []gate.InputRef{{Name: "chunk", CacheName: cn}},
+			Outputs: []string{"hist"},
+		})
+		merge.Inputs = append(merge.Inputs, gate.InputRef{
+			Name: fmt.Sprintf("p%d", i), Task: label, Output: "hist",
+		})
+	}
+	req.Tasks = append(req.Tasks, merge)
+	return req
+}
+
+func TestGateTwoTenantE2E(t *testing.T) {
+	registerGateE2ELib(t)
+	chunks := gateE2EChunks()
+
+	// Direct-library baseline: the same graph on a gate-less throwaway
+	// cluster, submitted through the plain Go API.
+	baseline := func() []byte {
+		mgr, err := vine.NewManager(
+			vine.WithPeerTransfers(true),
+			vine.WithLibrary("gatee2e", true),
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer mgr.Stop()
+		for i := 0; i < 2; i++ {
+			w, err := vine.NewWorker(mgr.Addr(),
+				vine.WithName(fmt.Sprintf("b%d", i)), vine.WithCores(2),
+				vine.WithCacheDir(t.TempDir()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer w.Stop()
+		}
+		if err := mgr.WaitForWorkers(2, 5*time.Second); err != nil {
+			t.Fatal(err)
+		}
+		var parts []vine.FileRef
+		for i, chunk := range chunks {
+			name := mgr.DeclareBuffer(chunk)
+			h, err := mgr.Submit(vine.Task{
+				Mode: vine.ModeTask, Library: "gatee2e", Func: "hist",
+				Inputs:  []vine.FileRef{{Name: "chunk", CacheName: name}},
+				Outputs: []string{"hist"},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := h.Wait(30 * time.Second); err != nil {
+				t.Fatal(err)
+			}
+			cn, _ := h.Output("hist")
+			parts = append(parts, vine.FileRef{Name: fmt.Sprintf("p%d", i), CacheName: cn})
+		}
+		h, err := mgr.Submit(vine.Task{
+			Mode: vine.ModeTask, Library: "gatee2e", Func: "merge",
+			Inputs: parts, Outputs: []string{"hist"},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := h.Wait(30 * time.Second); err != nil {
+			t.Fatal(err)
+		}
+		cn, _ := h.Output("hist")
+		data, err := mgr.FetchBytes(cn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}()
+
+	// The service plane: one journaled manager behind a vinegate HTTP
+	// front door, carol capped to 2 in-flight tasks.
+	runDir := t.TempDir()
+	jr, err := journal.Open(filepath.Join(runDir, "journal"), journal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jr.Close()
+	mgr, err := vine.NewManager(
+		vine.WithPeerTransfers(true),
+		vine.WithLibrary("gatee2e", true),
+		vine.WithJournal(jr),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mgr.Stop()
+	for i := 0; i < 2; i++ {
+		w, err := vine.NewWorker(mgr.Addr(),
+			vine.WithName(fmt.Sprintf("g%d", i)), vine.WithCores(2),
+			vine.WithCacheDir(t.TempDir()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer w.Stop()
+	}
+	if err := mgr.WaitForWorkers(2, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	g := gate.New(mgr, gate.Config{Tenants: map[string]gate.TenantConfig{
+		"carol": {MaxInFlight: 2},
+	}})
+	srv := httptest.NewServer(g.Handler())
+	defer srv.Close()
+
+	// Tenant alice runs the graph for real.
+	alice := &gate.Client{Base: srv.URL, Tenant: "alice"}
+	if _, err := alice.OpenSession("analysis"); err != nil {
+		t.Fatal(err)
+	}
+	chunkNames := make([]string, len(chunks))
+	for i, chunk := range chunks {
+		decl, err := alice.Declare(chunk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		chunkNames[i] = decl.CacheName
+	}
+	ra, err := alice.Submit("analysis", gateE2EDAG(chunkNames))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mergeID := ra.Tasks[len(ra.Tasks)-1].ID
+	sta, err := alice.WaitTask("analysis", mergeID, 60*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sta.State != "done" {
+		t.Fatalf("alice merge failed: %s", sta.Error)
+	}
+	aliceHist, err := alice.Fetch(sta.Outputs["hist"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(aliceHist, baseline) {
+		t.Fatal("HTTP-fetched result differs from the direct library run")
+	}
+
+	// Tenant bob submits the identical DAG: every task is a warm hit and
+	// his queue schedules nothing.
+	bob := &gate.Client{Base: srv.URL, Tenant: "bob"}
+	if _, err := bob.OpenSession("rerun"); err != nil {
+		t.Fatal(err)
+	}
+	rb, err := bob.Submit("rerun", gateE2EDAG(chunkNames))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ack := range rb.Tasks {
+		if !ack.Warm {
+			t.Fatalf("bob task %s not a warm hit", ack.Label)
+		}
+	}
+	bobHist, err := bob.Fetch(rb.Tasks[len(rb.Tasks)-1].Outputs["hist"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(bobHist, aliceHist) {
+		t.Fatal("warm-hit result not bit-identical")
+	}
+	stats, err := bob.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range stats.Queues {
+		if q.Name == "tenant:bob" && q.Dispatched != 0 {
+			t.Fatalf("bob's queue dispatched %d tasks, want 0", q.Dispatched)
+		}
+	}
+	var bobWarm int64
+	for _, ts := range stats.Tenants {
+		if ts.Tenant == "bob" {
+			bobWarm = ts.WarmHits
+		}
+	}
+	if bobWarm != int64(len(rb.Tasks)) {
+		t.Fatalf("bob warm hits = %d, want %d", bobWarm, len(rb.Tasks))
+	}
+	// The warm hits are visible in bob's event stream too.
+	evs, err := bob.Events("rerun", 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmEvents := 0
+	for _, ev := range evs {
+		if ev.Type == "warm_hit" {
+			warmEvents++
+		}
+	}
+	if warmEvents != len(rb.Tasks) {
+		t.Fatalf("warm_hit events = %d, want %d", warmEvents, len(rb.Tasks))
+	}
+
+	// Tenant carol is capped at 2 in-flight: her third submission gets a
+	// real HTTP 429 (with Retry-After), then is admitted once her
+	// backlog drains.
+	carol := &gate.Client{Base: srv.URL, Tenant: "carol"}
+	if _, err := carol.OpenSession("batch"); err != nil {
+		t.Fatal(err)
+	}
+	slow := func(label, arg string) gate.SubmitRequest {
+		return gate.SubmitRequest{Tasks: []gate.TaskSpec{{
+			Label: label, Library: "gatee2e", Func: "slowecho",
+			Args: []byte(arg), Outputs: []string{"out"},
+		}}}
+	}
+	r1, err := carol.Submit("batch", slow("a", "1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := carol.Submit("batch", slow("b", "2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = carol.Submit("batch", slow("c", "3"))
+	var se *gate.StatusError
+	if !errors.As(err, &se) || se.Code != http.StatusTooManyRequests {
+		t.Fatalf("expected HTTP 429 over in-flight cap, got %v", err)
+	}
+	if se.RetryAfter <= 0 {
+		t.Fatal("429 came without a Retry-After header")
+	}
+	if _, err := carol.WaitTask("batch", r1.Tasks[0].ID, 30*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := carol.WaitTask("batch", r2.Tasks[0].ID, 30*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if _, err = carol.Submit("batch", slow("c", "3")); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("carol still rejected after her backlog drained: %v", err)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+
+	// The journal actually recorded the run: this is the durable plane a
+	// restarted vinegate would replay.
+	if mgr.Stats().JournalAppends == 0 {
+		t.Fatal("journaled gate run appended nothing")
+	}
+}

@@ -1,0 +1,195 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"hepvine/internal/gate"
+	"hepvine/internal/vine"
+)
+
+// The gate experiment measures the analysis-facility front door under
+// concurrent multi-tenant load: N tenants hammer one vinegate HTTP
+// service with independent single-task submissions, and we report
+// aggregate submissions/sec through the full HTTP + admission + dedupe
+// path plus the p50/p99 submit→first-dispatch latency — the service
+// half of the paper's near-interactive story (how long after a client's
+// POST does work actually start on a worker).
+
+func init() {
+	register(Experiment{
+		ID:    "gate",
+		Title: "Multi-tenant gate: submission throughput + dispatch latency",
+		Paper: "§V near-interactive turnaround, extended to a shared HTTP front door with per-tenant fair share",
+		Run:   runGate,
+	})
+}
+
+func runGate(opts Options, w io.Writer) error {
+	vine.MustRegisterLibrary(&vine.Library{
+		Name: "gatebench",
+		Funcs: map[string]vine.Function{
+			"spin": func(c *vine.Call) error {
+				time.Sleep(2 * time.Millisecond)
+				c.SetOutput("out", append([]byte("done:"), c.Args...))
+				return nil
+			},
+		},
+	})
+
+	nTenants := opts.scaled(8, 2)
+	perTenant := opts.scaled(60, 10)
+	nWorkers := opts.scaled(4, 2)
+
+	dir, err := os.MkdirTemp("", "vinebench-gate-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	mgr, err := vine.NewManager(
+		vine.WithPeerTransfers(true),
+		vine.WithLibrary("gatebench", true),
+	)
+	if err != nil {
+		return err
+	}
+	defer mgr.Stop()
+	for i := 0; i < nWorkers; i++ {
+		wk, err := vine.NewWorker(mgr.Addr(),
+			vine.WithName(fmt.Sprintf("w%d", i)),
+			vine.WithCores(4),
+			vine.WithCacheDir(filepath.Join(dir, fmt.Sprintf("w%d", i))),
+		)
+		if err != nil {
+			return err
+		}
+		defer wk.Stop()
+	}
+	if err := mgr.WaitForWorkers(nWorkers, 10*time.Second); err != nil {
+		return err
+	}
+	g := gate.New(mgr, gate.Config{})
+	srv := httptest.NewServer(g.Handler())
+	defer srv.Close()
+
+	type tenantRun struct {
+		client *gate.Client
+		ids    []string
+		subDur time.Duration
+		rejs   int
+	}
+	runs := make([]*tenantRun, nTenants)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for ti := 0; ti < nTenants; ti++ {
+		runs[ti] = &tenantRun{client: &gate.Client{Base: srv.URL, Tenant: fmt.Sprintf("tenant%d", ti)}}
+		wg.Add(1)
+		go func(ti int, tr *tenantRun) {
+			defer wg.Done()
+			if _, err := tr.client.OpenSession("bench"); err != nil {
+				return
+			}
+			t0 := time.Now()
+			for n := 0; n < perTenant; n++ {
+				resp, err := tr.client.Submit("bench", gate.SubmitRequest{Tasks: []gate.TaskSpec{{
+					Label: fmt.Sprintf("t%d", n), Library: "gatebench", Func: "spin",
+					Args:    []byte(fmt.Sprintf("%d/%d", ti, n)),
+					Outputs: []string{"out"},
+				}}})
+				if err != nil {
+					// Admission pushback: back off briefly and retry once.
+					if se, ok := err.(*gate.StatusError); ok && se.Code == http.StatusTooManyRequests {
+						tr.rejs++
+						time.Sleep(se.RetryAfter)
+						if resp, err = tr.client.Submit("bench", gate.SubmitRequest{Tasks: []gate.TaskSpec{{
+							Label: fmt.Sprintf("t%d", n), Library: "gatebench", Func: "spin",
+							Args:    []byte(fmt.Sprintf("%d/%d", ti, n)),
+							Outputs: []string{"out"},
+						}}}); err != nil {
+							continue
+						}
+					} else {
+						continue
+					}
+				}
+				tr.ids = append(tr.ids, resp.Tasks[0].ID)
+			}
+			tr.subDur = time.Since(t0)
+		}(ti, runs[ti])
+	}
+	wg.Wait()
+	submitWall := time.Since(start)
+
+	// Wait for every admitted task, then harvest dispatch latencies.
+	submitted := 0
+	var latencies []time.Duration
+	for _, tr := range runs {
+		for _, id := range tr.ids {
+			st, err := tr.client.WaitTask("bench", id, 2*time.Minute)
+			if err != nil {
+				return err
+			}
+			if st.State != "done" {
+				return fmt.Errorf("gate: task %s %s: %s", id, st.State, st.Error)
+			}
+			submitted++
+			if st.DispatchUnixNanos > st.SubmitUnixNanos {
+				latencies = append(latencies, time.Duration(st.DispatchUnixNanos-st.SubmitUnixNanos))
+			}
+		}
+	}
+	totalWall := time.Since(start)
+	if submitted != nTenants*perTenant {
+		return fmt.Errorf("gate: %d of %d submissions admitted", submitted, nTenants*perTenant)
+	}
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	pct := func(p float64) time.Duration {
+		if len(latencies) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(latencies)-1))
+		return latencies[i]
+	}
+	subsPerSec := float64(submitted) / submitWall.Seconds()
+	rejections := 0
+	for _, tr := range runs {
+		rejections += tr.rejs
+	}
+
+	csv, err := opts.csvFile("gate")
+	if err != nil {
+		return err
+	}
+	if csv != nil {
+		defer csv.Close()
+		fmt.Fprintln(csv, "tenants,tasks,workers,submissions_per_sec,p50_dispatch_ms,p99_dispatch_ms,rejections,total_wall_s")
+		fmt.Fprintf(csv, "%d,%d,%d,%.1f,%.3f,%.3f,%d,%.3f\n",
+			nTenants, submitted, nWorkers, subsPerSec,
+			pct(0.50).Seconds()*1e3, pct(0.99).Seconds()*1e3, rejections, totalWall.Seconds())
+	}
+
+	row(w, "Tenants", "Tasks", "Submit/s", "p50 dispatch", "p99 dispatch", "429s")
+	row(w, fmt.Sprintf("%d", nTenants), fmt.Sprintf("%d", submitted),
+		fmt.Sprintf("%.0f", subsPerSec),
+		pct(0.50).Round(time.Microsecond).String(),
+		pct(0.99).Round(time.Microsecond).String(),
+		fmt.Sprintf("%d", rejections))
+	fmt.Fprintf(w, "   %d tenants × %d tasks over HTTP on %d workers; whole run %.2fs\n",
+		nTenants, perTenant, nWorkers, totalWall.Seconds())
+
+	if len(latencies) == 0 {
+		return fmt.Errorf("gate: no task ever reached a worker")
+	}
+	if pct(0.99) > 30*time.Second {
+		return fmt.Errorf("gate: p99 dispatch latency %v is not near-interactive", pct(0.99))
+	}
+	return nil
+}

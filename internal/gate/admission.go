@@ -1,0 +1,108 @@
+package gate
+
+import (
+	"fmt"
+	"time"
+
+	"hepvine/internal/params"
+)
+
+// Admission control: the per-tenant knobs that keep one analysis group
+// from starving the rest. Three mechanisms compose:
+//
+//   - a session cap (table protection),
+//   - an in-flight cap (backlog protection: submitted-but-not-terminal
+//     tasks, the thing that actually occupies the ready heap), and
+//   - a token bucket on submission rate (burst protection: a whole graph
+//     may land at once, a tight resubmit loop may not).
+//
+// Rejections are HTTP 429 with Retry-After; clients are expected to back
+// off and retry, and the e2e suite proves an over-limit tenant is
+// admitted once its backlog drains.
+
+// TenantConfig is one tenant's admission envelope. Zero fields take the
+// params defaults (pinned by TestParamsMirrorsGateDefaults).
+type TenantConfig struct {
+	// MaxSessions caps concurrently open sessions.
+	MaxSessions int
+	// MaxInFlight caps submitted-but-not-terminal tasks across all of the
+	// tenant's sessions. Warm hits never count: they are terminal at
+	// admission and occupy nothing.
+	MaxInFlight int
+	// SubmitRate is the token-bucket refill rate, task submissions/sec.
+	SubmitRate float64
+	// SubmitBurst is the bucket capacity.
+	SubmitBurst int
+	// QueueWeight is the tenant's weighted fair-share (see internal/sched).
+	QueueWeight float64
+}
+
+// withDefaults fills zero fields from params.
+func (c TenantConfig) withDefaults() TenantConfig {
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = params.DefaultGateMaxSessions
+	}
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = params.DefaultGateMaxInFlight
+	}
+	if c.SubmitRate <= 0 {
+		c.SubmitRate = params.DefaultGateSubmitRate
+	}
+	if c.SubmitBurst <= 0 {
+		c.SubmitBurst = params.DefaultGateSubmitBurst
+	}
+	if c.QueueWeight <= 0 {
+		c.QueueWeight = params.DefaultGateQueueWeight
+	}
+	return c
+}
+
+// bucket is a classic token bucket: tokens refill at rate/sec up to
+// burst; take spends n if available. Callers hold the gate mutex.
+type bucket struct {
+	rate   float64
+	burst  float64
+	tokens float64
+	last   time.Time
+}
+
+func newBucket(rate float64, burst int, now time.Time) bucket {
+	return bucket{rate: rate, burst: float64(burst), tokens: float64(burst), last: now}
+}
+
+// refill advances the bucket to now.
+func (b *bucket) refill(now time.Time) {
+	if dt := now.Sub(b.last).Seconds(); dt > 0 {
+		b.tokens += dt * b.rate
+		if b.tokens > b.burst {
+			b.tokens = b.burst
+		}
+	}
+	b.last = now
+}
+
+// take spends n tokens if the bucket holds them; on refusal it reports
+// how long until they will have accrued (the Retry-After hint).
+func (b *bucket) take(now time.Time, n float64) (bool, time.Duration) {
+	b.refill(now)
+	if b.tokens >= n {
+		b.tokens -= n
+		return true, 0
+	}
+	wait := time.Duration((n - b.tokens) / b.rate * float64(time.Second))
+	return false, wait
+}
+
+// StatusError is an admission or lookup failure carrying its HTTP
+// mapping. http.go translates it; Go-level callers can errors.As it.
+type StatusError struct {
+	Code       int           // HTTP status
+	Message    string        //
+	RetryAfter time.Duration // >0 adds a Retry-After header (429s)
+}
+
+func (e *StatusError) Error() string { return e.Message }
+
+func errf(code int, format string, args ...any) *StatusError {
+	return &StatusError{Code: code, Message: fmt.Sprintf(format, args...)}
+}

@@ -1,0 +1,185 @@
+package gate
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"time"
+)
+
+// Client is the Go-side counterpart of the HTTP surface: what
+// cmd/vinegate's client modes, the root e2e suite, and the gate
+// benchmark speak. It is a thin, dependency-free wrapper — every method
+// maps one-to-one onto a route in http.go, and non-2xx replies come
+// back as *StatusError so callers can branch on 429 vs 503 vs 404.
+type Client struct {
+	// Base is the gate's root URL, e.g. "http://127.0.0.1:9123".
+	Base string
+	// Tenant rides in the X-Vine-Tenant header ("" = anon).
+	Tenant string
+	// HTTP overrides the transport (nil = http.DefaultClient).
+	HTTP *http.Client
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+// do runs one request and decodes a JSON reply into out (nil = discard).
+func (c *Client) do(method, path string, body io.Reader, out any) error {
+	req, err := http.NewRequest(method, c.Base+path, body)
+	if err != nil {
+		return err
+	}
+	if c.Tenant != "" {
+		req.Header.Set(TenantHeader, c.Tenant)
+	}
+	if body != nil && method == http.MethodPost {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return decodeError(resp)
+	}
+	if out == nil {
+		io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// decodeError turns a non-2xx reply into a *StatusError, carrying the
+// server's Retry-After hint when present.
+func decodeError(resp *http.Response) error {
+	var er ErrorResponse
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	if json.Unmarshal(body, &er) != nil || er.Error == "" {
+		er.Error = fmt.Sprintf("gate: HTTP %d: %s", resp.StatusCode, bytes.TrimSpace(body))
+	}
+	se := &StatusError{Code: resp.StatusCode, Message: er.Error}
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		if secs, err := strconv.Atoi(ra); err == nil {
+			se.RetryAfter = time.Duration(secs) * time.Second
+		}
+	}
+	return se
+}
+
+// OpenSession opens (idempotently) the named session.
+func (c *Client) OpenSession(name string) (SessionStatus, error) {
+	var st SessionStatus
+	err := c.do(http.MethodPost, "/v1/sessions/"+url.PathEscape(name), nil, &st)
+	return st, err
+}
+
+// CloseSession closes the named session.
+func (c *Client) CloseSession(name string) error {
+	return c.do(http.MethodDelete, "/v1/sessions/"+url.PathEscape(name), nil, nil)
+}
+
+// Submit ships one DAG into the session.
+func (c *Client) Submit(session string, req SubmitRequest) (SubmitResponse, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return SubmitResponse{}, err
+	}
+	var resp SubmitResponse
+	err = c.do(http.MethodPost, "/v1/sessions/"+url.PathEscape(session)+"/tasks", bytes.NewReader(body), &resp)
+	return resp, err
+}
+
+// TaskStatus polls one task.
+func (c *Client) TaskStatus(session, id string) (TaskStatus, error) {
+	var st TaskStatus
+	err := c.do(http.MethodGet,
+		"/v1/sessions/"+url.PathEscape(session)+"/tasks/"+url.PathEscape(id), nil, &st)
+	return st, err
+}
+
+// SessionStatus polls the session summary.
+func (c *Client) SessionStatus(session string) (SessionStatus, error) {
+	var st SessionStatus
+	err := c.do(http.MethodGet, "/v1/sessions/"+url.PathEscape(session), nil, &st)
+	return st, err
+}
+
+// Events long-polls the session stream for events with Seq > since,
+// waiting up to wait server-side for something to arrive.
+func (c *Client) Events(session string, since int64, wait time.Duration) ([]Event, error) {
+	q := url.Values{}
+	if since > 0 {
+		q.Set("since", strconv.FormatInt(since, 10))
+	}
+	if wait > 0 {
+		q.Set("wait_ms", strconv.FormatInt(wait.Milliseconds(), 10))
+	}
+	var evs []Event
+	err := c.do(http.MethodGet,
+		"/v1/sessions/"+url.PathEscape(session)+"/events?"+q.Encode(), nil, &evs)
+	return evs, err
+}
+
+// Declare uploads an input buffer and returns its cachename.
+func (c *Client) Declare(data []byte) (DeclareResponse, error) {
+	var resp DeclareResponse
+	err := c.do(http.MethodPost, "/v1/files", bytes.NewReader(data), &resp)
+	return resp, err
+}
+
+// Fetch downloads result bytes by cachename (lineage-regenerating if
+// the cluster lost them).
+func (c *Client) Fetch(name string) ([]byte, error) {
+	req, err := http.NewRequest(http.MethodGet, c.Base+"/v1/result?name="+url.QueryEscape(name), nil)
+	if err != nil {
+		return nil, err
+	}
+	if c.Tenant != "" {
+		req.Header.Set(TenantHeader, c.Tenant)
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return nil, decodeError(resp)
+	}
+	return io.ReadAll(resp.Body)
+}
+
+// Stats fetches the service-wide stats snapshot.
+func (c *Client) Stats() (StatsResponse, error) {
+	var st StatsResponse
+	err := c.do(http.MethodGet, "/v1/stats", nil, &st)
+	return st, err
+}
+
+// WaitTask polls until the task reaches a terminal state or the timeout
+// elapses, returning the final status.
+func (c *Client) WaitTask(session, id string, timeout time.Duration) (TaskStatus, error) {
+	deadline := time.Now().Add(timeout)
+	for {
+		st, err := c.TaskStatus(session, id)
+		if err != nil {
+			return st, err
+		}
+		if st.State == "done" || st.State == "failed" {
+			return st, nil
+		}
+		if timeout > 0 && time.Now().After(deadline) {
+			return st, fmt.Errorf("gate: task %s still %s after %v", id, st.State, timeout)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

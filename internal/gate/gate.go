@@ -1,0 +1,628 @@
+// Package gate is the analysis-facility front door: a multi-tenant
+// submission service in front of one (journaled, optionally HA) vine
+// manager. Tenants open named sessions, submit serialized DAGs, poll
+// status, stream lifecycle events, and fetch results over HTTP/JSON —
+// while the gate enforces per-tenant admission control (session,
+// in-flight, and rate caps), maps each tenant onto its own weighted
+// fair-share queue, and dedupes identical content-addressed definitions
+// across tenants so the second group to ask for a histogram gets the
+// first group's bytes without scheduling anything.
+//
+// The package splits cleanly: gate.go holds the tenancy model and the
+// Go-level API, admission.go the caps, wire.go the JSON schema, http.go
+// the HTTP surface, client.go the matching Go client.
+package gate
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"hepvine/internal/obs"
+	"hepvine/internal/params"
+	"hepvine/internal/vine"
+)
+
+// Config configures a Gate.
+type Config struct {
+	// Tenants pre-configures named tenants. Tenants not listed here are
+	// admitted with Default's envelope on first contact.
+	Tenants map[string]TenantConfig
+	// Default is the envelope for unlisted tenants; zero fields take the
+	// params defaults.
+	Default TenantConfig
+	// DrainTimeout bounds Drain when the caller passes 0.
+	DrainTimeout time.Duration
+}
+
+// Gate fronts one manager for many tenants.
+type Gate struct {
+	mgr *vine.Manager
+	cfg Config
+	rec *obs.Recorder
+	now func() time.Time // injectable clock for admission tests
+
+	requests   *obs.Counter // vine_gate_requests_total
+	rejections *obs.Counter // vine_gate_admission_rejections_total
+	sessActive *obs.Gauge   // vine_gate_sessions_active
+
+	mu       sync.Mutex
+	tenants  map[string]*tenant
+	draining bool
+}
+
+// tenant is one analysis group's gate-side state.
+type tenant struct {
+	name     string
+	cfg      TenantConfig
+	queue    string
+	bucket   bucket
+	sessions map[string]*session // open sessions by name
+	total    int                 // sessions ever opened
+	inFlight int                 // submitted-but-not-terminal tasks
+	sub      int64               // tasks admitted
+	rej      int64               // requests rejected
+	warm     *obs.Counter        // vine_gate_warm_hits_total{tenant=...}
+	warmN    int64
+}
+
+// session is one tenant's named working context: its tasks, its label
+// namespace for within-DAG references, and its event stream.
+type session struct {
+	tenant *tenant
+	name   string
+	nextID int
+	tasks  map[string]*gateTask // by id
+	labels map[string]*gateTask // by label, latest submission wins
+	events []Event
+	seq    int64
+	wake   chan struct{} // closed+replaced on every event (broadcast)
+	warm   int
+}
+
+// gateTask is one admitted task.
+type gateTask struct {
+	id       string
+	label    string
+	outputs  []string
+	handle   *vine.TaskHandle
+	warm     bool // terminal at admission, nothing scheduled
+	submitAt time.Time
+}
+
+// New builds a gate over a started manager. The gate registers its
+// metrics in the manager's registry and emits lifecycle events through
+// the manager's recorder, so one trace and one /metrics page tell the
+// whole story.
+func New(mgr *vine.Manager, cfg Config) *Gate {
+	cfg.Default = cfg.Default.withDefaults()
+	if cfg.DrainTimeout <= 0 {
+		cfg.DrainTimeout = params.DefaultGateDrainTimeout
+	}
+	reg := mgr.Metrics()
+	return &Gate{
+		mgr:        mgr,
+		cfg:        cfg,
+		rec:        mgr.Recorder(),
+		now:        time.Now,
+		requests:   reg.Counter("vine_gate_requests_total"),
+		rejections: reg.Counter("vine_gate_admission_rejections_total"),
+		sessActive: reg.Gauge("vine_gate_sessions_active"),
+		tenants:    make(map[string]*tenant),
+	}
+}
+
+// Manager exposes the fronted manager (tests and the daemon use it).
+func (g *Gate) Manager() *vine.Manager { return g.mgr }
+
+// tenantLocked finds or creates a tenant, provisioning its fair-share
+// queue on first contact.
+func (g *Gate) tenantLocked(name string) *tenant {
+	if t, ok := g.tenants[name]; ok {
+		return t
+	}
+	cfg, ok := g.cfg.Tenants[name]
+	if ok {
+		cfg = cfg.withDefaults()
+	} else {
+		cfg = g.cfg.Default
+	}
+	t := &tenant{
+		name:     name,
+		cfg:      cfg,
+		queue:    "tenant:" + name,
+		bucket:   newBucket(cfg.SubmitRate, cfg.SubmitBurst, g.now()),
+		sessions: make(map[string]*session),
+		warm:     g.mgr.Metrics().Counter(fmt.Sprintf("vine_gate_warm_hits_total{tenant=%q}", name)),
+	}
+	g.mgr.ProvisionQueue(t.queue, cfg.QueueWeight)
+	g.tenants[name] = t
+	return t
+}
+
+// ---- sessions ----
+
+// OpenSession opens (or re-opens: the call is idempotent) a tenant's
+// named session.
+func (g *Gate) OpenSession(tenantName, name string) (SessionStatus, error) {
+	g.requests.Inc()
+	if tenantName == "" || name == "" {
+		return SessionStatus{}, errf(http.StatusBadRequest, "gate: tenant and session name required")
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.draining {
+		return SessionStatus{}, errf(http.StatusServiceUnavailable, "gate: draining")
+	}
+	t := g.tenantLocked(tenantName)
+	if s, ok := t.sessions[name]; ok {
+		return g.sessionStatusLocked(s), nil
+	}
+	if len(t.sessions) >= t.cfg.MaxSessions {
+		t.rej++
+		g.rejections.Inc()
+		g.rec.Emit(obs.Event{Type: obs.EvAdmissionReject, Src: tenantName,
+			Detail: fmt.Sprintf("session cap %d: open %q", t.cfg.MaxSessions, name)})
+		return SessionStatus{}, &StatusError{Code: http.StatusTooManyRequests,
+			Message: fmt.Sprintf("gate: tenant %q at session cap (%d)", tenantName, t.cfg.MaxSessions)}
+	}
+	s := &session{
+		tenant: t, name: name,
+		tasks:  make(map[string]*gateTask),
+		labels: make(map[string]*gateTask),
+		wake:   make(chan struct{}),
+	}
+	t.sessions[name] = s
+	t.total++
+	g.sessActive.Add(1)
+	g.rec.Emit(obs.Event{Type: obs.EvSessionOpen, Src: tenantName, Detail: name})
+	s.emitLocked("session_open", "", "")
+	return g.sessionStatusLocked(s), nil
+}
+
+// CloseSession closes a session. Its tasks keep running (results are
+// shared cluster state), but the session's status, events, and label
+// namespace go away, and a tenant with no open sessions and no backlog
+// has its fair-share queue deprovisioned.
+func (g *Gate) CloseSession(tenantName, name string) error {
+	g.requests.Inc()
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	s, err := g.sessionLocked(tenantName, name)
+	if err != nil {
+		return err
+	}
+	s.emitLocked("session_close", "", "")
+	t := s.tenant
+	delete(t.sessions, name)
+	g.sessActive.Add(-1)
+	g.rec.Emit(obs.Event{Type: obs.EvSessionClose, Src: tenantName, Detail: name})
+	if len(t.sessions) == 0 && t.inFlight == 0 {
+		g.mgr.DropQueue(t.queue)
+	}
+	return nil
+}
+
+func (g *Gate) sessionLocked(tenantName, name string) (*session, error) {
+	t, ok := g.tenants[tenantName]
+	if !ok {
+		return nil, errf(http.StatusNotFound, "gate: unknown tenant %q", tenantName)
+	}
+	s, ok := t.sessions[name]
+	if !ok {
+		return nil, errf(http.StatusNotFound, "gate: tenant %q has no open session %q", tenantName, name)
+	}
+	return s, nil
+}
+
+// emitLocked appends a session event and wakes long-pollers.
+func (s *session) emitLocked(typ, task, detail string) {
+	s.seq++
+	s.events = append(s.events, Event{
+		Seq: s.seq, UnixNanos: time.Now().UnixNano(),
+		Type: typ, Task: task, Detail: detail,
+	})
+	close(s.wake)
+	s.wake = make(chan struct{})
+}
+
+// ---- submission ----
+
+// Submit admits one DAG into a session. The whole request is admitted or
+// rejected atomically: caps are checked against the full task count
+// before anything is handed to the manager, so a 429 never leaves a
+// half-submitted graph behind.
+func (g *Gate) Submit(tenantName, sessionName string, req SubmitRequest) (SubmitResponse, error) {
+	g.requests.Inc()
+	if len(req.Tasks) == 0 {
+		return SubmitResponse{}, errf(http.StatusBadRequest, "gate: empty submission")
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.draining {
+		return SubmitResponse{}, errf(http.StatusServiceUnavailable, "gate: draining")
+	}
+	s, err := g.sessionLocked(tenantName, sessionName)
+	if err != nil {
+		return SubmitResponse{}, err
+	}
+	t := s.tenant
+	// Admission: in-flight cap first (conservatively counting every task
+	// in the request, warm or not — identity is only known post-submit),
+	// then the rate bucket, so a rejected request costs no tokens.
+	if t.inFlight+len(req.Tasks) > t.cfg.MaxInFlight {
+		return SubmitResponse{}, g.rejectLocked(t, http.StatusTooManyRequests, 0,
+			fmt.Sprintf("in-flight cap %d: %d queued + %d requested", t.cfg.MaxInFlight, t.inFlight, len(req.Tasks)))
+	}
+	if ok, retry := t.bucket.take(g.now(), float64(len(req.Tasks))); !ok {
+		return SubmitResponse{}, g.rejectLocked(t, http.StatusTooManyRequests, retry,
+			fmt.Sprintf("rate limit %.0f/s: %d tasks", t.cfg.SubmitRate, len(req.Tasks)))
+	}
+	// Validate and resolve the whole DAG before submitting any of it, so
+	// a bad spec anywhere rejects the request without side effects.
+	reqLabels := make(map[string]*TaskSpec, len(req.Tasks))
+	for i := range req.Tasks {
+		spec := &req.Tasks[i]
+		if spec.Label == "" {
+			return SubmitResponse{}, errf(http.StatusBadRequest, "gate: task %d: label required", i)
+		}
+		if _, dup := reqLabels[spec.Label]; dup {
+			return SubmitResponse{}, errf(http.StatusBadRequest, "gate: duplicate label %q", spec.Label)
+		}
+		if _, err := g.resolveLocked(s, reqLabels, spec); err != nil {
+			return SubmitResponse{}, err
+		}
+		reqLabels[spec.Label] = spec
+	}
+	// Hand the graph to the manager in order; producers precede consumers
+	// by the request contract, and outputs get their cachenames at
+	// submit, so later tasks' within-DAG refs resolve against s.labels.
+	resp := SubmitResponse{Tasks: make([]TaskResult, 0, len(req.Tasks))}
+	for i := range req.Tasks {
+		spec := &req.Tasks[i]
+		// Re-resolve within-DAG refs now that earlier tasks have handles.
+		vt, err := g.resolveLocked(s, nil, spec)
+		if err != nil {
+			return SubmitResponse{}, err
+		}
+		// Stamp before handing off: the manager may dispatch synchronously
+		// inside SubmitShared, and submit→dispatch latency must not go
+		// negative.
+		submitAt := time.Now()
+		h, shared, err := g.mgr.SubmitShared(vt)
+		if err != nil {
+			return SubmitResponse{}, errf(http.StatusBadRequest, "gate: task %q: %v", spec.Label, err)
+		}
+		s.nextID++
+		gt := &gateTask{
+			id:       "t" + strconv.Itoa(s.nextID),
+			label:    spec.Label,
+			outputs:  spec.Outputs,
+			handle:   h,
+			submitAt: submitAt,
+		}
+		terminal := false
+		if shared {
+			st := h.State()
+			if st == vine.TaskDone || st == vine.TaskFailed {
+				gt.warm, terminal = true, true
+				t.warm.Inc()
+				t.warmN++
+				s.warm++
+				s.emitLocked("warm_hit", gt.id, spec.Label)
+			}
+		}
+		s.tasks[gt.id] = gt
+		s.labels[spec.Label] = gt
+		t.sub++
+		s.emitLocked("task_submit", gt.id, spec.Label)
+		if !terminal {
+			t.inFlight++
+			go g.watch(t, s, gt)
+		}
+		out := make(map[string]string, len(spec.Outputs))
+		for _, o := range spec.Outputs {
+			if c, ok := h.Output(o); ok {
+				out[o] = string(c)
+			}
+		}
+		resp.Tasks = append(resp.Tasks, TaskResult{Label: spec.Label, ID: gt.id, Outputs: out, Warm: gt.warm})
+	}
+	return resp, nil
+}
+
+// rejectLocked books an admission rejection: tenant counter, gate
+// metric, trace event, and the typed error http.go turns into a 429.
+func (g *Gate) rejectLocked(t *tenant, code int, retry time.Duration, detail string) *StatusError {
+	t.rej++
+	g.rejections.Inc()
+	g.rec.Emit(obs.Event{Type: obs.EvAdmissionReject, Src: t.name, Detail: detail})
+	if retry <= 0 {
+		retry = 500 * time.Millisecond
+	}
+	return &StatusError{Code: code, Message: "gate: " + t.name + ": " + detail, RetryAfter: retry}
+}
+
+// resolveLocked turns a TaskSpec into a vine.Task: queue pinned to the
+// tenant, inputs resolved. Within-DAG references resolve against the
+// session's label table; during validation (before handles exist) refs
+// to labels in reqLabels are accepted and checked for output existence.
+func (g *Gate) resolveLocked(s *session, reqLabels map[string]*TaskSpec, spec *TaskSpec) (vine.Task, error) {
+	vt := vine.Task{
+		Library:  spec.Library,
+		Func:     spec.Func,
+		Args:     spec.Args,
+		Outputs:  spec.Outputs,
+		Cores:    spec.Cores,
+		Memory:   spec.Memory,
+		Queue:    s.tenant.queue,
+		Priority: spec.Priority,
+	}
+	switch spec.Mode {
+	case "", "task":
+		vt.Mode = vine.ModeTask
+	case "function-call":
+		vt.Mode = vine.ModeFunctionCall
+	default:
+		return vine.Task{}, errf(http.StatusBadRequest, "gate: task %q: unknown mode %q", spec.Label, spec.Mode)
+	}
+	for _, in := range spec.Inputs {
+		switch {
+		case in.CacheName != "" && in.Task == "":
+			vt.Inputs = append(vt.Inputs, vine.FileRef{Name: in.Name, CacheName: vine.CacheName(in.CacheName)})
+		case in.Task != "" && in.CacheName == "":
+			c, err := resolveRef(s, reqLabels, spec.Label, in)
+			if err != nil {
+				return vine.Task{}, err
+			}
+			vt.Inputs = append(vt.Inputs, vine.FileRef{Name: in.Name, CacheName: c})
+		default:
+			return vine.Task{}, errf(http.StatusBadRequest,
+				"gate: task %q: input %q must set exactly one of cachename or task+output", spec.Label, in.Name)
+		}
+	}
+	return vt, nil
+}
+
+// resolveRef resolves one within-DAG reference: against the session's
+// already-submitted labels (a real cachename), or — during the
+// validation pass, when reqLabels is non-nil — against earlier tasks of
+// the same request, yielding a placeholder the submit pass re-resolves
+// once the producer has a handle.
+func resolveRef(s *session, reqLabels map[string]*TaskSpec, label string, in InputRef) (vine.CacheName, error) {
+	if prev, ok := s.labels[in.Task]; ok {
+		c, ok := prev.handle.Output(in.Output)
+		if !ok {
+			return "", errf(http.StatusBadRequest,
+				"gate: task %q: input %q: task %q has no output %q", label, in.Name, in.Task, in.Output)
+		}
+		return c, nil
+	}
+	if reqLabels != nil {
+		if prev, ok := reqLabels[in.Task]; ok {
+			for _, o := range prev.Outputs {
+				if o == in.Output {
+					return vine.CacheName("pending:" + in.Task + ":" + in.Output), nil
+				}
+			}
+			return "", errf(http.StatusBadRequest,
+				"gate: task %q: input %q: task %q has no output %q", label, in.Name, in.Task, in.Output)
+		}
+	}
+	return "", errf(http.StatusBadRequest,
+		"gate: task %q: input %q references unknown task %q (producers must precede consumers)",
+		label, in.Name, in.Task)
+}
+
+// watch follows one admitted task to its terminal state, maintaining the
+// tenant's in-flight count and the session event stream.
+func (g *Gate) watch(t *tenant, s *session, gt *gateTask) {
+	<-gt.handle.Done()
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	t.inFlight--
+	typ := "task_done"
+	detail := gt.label
+	if err := gt.handle.Err(); err != nil {
+		typ, detail = "task_fail", gt.label+": "+err.Error()
+	}
+	// The session may have closed while the task ran; its stream is gone
+	// but the in-flight bookkeeping above still applies.
+	if t.sessions[s.name] == s {
+		s.emitLocked(typ, gt.id, detail)
+	} else if len(t.sessions) == 0 && t.inFlight == 0 {
+		g.mgr.DropQueue(t.queue)
+	}
+}
+
+// ---- introspection ----
+
+// TaskStatus reports one task's live state.
+func (g *Gate) TaskStatus(tenantName, sessionName, id string) (TaskStatus, error) {
+	g.requests.Inc()
+	g.mu.Lock()
+	s, err := g.sessionLocked(tenantName, sessionName)
+	if err != nil {
+		g.mu.Unlock()
+		return TaskStatus{}, err
+	}
+	gt, ok := s.tasks[id]
+	g.mu.Unlock()
+	if !ok {
+		return TaskStatus{}, errf(http.StatusNotFound, "gate: session %q has no task %q", sessionName, id)
+	}
+	return taskStatus(gt), nil
+}
+
+func taskStatus(gt *gateTask) TaskStatus {
+	h := gt.handle
+	st := TaskStatus{
+		ID:              gt.id,
+		Label:           gt.label,
+		State:           h.State().String(),
+		Warm:            gt.warm || h.WarmHit(),
+		Worker:          h.Worker(),
+		Retries:         h.Retries(),
+		ExecNanos:       int64(h.ExecTime()),
+		SetupNanos:      int64(h.SetupTime()),
+		SubmitUnixNanos: gt.submitAt.UnixNano(),
+	}
+	if err := h.Err(); err != nil {
+		st.Error = err.Error()
+	}
+	if d := h.FirstDispatch(); !d.IsZero() {
+		st.DispatchUnixNanos = d.UnixNano()
+	}
+	st.Outputs = make(map[string]string, len(gt.outputs))
+	for _, o := range gt.outputs {
+		if c, ok := h.Output(o); ok {
+			st.Outputs[o] = string(c)
+		}
+	}
+	return st
+}
+
+// SessionStatus summarizes one session.
+func (g *Gate) SessionStatus(tenantName, name string) (SessionStatus, error) {
+	g.requests.Inc()
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	s, err := g.sessionLocked(tenantName, name)
+	if err != nil {
+		return SessionStatus{}, err
+	}
+	return g.sessionStatusLocked(s), nil
+}
+
+func (g *Gate) sessionStatusLocked(s *session) SessionStatus {
+	by := make(map[string]int)
+	for _, gt := range s.tasks {
+		by[gt.handle.State().String()]++
+	}
+	return SessionStatus{
+		Tenant: s.tenant.name, Name: s.name, Open: true,
+		Tasks: len(s.tasks), ByState: by, WarmHits: s.warm,
+	}
+}
+
+// Events returns the session's events with Seq > since, blocking up to
+// wait for at least one to arrive (0 = return immediately).
+func (g *Gate) Events(tenantName, sessionName string, since int64, wait time.Duration) ([]Event, error) {
+	g.requests.Inc()
+	deadline := time.Now().Add(wait)
+	for {
+		g.mu.Lock()
+		s, err := g.sessionLocked(tenantName, sessionName)
+		if err != nil {
+			g.mu.Unlock()
+			return nil, err
+		}
+		var out []Event
+		for _, ev := range s.events {
+			if ev.Seq > since {
+				out = append(out, ev)
+			}
+		}
+		wake := s.wake
+		g.mu.Unlock()
+		if len(out) > 0 || wait <= 0 {
+			return out, nil
+		}
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			return nil, nil
+		}
+		select {
+		case <-wake:
+		case <-time.After(remain):
+			return nil, nil
+		}
+	}
+}
+
+// Declare uploads an input buffer, returning its content-addressed
+// cachename. Identical bytes from any tenant land on the same name —
+// dedupe is free below the gate.
+func (g *Gate) Declare(tenantName string, data []byte) (DeclareResponse, error) {
+	g.requests.Inc()
+	g.mu.Lock()
+	draining := g.draining
+	g.mu.Unlock()
+	if draining {
+		return DeclareResponse{}, errf(http.StatusServiceUnavailable, "gate: draining")
+	}
+	name := g.mgr.DeclareBuffer(data)
+	return DeclareResponse{CacheName: string(name), Size: int64(len(data))}, nil
+}
+
+// Fetch materializes a result by cachename, regenerating through lineage
+// if the bytes were lost. Blocking; never holds the gate mutex.
+func (g *Gate) Fetch(name string) ([]byte, error) {
+	g.requests.Inc()
+	data, err := g.mgr.FetchBytes(vine.CacheName(name))
+	if err != nil {
+		return nil, errf(http.StatusNotFound, "gate: fetch %s: %v", name, err)
+	}
+	return data, nil
+}
+
+// Stats snapshots the whole service: per-tenant gate counters plus the
+// scheduler's per-queue view.
+func (g *Gate) Stats() StatsResponse {
+	g.requests.Inc()
+	g.mu.Lock()
+	resp := StatsResponse{Draining: g.draining}
+	names := make([]string, 0, len(g.tenants))
+	for n := range g.tenants {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		t := g.tenants[n]
+		t.bucket.refill(g.now())
+		resp.Tenants = append(resp.Tenants, TenantStats{
+			Tenant:         t.name,
+			Queue:          t.queue,
+			SessionsActive: len(t.sessions),
+			SessionsTotal:  t.total,
+			InFlight:       t.inFlight,
+			Submitted:      t.sub,
+			Rejected:       t.rej,
+			WarmHits:       t.warmN,
+			RateTokens:     t.bucket.tokens,
+		})
+	}
+	g.mu.Unlock()
+	for _, q := range g.mgr.QueueStats() {
+		resp.Queues = append(resp.Queues, QueueStat{
+			Name: q.Name, Weight: q.Weight, Pending: q.Pending,
+			Dispatched: int64(q.Dispatched), WaitTotalNanos: q.WaitTotal,
+		})
+	}
+	return resp
+}
+
+// Draining reports whether Drain has begun.
+func (g *Gate) Draining() bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.draining
+}
+
+// Drain gracefully winds the service down: new submissions get 503,
+// in-flight tasks run to completion (bounded by timeout; 0 uses the
+// configured DrainTimeout), and the manager stops admitting fresh work.
+// The caller still owns Manager.Stop (which syncs the journal) — tests
+// and the daemon want to inspect or serve final state in between.
+func (g *Gate) Drain(timeout time.Duration) error {
+	g.mu.Lock()
+	g.draining = true
+	g.mu.Unlock()
+	if timeout <= 0 {
+		timeout = g.cfg.DrainTimeout
+	}
+	return g.mgr.Drain(timeout)
+}

@@ -1,0 +1,592 @@
+package gate
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"hepvine/internal/params"
+	"hepvine/internal/vine"
+)
+
+// execCount counts real on-worker executions of the current test's
+// library — the ground truth for "dedupe scheduled nothing".
+var execCount atomic.Int32
+
+// registerGateLib installs the test library fresh (registration replaces,
+// so each test starts with a clean counter).
+func registerGateLib(t *testing.T) {
+	t.Helper()
+	execCount.Store(0)
+	vine.MustRegisterLibrary(&vine.Library{
+		Name: "gatelib",
+		Funcs: map[string]vine.Function{
+			"echo": func(c *vine.Call) error {
+				execCount.Add(1)
+				c.SetOutput("out", append([]byte("echo:"), c.Args...))
+				return nil
+			},
+			"upper": func(c *vine.Call) error {
+				execCount.Add(1)
+				in, err := c.Input("in")
+				if err != nil {
+					return err
+				}
+				c.SetOutput("out", bytes.ToUpper(in))
+				return nil
+			},
+			"slow": func(c *vine.Call) error {
+				execCount.Add(1)
+				time.Sleep(300 * time.Millisecond)
+				c.SetOutput("out", append([]byte("slow:"), c.Args...))
+				return nil
+			},
+		},
+	})
+}
+
+// newGate spins a loopback cluster and a gate in front of it.
+func newGate(t *testing.T, workers, coresEach int, cfg Config) *Gate {
+	t.Helper()
+	registerGateLib(t)
+	m, err := vine.NewManager(
+		vine.WithPeerTransfers(true),
+		vine.WithLibrary("gatelib", true),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(m.Stop)
+	for i := 0; i < workers; i++ {
+		w, err := vine.NewWorker(m.Addr(),
+			vine.WithName(fmt.Sprintf("w%d", i)),
+			vine.WithCores(coresEach),
+			vine.WithCacheDir(t.TempDir()),
+			vine.WithLibrary("gatelib", true),
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(w.Stop)
+	}
+	if err := m.WaitForWorkers(workers, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	return New(m, cfg)
+}
+
+func echoSpec(label, payload string) TaskSpec {
+	return TaskSpec{Label: label, Library: "gatelib", Func: "echo", Args: []byte(payload), Outputs: []string{"out"}}
+}
+
+func mustOpen(t *testing.T, g *Gate, tenant, session string) {
+	t.Helper()
+	if _, err := g.OpenSession(tenant, session); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func waitDone(t *testing.T, g *Gate, tenant, session, id string) TaskStatus {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		st, err := g.TaskStatus(tenant, session, id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State == "done" || st.State == "failed" {
+			return st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("task %s stuck in %s", id, st.State)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// ---- params pin ----
+
+// TestParamsMirrorsGateDefaults pins the admission defaults: the gate
+// fills zero TenantConfig fields from params, and these are the numbers
+// the docs and the capacity plan quote.
+func TestParamsMirrorsGateDefaults(t *testing.T) {
+	c := TenantConfig{}.withDefaults()
+	if c.MaxSessions != params.DefaultGateMaxSessions || c.MaxSessions != 8 {
+		t.Fatalf("MaxSessions = %d", c.MaxSessions)
+	}
+	if c.MaxInFlight != params.DefaultGateMaxInFlight || c.MaxInFlight != 1024 {
+		t.Fatalf("MaxInFlight = %d", c.MaxInFlight)
+	}
+	if c.SubmitRate != params.DefaultGateSubmitRate || c.SubmitRate != 500.0 {
+		t.Fatalf("SubmitRate = %v", c.SubmitRate)
+	}
+	if c.SubmitBurst != params.DefaultGateSubmitBurst || c.SubmitBurst != 1000 {
+		t.Fatalf("SubmitBurst = %d", c.SubmitBurst)
+	}
+	if c.QueueWeight != params.DefaultGateQueueWeight || c.QueueWeight != 1.0 {
+		t.Fatalf("QueueWeight = %v", c.QueueWeight)
+	}
+	if params.DefaultGateDrainTimeout != 30*time.Second {
+		t.Fatalf("DrainTimeout = %v", params.DefaultGateDrainTimeout)
+	}
+}
+
+// ---- unit: token bucket ----
+
+func TestBucket(t *testing.T) {
+	now := time.Unix(1000, 0)
+	b := newBucket(10, 5, now) // 10 tokens/s, burst 5
+	if ok, _ := b.take(now, 5); !ok {
+		t.Fatal("burst refused")
+	}
+	ok, retry := b.take(now, 1)
+	if ok {
+		t.Fatal("empty bucket granted")
+	}
+	if retry <= 0 || retry > 200*time.Millisecond {
+		t.Fatalf("retry hint %v, want ~100ms", retry)
+	}
+	if ok, _ := b.take(now.Add(100*time.Millisecond), 1); !ok {
+		t.Fatal("refill not granted")
+	}
+	// Idle time must not bank beyond burst.
+	b.refill(now.Add(time.Hour))
+	if b.tokens > b.burst {
+		t.Fatalf("banked %v tokens beyond burst %v", b.tokens, b.burst)
+	}
+}
+
+// ---- sessions ----
+
+func TestSessionLifecycle(t *testing.T) {
+	g := newGate(t, 1, 2, Config{Tenants: map[string]TenantConfig{
+		"alice": {MaxSessions: 2},
+	}})
+	st, err := g.OpenSession("alice", "s1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Open || st.Tenant != "alice" || st.Name != "s1" {
+		t.Fatalf("bad status %+v", st)
+	}
+	// Idempotent reopen.
+	if _, err := g.OpenSession("alice", "s1"); err != nil {
+		t.Fatal(err)
+	}
+	if g.sessActive.Value() != 1 {
+		t.Fatalf("sessions_active = %d", g.sessActive.Value())
+	}
+	// Session cap: a second distinct session fits, a third does not.
+	mustOpen(t, g, "alice", "s2")
+	_, err = g.OpenSession("alice", "s3")
+	var se *StatusError
+	if !errors.As(err, &se) || se.Code != http.StatusTooManyRequests {
+		t.Fatalf("expected 429 at session cap, got %v", err)
+	}
+	if g.rejections.Value() == 0 {
+		t.Fatal("rejection not counted")
+	}
+	// The tenant's fair-share queue exists while sessions are open and is
+	// deprovisioned when the last one closes with no backlog.
+	if !hasQueue(g, "tenant:alice") {
+		t.Fatal("tenant queue not provisioned")
+	}
+	if err := g.CloseSession("alice", "s1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.CloseSession("alice", "s2"); err != nil {
+		t.Fatal(err)
+	}
+	if hasQueue(g, "tenant:alice") {
+		t.Fatal("idle tenant queue not deprovisioned")
+	}
+	if _, err := g.SessionStatus("alice", "s1"); err == nil {
+		t.Fatal("closed session still visible")
+	}
+}
+
+func hasQueue(g *Gate, name string) bool {
+	for _, q := range g.mgr.QueueStats() {
+		if q.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// ---- submission ----
+
+func TestSubmitDAGWithinRequest(t *testing.T) {
+	g := newGate(t, 2, 2, Config{})
+	mustOpen(t, g, "alice", "s")
+	resp, err := g.Submit("alice", "s", SubmitRequest{Tasks: []TaskSpec{
+		echoSpec("producer", "hi"),
+		{
+			Label: "consumer", Library: "gatelib", Func: "upper",
+			Inputs:  []InputRef{{Name: "in", Task: "producer", Output: "out"}},
+			Outputs: []string{"out"},
+		},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Tasks) != 2 {
+		t.Fatalf("got %d acks", len(resp.Tasks))
+	}
+	final := waitDone(t, g, "alice", "s", resp.Tasks[1].ID)
+	if final.State != "done" {
+		t.Fatalf("consumer failed: %s", final.Error)
+	}
+	data, err := g.Fetch(final.Outputs["out"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "ECHO:HI" {
+		t.Fatalf("chained result = %q", data)
+	}
+	// The consumer's submit-side latency accounting must be coherent.
+	if final.DispatchUnixNanos == 0 || final.DispatchUnixNanos < final.SubmitUnixNanos {
+		t.Fatalf("dispatch %d vs submit %d", final.DispatchUnixNanos, final.SubmitUnixNanos)
+	}
+}
+
+func TestSubmitValidation(t *testing.T) {
+	g := newGate(t, 1, 2, Config{})
+	mustOpen(t, g, "alice", "s")
+	cases := []SubmitRequest{
+		{}, // empty
+		{Tasks: []TaskSpec{{Library: "gatelib", Func: "echo"}}},                            // no label
+		{Tasks: []TaskSpec{echoSpec("a", "x"), echoSpec("a", "y")}},                        // dup label
+		{Tasks: []TaskSpec{{Label: "a", Library: "gatelib", Func: "echo", Mode: "weird"}}}, // bad mode
+		{Tasks: []TaskSpec{{ // consumer before producer
+			Label: "c", Library: "gatelib", Func: "upper",
+			Inputs: []InputRef{{Name: "in", Task: "p", Output: "out"}},
+		}, echoSpec("p", "x")}},
+		{Tasks: []TaskSpec{{ // ambiguous input
+			Label: "a", Library: "gatelib", Func: "upper",
+			Inputs: []InputRef{{Name: "in", CacheName: "blob:x", Task: "p", Output: "out"}},
+		}}},
+	}
+	for i, req := range cases {
+		_, err := g.Submit("alice", "s", req)
+		var se *StatusError
+		if !errors.As(err, &se) || se.Code != http.StatusBadRequest {
+			t.Fatalf("case %d: expected 400, got %v", i, err)
+		}
+	}
+	// A rejected request admits nothing.
+	if st, _ := g.SessionStatus("alice", "s"); st.Tasks != 0 {
+		t.Fatalf("rejected requests leaked %d tasks", st.Tasks)
+	}
+}
+
+// ---- cross-tenant dedupe ----
+
+func TestCrossTenantWarmHit(t *testing.T) {
+	g := newGate(t, 2, 2, Config{})
+	mustOpen(t, g, "alice", "s")
+	mustOpen(t, g, "bob", "s")
+	r1, err := g.Submit("alice", "s", SubmitRequest{Tasks: []TaskSpec{echoSpec("h", "shared")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st1 := waitDone(t, g, "alice", "s", r1.Tasks[0].ID)
+	if st1.State != "done" {
+		t.Fatal(st1.Error)
+	}
+	// Bob submits the identical definition: warm hit, nothing scheduled.
+	r2, err := g.Submit("bob", "s", SubmitRequest{Tasks: []TaskSpec{echoSpec("mine", "shared")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r2.Tasks[0].Warm {
+		t.Fatal("identical definition not served warm")
+	}
+	if n := execCount.Load(); n != 1 {
+		t.Fatalf("executions = %d, want 1", n)
+	}
+	a, _ := g.Fetch(r1.Tasks[0].Outputs["out"])
+	b, _ := g.Fetch(r2.Tasks[0].Outputs["out"])
+	if !bytes.Equal(a, b) || len(a) == 0 {
+		t.Fatalf("results differ: %q vs %q", a, b)
+	}
+	// Bob's queue scheduled nothing; the tenant warm counter shows why.
+	for _, q := range g.mgr.QueueStats() {
+		if q.Name == "tenant:bob" && q.Dispatched != 0 {
+			t.Fatalf("bob dispatched %d tasks", q.Dispatched)
+		}
+	}
+	stats := g.Stats()
+	for _, ts := range stats.Tenants {
+		if ts.Tenant == "bob" && ts.WarmHits != 1 {
+			t.Fatalf("bob warm hits = %d", ts.WarmHits)
+		}
+	}
+}
+
+// TestColdRaceSingleExecution is the racing-cold-cluster satellite: two
+// tenants submit the same definition concurrently before anything has
+// run. Exactly one execution happens; both get bit-identical bytes.
+func TestColdRaceSingleExecution(t *testing.T) {
+	g := newGate(t, 2, 2, Config{})
+	mustOpen(t, g, "alice", "s")
+	mustOpen(t, g, "bob", "s")
+	spec := TaskSpec{Label: "race", Library: "gatelib", Func: "slow", Args: []byte("cold"), Outputs: []string{"out"}}
+	var wg sync.WaitGroup
+	ids := make([]string, 2)
+	for i, tenant := range []string{"alice", "bob"} {
+		wg.Add(1)
+		go func(i int, tenant string) {
+			defer wg.Done()
+			r, err := g.Submit(tenant, "s", SubmitRequest{Tasks: []TaskSpec{spec}})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			ids[i] = r.Tasks[0].ID
+		}(i, tenant)
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+	sa := waitDone(t, g, "alice", "s", ids[0])
+	sb := waitDone(t, g, "bob", "s", ids[1])
+	if sa.State != "done" || sb.State != "done" {
+		t.Fatalf("states %s/%s", sa.State, sb.State)
+	}
+	if n := execCount.Load(); n != 1 {
+		t.Fatalf("racing submissions executed %d times, want 1", n)
+	}
+	a, err := g.Fetch(sa.Outputs["out"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := g.Fetch(sb.Outputs["out"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) || len(a) == 0 {
+		t.Fatalf("racing results differ: %q vs %q", a, b)
+	}
+}
+
+// ---- admission ----
+
+func TestInFlightCap(t *testing.T) {
+	g := newGate(t, 1, 2, Config{Tenants: map[string]TenantConfig{
+		"carol": {MaxInFlight: 2},
+	}})
+	mustOpen(t, g, "carol", "s")
+	slow := func(label, arg string) SubmitRequest {
+		return SubmitRequest{Tasks: []TaskSpec{{
+			Label: label, Library: "gatelib", Func: "slow", Args: []byte(arg), Outputs: []string{"out"},
+		}}}
+	}
+	r1, err := g.Submit("carol", "s", slow("a", "1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := g.Submit("carol", "s", slow("b", "2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Over the cap: 429 with a Retry-After hint.
+	_, err = g.Submit("carol", "s", slow("c", "3"))
+	var se *StatusError
+	if !errors.As(err, &se) || se.Code != http.StatusTooManyRequests {
+		t.Fatalf("expected 429 over in-flight cap, got %v", err)
+	}
+	if se.RetryAfter <= 0 {
+		t.Fatal("429 without Retry-After hint")
+	}
+	// Once the backlog drains, the same submission is admitted.
+	waitDone(t, g, "carol", "s", r1.Tasks[0].ID)
+	waitDone(t, g, "carol", "s", r2.Tasks[0].ID)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, err = g.Submit("carol", "s", slow("c", "3")); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("still rejected after drain: %v", err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestRateLimit(t *testing.T) {
+	g := newGate(t, 1, 2, Config{Tenants: map[string]TenantConfig{
+		"dave": {SubmitRate: 1, SubmitBurst: 2},
+	}})
+	clock := time.Unix(5000, 0)
+	g.now = func() time.Time { return clock }
+	mustOpen(t, g, "dave", "s")
+	for i := 0; i < 2; i++ {
+		if _, err := g.Submit("dave", "s", SubmitRequest{Tasks: []TaskSpec{echoSpec(fmt.Sprintf("t%d", i), fmt.Sprint(i))}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, err := g.Submit("dave", "s", SubmitRequest{Tasks: []TaskSpec{echoSpec("t2", "2")}})
+	var se *StatusError
+	if !errors.As(err, &se) || se.Code != http.StatusTooManyRequests || se.RetryAfter <= 0 {
+		t.Fatalf("expected rate 429 with retry hint, got %v", err)
+	}
+	// A second of simulated time refills one token.
+	clock = clock.Add(time.Second)
+	if _, err := g.Submit("dave", "s", SubmitRequest{Tasks: []TaskSpec{echoSpec("t2", "2")}}); err != nil {
+		t.Fatalf("post-refill submission rejected: %v", err)
+	}
+}
+
+// ---- drain ----
+
+func TestDrain(t *testing.T) {
+	g := newGate(t, 1, 2, Config{})
+	mustOpen(t, g, "alice", "s")
+	r, err := g.Submit("alice", "s", SubmitRequest{Tasks: []TaskSpec{{
+		Label: "slow", Library: "gatelib", Func: "slow", Args: []byte("x"), Outputs: []string{"out"},
+	}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- g.Drain(10 * time.Second) }()
+	// Draining gates new work out with 503...
+	deadline := time.Now().Add(2 * time.Second)
+	for !g.Draining() {
+		if time.Now().After(deadline) {
+			t.Fatal("drain never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	_, err = g.Submit("alice", "s", SubmitRequest{Tasks: []TaskSpec{echoSpec("late", "y")}})
+	var se *StatusError
+	if !errors.As(err, &se) || se.Code != http.StatusServiceUnavailable {
+		t.Fatalf("expected 503 while draining, got %v", err)
+	}
+	// ...while the in-flight task runs to completion.
+	if err := <-done; err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	st, err := g.TaskStatus("alice", "s", r.Tasks[0].ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != "done" {
+		t.Fatalf("in-flight task not finished by drain: %s", st.State)
+	}
+	if !g.Stats().Draining {
+		t.Fatal("stats hide draining")
+	}
+}
+
+// ---- HTTP round trip ----
+
+func TestHTTPRoundTrip(t *testing.T) {
+	g := newGate(t, 2, 2, Config{})
+	srv := httptest.NewServer(g.Handler())
+	defer srv.Close()
+	c := &Client{Base: srv.URL, Tenant: "alice"}
+
+	if _, err := c.OpenSession("web"); err != nil {
+		t.Fatal(err)
+	}
+	decl, err := c.Declare([]byte("raw event data"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if decl.Size != int64(len("raw event data")) || decl.CacheName == "" {
+		t.Fatalf("bad declare ack %+v", decl)
+	}
+	resp, err := c.Submit("web", SubmitRequest{Tasks: []TaskSpec{{
+		Label: "up", Library: "gatelib", Func: "upper",
+		Inputs:  []InputRef{{Name: "in", CacheName: decl.CacheName}},
+		Outputs: []string{"out"},
+	}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.WaitTask("web", resp.Tasks[0].ID, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != "done" {
+		t.Fatalf("task failed over HTTP: %s", st.Error)
+	}
+	data, err := c.Fetch(st.Outputs["out"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "RAW EVENT DATA" {
+		t.Fatalf("fetched %q", data)
+	}
+	// Events carry the lifecycle in order.
+	evs, err := c.Events("web", 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var types []string
+	for _, ev := range evs {
+		types = append(types, ev.Type)
+	}
+	want := map[string]bool{"session_open": false, "task_submit": false, "task_done": false}
+	for _, typ := range types {
+		if _, ok := want[typ]; ok {
+			want[typ] = true
+		}
+	}
+	for typ, seen := range want {
+		if !seen {
+			t.Fatalf("event %q missing from %v", typ, types)
+		}
+	}
+	// Long-poll wakes on the next event instead of waiting out the timer.
+	last := evs[len(evs)-1].Seq
+	got := make(chan []Event, 1)
+	go func() {
+		evs, _ := c.Events("web", last, 5*time.Second)
+		got <- evs
+	}()
+	time.Sleep(50 * time.Millisecond)
+	if _, err := c.Submit("web", SubmitRequest{Tasks: []TaskSpec{echoSpec("ping", "x")}}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case evs := <-got:
+		if len(evs) == 0 {
+			t.Fatal("long-poll returned empty")
+		}
+	case <-time.After(4 * time.Second):
+		t.Fatal("long-poll did not wake on event")
+	}
+	// Stats and session status over the wire.
+	stats, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats.Tenants) != 1 || stats.Tenants[0].Tenant != "alice" || stats.Tenants[0].Submitted != 2 {
+		t.Fatalf("stats %+v", stats.Tenants)
+	}
+	ss, err := c.SessionStatus("web")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ss.Tasks != 2 {
+		t.Fatalf("session tasks = %d", ss.Tasks)
+	}
+	// Wrong tenant sees nothing: sessions are tenant-scoped.
+	other := &Client{Base: srv.URL, Tenant: "mallory"}
+	if _, err := other.SessionStatus("web"); err == nil {
+		t.Fatal("cross-tenant session visible")
+	}
+	if err := c.CloseSession("web"); err != nil {
+		t.Fatal(err)
+	}
+}

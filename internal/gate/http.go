@@ -1,0 +1,140 @@
+package gate
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// The HTTP surface. Tenancy rides in the X-Vine-Tenant header (missing
+// means the shared "anon" tenant); sessions and tasks are path elements.
+// Cachenames contain ':' so result fetch takes the name as a query
+// parameter rather than a path element.
+//
+//	POST   /v1/sessions/{session}             open (idempotent)
+//	GET    /v1/sessions/{session}             session status
+//	DELETE /v1/sessions/{session}             close
+//	POST   /v1/sessions/{session}/tasks       submit a DAG (SubmitRequest)
+//	GET    /v1/sessions/{session}/tasks/{id}  task status
+//	GET    /v1/sessions/{session}/events      ?since=N&wait_ms=M long-poll
+//	POST   /v1/files                          declare an input buffer (raw body)
+//	GET    /v1/result?name=<cachename>        fetch result bytes
+//	GET    /v1/stats                          gate + queue stats
+//	GET    /v1/metrics                        text metrics exposition
+
+// TenantHeader names the request header carrying the tenant identity.
+const TenantHeader = "X-Vine-Tenant"
+
+// AnonTenant is the tenant requests without a TenantHeader belong to.
+const AnonTenant = "anon"
+
+// maxBodyBytes bounds request bodies (task args and declared buffers).
+const maxBodyBytes = 64 << 20
+
+func requestTenant(r *http.Request) string {
+	if t := r.Header.Get(TenantHeader); t != "" {
+		return t
+	}
+	return AnonTenant
+}
+
+// Handler builds the gate's HTTP mux.
+func (g *Gate) Handler() http.Handler {
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("POST /v1/sessions/{session}", func(w http.ResponseWriter, r *http.Request) {
+		st, err := g.OpenSession(requestTenant(r), r.PathValue("session"))
+		reply(w, st, err)
+	})
+	mux.HandleFunc("GET /v1/sessions/{session}", func(w http.ResponseWriter, r *http.Request) {
+		st, err := g.SessionStatus(requestTenant(r), r.PathValue("session"))
+		reply(w, st, err)
+	})
+	mux.HandleFunc("DELETE /v1/sessions/{session}", func(w http.ResponseWriter, r *http.Request) {
+		err := g.CloseSession(requestTenant(r), r.PathValue("session"))
+		reply(w, map[string]bool{"closed": err == nil}, err)
+	})
+	mux.HandleFunc("POST /v1/sessions/{session}/tasks", func(w http.ResponseWriter, r *http.Request) {
+		var req SubmitRequest
+		if err := json.NewDecoder(io.LimitReader(r.Body, maxBodyBytes)).Decode(&req); err != nil {
+			writeErr(w, errf(http.StatusBadRequest, "gate: bad request body: %v", err))
+			return
+		}
+		resp, err := g.Submit(requestTenant(r), r.PathValue("session"), req)
+		reply(w, resp, err)
+	})
+	mux.HandleFunc("GET /v1/sessions/{session}/tasks/{id}", func(w http.ResponseWriter, r *http.Request) {
+		st, err := g.TaskStatus(requestTenant(r), r.PathValue("session"), r.PathValue("id"))
+		reply(w, st, err)
+	})
+	mux.HandleFunc("GET /v1/sessions/{session}/events", func(w http.ResponseWriter, r *http.Request) {
+		since, _ := strconv.ParseInt(r.URL.Query().Get("since"), 10, 64)
+		waitMS, _ := strconv.Atoi(r.URL.Query().Get("wait_ms"))
+		evs, err := g.Events(requestTenant(r), r.PathValue("session"), since, time.Duration(waitMS)*time.Millisecond)
+		if evs == nil {
+			evs = []Event{}
+		}
+		reply(w, evs, err)
+	})
+	mux.HandleFunc("POST /v1/files", func(w http.ResponseWriter, r *http.Request) {
+		data, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes))
+		if err != nil {
+			writeErr(w, errf(http.StatusBadRequest, "gate: reading body: %v", err))
+			return
+		}
+		resp, err := g.Declare(requestTenant(r), data)
+		reply(w, resp, err)
+	})
+	mux.HandleFunc("GET /v1/result", func(w http.ResponseWriter, r *http.Request) {
+		name := r.URL.Query().Get("name")
+		if name == "" {
+			writeErr(w, errf(http.StatusBadRequest, "gate: name parameter required"))
+			return
+		}
+		data, err := g.Fetch(name)
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Write(data)
+	})
+	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		reply(w, g.Stats(), nil)
+	})
+	mux.HandleFunc("GET /v1/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		g.mgr.WriteMetrics(w)
+	})
+	return mux
+}
+
+func reply(w http.ResponseWriter, v any, err error) {
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, err error) {
+	code := http.StatusInternalServerError
+	var se *StatusError
+	if errors.As(err, &se) {
+		code = se.Code
+		if se.RetryAfter > 0 {
+			secs := int(se.RetryAfter / time.Second)
+			if se.RetryAfter%time.Second != 0 {
+				secs++
+			}
+			w.Header().Set("Retry-After", strconv.Itoa(secs))
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(ErrorResponse{Error: err.Error()})
+}

@@ -1,0 +1,151 @@
+package gate
+
+// The wire schema: what crosses the HTTP boundary between an analysis
+// client and the gate. Everything is JSON; task argument blobs ride as
+// base64 (encoding/json's []byte convention). The schema is deliberately
+// close to vine.Task — the gate is a service boundary, not a new
+// execution model — with one addition: within-DAG input references, so a
+// client can ship a whole graph in one request before any output
+// cachename exists on its side.
+
+// TaskSpec is one task in a submitted DAG.
+type TaskSpec struct {
+	// Label is the client's name for the task, unique within the request
+	// and usable by later tasks (same request or same session) as an
+	// input reference. Required.
+	Label string `json:"label"`
+	// Mode is "task" or "function-call" (default "task").
+	Mode string `json:"mode,omitempty"`
+	// Library and Func name a function registered in the gate's binary.
+	Library string `json:"library"`
+	Func    string `json:"func"`
+	// Args is the opaque argument blob passed to the function.
+	Args []byte `json:"args,omitempty"`
+	// Inputs bind logical input names to cluster files.
+	Inputs []InputRef `json:"inputs,omitempty"`
+	// Outputs are the named outputs the task produces.
+	Outputs []string `json:"outputs,omitempty"`
+	// Cores, Memory, and Priority pass through to the scheduler. The
+	// submission queue does NOT pass through: the gate assigns the
+	// tenant's queue, which is what makes fair-share per-tenant QoS.
+	Cores    int   `json:"cores,omitempty"`
+	Memory   int64 `json:"memory,omitempty"`
+	Priority int   `json:"priority,omitempty"`
+}
+
+// InputRef names one task input: either a direct cachename (a declared
+// file or a known output), or a within-DAG reference to the Output of the
+// task Labeled Task earlier in this session.
+type InputRef struct {
+	Name      string `json:"name"`
+	CacheName string `json:"cachename,omitempty"`
+	Task      string `json:"task,omitempty"`
+	Output    string `json:"output,omitempty"`
+}
+
+// SubmitRequest carries one DAG. Tasks must be listed producers-first:
+// a within-DAG reference may only point at an earlier task.
+type SubmitRequest struct {
+	Tasks []TaskSpec `json:"tasks"`
+}
+
+// TaskResult is the per-task acknowledgment of a submission.
+type TaskResult struct {
+	Label string `json:"label"`
+	// ID is the gate-scoped task id, used for status polling.
+	ID string `json:"id"`
+	// Outputs maps output names to their content-addressed cachenames.
+	Outputs map[string]string `json:"outputs,omitempty"`
+	// Warm reports that the task was served from an existing execution —
+	// a journal replay or another tenant's identical submission — and
+	// scheduled nothing.
+	Warm bool `json:"warm"`
+}
+
+// SubmitResponse acknowledges a SubmitRequest, tasks in request order.
+type SubmitResponse struct {
+	Tasks []TaskResult `json:"tasks"`
+}
+
+// TaskStatus is one task's live state.
+type TaskStatus struct {
+	ID      string            `json:"id"`
+	Label   string            `json:"label"`
+	State   string            `json:"state"` // waiting/ready/staging/running/done/failed
+	Warm    bool              `json:"warm"`
+	Error   string            `json:"error,omitempty"`
+	Worker  string            `json:"worker,omitempty"`
+	Retries int               `json:"retries,omitempty"`
+	Outputs map[string]string `json:"outputs,omitempty"`
+	// ExecNanos/SetupNanos are the accepted run's on-worker costs.
+	ExecNanos  int64 `json:"exec_nanos,omitempty"`
+	SetupNanos int64 `json:"setup_nanos,omitempty"`
+	// SubmitUnixNanos stamps gate-side admission; DispatchUnixNanos the
+	// first hand-off to a worker (0 until dispatched, forever 0 for warm
+	// hits). Their difference is the submit→first-dispatch latency the
+	// gate benchmark reports.
+	SubmitUnixNanos   int64 `json:"submit_unix_nanos"`
+	DispatchUnixNanos int64 `json:"dispatch_unix_nanos,omitempty"`
+}
+
+// SessionStatus summarizes one session.
+type SessionStatus struct {
+	Tenant   string         `json:"tenant"`
+	Name     string         `json:"name"`
+	Open     bool           `json:"open"`
+	Tasks    int            `json:"tasks"`
+	ByState  map[string]int `json:"by_state,omitempty"`
+	WarmHits int            `json:"warm_hits"`
+}
+
+// Event is one session lifecycle event in the stream: monotonically
+// increasing Seq within the session, UnixNanos wall-clock stamped.
+type Event struct {
+	Seq       int64  `json:"seq"`
+	UnixNanos int64  `json:"unix_nanos"`
+	Type      string `json:"type"` // session_open, task_submit, task_done, task_fail, warm_hit, session_close
+	Task      string `json:"task,omitempty"`
+	Detail    string `json:"detail,omitempty"`
+}
+
+// DeclareResponse acknowledges an uploaded input file.
+type DeclareResponse struct {
+	CacheName string `json:"cachename"`
+	Size      int64  `json:"size"`
+}
+
+// TenantStats is the operator's view of one tenant.
+type TenantStats struct {
+	Tenant         string  `json:"tenant"`
+	Queue          string  `json:"queue"`
+	SessionsActive int     `json:"sessions_active"`
+	SessionsTotal  int     `json:"sessions_total"`
+	InFlight       int     `json:"in_flight"`
+	Submitted      int64   `json:"submitted"`
+	Rejected       int64   `json:"rejected"`
+	WarmHits       int64   `json:"warm_hits"`
+	RateTokens     float64 `json:"rate_tokens"`
+}
+
+// QueueStat mirrors sched.QueueStats over the wire.
+type QueueStat struct {
+	Name           string  `json:"name"`
+	Weight         float64 `json:"weight"`
+	Pending        int     `json:"pending"`
+	Dispatched     int64   `json:"dispatched"`
+	WaitTotalNanos int64   `json:"wait_total_nanos"`
+}
+
+// StatsResponse is GET /v1/stats: per-tenant gate counters plus the
+// manager's per-queue scheduler state, so an operator sees backlog and
+// fairness without attaching a Go client.
+type StatsResponse struct {
+	Draining bool          `json:"draining"`
+	Tenants  []TenantStats `json:"tenants"`
+	Queues   []QueueStat   `json:"queues"`
+}
+
+// ErrorResponse is the body of every non-2xx reply.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}

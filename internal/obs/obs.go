@@ -85,6 +85,14 @@ const (
 	// managers never dispatch concurrently.
 	EvTakeover  EventType = "takeover"   // Src=new holder, Attempt=epoch, Dur=takeover latency
 	EvLeaseLost EventType = "lease_lost" // Src=holder that lost it, Detail=cause
+
+	// Service vocabulary: the multi-tenant gate (internal/gate). A session
+	// is one named client context within a tenant; an admission reject is a
+	// submission (or session open) the gate refused under the tenant's
+	// limits — rate, in-flight, or session cap.
+	EvSessionOpen     EventType = "session_open"     // Src=tenant, Detail=session name
+	EvSessionClose    EventType = "session_close"    // Src=tenant, Detail=session name
+	EvAdmissionReject EventType = "admission_reject" // Src=tenant, Detail=limit + request
 )
 
 // Event is one trace record. T is the offset from the trace epoch

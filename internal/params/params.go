@@ -236,3 +236,32 @@ var DefaultLeaseRenewEvery = DefaultLeaseTTL / 3
 // synced history, and lease expiry is noticed well inside the takeover
 // latency bound.
 var DefaultStandbyPoll = DefaultLeaseTTL / 8
+
+// ---- multi-tenant gate (internal/gate — the analysis-facility front door) ----
+
+// DefaultGateMaxSessions mirrors the gate's per-tenant cap on concurrently
+// open sessions: enough for an analyst's handful of notebooks, small
+// enough that one runaway client cannot exhaust the session table.
+var DefaultGateMaxSessions = 8
+
+// DefaultGateMaxInFlight mirrors the per-tenant cap on tasks submitted but
+// not yet terminal. Sized to keep one tenant's backlog from monopolizing
+// the ready heap while still covering a full DV3-scale graph.
+var DefaultGateMaxInFlight = 1024
+
+// DefaultGateSubmitRate mirrors the per-tenant token-bucket refill rate,
+// in task submissions per second. Interactive resubmission of a few
+// thousand-task graphs per minute fits; a tight submit loop does not.
+var DefaultGateSubmitRate = 500.0
+
+// DefaultGateSubmitBurst mirrors the token bucket's capacity: one whole
+// medium graph may land in a single request before the rate applies.
+var DefaultGateSubmitBurst = 1000
+
+// DefaultGateQueueWeight mirrors the fair-share weight a tenant's queue
+// gets when no explicit weight is configured.
+var DefaultGateQueueWeight = 1.0
+
+// DefaultGateDrainTimeout mirrors how long a shutting-down gate waits for
+// in-flight sessions to finish before abandoning the drain.
+var DefaultGateDrainTimeout = 30 * time.Second

@@ -446,3 +446,48 @@ func BenchmarkAssign(b *testing.B) {
 		})
 	}
 }
+
+// ---- queue deprovisioning ----
+
+func TestRemoveQueue(t *testing.T) {
+	s := New(nil, QueueConfig{Name: "tenant:a", Weight: 2})
+	// Protected names.
+	if s.RemoveQueue("") || s.RemoveQueue(DefaultQueue) {
+		t.Fatal("removed a protected queue")
+	}
+	if s.RemoveQueue("nope") {
+		t.Fatal("removed a queue that does not exist")
+	}
+	// A queue with live work is kept.
+	tk := task("t1", 1)
+	tk.Queue = "tenant:a"
+	s.WorkerJoin(0, 4, 0)
+	s.Enqueue(tk, 0)
+	if s.RemoveQueue("tenant:a") {
+		t.Fatal("removed a queue with pending work")
+	}
+	// Drained, it goes away — and disappears from the stats snapshot.
+	s.Assign(0, func(a Assignment) {})
+	if !s.RemoveQueue("tenant:a") {
+		t.Fatal("could not remove a drained queue")
+	}
+	for _, q := range s.Queues() {
+		if q.Name == "tenant:a" {
+			t.Fatal("removed queue still in stats")
+		}
+	}
+	// Re-enqueueing under the same name recreates it fresh at weight 1.
+	tk2 := task("t2", 1)
+	tk2.Queue = "tenant:a"
+	s.Enqueue(tk2, 0)
+	for _, q := range s.Queues() {
+		if q.Name == "tenant:a" && q.Weight != 1 {
+			t.Fatalf("recreated queue weight = %v", q.Weight)
+		}
+	}
+	// A tombstoned (dequeued) task does not pin the queue.
+	s.Dequeue("t2")
+	if !s.RemoveQueue("tenant:a") {
+		t.Fatal("tombstone pinned the queue")
+	}
+}

@@ -83,6 +83,33 @@ func (s *Scheduler) AddQueue(qc QueueConfig) {
 	s.order = append(s.order, name)
 }
 
+// RemoveQueue drops a tenant queue, provided it holds no live ready work
+// (a queue with pending tasks, and the default queue, are never removed).
+// Deprovisioning a departed tenant keeps the fair-share round and the
+// stats snapshot from scanning dead queues forever. Reports whether the
+// queue was removed. Historical dispatch counts disappear with it; tasks
+// later enqueued under the same name recreate it fresh at weight 1.
+func (s *Scheduler) RemoveQueue(name string) bool {
+	if name == "" || name == DefaultQueue {
+		return false
+	}
+	q, ok := s.queues[name]
+	if !ok {
+		return false
+	}
+	if s.hasLive(q) {
+		return false
+	}
+	delete(s.queues, name)
+	for i, n := range s.order {
+		if n == name {
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			break
+		}
+	}
+	return true
+}
+
 // ---- worker index ----
 
 // WorkerJoin indexes a new worker. Joining twice resets its capacity view.

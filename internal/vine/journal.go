@@ -43,8 +43,15 @@ const journalBufferLimit = 8 << 20
 // journalLocked appends one record (requires m.mu). Journal write errors
 // are sticky inside the journal and surface via Journal.Err; the manager
 // degrades to lossy journaling rather than failing the run.
+//
+// A stopped manager appends nothing: Stop sets stopped inside its m.mu
+// critical section — which drains any in-flight Submit or completion
+// handler still holding the lock — and only then syncs the journal, so
+// the final Sync is ordered after every append that will ever happen. A
+// late worker message racing the shutdown can no longer slip a record in
+// behind the sync (where a resume would silently lose it).
 func (m *Manager) journalLocked(rec *journal.Record) {
-	if m.jr == nil {
+	if m.jr == nil || m.stopped {
 		return
 	}
 	n, err := m.jr.Append(rec)

@@ -137,16 +137,17 @@ type TaskHandle struct {
 	outputs map[string]CacheName
 	doneC   chan struct{}
 
-	mu       sync.Mutex
-	state    TaskState
-	err      error
-	execTime time.Duration
-	setup    time.Duration
-	worker   string
-	retries  int
-	failures []TaskFailure
-	notified bool
-	warm     bool
+	mu            sync.Mutex
+	state         TaskState
+	err           error
+	execTime      time.Duration
+	setup         time.Duration
+	worker        string
+	retries       int
+	failures      []TaskFailure
+	notified      bool
+	warm          bool
+	firstDispatch time.Time
 }
 
 // WarmHit reports whether this handle was satisfied from replayed journal
@@ -156,6 +157,16 @@ func (h *TaskHandle) WarmHit() bool {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	return h.warm
+}
+
+// FirstDispatch reports the wall-clock instant the task was first handed
+// to a worker (zero while still queued, and forever zero for warm hits
+// that never scheduled). The submit→first-dispatch gap is the service
+// latency the gate's admission benchmark tracks.
+func (h *TaskHandle) FirstDispatch() time.Time {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.firstDispatch
 }
 
 // Output reports the cachename assigned to a named output.
@@ -467,6 +478,13 @@ type Manager struct {
 	replayed     map[string]*taskRecord
 	journalDones int
 
+	// Service hooks (see service.go). live indexes every task submitted in
+	// this incarnation by definition hash, so SubmitShared can dedupe a
+	// second client's identical submission onto the first's execution;
+	// draining (one-way) refuses fresh work while in-flight tasks finish.
+	live     map[string]*taskRecord
+	draining bool
+
 	// Availability (see ha.go). lease is the leadership lease this manager
 	// holds (nil = HA off); preState is a follower-built journal fold a
 	// standby hands over so takeover skips re-reading the log;
@@ -548,6 +566,7 @@ func NewManager(options ...Option) (*Manager, error) {
 		jr:              c.jr,
 		compactEvery:    c.journalCompactEvery,
 		replayed:        make(map[string]*taskRecord),
+		live:            make(map[string]*taskRecord),
 		lease:           c.lease,
 		preState:        c.replayState,
 		takeoverFrom:    c.takeoverFrom,
@@ -606,7 +625,10 @@ func (m *Manager) Addr() string { return m.ln.Addr().String() }
 // Stop shuts the manager down and disconnects workers. Tasks still in
 // flight have their handles failed so blocked Wait calls return; with a
 // journal attached the log is synced first, so a later resume sees
-// everything this run completed.
+// everything this run completed. Acquiring m.mu drains any in-flight
+// Submit or completion handler before stopped is set, and journalLocked
+// refuses appends afterwards — so the sync below is ordered after the
+// last append that will ever happen (see journalLocked).
 func (m *Manager) Stop() {
 	m.mu.Lock()
 	if m.stopped {
@@ -790,21 +812,20 @@ func (m *Manager) DeclareFile(path string) (CacheName, error) {
 	return name, nil
 }
 
-// Submit enqueues a task and returns its handle. Output cachenames are
-// assigned immediately from the task definition hash, so dependent tasks
-// can be submitted before this one runs.
-func (m *Manager) Submit(t Task) (*TaskHandle, error) {
+// prepareTask validates and normalizes a task spec and computes its
+// definition hash. Shared by Submit and SubmitShared.
+func prepareTask(t Task) (Task, string, error) {
 	if t.Mode == "" {
 		t.Mode = ModeTask
 	}
 	if t.Mode != ModeTask && t.Mode != ModeFunctionCall {
-		return nil, fmt.Errorf("vine: unknown mode %q", t.Mode)
+		return t, "", fmt.Errorf("vine: unknown mode %q", t.Mode)
 	}
 	if t.Library == "" || t.Func == "" {
-		return nil, fmt.Errorf("vine: task needs library and function names")
+		return t, "", fmt.Errorf("vine: task needs library and function names")
 	}
 	if _, err := lookupLibrary(t.Library); err != nil {
-		return nil, err
+		return t, "", err
 	}
 	if t.Cores <= 0 {
 		t.Cores = 1
@@ -812,50 +833,78 @@ func (m *Manager) Submit(t Task) (*TaskHandle, error) {
 	seen := map[string]bool{}
 	for _, in := range t.Inputs {
 		if in.Name == "" || !in.CacheName.Valid() {
-			return nil, fmt.Errorf("vine: invalid input ref %+v", in)
+			return t, "", fmt.Errorf("vine: invalid input ref %+v", in)
 		}
 		if seen[in.Name] {
-			return nil, fmt.Errorf("vine: duplicate input name %q", in.Name)
+			return t, "", fmt.Errorf("vine: duplicate input name %q", in.Name)
 		}
 		seen[in.Name] = true
 	}
+	return t, taskDefHash(string(t.Mode), t.Library, t.Func, t.Args, t.Inputs), nil
+}
 
-	defHash := taskDefHash(string(t.Mode), t.Library, t.Func, t.Args, t.Inputs)
-	h := &TaskHandle{
-		mgr:     m,
-		outputs: make(map[string]CacheName, len(t.Outputs)),
-		doneC:   make(chan struct{}),
+// Submit enqueues a task and returns its handle. Output cachenames are
+// assigned immediately from the task definition hash, so dependent tasks
+// can be submitted before this one runs.
+func (m *Manager) Submit(t Task) (*TaskHandle, error) {
+	t, defHash, err := prepareTask(t)
+	if err != nil {
+		return nil, err
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.stopped {
 		return nil, fmt.Errorf("vine: manager stopped")
 	}
-	// Warm path: a journal-resumed manager already holds this definition
-	// completed. If the requested outputs are exactly the replayed ones and
-	// none has been unlinked, hand back the done handle — the task never
-	// re-executes. It's a warm *hit* only when every output still has a
-	// live source; otherwise the bytes regenerate through lineage on first
-	// consumer access, which still beats re-running the whole graph.
-	if old, ok := m.replayed[defHash]; ok && old.state == TaskDone && m.outputsMatchLocked(old, t.Outputs) {
-		warm := true
-		for _, out := range t.Outputs {
-			if !m.hasSourceLocked(old.handle.outputs[out]) {
-				warm = false
-				break
-			}
+	if h := m.warmFromReplayLocked(defHash, t.Outputs); h != nil {
+		return h, nil
+	}
+	if m.draining {
+		return nil, ErrDraining
+	}
+	return m.submitFreshLocked(t, defHash)
+}
+
+// warmFromReplayLocked is the journal warm path: a journal-resumed manager
+// already holds this definition completed. If the requested outputs are
+// exactly the replayed ones and none has been unlinked, hand back the done
+// handle — the task never re-executes. It's a warm *hit* only when every
+// output still has a live source; otherwise the bytes regenerate through
+// lineage on first consumer access, which still beats re-running the whole
+// graph. Returns nil when the definition has no replayed completion.
+func (m *Manager) warmFromReplayLocked(defHash string, outputs []string) *TaskHandle {
+	old, ok := m.replayed[defHash]
+	if !ok || old.state != TaskDone || !m.outputsMatchLocked(old, outputs) {
+		return nil
+	}
+	warm := true
+	for _, out := range outputs {
+		if !m.hasSourceLocked(old.handle.outputs[out]) {
+			warm = false
+			break
 		}
-		detail := "all outputs live"
-		if warm {
-			old.handle.mu.Lock()
-			old.handle.warm = true
-			old.handle.mu.Unlock()
-			m.met.warmHits.Inc()
-		} else {
-			detail = "outputs need lineage regeneration"
-		}
-		m.rec.Emit(obs.Event{Type: obs.EvWarmHit, Task: old.label(), Detail: defHash + ": " + detail})
-		return old.handle, nil
+	}
+	detail := "all outputs live"
+	if warm {
+		old.handle.mu.Lock()
+		old.handle.warm = true
+		old.handle.mu.Unlock()
+		m.met.warmHits.Inc()
+	} else {
+		detail = "outputs need lineage regeneration"
+	}
+	m.rec.Emit(obs.Event{Type: obs.EvWarmHit, Task: old.label(), Detail: defHash + ": " + detail})
+	return old.handle
+}
+
+// submitFreshLocked creates and enqueues a new task record for a prepared
+// spec, registering it in the live definition index for cross-client
+// dedupe (requires m.mu).
+func (m *Manager) submitFreshLocked(t Task, defHash string) (*TaskHandle, error) {
+	h := &TaskHandle{
+		mgr:     m,
+		outputs: make(map[string]CacheName, len(t.Outputs)),
+		doneC:   make(chan struct{}),
 	}
 	id := m.nextTID
 	m.nextTID++
@@ -877,6 +926,7 @@ func (m *Manager) Submit(t Task) (*TaskHandle, error) {
 		}
 	}
 	m.tasks[id] = rec
+	m.live[defHash] = rec
 	inputs := make([]string, len(t.Inputs))
 	for i, in := range t.Inputs {
 		inputs[i] = string(in.CacheName)
@@ -1254,6 +1304,23 @@ func (m *Manager) QueueStats() []sched.QueueStats {
 	return m.sched.Queues()
 }
 
+// ProvisionQueue registers (or re-weights) a named submission queue at
+// runtime — the gate's tenancy→QoS hook: each tenant gets its own queue,
+// provisioned on first contact rather than at manager construction.
+func (m *Manager) ProvisionQueue(name string, weight float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.sched.AddQueue(sched.QueueConfig{Name: name, Weight: weight})
+}
+
+// DropQueue removes a provisioned queue once it holds no ready work (the
+// default queue is permanent). Reports whether the queue was removed.
+func (m *Manager) DropQueue(name string) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.sched.RemoveQueue(name)
+}
+
 // queueCounterLocked interns the per-queue dispatch counter.
 func (m *Manager) queueCounterLocked(queue string) *obs.Counter {
 	c, ok := m.queueMet[queue]
@@ -1441,6 +1508,11 @@ func (m *Manager) dispatchLocked(rec *taskRecord) {
 	w := m.workers[rec.worker]
 	m.observeTakeoverLocked()
 	m.setTaskState(rec, TaskRunning)
+	rec.handle.mu.Lock()
+	if rec.handle.firstDispatch.IsZero() {
+		rec.handle.firstDispatch = time.Now()
+	}
+	rec.handle.mu.Unlock()
 	if d := m.deadlineFor(rec); d > 0 {
 		rec.deadlineAt = time.Now().Add(d)
 	} else {

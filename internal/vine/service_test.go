@@ -1,0 +1,190 @@
+package vine
+
+import (
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"hepvine/internal/journal"
+)
+
+// ---- service hooks: SubmitShared / Drain ----
+
+func TestSubmitSharedDedupesCompleted(t *testing.T) {
+	m, _ := newCluster(t, 1, 2)
+	h1, err := m.SubmitFunc(ModeTask, "testlib", "echo", []byte("shared"), "out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h1.Wait(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	done := m.Stats().TasksDone
+	h2, shared, err := m.SubmitShared(Task{
+		Mode: ModeTask, Library: "testlib", Func: "echo", Args: []byte("shared"), Outputs: []string{"out"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !shared {
+		t.Fatal("identical definition not shared")
+	}
+	if h2 != h1 {
+		t.Fatal("shared submission returned a different handle")
+	}
+	if !h2.WarmHit() {
+		t.Fatal("completed dedupe not marked warm")
+	}
+	if m.Stats().TasksDone != done {
+		t.Fatal("dedupe ran the task again")
+	}
+	if m.WarmHits() == 0 {
+		t.Fatal("warm hit not counted")
+	}
+	// A different definition is not shared.
+	h3, shared, err := m.SubmitShared(Task{
+		Mode: ModeTask, Library: "testlib", Func: "echo", Args: []byte("different"), Outputs: []string{"out"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shared || h3 == h1 {
+		t.Fatal("distinct definition wrongly shared")
+	}
+}
+
+func TestSubmitSharedDedupesInFlight(t *testing.T) {
+	m, _ := newCluster(t, 1, 2)
+	spec := Task{Mode: ModeTask, Library: "testlib", Func: "sleep50", Outputs: []string{"out"}}
+	h1, shared, err := m.SubmitShared(spec)
+	if err != nil || shared {
+		t.Fatalf("first submission shared=%v err=%v", shared, err)
+	}
+	// Same definition while the first is still running: one execution,
+	// second caller rides the same handle.
+	h2, shared, err := m.SubmitShared(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !shared || h2 != h1 {
+		t.Fatal("in-flight definition not deduped onto the running execution")
+	}
+	if err := h2.Wait(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if m.Stats().TasksDone != 1 {
+		t.Fatalf("TasksDone = %d, want 1", m.Stats().TasksDone)
+	}
+}
+
+func TestDrainRefusesFreshAdmitsDedupe(t *testing.T) {
+	m, _ := newCluster(t, 1, 2)
+	spec := Task{Mode: ModeTask, Library: "testlib", Func: "sleep50", Outputs: []string{"out"}}
+	h, _, err := m.SubmitShared(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drained := make(chan error, 1)
+	go func() { drained <- m.Drain(10 * time.Second) }()
+	deadline := time.Now().Add(2 * time.Second)
+	for !m.Draining() {
+		if time.Now().After(deadline) {
+			t.Fatal("draining flag never set")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// Fresh work is refused...
+	if _, err := m.Submit(Task{Mode: ModeTask, Library: "testlib", Func: "echo", Args: []byte("x"), Outputs: []string{"out"}}); err != ErrDraining {
+		t.Fatalf("Submit during drain: %v", err)
+	}
+	// ...but a dedupe of the in-flight task is still served.
+	h2, shared, err := m.SubmitShared(spec)
+	if err != nil || !shared || h2 != h {
+		t.Fatalf("dedupe during drain: shared=%v err=%v", shared, err)
+	}
+	if err := <-drained; err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if m.InFlight() != 0 {
+		t.Fatalf("InFlight = %d after drain", m.InFlight())
+	}
+	if h.State() != TaskDone {
+		t.Fatalf("in-flight task state %s after drain", h.State())
+	}
+}
+
+// ---- regression: Stop racing in-flight Submits must not lose journal
+// records behind the final sync ----
+
+// TestStopSubmitJournalRace hammers Submit from many goroutines while
+// Stop runs concurrently, with a journal whose group-commit window is
+// wide enough that only Stop's final Sync makes records durable. The
+// invariant: every Submit that reported success has its task_def frame
+// on disk after Stop returns — no record slips in behind the sync, and
+// none is flushed after it.
+func TestStopSubmitJournalRace(t *testing.T) {
+	for round := 0; round < 5; round++ {
+		dir := t.TempDir()
+		jr, err := journal.Open(dir, journal.Options{SyncDelay: time.Second})
+		if err != nil {
+			t.Fatal(err)
+		}
+		registerTestLib(t)
+		m, err := NewManager(WithLibrary("testlib", true), WithJournal(jr))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var accepted atomic.Int64
+		var wg sync.WaitGroup
+		start := make(chan struct{})
+		for i := 0; i < 8; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				<-start
+				for n := 0; n < 50; n++ {
+					_, err := m.Submit(Task{
+						Mode: ModeTask, Library: "testlib", Func: "echo",
+						Args:    []byte{byte(round), byte(i), byte(n)},
+						Outputs: []string{"out"},
+					})
+					if err == nil {
+						accepted.Add(1)
+					} else if !strings.Contains(err.Error(), "stopped") {
+						t.Errorf("unexpected submit error: %v", err)
+					}
+				}
+			}(i)
+		}
+		close(start)
+		m.Stop() // races the submitters
+		wg.Wait()
+		if err := jr.Err(); err != nil {
+			t.Fatalf("journal degraded: %v", err)
+		}
+		if err := jr.Close(); err != nil {
+			t.Fatal(err)
+		}
+		// Reopen and count durable task_def frames: one per accepted
+		// Submit, none extra.
+		jr2, err := journal.Open(dir, journal.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defs := 0
+		if _, err := jr2.Replay(func(r journal.Record) {
+			if r.Kind == journal.KindTaskDef {
+				defs++
+			}
+		}); err != nil {
+			t.Fatal(err)
+		}
+		jr2.Close()
+		if int64(defs) != accepted.Load() {
+			t.Fatalf("round %d: %d accepted submissions but %d durable task_def records",
+				round, accepted.Load(), defs)
+		}
+	}
+}
