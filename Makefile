@@ -1,7 +1,7 @@
 # Convenience targets; everything is plain `go` underneath.
 # Run `make help` for the list.
 
-.PHONY: help check test race chaos chaos-ha gate bench bench-sched bench-recovery bench-warm bench-ha bench-gate journal-fuzz verify paper examples tidy
+.PHONY: help check test race chaos chaos-ha chaos-pool gate bench bench-sched bench-recovery bench-warm bench-ha bench-gate bench-pool journal-fuzz verify paper examples tidy
 
 help:                 ## list targets
 	@grep -E '^[a-z]+: *##' $(MAKEFILE_LIST) | awk -F': *## *' '{printf "  %-10s %s\n", $$1, $$2}'
@@ -25,6 +25,9 @@ chaos:                ## deterministic chaos suite: kills, stall, dead replica, 
 chaos-ha:             ## availability suite: hot-standby failover soak + split-brain fencing regression
 	go test -race -count=1 -v -run 'TestChaosFailoverToStandby|TestChaosFencedPrimaryRefusesDispatch' .
 
+chaos-pool:           ## elasticity suite: autoscaled pool riding through a graceful drain + a blown grace window
+	go test -race -count=1 -v -run 'TestChaosElasticPreemptionSoak' .
+
 gate:                 ## multi-tenant front door: race-enabled gate unit suite + two-tenant HTTP e2e smoke
 	go test -race -count=1 ./internal/gate/
 	go test -race -count=1 -v -run TestGateTwoTenantE2E .
@@ -46,6 +49,9 @@ bench-ha:             ## hot-standby failover: takeover latency + re-executed ta
 
 bench-gate:           ## multi-tenant gate: submissions/sec + p50/p99 submit-to-first-dispatch latency over HTTP
 	go run ./cmd/vinebench -scale 0.25 gate
+
+bench-pool:           ## elastic vs fixed pools under preemption: makespan, re-executed work, pool size over time
+	go run ./cmd/vinebench -scale 0.25 pool
 
 journal-fuzz:         ## journal frame-corruption fuzz with randomized seeds (pin one with JOURNAL_FUZZ_SEED=n)
 	JOURNAL_FUZZ_SEED=$${JOURNAL_FUZZ_SEED:-0} go test -count=8 -v -run TestFrameCorruptionFuzz ./internal/journal/

@@ -41,6 +41,7 @@ import (
 	"hepvine/internal/ha"
 	"hepvine/internal/journal"
 	"hepvine/internal/obs"
+	"hepvine/internal/pool"
 	"hepvine/internal/rootio"
 	"hepvine/internal/vine"
 )
@@ -62,15 +63,18 @@ func main() {
 	metrics := flag.Bool("metrics", false, "dump the manager metrics registry after the run")
 	journalDir := flag.String("journal", "", "durable run directory: journal + persistent worker caches; repeat a run against it for a warm restart")
 	standby := flag.String("standby", "", "run as a hot standby that takes over on this address when the primary's lease lapses (requires -journal)")
+	poolMin := flag.Int("pool-min", 1, "with -pool-max: autoscaled pool floor")
+	poolMax := flag.Int("pool-max", 0, "autoscale an in-process worker pool between -pool-min and this instead of the fixed -workers pool (0 = fixed)")
 	flag.Parse()
 
-	if err := run(*processor, *data, *generate, *fileset, *chunk, *fanIn, *workers, *cores, *minWorkers, *mode, *hoist, *timeout, *trace, *metrics, *journalDir, *standby); err != nil {
+	if err := run(*processor, *data, *generate, *fileset, *chunk, *fanIn, *workers, *cores, *minWorkers, *mode, *hoist, *timeout, *trace, *metrics, *journalDir, *standby, *poolMin, *poolMax); err != nil {
 		log.Fatalf("vinerun: %v", err)
 	}
 }
 
 func run(processor, data, generate, filesetPath string, chunkSize int64, fanIn, nWorkers, cores, minWorkers int,
-	mode string, hoist bool, timeout time.Duration, tracePath string, dumpMetrics bool, journalDir, standbyAddr string) error {
+	mode string, hoist bool, timeout time.Duration, tracePath string, dumpMetrics bool, journalDir, standbyAddr string,
+	poolMin, poolMax int) error {
 
 	if standbyAddr != "" && journalDir == "" {
 		return fmt.Errorf("-standby requires -journal (the directory whose journal and lease it watches)")
@@ -228,6 +232,27 @@ func run(processor, data, generate, filesetPath string, chunkSize int64, fanIn, 
 			fmt.Printf("journal: replayed %d records (%d skipped) from %s\n", jst.Replayed, jst.Skipped, jr.Dir())
 		}
 	}
+	var scaler *pool.Autoscaler
+	if poolMax > 0 {
+		// Elastic mode: an autoscaled local pool replaces the fixed
+		// -workers loop. The control loop grows the pool with queue
+		// backlog and shrinks it by graceful drain when the run goes
+		// quiet.
+		prov := pool.NewLocalProvider(mgr.Addr(), func(name string) []vine.Option {
+			return []vine.Option{vine.WithCores(cores), vine.WithRecorder(rec)}
+		})
+		scaler = pool.NewAutoscaler(mgr, prov, pool.Config{Min: poolMin, Max: poolMax})
+		scaler.Start()
+		defer func() {
+			scaler.Stop()
+			prov.StopAll()
+		}()
+		nWorkers = 0
+		if minWorkers > poolMin {
+			minWorkers = poolMin
+		}
+		fmt.Printf("elastic pool: autoscaling between %d and %d workers\n", poolMin, poolMax)
+	}
 	for i := 0; i < nWorkers; i++ {
 		wOpts := []vine.Option{
 			vine.WithName(fmt.Sprintf("local-%d", i)),
@@ -278,6 +303,11 @@ func run(processor, data, generate, filesetPath string, chunkSize int64, fanIn, 
 	if standbyAddr != "" {
 		fmt.Printf("availability: takeover latency %v (lease expiry to first dispatch)\n",
 			mgr.TakeoverLatency().Round(time.Millisecond))
+	}
+	if scaler != nil {
+		ups, downs := scaler.ScaleEvents()
+		fmt.Printf("elasticity: pool peaked at %d workers (%d scale-ups, %d drains), %d preemptions, %d sole-replica offloads\n",
+			scaler.Peak(), ups, downs, st.Preemptions, st.SoleReplicaOffloads)
 	}
 
 	if tracePath != "" {

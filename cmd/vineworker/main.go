@@ -9,6 +9,12 @@
 // With -managers, the worker knows the cluster's full manager address
 // list (primary first, hot standbys after) and redials through it on
 // silence — riding through a lease-based failover instead of exiting.
+//
+// SIGTERM is a preemption notice — the shape HTCondor eviction and spot
+// reclamation deliver: the worker announces a graceful drain to the
+// manager, stops accepting work, evacuates sole-replica cache entries,
+// and exits within -drain-grace. A second signal (or SIGINT) skips the
+// grace and stops hard.
 package main
 
 import (
@@ -23,6 +29,7 @@ import (
 
 	"hepvine/internal/apps"
 	"hepvine/internal/daskvine"
+	"hepvine/internal/params"
 	"hepvine/internal/vine"
 )
 
@@ -37,6 +44,8 @@ func main() {
 	reconnect := flag.Int("reconnect", 0, "redial the manager up to N times after a lost connection (0 = exit on disconnect)")
 	backoff := flag.Duration("backoff", 250*time.Millisecond, "delay between reconnect attempts")
 	managers := flag.String("managers", "", "comma-separated standby manager addresses to redial through on failover (implies reconnection)")
+	drainGrace := flag.Duration("drain-grace", params.DefaultDrainGrace, "grace window for a SIGTERM-triggered graceful drain before the worker exits")
+	preemptible := flag.Bool("preemptible", false, "advertise this worker as preemptible so the manager spreads sole-replica data away from it")
 	flag.Parse()
 
 	if *manager == "" {
@@ -61,6 +70,7 @@ func main() {
 		vine.WithCores(*cores),
 		vine.WithCacheDir(*dir),
 		vine.WithDiskLimit(*disk),
+		vine.WithPreemptible(*preemptible),
 	}
 	if *persist {
 		opts = append(opts,
@@ -98,8 +108,23 @@ func main() {
 	case <-w.Done():
 		log.Printf("worker %s: manager disconnected", w.Name)
 	case s := <-sig:
-		log.Printf("worker %s: %v, shutting down", w.Name, s)
-		w.Stop()
+		if s == syscall.SIGTERM {
+			// Preemption notice: drain gracefully. The worker exits on its
+			// own once the manager releases it (or the grace blows); a
+			// second signal stops it hard.
+			log.Printf("worker %s: %v, draining (grace %v)", w.Name, s, *drainGrace)
+			w.Drain(*drainGrace)
+			select {
+			case <-w.Done():
+				log.Printf("worker %s: drained clean", w.Name)
+			case s2 := <-sig:
+				log.Printf("worker %s: %v during drain, stopping hard", w.Name, s2)
+				w.Stop()
+			}
+		} else {
+			log.Printf("worker %s: %v, shutting down", w.Name, s)
+			w.Stop()
+		}
 	}
 	st := w.Stats()
 	log.Printf("worker %s: ran %d tasks + %d function calls, %d transfers in (%d bytes), cache high water %d bytes",

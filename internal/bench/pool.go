@@ -1,0 +1,304 @@
+package bench
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"hepvine/internal/apps"
+	"hepvine/internal/coffea"
+	"hepvine/internal/dag"
+	"hepvine/internal/daskvine"
+	"hepvine/internal/pool"
+	"hepvine/internal/rootio"
+	"hepvine/internal/vine"
+)
+
+// The pool experiment quantifies what preemption costs a near-interactive
+// analysis, and how much of that cost elasticity buys back: the MET
+// workload runs on a fixed 3-worker pool and on an autoscaled elastic
+// pool (floor 2, ceiling 6), each swept across 0, 1, and 2 injected
+// graceful drains. The headline numbers are makespan, re-executed work
+// (retries + lineage re-runs), sole-replica offloads (evacuations that
+// saved a re-run), and peak pool size; the elastic pool's floor repair
+// replaces drained workers while the fixed pool just shrinks.
+
+func init() {
+	register(Experiment{
+		ID:    "pool",
+		Title: "Elastic pools under preemption: makespan and re-executed work (MET)",
+		Paper: "§IV runs on opportunistic HTCondor slots where eviction is routine; graceful drains plus an autoscaled floor keep preemption from costing more than the evacuation traffic",
+		Run:   runPool,
+	})
+}
+
+// poolSample is one point of the pool-size-over-time series.
+type poolSample struct {
+	ms   int64
+	size int
+}
+
+type poolRun struct {
+	scenario   string
+	preempts   int
+	dur        time.Duration
+	st         vine.ManagerStats
+	peak       int
+	ups, downs int
+	hist       []byte
+	samples    []poolSample
+}
+
+func runPool(opts Options, w io.Writer) error {
+	apps.RegisterProcessors()
+	if err := vine.RegisterLibrary(daskvine.NewLibrary(10 * time.Millisecond)); err != nil {
+		return err
+	}
+
+	dir, err := os.MkdirTemp("", "vinebench-pool-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	nfiles := opts.scaled(8, 3)
+	const events = 4000
+	paths, err := rootio.WriteDataset(filepath.Join(dir, "data"), rootio.DatasetSpec{
+		Name: "PoolBench", Files: nfiles, EventsPerFile: events,
+		Gen: rootio.GenOptions{Seed: opts.Seed},
+	})
+	if err != nil {
+		return err
+	}
+	files := make([]coffea.FileInfo, len(paths))
+	for i, p := range paths {
+		files[i] = coffea.FileInfo{Path: p, NEvents: events}
+	}
+	chunks, err := coffea.PartitionPerFile("PoolBench", files, 2)
+	if err != nil {
+		return err
+	}
+	graph, root, err := coffea.BuildGraph("met", chunks, coffea.GraphOptions{FanIn: 2})
+	if err != nil {
+		return err
+	}
+
+	rates := []int{0, 1, 2}
+	var runs []poolRun
+	for _, elastic := range []bool{false, true} {
+		for _, r := range rates {
+			pr, err := runPoolOnce(opts, dir, graph, root, len(chunks), r, elastic)
+			if err != nil {
+				return err
+			}
+			runs = append(runs, pr)
+		}
+	}
+
+	// Every sweep point must land on the same histogram — preemption and
+	// elasticity may cost time, never correctness.
+	for _, pr := range runs[1:] {
+		if !bytes.Equal(runs[0].hist, pr.hist) {
+			return fmt.Errorf("pool: %s/%d preemptions diverged from the baseline histogram", pr.scenario, pr.preempts)
+		}
+	}
+
+	if csv, err := opts.csvFile("pool"); err != nil {
+		return err
+	} else if csv != nil {
+		defer csv.Close()
+		fmt.Fprintln(csv, "scenario,preemptions,runtime_s,reexecuted,offloads,workers_lost,peak_pool,scale_ups,scale_downs")
+		for _, pr := range runs {
+			fmt.Fprintf(csv, "%s,%d,%.3f,%d,%d,%d,%d,%d,%d\n",
+				pr.scenario, pr.preempts, pr.dur.Seconds(),
+				pr.st.Retries+pr.st.LineageReruns, pr.st.SoleReplicaOffloads,
+				pr.st.WorkersLost, pr.peak, pr.ups, pr.downs)
+		}
+	}
+	if csv, err := opts.csvFile("pool_timeline"); err != nil {
+		return err
+	} else if csv != nil {
+		defer csv.Close()
+		fmt.Fprintln(csv, "scenario,preemptions,t_ms,pool_size")
+		for _, pr := range runs {
+			for _, s := range pr.samples {
+				fmt.Fprintf(csv, "%s,%d,%d,%d\n", pr.scenario, pr.preempts, s.ms, s.size)
+			}
+		}
+	}
+
+	row(w, "Scenario", "Preempts", "Runtime", "Re-exec", "Offloads", "Peak pool")
+	for _, pr := range runs {
+		row(w, pr.scenario, fmt.Sprintf("%d", pr.preempts),
+			fmt.Sprintf("%.2fs", pr.dur.Seconds()),
+			fmt.Sprintf("%d", pr.st.Retries+pr.st.LineageReruns),
+			fmt.Sprintf("%d", pr.st.SoleReplicaOffloads),
+			fmt.Sprintf("%d", pr.peak))
+	}
+	last := runs[len(runs)-1]
+	fmt.Fprintf(w, "   elastic pool at %d preemptions: %d scale-ups / %d drains, %d offloads, %d tasks re-executed\n",
+		last.preempts, last.ups, last.downs, last.st.SoleReplicaOffloads,
+		last.st.Retries+last.st.LineageReruns)
+
+	// Guard rails: the autoscaler must converge, not oscillate, and every
+	// injected preemption must have been delivered as a notice.
+	for _, pr := range runs {
+		if pr.scenario == "elastic" && pr.ups > 4 {
+			return fmt.Errorf("pool: autoscaler oscillated (%d scale-ups in one run)", pr.ups)
+		}
+		if pr.st.Preemptions < pr.preempts {
+			return fmt.Errorf("pool: %s run delivered %d of %d preemption notices", pr.scenario, pr.st.Preemptions, pr.preempts)
+		}
+	}
+	return nil
+}
+
+// runPoolOnce is one sweep point: the workload on a fixed or elastic
+// pool with n graceful drains injected off the processor-completion
+// stream, spread evenly through the chunk count.
+func runPoolOnce(opts Options, dir string, graph *dag.Graph, root dag.Key, nchunks, preempts int, elastic bool) (poolRun, error) {
+	pr := poolRun{scenario: "fixed", preempts: preempts}
+	if elastic {
+		pr.scenario = "elastic"
+	}
+	runDir, err := os.MkdirTemp(dir, pr.scenario+"-*")
+	if err != nil {
+		return pr, err
+	}
+
+	mgr, err := vine.NewManager(
+		vine.WithPeerTransfers(true),
+		vine.WithLibrary(daskvine.LibraryName, true),
+		vine.WithMaxRetries(10),
+		vine.WithRetryBackoff(5*time.Millisecond, 40*time.Millisecond),
+		vine.WithRetrySeed(opts.Seed),
+		vine.WithRecoveryTimeout(30*time.Second),
+	)
+	if err != nil {
+		return pr, err
+	}
+	defer mgr.Stop()
+
+	const nFixed = 3
+	var scaler *pool.Autoscaler
+	victim := func(name string) *vine.Worker { return nil }
+	if elastic {
+		nworker := 0
+		prov := pool.NewLocalProvider(mgr.Addr(), func(name string) []vine.Option {
+			nworker++
+			return []vine.Option{
+				vine.WithCores(2),
+				vine.WithCacheDir(filepath.Join(runDir, fmt.Sprintf("cache-%s-%d", name, nworker))),
+				vine.WithPreemptible(true),
+			}
+		})
+		defer prov.StopAll()
+		scaler = pool.NewAutoscaler(mgr, prov, pool.Config{
+			Min: 2, Max: 6,
+			Poll:           10 * time.Millisecond,
+			Cooldown:       50 * time.Millisecond,
+			TasksPerWorker: 2,
+			IdlePolls:      5,
+			DrainGrace:     500 * time.Millisecond,
+		})
+		scaler.Start()
+		defer scaler.Stop()
+		victim = prov.Worker
+		if err := mgr.WaitForWorkers(2, 10*time.Second); err != nil {
+			return pr, err
+		}
+	} else {
+		workers := make(map[string]*vine.Worker, nFixed)
+		for i := 0; i < nFixed; i++ {
+			name := fmt.Sprintf("f%d", i)
+			wk, err := vine.NewWorker(mgr.Addr(),
+				vine.WithName(name),
+				vine.WithCores(2),
+				vine.WithCacheDir(filepath.Join(runDir, "cache-"+name)),
+				vine.WithPreemptible(true),
+			)
+			if err != nil {
+				return pr, err
+			}
+			defer wk.Stop()
+			workers[name] = wk
+		}
+		victim = func(name string) *vine.Worker { return workers[name] }
+		if err := mgr.WaitForWorkers(nFixed, 10*time.Second); err != nil {
+			return pr, err
+		}
+	}
+
+	// Sample the live pool size while the run is in flight.
+	start := time.Now()
+	stopSample := make(chan struct{})
+	sampleDone := make(chan struct{})
+	var smu sync.Mutex
+	go func() {
+		defer close(sampleDone)
+		t := time.NewTicker(20 * time.Millisecond)
+		defer t.Stop()
+		for {
+			select {
+			case <-stopSample:
+				return
+			case <-t.C:
+				smu.Lock()
+				pr.samples = append(pr.samples, poolSample{
+					ms: time.Since(start).Milliseconds(), size: mgr.WorkerCount(),
+				})
+				smu.Unlock()
+			}
+		}
+	}()
+
+	// Drain the worker that completes processor chunk stride, 2*stride, …
+	// — each victim holds the sole replica of the output it just produced,
+	// so every preemption exercises the evacuation path.
+	dopts := daskvine.Options{Mode: vine.ModeFunctionCall, Timeout: 2 * time.Minute}
+	if preempts > 0 {
+		stride := nchunks / (preempts + 1)
+		if stride < 1 {
+			stride = 1
+		}
+		var mu sync.Mutex
+		done, injected := 0, 0
+		drained := make(map[string]bool)
+		dopts.OnTaskDone = func(key dag.Key, h *vine.TaskHandle) {
+			if _, ok := graph.Task(key).Spec.(*coffea.ProcessSpec); !ok {
+				return
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			done++
+			if injected >= preempts || done < (injected+1)*stride || drained[h.Worker()] {
+				return
+			}
+			if wk := victim(h.Worker()); wk != nil {
+				drained[h.Worker()] = true
+				injected++
+				wk.Drain(500 * time.Millisecond)
+			}
+		}
+	}
+
+	res, err := daskvine.Run(mgr, graph, root, dopts)
+	pr.dur = time.Since(start)
+	close(stopSample)
+	<-sampleDone
+	if err != nil {
+		return pr, fmt.Errorf("pool %s/%d preemptions: %w", pr.scenario, preempts, err)
+	}
+	pr.hist = res.H["met"].Marshal()
+	pr.st = mgr.Stats()
+	pr.peak = nFixed
+	if scaler != nil {
+		pr.peak = scaler.Peak()
+		pr.ups, pr.downs = scaler.ScaleEvents()
+	}
+	return pr, nil
+}

@@ -67,6 +67,14 @@ const (
 	// such as the manager dying mid-run with its journal mid-write. The
 	// callback runs outside the plan lock, once per matching fault.
 	KindCrash Kind = "crash"
+	// KindPreempt is an eviction with notice — the HTCondor/spot-instance
+	// shape: at At the callback registered for Target (RegisterPreempt)
+	// receives Dur as its grace window (typically wired to Worker.Drain);
+	// at At+Dur the grace is blown and every matching connection is
+	// severed, with future dials refused, exactly like KindKill. A worker
+	// that drained clean and exited inside the window makes the kill a
+	// no-op on already-closed connections.
+	KindPreempt Kind = "preempt"
 )
 
 // Fault is one scripted failure.
@@ -104,24 +112,26 @@ type Plan struct {
 	rng *randx.RNG
 	rec *obs.Recorder
 
-	mu       sync.Mutex
-	faults   []Fault
-	started  bool
-	t0       time.Time
-	conns    map[*faultConn]struct{}
-	dead     []string     // kill targets already fired: future dials refused
-	armed    []corruptArm // fired corruptions awaiting a matching read
-	crashFns map[string]func()
-	timers   []*time.Timer
-	fired    int
+	mu         sync.Mutex
+	faults     []Fault
+	started    bool
+	t0         time.Time
+	conns      map[*faultConn]struct{}
+	dead       []string     // kill targets already fired: future dials refused
+	armed      []corruptArm // fired corruptions awaiting a matching read
+	crashFns   map[string]func()
+	preemptFns map[string]func(grace time.Duration)
+	timers     []*time.Timer
+	fired      int
 }
 
 // NewPlan returns an empty plan whose randomized builders draw from seed.
 func NewPlan(seed uint64) *Plan {
 	return &Plan{
-		rng:      randx.NewStream(seed, 913),
-		conns:    make(map[*faultConn]struct{}),
-		crashFns: make(map[string]func()),
+		rng:        randx.NewStream(seed, 913),
+		conns:      make(map[*faultConn]struct{}),
+		crashFns:   make(map[string]func()),
+		preemptFns: make(map[string]func(grace time.Duration)),
 	}
 }
 
@@ -132,6 +142,16 @@ func NewPlan(seed uint64) *Plan {
 func (p *Plan) RegisterCrash(name string, fn func()) {
 	p.mu.Lock()
 	p.crashFns[name] = fn
+	p.mu.Unlock()
+}
+
+// RegisterPreempt installs the callback a KindPreempt fault aimed at name
+// (or a prefix of it, or "*") invokes with the fault's grace window —
+// typically the worker's Drain method. The blown-grace kill at At+Dur is
+// the plan's own doing and needs no registration.
+func (p *Plan) RegisterPreempt(name string, fn func(grace time.Duration)) {
+	p.mu.Lock()
+	p.preemptFns[name] = fn
 	p.mu.Unlock()
 }
 
@@ -272,6 +292,21 @@ func (p *Plan) fire(f Fault) {
 			}
 		}
 	}
+	if f.Kind == KindPreempt {
+		grace := f.Dur
+		for name, fn := range p.preemptFns {
+			if matches(f.Target, name) {
+				fn := fn
+				crashes = append(crashes, func() { fn(grace) })
+			}
+		}
+		// Arm the blown-grace kill — unless Stop already cancelled the
+		// plan (timers nil). A clean early exit makes this a no-op.
+		if p.timers != nil {
+			target := f.Target
+			p.timers = append(p.timers, time.AfterFunc(grace, func() { p.killNow(target) }))
+		}
+	}
 	p.mu.Unlock()
 	rec.Emit(obs.Event{Type: obs.EvChaosFault, Worker: f.Target, Detail: f.String()})
 	for _, c := range victims {
@@ -279,6 +314,26 @@ func (p *Plan) fire(f Fault) {
 	}
 	for _, fn := range crashes {
 		fn()
+	}
+}
+
+// killNow severs every live connection matching target and refuses its
+// future dials — the blown-grace tail of a KindPreempt fault. It does not
+// count toward Fired(): the preemption already fired at its notice.
+func (p *Plan) killNow(target string) {
+	p.mu.Lock()
+	rec := p.rec
+	var victims []*faultConn
+	for c := range p.conns {
+		if matches(target, c.label) {
+			victims = append(victims, c)
+		}
+	}
+	p.dead = append(p.dead, target)
+	p.mu.Unlock()
+	rec.Emit(obs.Event{Type: obs.EvChaosFault, Worker: target, Detail: "preempt grace blown: kill " + target})
+	for _, c := range victims {
+		c.Close()
 	}
 }
 

@@ -320,3 +320,49 @@ func TestCrashUnregisteredTargetStillCounts(t *testing.T) {
 		t.Fatalf("Fired = %d, want 1", p.Fired())
 	}
 }
+
+func TestPreemptNoticeThenKill(t *testing.T) {
+	p := NewPlan(9)
+	notice := make(chan time.Duration, 1)
+	p.RegisterPreempt("w0", func(grace time.Duration) { notice <- grace })
+	p.RegisterPreempt("w1", func(grace time.Duration) { t.Error("preempt hit w1, targeted w0") })
+	p.Add(Fault{Kind: KindPreempt, Target: "w0", At: time.Millisecond, Dur: 200 * time.Millisecond})
+
+	c, _ := pipePair(t)
+	wc := p.WrapConn(c, "w0")
+	p.Start()
+	defer p.Stop()
+
+	var grace time.Duration
+	select {
+	case grace = <-notice:
+	case <-time.After(2 * time.Second):
+		t.Fatal("preempt notice never delivered")
+	}
+	if grace != 200*time.Millisecond {
+		t.Fatalf("grace = %v, want the fault's Dur (200ms)", grace)
+	}
+	// The notice counts once; the armed kill phase must not double-count.
+	if got := p.Fired(); got != 1 {
+		t.Fatalf("Fired = %d, want 1", got)
+	}
+	// Inside the grace window the worker's planes still work.
+	if _, err := wc.Write([]byte("hb")); err != nil {
+		t.Fatalf("write during grace window: %v", err)
+	}
+	// Once the window blows, the wrapped conn is severed and stays dead.
+	severed := false
+	for deadline := time.Now().Add(2 * time.Second); time.Now().Before(deadline); {
+		if _, err := wc.Write([]byte("hb")); err != nil {
+			severed = true
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if !severed {
+		t.Fatal("conn still alive after the grace window blew")
+	}
+	if got := p.Fired(); got != 1 {
+		t.Fatalf("Fired = %d after the kill, want 1", got)
+	}
+}

@@ -93,6 +93,15 @@ const (
 	EvSessionOpen     EventType = "session_open"     // Src=tenant, Detail=session name
 	EvSessionClose    EventType = "session_close"    // Src=tenant, Detail=session name
 	EvAdmissionReject EventType = "admission_reject" // Src=tenant, Detail=limit + request
+
+	// Elasticity vocabulary: a preemption notice is a worker entering its
+	// grace window (provider eviction or SIGTERM); a drain step is one
+	// unit of the worker's wind-down the manager performed on its behalf
+	// (a sole-replica offload, or the final release); a pool scale is one
+	// autoscaler decision changing the target worker count.
+	EvWorkerPreempt EventType = "worker_preempt" // Worker, Dur=grace window, Detail=origin
+	EvWorkerDrain   EventType = "worker_drain"   // Worker, Detail=step (offload cachename / released)
+	EvPoolScale     EventType = "pool_scale"     // Attempt=new size, Detail=direction + signal
 )
 
 // Event is one trace record. T is the offset from the trace epoch

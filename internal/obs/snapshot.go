@@ -32,6 +32,13 @@ type Snapshot struct {
 	JournalReplayed int
 	WarmHits        int
 
+	// Elasticity: workers that received a preemption notice (graceful
+	// drain or SIGTERM), and sole-replica cache entries the manager
+	// offloaded to a peer inside a drain's grace window (each one a
+	// lineage rollback that did not happen).
+	Preemptions         int
+	SoleReplicaOffloads int
+
 	// Transfers, split by source as in §III.B: peer (worker→worker) vs
 	// manager-served (the Work Queue data path).
 	PeerTransfers    int
@@ -67,6 +74,8 @@ func (s Snapshot) Merge(o Snapshot) Snapshot {
 	s.HeartbeatMisses += o.HeartbeatMisses
 	s.CorruptTransfers += o.CorruptTransfers
 	s.LineageReruns += o.LineageReruns
+	s.Preemptions += o.Preemptions
+	s.SoleReplicaOffloads += o.SoleReplicaOffloads
 	s.JournalAppends += o.JournalAppends
 	s.JournalReplayed += o.JournalReplayed
 	s.WarmHits += o.WarmHits

@@ -237,6 +237,38 @@ var DefaultLeaseRenewEvery = DefaultLeaseTTL / 3
 // latency bound.
 var DefaultStandbyPoll = DefaultLeaseTTL / 8
 
+// ---- elasticity (internal/pool — autoscaled, preemption-tolerant pools) ----
+
+// DefaultDrainGrace mirrors the live engine's grace window for a worker
+// preempted without an explicit notice period (cmd/vineworker's
+// -drain-grace flag and vine's internal default): long enough to finish a
+// typical fine-grained task and evacuate sole-replica cache entries,
+// short enough to respect an HTCondor-style eviction deadline.
+var DefaultDrainGrace = 30 * time.Second
+
+// DefaultPreemptWindow mirrors the simulator's preemption window: the
+// interval over which PreemptFraction of the pool is evicted in each run
+// (§IV). The live chaos plane compresses the same shape into test time.
+var DefaultPreemptWindow = 10 * time.Minute
+
+// DefaultPoolPoll mirrors the autoscaler's control-loop cadence: how often
+// it samples queue backlog and task queue-wait before deciding to scale.
+var DefaultPoolPoll = time.Second
+
+// DefaultPoolCooldown mirrors the autoscaler's minimum spacing between
+// scaling actions, so one burst of backlog cannot thrash the pool.
+var DefaultPoolCooldown = 5 * time.Second
+
+// DefaultPoolTasksPerWorker mirrors the autoscaler's target backlog per
+// live worker: pending tasks beyond size×this grow the pool; a sustained
+// backlog below the target (with idle polls) shrinks it.
+var DefaultPoolTasksPerWorker = 4
+
+// DefaultPoolIdlePolls mirrors how many consecutive under-target polls the
+// autoscaler requires before scaling down — the hysteresis that keeps a
+// briefly-quiet pool from shedding workers it is about to need.
+var DefaultPoolIdlePolls = 3
+
 // ---- multi-tenant gate (internal/gate — the analysis-facility front door) ----
 
 // DefaultGateMaxSessions mirrors the gate's per-tenant cap on concurrently

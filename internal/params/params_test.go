@@ -74,3 +74,27 @@ func TestClusterShapeConstants(t *testing.T) {
 		t.Fatal("TriPhoton workers should have bigger disks (§V.B)")
 	}
 }
+
+func TestElasticityDefaults(t *testing.T) {
+	// Pin the live-engine mirrors: cmd/vineworker's -drain-grace default
+	// and vine's internal drain fallback both advertise 30s; the simulator
+	// preempts PreemptFraction of the pool over a 10-minute window (§IV).
+	if DefaultDrainGrace != 30*time.Second {
+		t.Fatalf("DefaultDrainGrace = %v", DefaultDrainGrace)
+	}
+	if DefaultPreemptWindow != 10*time.Minute {
+		t.Fatalf("DefaultPreemptWindow = %v", DefaultPreemptWindow)
+	}
+	// Autoscaler shape: hysteresis must actually damp — a scale decision
+	// needs a cooldown longer than the sampling period and more than one
+	// idle poll before shedding capacity.
+	if DefaultPoolCooldown <= DefaultPoolPoll {
+		t.Fatalf("cooldown %v must exceed poll %v", DefaultPoolCooldown, DefaultPoolPoll)
+	}
+	if DefaultPoolIdlePolls < 2 {
+		t.Fatalf("idle polls = %d; scale-down needs hysteresis", DefaultPoolIdlePolls)
+	}
+	if DefaultPoolTasksPerWorker < 1 {
+		t.Fatalf("tasks per worker = %d", DefaultPoolTasksPerWorker)
+	}
+}

@@ -1,0 +1,253 @@
+package pool
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"hepvine/internal/obs"
+	"hepvine/internal/params"
+	"hepvine/internal/sched"
+)
+
+// Cluster is the manager surface the autoscaler reads: queue backlog,
+// the metrics registry (for the queue-wait histogram), and the trace
+// recorder. *vine.Manager satisfies it; tests substitute fakes.
+type Cluster interface {
+	QueueStats() []sched.QueueStats
+	Metrics() *obs.Registry
+	Recorder() *obs.Recorder
+}
+
+// Config bounds and tunes an Autoscaler. Zero values take the pinned
+// defaults in internal/params.
+type Config struct {
+	// Min and Max bound the pool size. Min workers are launched at Start
+	// and the pool never drains below it; Max caps growth.
+	Min, Max int
+	// Poll is the control-loop cadence.
+	Poll time.Duration
+	// Cooldown is the minimum spacing between scaling actions — the damper
+	// that keeps one backlog burst from thrashing the pool.
+	Cooldown time.Duration
+	// TasksPerWorker is the target backlog per worker: the loop sizes the
+	// pool toward ceil(backlog / TasksPerWorker) within [Min, Max].
+	TasksPerWorker int
+	// IdlePolls is how many consecutive under-target polls must pass
+	// before one worker is drained — scale-down hysteresis.
+	IdlePolls int
+	// DrainGrace is the grace window handed to Provider.Preempt on
+	// scale-down.
+	DrainGrace time.Duration
+	// WaitTarget, when >0, adds a latency trigger: a mean task queue wait
+	// above it (over the last poll interval) grows the pool by one even
+	// when the backlog target alone would not.
+	WaitTarget time.Duration
+}
+
+func (c *Config) defaults() {
+	if c.Min < 0 {
+		c.Min = 0
+	}
+	if c.Max < c.Min {
+		c.Max = c.Min
+	}
+	if c.Poll <= 0 {
+		c.Poll = params.DefaultPoolPoll
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = params.DefaultPoolCooldown
+	}
+	if c.TasksPerWorker <= 0 {
+		c.TasksPerWorker = params.DefaultPoolTasksPerWorker
+	}
+	if c.IdlePolls <= 0 {
+		c.IdlePolls = params.DefaultPoolIdlePolls
+	}
+	if c.DrainGrace <= 0 {
+		c.DrainGrace = params.DefaultDrainGrace
+	}
+}
+
+// Autoscaler is the pool control loop: each poll it reads the summed
+// queue backlog and the delta of the vine_task_queue_wait_seconds
+// histogram, computes a desired size, and converges the provider toward
+// it — growing in one cooldown-gated step, shrinking one graceful drain
+// at a time after IdlePolls of sustained slack. On a steady backlog the
+// desired size is constant, so the loop reaches it and goes quiet: no
+// oscillation by construction.
+type Autoscaler struct {
+	mgr  Cluster
+	prov Provider
+	cfg  Config
+
+	waitHist *obs.Histogram
+
+	stopC chan struct{}
+	doneC chan struct{}
+
+	mu        sync.Mutex
+	started   bool
+	stopped   bool
+	lastScale time.Time
+	idle      int
+	peak      int
+	ups       int
+	downs     int
+	lastCount int64
+	lastSum   float64
+}
+
+// NewAutoscaler builds the control loop; call Start to run it.
+func NewAutoscaler(mgr Cluster, prov Provider, cfg Config) *Autoscaler {
+	cfg.defaults()
+	return &Autoscaler{
+		mgr:      mgr,
+		prov:     prov,
+		cfg:      cfg,
+		waitHist: mgr.Metrics().Histogram("vine_task_queue_wait_seconds"),
+		stopC:    make(chan struct{}),
+		doneC:    make(chan struct{}),
+	}
+}
+
+// Start launches the Min floor and begins polling. Idempotent.
+func (a *Autoscaler) Start() {
+	a.mu.Lock()
+	if a.started {
+		a.mu.Unlock()
+		return
+	}
+	a.started = true
+	a.mu.Unlock()
+	for len(a.prov.List()) < a.cfg.Min {
+		if _, err := a.prov.Launch(); err != nil {
+			break
+		}
+	}
+	a.mu.Lock()
+	if n := len(a.prov.List()); n > a.peak {
+		a.peak = n
+	}
+	a.mu.Unlock()
+	go a.run()
+}
+
+// Stop halts the control loop. The pool is left at its current size;
+// tear workers down through the provider.
+func (a *Autoscaler) Stop() {
+	a.mu.Lock()
+	if !a.started || a.stopped {
+		a.mu.Unlock()
+		return
+	}
+	a.stopped = true
+	a.mu.Unlock()
+	close(a.stopC)
+	<-a.doneC
+}
+
+func (a *Autoscaler) run() {
+	defer close(a.doneC)
+	t := time.NewTicker(a.cfg.Poll)
+	defer t.Stop()
+	for {
+		select {
+		case <-a.stopC:
+			return
+		case <-t.C:
+			a.step(time.Now())
+		}
+	}
+}
+
+// step is one control-loop decision. Split from run so tests can drive
+// it with a deterministic clock.
+func (a *Autoscaler) step(now time.Time) {
+	live := len(a.prov.List())
+	backlog := 0
+	for _, q := range a.mgr.QueueStats() {
+		backlog += q.Pending
+	}
+	count, sum := a.waitHist.Count(), a.waitHist.Sum()
+
+	a.mu.Lock()
+	if live > a.peak {
+		a.peak = live
+	}
+	var meanWait time.Duration
+	if dc := count - a.lastCount; dc > 0 {
+		meanWait = time.Duration((sum - a.lastSum) / float64(dc) * float64(time.Second))
+	}
+	a.lastCount, a.lastSum = count, sum
+
+	desired := (backlog + a.cfg.TasksPerWorker - 1) / a.cfg.TasksPerWorker
+	if a.cfg.WaitTarget > 0 && meanWait > a.cfg.WaitTarget && backlog > 0 && desired <= live {
+		desired = live + 1
+	}
+	if desired < a.cfg.Min {
+		desired = a.cfg.Min
+	}
+	if desired > a.cfg.Max {
+		desired = a.cfg.Max
+	}
+	cool := a.lastScale.IsZero() || now.Sub(a.lastScale) >= a.cfg.Cooldown
+
+	switch {
+	case live < a.cfg.Min:
+		// Floor repair (a drained or killed worker dropped the pool below
+		// Min) ignores cooldown: the floor is a promise, not a target.
+		a.idle = 0
+		a.launchLocked(a.cfg.Min-live, a.cfg.Min, backlog, meanWait, "floor")
+		a.lastScale = now
+	case desired > live && cool:
+		a.idle = 0
+		a.launchLocked(desired-live, desired, backlog, meanWait, "up")
+		a.lastScale = now
+	case desired < live:
+		a.idle++
+		if a.idle >= a.cfg.IdlePolls && cool && live > a.cfg.Min {
+			a.idle = 0
+			a.downs++
+			names := a.prov.List()
+			victim := names[len(names)-1]
+			a.mgr.Recorder().Emit(obs.Event{Type: obs.EvPoolScale, Attempt: live - 1,
+				Detail: fmt.Sprintf("down: drain %s (backlog=%d live=%d)", victim, backlog, live)})
+			a.prov.Preempt(victim, a.cfg.DrainGrace)
+			a.lastScale = now
+		}
+	default:
+		a.idle = 0
+	}
+	a.mu.Unlock()
+}
+
+// launchLocked grows the pool by n toward target size, emitting one
+// EvPoolScale for the action.
+func (a *Autoscaler) launchLocked(n, target, backlog int, wait time.Duration, why string) {
+	a.ups++
+	a.mgr.Recorder().Emit(obs.Event{Type: obs.EvPoolScale, Attempt: target,
+		Detail: fmt.Sprintf("%s: +%d (backlog=%d wait=%v)", why, n, backlog, wait)})
+	for i := 0; i < n; i++ {
+		if _, err := a.prov.Launch(); err != nil {
+			return
+		}
+	}
+}
+
+// Size reports the provider's current worker count.
+func (a *Autoscaler) Size() int { return len(a.prov.List()) }
+
+// Peak reports the largest pool size the loop has observed.
+func (a *Autoscaler) Peak() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.peak
+}
+
+// ScaleEvents reports how many scale-up and scale-down actions fired.
+func (a *Autoscaler) ScaleEvents() (ups, downs int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.ups, a.downs
+}

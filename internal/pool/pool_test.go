@@ -1,0 +1,210 @@
+package pool
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"hepvine/internal/obs"
+	"hepvine/internal/sched"
+)
+
+// fakeCluster is a Cluster stub with a settable backlog.
+type fakeCluster struct {
+	mu      sync.Mutex
+	pending int
+	reg     *obs.Registry
+	rec     *obs.Recorder
+}
+
+func newFakeCluster() *fakeCluster {
+	return &fakeCluster{reg: obs.NewRegistry(), rec: obs.NewRecorder()}
+}
+
+func (f *fakeCluster) setBacklog(n int) {
+	f.mu.Lock()
+	f.pending = n
+	f.mu.Unlock()
+}
+
+func (f *fakeCluster) QueueStats() []sched.QueueStats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return []sched.QueueStats{{Name: "default", Pending: f.pending}}
+}
+
+func (f *fakeCluster) Metrics() *obs.Registry  { return f.reg }
+func (f *fakeCluster) Recorder() *obs.Recorder { return f.rec }
+
+// fakeProvider tracks names in memory; Preempt removes immediately.
+type fakeProvider struct {
+	mu    sync.Mutex
+	next  int
+	names []string
+}
+
+func (p *fakeProvider) Launch() (string, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	name := fmt.Sprintf("f%d", p.next)
+	p.next++
+	p.names = append(p.names, name)
+	return name, nil
+}
+
+func (p *fakeProvider) Preempt(name string, grace time.Duration) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for i, n := range p.names {
+		if n == name {
+			p.names = append(p.names[:i], p.names[i+1:]...)
+			return nil
+		}
+	}
+	return fmt.Errorf("no worker %s", name)
+}
+
+func (p *fakeProvider) List() []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]string(nil), p.names...)
+}
+
+// drop removes one worker out of band — a preemption the autoscaler did
+// not ask for.
+func (p *fakeProvider) drop() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.names) > 0 {
+		p.names = p.names[:len(p.names)-1]
+	}
+}
+
+func testConfig() Config {
+	return Config{
+		Min: 1, Max: 8,
+		Poll:           10 * time.Millisecond,
+		Cooldown:       50 * time.Millisecond,
+		TasksPerWorker: 4,
+		IdlePolls:      3,
+		DrainGrace:     time.Second,
+	}
+}
+
+// The acceptance-criteria convergence property: a steady backlog produces
+// one scale-up to the target size, then silence — no oscillation.
+func TestAutoscalerConvergesOnSteadyBacklog(t *testing.T) {
+	mgr, prov := newFakeCluster(), &fakeProvider{}
+	a := NewAutoscaler(mgr, prov, testConfig())
+	for len(prov.List()) < a.cfg.Min {
+		prov.Launch()
+	}
+	mgr.setBacklog(12) // ceil(12/4) = 3 workers desired
+
+	now := time.Now()
+	for i := 0; i < 50; i++ {
+		a.step(now)
+		now = now.Add(100 * time.Millisecond) // every step past cooldown
+	}
+	if got := a.Size(); got != 3 {
+		t.Fatalf("size = %d, want 3", got)
+	}
+	ups, downs := a.ScaleEvents()
+	if ups != 1 || downs != 0 {
+		t.Fatalf("scale events = %d up / %d down; steady backlog must scale once and settle", ups, downs)
+	}
+}
+
+func TestAutoscalerScaleDownNeedsHysteresis(t *testing.T) {
+	mgr, prov := newFakeCluster(), &fakeProvider{}
+	a := NewAutoscaler(mgr, prov, testConfig())
+	mgr.setBacklog(12)
+	now := time.Now()
+	for len(prov.List()) < a.cfg.Min {
+		prov.Launch()
+	}
+	a.step(now)
+	if a.Size() != 3 {
+		t.Fatalf("setup: size = %d, want 3", a.Size())
+	}
+
+	// Backlog vanishes. Fewer than IdlePolls under-target polls must not
+	// shrink the pool, even well past the cooldown.
+	mgr.setBacklog(0)
+	now = now.Add(time.Second)
+	a.step(now)
+	now = now.Add(time.Millisecond)
+	a.step(now)
+	if a.Size() != 3 {
+		t.Fatalf("size = %d after 2 idle polls; scale-down before IdlePolls=3", a.Size())
+	}
+
+	// Sustained idleness drains one worker per action down to Min, never
+	// two inside one cooldown window.
+	for i := 0; i < 40 && a.Size() > 1; i++ {
+		now = now.Add(30 * time.Millisecond)
+		a.step(now)
+	}
+	if got := a.Size(); got != 1 {
+		t.Fatalf("size = %d, want Min=1 after sustained idleness", got)
+	}
+	_, downs := a.ScaleEvents()
+	if downs != 2 {
+		t.Fatalf("downs = %d, want 2 (3 → 2 → 1)", downs)
+	}
+	if a.Peak() != 3 {
+		t.Fatalf("peak = %d, want 3", a.Peak())
+	}
+}
+
+func TestAutoscalerRepairsFloorIgnoringCooldown(t *testing.T) {
+	mgr, prov := newFakeCluster(), &fakeProvider{}
+	cfg := testConfig()
+	cfg.Min, cfg.Cooldown = 2, time.Hour // cooldown can never elapse
+	a := NewAutoscaler(mgr, prov, cfg)
+	prov.Launch()
+	prov.Launch()
+
+	// Arm the cooldown with one ordinary scale-up first.
+	now := time.Now()
+	mgr.setBacklog(100)
+	a.step(now)
+	mgr.setBacklog(0)
+
+	// Out-of-band preemptions take the pool below the floor.
+	for a.Size() >= cfg.Min {
+		prov.drop()
+	}
+	if a.Size() >= cfg.Min {
+		t.Fatalf("setup: size %d not below Min %d", a.Size(), cfg.Min)
+	}
+	a.step(now.Add(2 * time.Millisecond))
+	if a.Size() != cfg.Min {
+		t.Fatalf("size = %d; floor repair must relaunch to Min=%d without waiting out the cooldown", a.Size(), cfg.Min)
+	}
+}
+
+func TestAutoscalerWaitTargetTriggersGrowth(t *testing.T) {
+	mgr, prov := newFakeCluster(), &fakeProvider{}
+	cfg := testConfig()
+	cfg.WaitTarget = 100 * time.Millisecond
+	a := NewAutoscaler(mgr, prov, cfg)
+	prov.Launch()
+	mgr.setBacklog(2) // under the backlog target for 1 worker (4)
+
+	now := time.Now()
+	a.step(now)
+	if a.Size() != 1 {
+		t.Fatalf("size = %d; small backlog alone must not grow the pool", a.Size())
+	}
+
+	// Tasks are waiting long despite the small backlog: latency trigger.
+	h := mgr.Metrics().Histogram("vine_task_queue_wait_seconds")
+	h.Observe(0.5)
+	h.Observe(0.7)
+	a.step(now.Add(200 * time.Millisecond))
+	if a.Size() != 2 {
+		t.Fatalf("size = %d, want 2 after queue-wait breach", a.Size())
+	}
+}

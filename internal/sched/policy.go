@@ -49,6 +49,13 @@ type Candidate struct {
 	Memory     int64 // bytes; 0 = unreported
 	FreeMemory int64
 	LocalBytes int64 // bytes of this task's inputs already cached here
+
+	// Preemptible marks a worker that may vanish on short notice (an
+	// opportunistic slot); Draining marks one inside its grace window,
+	// winding down. Both default false, so planes that never set worker
+	// attributes score and filter exactly as before.
+	Preemptible bool
+	Draining    bool
 }
 
 // Filter prunes candidates that cannot run the task at all.
@@ -154,6 +161,16 @@ func (ExcludeFilter) Keep(t *Task, c *Candidate) bool {
 	return !t.Exclude[c.ID]
 }
 
+// DrainFilter drops workers inside a preemption grace window: a draining
+// worker finishes what it has but accepts nothing new.
+type DrainFilter struct{}
+
+func (DrainFilter) Name() string { return "drain" }
+
+func (DrainFilter) Keep(t *Task, c *Candidate) bool {
+	return !c.Draining
+}
+
 // ---- built-in scorers ----
 
 // LocalBytesScorer prefers workers already caching the task's inputs —
@@ -173,6 +190,22 @@ func (FreeCoresScorer) Name() string { return "free-cores" }
 
 func (FreeCoresScorer) Score(t *Task, c *Candidate) float64 {
 	return float64(c.FreeCores)
+}
+
+// StabilityScorer prefers workers that will not be preempted: 1 for a
+// stable worker, 0 for a preemptible one. Constant (and therefore inert)
+// on planes that never mark workers preemptible, which is what keeps the
+// Locality policy bit-for-bit with the historical greedy placement in
+// fixed-pool runs.
+type StabilityScorer struct{}
+
+func (StabilityScorer) Name() string { return "stability" }
+
+func (StabilityScorer) Score(t *Task, c *Candidate) float64 {
+	if c.Preemptible {
+		return 0
+	}
+	return 1
 }
 
 // PackScorer prefers the fullest worker that still fits (bin-pack):
@@ -211,13 +244,15 @@ func putU64(b *[8]byte, v uint64) {
 // ---- stock policies ----
 
 // Locality is the default policy: the data-gravity greedy placement
-// extracted from the live manager. Most local input bytes, tie-break most
-// free cores, tie-break lowest worker id.
+// extracted from the live manager. Most local input bytes, tie-break
+// stable over preemptible, tie-break most free cores, tie-break lowest
+// worker id. On a pool with no preemptible workers the stability term is
+// constant, so placement stays bit-for-bit the historical greedy.
 func Locality() *Policy {
 	return &Policy{
 		Name:    "locality",
-		Filters: []Filter{FitFilter{}, ExcludeFilter{}},
-		Scorers: []Scorer{LocalBytesScorer{}, FreeCoresScorer{}},
+		Filters: []Filter{FitFilter{}, ExcludeFilter{}, DrainFilter{}},
+		Scorers: []Scorer{LocalBytesScorer{}, StabilityScorer{}, FreeCoresScorer{}},
 	}
 }
 
@@ -226,7 +261,7 @@ func Locality() *Policy {
 func BinPack() *Policy {
 	return &Policy{
 		Name:    "binpack",
-		Filters: []Filter{FitFilter{}, ExcludeFilter{}},
+		Filters: []Filter{FitFilter{}, ExcludeFilter{}, DrainFilter{}},
 		Scorers: []Scorer{PackScorer{}, LocalBytesScorer{}},
 	}
 }
@@ -236,7 +271,7 @@ func BinPack() *Policy {
 func Spread() *Policy {
 	return &Policy{
 		Name:    "spread",
-		Filters: []Filter{FitFilter{}, ExcludeFilter{}},
+		Filters: []Filter{FitFilter{}, ExcludeFilter{}, DrainFilter{}},
 		Scorers: []Scorer{FreeCoresScorer{}, LocalBytesScorer{}},
 	}
 }
@@ -246,7 +281,7 @@ func Spread() *Policy {
 func Random(seed uint64) *Policy {
 	return &Policy{
 		Name:    "random",
-		Filters: []Filter{FitFilter{}, ExcludeFilter{}},
+		Filters: []Filter{FitFilter{}, ExcludeFilter{}, DrainFilter{}},
 		Scorers: []Scorer{RandomScorer{Seed: seed}},
 	}
 }

@@ -491,3 +491,85 @@ func TestRemoveQueue(t *testing.T) {
 		t.Fatal("tombstone pinned the queue")
 	}
 }
+
+// ---- elasticity: preemption-aware placement (PR 9) ----
+
+func TestDrainFilterExcludesDrainingWorkers(t *testing.T) {
+	f := DrainFilter{}
+	if f.Keep(task("t", 1), &Candidate{ID: 1, Draining: true}) {
+		t.Error("kept a draining worker")
+	}
+	if !f.Keep(task("t", 1), &Candidate{ID: 2, Preemptible: true}) {
+		t.Error("dropped a merely-preemptible worker; only draining ones are excluded")
+	}
+}
+
+func TestStabilityBreaksLocalityTies(t *testing.T) {
+	// Equal local bytes: the stable worker must win over the preemptible
+	// one even when the preemptible worker has more free cores — stability
+	// ranks above FreeCores in the Locality score vector.
+	p := Locality()
+	cands := []Candidate{
+		{ID: 1, FreeCores: 8, LocalBytes: 50, Preemptible: true},
+		{ID: 2, FreeCores: 2, LocalBytes: 50},
+	}
+	idx, _ := p.Pick(task("t", 1, "a"), cands)
+	if cands[idx].ID != 2 {
+		t.Fatalf("picked worker %d, want stable worker 2", cands[idx].ID)
+	}
+	// ...but locality still dominates stability: a preemptible worker
+	// holding more of the inputs beats a stable one holding less.
+	cands = []Candidate{
+		{ID: 1, FreeCores: 2, LocalBytes: 90, Preemptible: true},
+		{ID: 2, FreeCores: 8, LocalBytes: 10},
+	}
+	idx, _ = p.Pick(task("t", 1, "a"), cands)
+	if cands[idx].ID != 1 {
+		t.Fatalf("picked worker %d, want data-local worker 1", cands[idx].ID)
+	}
+}
+
+func TestStockPoliciesFilterDraining(t *testing.T) {
+	for _, p := range []*Policy{Locality(), BinPack(), Spread(), Random(7)} {
+		cands := []Candidate{
+			{ID: 1, FreeCores: 8, Draining: true},
+			{ID: 2, FreeCores: 8},
+		}
+		idx, _ := p.Pick(task("t", 1), cands)
+		if idx == -1 || cands[idx].ID != 2 {
+			t.Fatalf("%s: picked draining worker (idx=%d)", p.Name, idx)
+		}
+		// A pool that is all-draining is infeasible for new work.
+		idx, _ = p.Pick(task("t", 1), []Candidate{{ID: 1, FreeCores: 8, Draining: true}})
+		if idx != -1 {
+			t.Fatalf("%s: placed work on a draining-only pool", p.Name)
+		}
+	}
+}
+
+func TestSchedulerWorkerAttrsRoundTrip(t *testing.T) {
+	s := New(Locality())
+	s.WorkerJoin(1, 4, 0)
+	pre, dr := s.WorkerAttrs(1)
+	if pre || dr {
+		t.Fatalf("fresh worker attrs = (%v, %v), want stable and not draining", pre, dr)
+	}
+	s.SetWorkerAttrs(1, true, false)
+	if pre, dr = s.WorkerAttrs(1); !pre || dr {
+		t.Fatalf("attrs after SetWorkerAttrs(true,false) = (%v, %v)", pre, dr)
+	}
+	s.SetWorkerAttrs(1, true, true)
+	// A draining worker must stop receiving assignments entirely.
+	s.Enqueue(task("t1", 1), 0)
+	var placed []Assignment
+	if n := s.Assign(0, func(a Assignment) { placed = append(placed, a) }); n != 0 {
+		t.Fatalf("assigned %d tasks to a draining-only pool", n)
+	}
+	s.WorkerJoin(2, 4, 0)
+	if n := s.Assign(0, func(a Assignment) { placed = append(placed, a) }); n != 1 {
+		t.Fatalf("assigned %d tasks, want 1 once a stable worker joins", n)
+	}
+	if len(placed) != 1 || placed[0].Worker != 2 {
+		t.Fatalf("assignments = %+v, want t1 on the fresh stable worker 2", placed)
+	}
+}

@@ -20,12 +20,14 @@ type Assignment struct {
 // mirrors the worker's cache so locality scoring is a map lookup per
 // input instead of a scan of manager-global state.
 type node struct {
-	id         int
-	cores      int
-	freeCores  int
-	memory     int64
-	freeMemory int64
-	files      map[string]int64 // cache name -> size
+	id          int
+	cores       int
+	freeCores   int
+	memory      int64
+	freeMemory  int64
+	files       map[string]int64 // cache name -> size
+	preemptible bool             // opportunistic slot: may vanish on short notice
+	draining    bool             // inside a preemption grace window
 }
 
 // Scheduler owns the ready set and the worker index for one plane. It is
@@ -127,6 +129,24 @@ func (s *Scheduler) WorkerJoin(id, cores int, memory int64) {
 		memory: memory, freeMemory: memory,
 		files: make(map[string]int64),
 	}
+}
+
+// SetWorkerAttrs updates a worker's elasticity attributes. Join resets
+// both to false, so the caller re-applies them on re-registration.
+// Unknown workers are a no-op.
+func (s *Scheduler) SetWorkerAttrs(id int, preemptible, draining bool) {
+	if n, ok := s.nodes[id]; ok {
+		n.preemptible = preemptible
+		n.draining = draining
+	}
+}
+
+// WorkerAttrs reports a worker's elasticity attributes.
+func (s *Scheduler) WorkerAttrs(id int) (preemptible, draining bool) {
+	if n, ok := s.nodes[id]; ok {
+		return n.preemptible, n.draining
+	}
+	return false, false
 }
 
 // WorkerLost drops a worker from the index.
@@ -387,7 +407,9 @@ func (s *Scheduler) candidates(t *Task) []Candidate {
 		s.cands = append(s.cands, Candidate{
 			ID: id, Cores: n.cores, FreeCores: n.freeCores,
 			Memory: n.memory, FreeMemory: n.freeMemory,
-			LocalBytes: local,
+			LocalBytes:  local,
+			Preemptible: n.preemptible,
+			Draining:    n.draining,
 		})
 	}
 	return s.cands

@@ -81,6 +81,11 @@ func (m *Manager) sweep(now time.Time) {
 		}
 	}
 
+	// Graceful drain: re-attempt evacuations and release workers that have
+	// drained clean, before the deadline scan can fast-abort work that a
+	// drainer would have finished inside its grace window.
+	m.releaseDrainersLocked()
+
 	var expired []*taskRecord
 	for _, rec := range m.tasks {
 		if rec.state == TaskRunning && !rec.deadlineAt.IsZero() && now.After(rec.deadlineAt) {

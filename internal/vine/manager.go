@@ -328,6 +328,9 @@ type managerMetrics struct {
 	replaySkipped    *obs.Counter
 	leaseLosses      *obs.Counter
 	failovers        *obs.Counter
+	preemptions      *obs.Counter
+	soleOffloads     *obs.Counter
+	poolSize         *obs.Gauge
 	execSeconds      *obs.Histogram
 	queueWait        *obs.Histogram
 	takeoverLatency  *obs.Histogram
@@ -357,6 +360,9 @@ func newManagerMetrics(reg *obs.Registry) managerMetrics {
 		replaySkipped:    reg.Counter("vine_journal_replay_skipped_total"),
 		leaseLosses:      reg.Counter("vine_lease_losses_total"),
 		failovers:        reg.Counter("vine_failovers_total"),
+		preemptions:      reg.Counter("vine_preemptions_total"),
+		soleOffloads:     reg.Counter("vine_sole_replica_offloads_total"),
+		poolSize:         reg.Gauge("vine_pool_size"),
 		execSeconds:      reg.Histogram("vine_task_exec_seconds"),
 		queueWait:        reg.Histogram("vine_task_queue_wait_seconds"),
 		takeoverLatency:  reg.Histogram("vine_takeover_latency_seconds"),
@@ -377,6 +383,14 @@ type workerState struct {
 	cacheBytes   int64
 	outbound     int // active transfers served by this worker
 	alive        bool
+	// Elasticity: preemptible is the hello-advertised attribute; a
+	// draining worker announced a preemption notice and accepts no new
+	// work. drainDeadline is when its grace window blows; drainReleased
+	// flips once the manager has sent drain_done (so sweep sends it once).
+	preemptible   bool
+	draining      bool
+	drainDeadline time.Time
+	drainReleased bool
 	// Liveness: lastSeen is bumped on every control-channel receive;
 	// lastPing is when the manager last probed an otherwise-quiet link.
 	lastSeen time.Time
@@ -428,12 +442,16 @@ func (rec *taskRecord) label() string { return strconv.Itoa(rec.id) }
 
 // pendingTransfer is a queued staging operation. attempts counts how many
 // times this file has already failed to reach this destination, so the
-// failover ladder (retry from another replica) stays bounded.
+// failover ladder (retry from another replica) stays bounded. offload
+// marks a drain evacuation — a sole-replica copy leaving a preempted
+// worker — so completion is counted and traced as an offload rather
+// than ordinary staging.
 type pendingTransfer struct {
 	name     CacheName
 	dest     int // worker id
 	source   int // worker id, or -1 for manager
 	attempts int
+	offload  bool
 }
 
 // maxTransferAttempts bounds per-file staging attempts across sources
@@ -659,21 +677,23 @@ func (m *Manager) Stop() {
 // vocabulary.
 func (m *Manager) Stats() ManagerStats {
 	return ManagerStats{
-		TasksDone:        int(m.met.tasksDone.Value()),
-		TasksFailed:      int(m.met.tasksFailed.Value()),
-		Retries:          int(m.met.retries.Value()),
-		PeerTransfers:    int(m.met.peerTransfers.Value()),
-		ManagerTransfers: int(m.met.managerTransfers.Value()),
-		PeerBytes:        m.met.peerBytes.Value(),
-		ManagerBytes:     m.met.managerBytes.Value(),
-		WorkersLost:      int(m.met.workersLost.Value()),
-		TasksAborted:     int(m.met.tasksAborted.Value()),
-		HeartbeatMisses:  int(m.met.heartbeatMisses.Value()),
-		CorruptTransfers: int(m.met.corruptTransfers.Value()),
-		LineageReruns:    int(m.met.lineageReruns.Value()),
-		JournalAppends:   int(m.met.journalAppends.Value()),
-		JournalReplayed:  int(m.met.journalReplayed.Value()),
-		WarmHits:         int(m.met.warmHits.Value()),
+		TasksDone:           int(m.met.tasksDone.Value()),
+		TasksFailed:         int(m.met.tasksFailed.Value()),
+		Retries:             int(m.met.retries.Value()),
+		PeerTransfers:       int(m.met.peerTransfers.Value()),
+		ManagerTransfers:    int(m.met.managerTransfers.Value()),
+		PeerBytes:           m.met.peerBytes.Value(),
+		ManagerBytes:        m.met.managerBytes.Value(),
+		WorkersLost:         int(m.met.workersLost.Value()),
+		TasksAborted:        int(m.met.tasksAborted.Value()),
+		HeartbeatMisses:     int(m.met.heartbeatMisses.Value()),
+		CorruptTransfers:    int(m.met.corruptTransfers.Value()),
+		LineageReruns:       int(m.met.lineageReruns.Value()),
+		Preemptions:         int(m.met.preemptions.Value()),
+		SoleReplicaOffloads: int(m.met.soleOffloads.Value()),
+		JournalAppends:      int(m.met.journalAppends.Value()),
+		JournalReplayed:     int(m.met.journalReplayed.Value()),
+		WarmHits:            int(m.met.warmHits.Value()),
 	}
 }
 
@@ -692,6 +712,13 @@ func (m *Manager) WriteMetrics(w io.Writer) error { return m.reg.WriteText(w) }
 func (m *Manager) WorkerCount() int {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	return m.liveWorkersLocked()
+}
+
+// liveWorkersLocked counts currently-alive workers (requires m.mu) — the
+// value behind WaitForWorkers and the vine_pool_size gauge. Dead entries
+// linger in m.workers for history, so this is a filter, not a len().
+func (m *Manager) liveWorkersLocked() int {
 	n := 0
 	for _, w := range m.workers {
 		if w.alive {
@@ -1137,12 +1164,17 @@ func (m *Manager) handleWorker(cc *conn) {
 		transferAddr: hello.TransferAddr,
 		cores:        hello.Cores,
 		memory:       hello.Memory,
+		preemptible:  hello.Preemptible,
 		cache:        make(map[CacheName]bool),
 		alive:        true,
 		lastSeen:     time.Now(),
 	}
 	m.workers[id] = w
 	m.sched.WorkerJoin(id, hello.Cores, hello.Memory)
+	if hello.Preemptible {
+		m.sched.SetWorkerAttrs(id, true, false)
+	}
+	m.met.poolSize.Set(int64(m.liveWorkersLocked()))
 	// Ingest the cache inventory: every surviving entry the manager knows
 	// about becomes a replica again, so completed work is never re-staged
 	// just because a connection (or the manager itself) bounced. Unknown
@@ -1219,6 +1251,10 @@ func (m *Manager) handleWorker(cc *conn) {
 		case msgEvicted:
 			if msg.Evicted != nil {
 				m.onEvicted(id, msg.Evicted)
+			}
+		case msgDraining:
+			if msg.Draining != nil {
+				m.onDraining(id, msg.Draining)
 			}
 		case msgPong:
 			// lastSeen bump above is the whole point.
@@ -1485,7 +1521,7 @@ func (m *Manager) pumpTransfersLocked() {
 			CacheName: string(tx.name), Addr: addr, Size: fs.size,
 		}})
 		// Remember who served it so capacity frees on completion.
-		dw.pendingSources = append(dw.pendingSources, srcRecord{name: tx.name, source: src, attempts: tx.attempts})
+		dw.pendingSources = append(dw.pendingSources, srcRecord{name: tx.name, source: src, attempts: tx.attempts, offload: tx.offload})
 	}
 	m.queuedTx = still
 }
@@ -1496,6 +1532,7 @@ type srcRecord struct {
 	name     CacheName
 	source   int
 	attempts int
+	offload  bool
 }
 
 // dispatchLocked sends a fully-staged task to its worker.
@@ -1856,18 +1893,27 @@ func (m *Manager) replicateLocked(cn CacheName) {
 	if need <= 0 {
 		return
 	}
-	// The scheduler maintains the sorted live-worker id slice; no
-	// per-call rebuild+sort here either.
-	for _, id := range m.sched.WorkerIDs() {
-		if need == 0 {
-			break
+	// Preemption-aware target order: stable workers first, preemptible
+	// ones only when no stable worker can take a copy, draining workers
+	// never — so with at least one stable worker in the pool, a hot file's
+	// replica set is never exclusively on workers that may vanish. Within
+	// each pass the scheduler's sorted live-worker id slice keeps the
+	// choice deterministic with no per-call rebuild+sort.
+	for pass := 0; pass < 2 && need > 0; pass++ {
+		for _, id := range m.sched.WorkerIDs() {
+			if need == 0 {
+				break
+			}
+			w := m.workers[id]
+			if w == nil || !w.alive || w.draining || w.cache[cn] {
+				continue
+			}
+			if (pass == 0) == w.preemptible {
+				continue // pass 0: stable only; pass 1: preemptible only
+			}
+			m.queueTransferLocked(cn, id)
+			need--
 		}
-		w := m.workers[id]
-		if w == nil || !w.alive || w.cache[cn] {
-			continue
-		}
-		m.queueTransferLocked(cn, id)
-		need--
 	}
 }
 
@@ -1911,10 +1957,10 @@ func (m *Manager) onTransferDone(wid int, msg *transferDoneMsg) {
 	name := CacheName(msg.CacheName)
 	// Free the source's outbound slot, remembering who served the transfer
 	// and how many attempts this file has burned reaching this worker.
-	srcName, srcID, attempts := "manager", -1, 0
+	srcName, srcID, attempts, offload := "manager", -1, 0, false
 	for i, sr := range w.pendingSources {
 		if sr.name == name {
-			srcID, attempts = sr.source, sr.attempts
+			srcID, attempts, offload = sr.source, sr.attempts, sr.offload
 			if sr.source >= 0 {
 				if sw := m.workers[sr.source]; sw != nil {
 					srcName = sw.name
@@ -1930,6 +1976,12 @@ func (m *Manager) onTransferDone(wid int, msg *transferDoneMsg) {
 	fs := m.files[name]
 	if msg.OK {
 		m.rec.Emit(obs.Event{Type: obs.EvTransferDone, Src: srcName, Dst: w.name, Bytes: msg.Size, Detail: string(name)})
+		if offload {
+			// A sole-replica copy escaped a draining worker intact: the
+			// file now survives the preemption without a lineage re-run.
+			m.met.soleOffloads.Inc()
+			m.rec.Emit(obs.Event{Type: obs.EvWorkerDrain, Worker: srcName, Detail: "offloaded " + string(name) + " to " + w.name})
+		}
 		if fs != nil {
 			if msg.Size > 0 {
 				fs.size = msg.Size
@@ -2074,6 +2126,201 @@ func (m *Manager) onEvicted(wid int, msg *evictedMsg) {
 	}
 }
 
+// onDraining handles a worker's preemption notice: the scheduler stops
+// assigning it work (DrainFilter), its staged-but-not-running tasks move
+// back to the queue without burning a retry, and its sole-replica cache
+// entries are evacuated to stable peers. Running tasks are left alone —
+// they may finish inside the grace window; if they don't, the worker's
+// own grace timer turns the drain into an ordinary worker loss and the
+// recovery ladder takes over.
+func (m *Manager) onDraining(wid int, msg *drainingMsg) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	w := m.workers[wid]
+	if w == nil || !w.alive || w.draining {
+		return
+	}
+	grace := time.Duration(msg.GraceNanos)
+	w.draining = true
+	w.drainDeadline = time.Now().Add(grace)
+	m.sched.SetWorkerAttrs(wid, w.preemptible, true)
+	m.met.preemptions.Inc()
+	m.rec.Emit(obs.Event{Type: obs.EvWorkerPreempt, Worker: w.name, Dur: grace, Detail: "drain notice; evacuating"})
+
+	// Drop queued transfers headed to the drainer; the staging tasks they
+	// served are requeued below. (An offload from another drainer that
+	// picked this worker as its destination is re-queued by the next
+	// monitor sweep against a still-stable peer.)
+	var still []pendingTransfer
+	for _, tx := range m.queuedTx {
+		if tx.dest != wid {
+			still = append(still, tx)
+		}
+	}
+	m.queuedTx = still
+
+	// Requeue staged-but-not-running tasks assigned to the drainer. They
+	// haven't started, so moving them costs only the staging already done —
+	// this is placement churn, not a task fault, so no retry is burned.
+	for _, rec := range m.tasks {
+		if rec.worker != wid || rec.state != TaskStaging {
+			continue
+		}
+		m.releaseWorkerLocked(rec)
+		if m.inputsAvailableLocked(rec) {
+			m.enqueueReadyLocked(rec)
+		} else {
+			m.setTaskState(rec, TaskWaiting)
+			m.reviveProducersLocked(rec)
+		}
+	}
+
+	m.offloadSoleReplicasLocked(w)
+	m.pumpTransfersLocked()
+	m.scheduleLocked()
+	m.notifyLocked()
+}
+
+// soleReplicasLocked lists the drainer's cache entries whose only live
+// copy is on the drainer itself (no other live holder, no manager copy,
+// and no transfer already moving it somewhere else) — the files that
+// would cost a lineage rollback if the worker vanished now.
+func (m *Manager) soleReplicasLocked(w *workerState) []CacheName {
+	var sole []CacheName
+	for cn := range w.cache {
+		fs := m.files[cn]
+		if fs == nil || fs.onManager {
+			continue
+		}
+		safe := false
+		for wid := range fs.workers {
+			if wid == w.id {
+				continue
+			}
+			if ow := m.workers[wid]; ow != nil && ow.alive {
+				safe = true
+				break
+			}
+		}
+		if safe {
+			continue
+		}
+		// A copy already in flight to another worker counts as covered.
+		for _, tx := range m.queuedTx {
+			if tx.name == cn && tx.dest != w.id {
+				safe = true
+				break
+			}
+		}
+		if !safe {
+			for wid, ow := range m.workers {
+				if wid == w.id || !ow.alive {
+					continue
+				}
+				for _, sr := range ow.pendingSources {
+					if sr.name == cn {
+						safe = true
+						break
+					}
+				}
+				if safe {
+					break
+				}
+			}
+		}
+		if !safe {
+			sole = append(sole, cn)
+		}
+	}
+	sort.Slice(sole, func(i, j int) bool { return sole[i] < sole[j] })
+	return sole
+}
+
+// offloadSoleReplicasLocked queues an evacuation transfer for every
+// sole-replica file on a draining worker, preferring stable peers over
+// preemptible ones (never another drainer). With no eligible peer at all
+// the copy is pulled to the manager's own store instead, so a one-worker
+// pool still drains clean when the bytes fit. Idempotent: files already
+// covered by an in-flight or queued copy are skipped, so the monitor
+// sweep can re-invoke it until the worker is clean.
+func (m *Manager) offloadSoleReplicasLocked(w *workerState) {
+	for _, cn := range m.soleReplicasLocked(w) {
+		dest := -1
+		for pass := 0; pass < 2 && dest < 0; pass++ {
+			for _, id := range m.sched.WorkerIDs() {
+				ow := m.workers[id]
+				if id == w.id || ow == nil || !ow.alive || ow.draining || ow.cache[cn] {
+					continue
+				}
+				if (pass == 0) == ow.preemptible {
+					continue // pass 0: stable only; pass 1: preemptible only
+				}
+				dest = id
+				break
+			}
+		}
+		if dest < 0 {
+			if w.transferAddr != "" {
+				go m.pullToManager(w.transferAddr, w.name, cn)
+			}
+			continue
+		}
+		m.rec.Emit(obs.Event{Type: obs.EvWorkerDrain, Worker: w.name, Detail: "offload " + string(cn) + " to " + m.workers[dest].name})
+		m.queuedTx = append(m.queuedTx, pendingTransfer{name: cn, dest: dest, source: w.id, offload: true})
+	}
+}
+
+// releaseDrainersLocked runs on every monitor sweep: it re-attempts
+// pending evacuations and, once a draining worker holds nothing of value
+// — no staged or running tasks, no sole-replica files, no transfers in
+// or out — answers its notice with drain_done so the worker can exit
+// cleanly inside its grace window. The connection is NOT closed manager-
+// side: conn.close drops queued messages, and the worker's own exit is
+// what tears the link down after drain_done arrives.
+func (m *Manager) releaseDrainersLocked() {
+	pump := false
+	for wid, w := range m.workers {
+		if !w.alive || !w.draining || w.drainReleased {
+			continue
+		}
+		m.offloadSoleReplicasLocked(w)
+		pump = true
+		if w.outbound > 0 || len(w.pendingSources) > 0 {
+			continue
+		}
+		busy := false
+		for _, rec := range m.tasks {
+			if rec.worker == wid && (rec.state == TaskStaging || rec.state == TaskRunning) {
+				busy = true
+				break
+			}
+		}
+		if busy {
+			continue
+		}
+		if len(m.soleReplicasLocked(w)) > 0 {
+			continue
+		}
+		queued := false
+		for _, tx := range m.queuedTx {
+			if tx.dest == wid || tx.source == wid {
+				queued = true
+				break
+			}
+		}
+		if queued {
+			continue
+		}
+		w.drainReleased = true
+		m.rec.Emit(obs.Event{Type: obs.EvWorkerDrain, Worker: w.name, Detail: "released: drained clean"})
+		w.conn.send(&message{Type: msgDrainDone})
+	}
+	if pump {
+		m.pumpTransfersLocked()
+		m.scheduleLocked()
+	}
+}
+
 // workerLost handles a disconnect: replicas vanish, its tasks requeue, and
 // lost outputs trigger producer re-runs.
 func (m *Manager) workerLost(wid int) {
@@ -2093,6 +2340,7 @@ func (m *Manager) workerLostLocked(wid int) {
 	w.conn.close()
 	m.sched.WorkerLost(wid)
 	m.met.workersLost.Inc()
+	m.met.poolSize.Set(int64(m.liveWorkersLocked()))
 	m.rec.Emit(obs.Event{Type: obs.EvWorkerLost, Worker: w.name})
 
 	// Free outbound slots of sources serving this worker.
@@ -2187,6 +2435,8 @@ type WorkerInfo struct {
 	CacheBytes   int64
 	Outbound     int
 	Alive        bool
+	Preemptible  bool
+	Draining     bool
 }
 
 // Workers snapshots all known workers (including lost ones), sorted by
@@ -2207,6 +2457,8 @@ func (m *Manager) Workers() []WorkerInfo {
 			CacheBytes:   w.cacheBytes,
 			Outbound:     w.outbound,
 			Alive:        w.alive,
+			Preemptible:  w.preemptible,
+			Draining:     w.draining,
 		})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })

@@ -44,6 +44,12 @@ const (
 	// journals between snapshot compactions. Mirrored as
 	// params.DefaultJournalCompactEvery.
 	defaultJournalCompactEvery = 512
+
+	// defaultDrainGrace is the grace window a preempted worker assumes when
+	// the preemption notice names none (SIGTERM carries no deadline):
+	// enough for in-flight analysis chunks to finish and sole-replica
+	// intermediates to offload. Mirrored as params.DefaultDrainGrace.
+	defaultDrainGrace = 30 * time.Second
 )
 
 // config is the merged pre-construction state for both constructors.
@@ -382,6 +388,15 @@ func WithTakeoverFrom(expiry time.Time, epoch uint64) Option {
 		c.takeoverFrom = expiry
 		c.takeoverEpoch = epoch
 	}
+}
+
+// WithPreemptible marks the worker as running on an opportunistic slot
+// that may be preempted on short notice. The attribute rides the
+// registration hello into the scheduler: placement prefers stable workers
+// for replicas of hot files, so a preemption costs re-execution as rarely
+// as possible (worker; default false).
+func WithPreemptible(on bool) Option {
+	return func(c *config) { c.wrk.Preemptible = on }
 }
 
 // WithManagers gives the worker fallback manager addresses beyond the one

@@ -42,6 +42,7 @@ type message struct {
 	Evicted      *evictedMsg      `json:"evicted,omitempty"`
 	InventoryAck *inventoryAckMsg `json:"inventory_ack,omitempty"`
 	Takeover     *takeoverMsg     `json:"takeover,omitempty"`
+	Draining     *drainingMsg     `json:"draining,omitempty"`
 }
 
 // Message type tags.
@@ -57,6 +58,14 @@ const (
 	msgInventoryAck = "inventory_ack"
 	msgKill         = "kill"
 	msgTakeover     = "takeover"
+
+	// Graceful drain. A preempted worker announces `draining` with its
+	// grace window; the manager stops assigning it work, requeues its
+	// staged tasks, offloads its sole-replica cache entries, and answers
+	// `drain_done` (type-only) once nothing of value remains — the
+	// worker's cue to exit cleanly instead of being torn down mid-use.
+	msgDraining  = "draining"
+	msgDrainDone = "drain_done"
 
 	// Liveness probes. Type-only messages: the manager pings links that
 	// have been quiet for a heartbeat interval, the worker answers with a
@@ -76,6 +85,7 @@ type helloMsg struct {
 	Memory       int64            `json:"memory"` // bytes advertised; 0 = unreported
 	TransferAddr string           `json:"transfer_addr"`
 	DiskLimit    int64            `json:"disk_limit"` // bytes; 0 = unlimited
+	Preemptible  bool             `json:"preemptible,omitempty"`
 	Inventory    []inventoryEntry `json:"inventory,omitempty"`
 }
 
@@ -164,6 +174,13 @@ type unlinkMsg struct {
 type takeoverMsg struct {
 	Holder string `json:"holder"`
 	Epoch  uint64 `json:"epoch"`
+}
+
+// drainingMsg is a worker's preemption notice: it has GraceNanos of wall
+// clock left before it disappears. In-flight tasks keep running (they may
+// finish inside the window); nothing new is assigned.
+type drainingMsg struct {
+	GraceNanos int64 `json:"grace_nanos"`
 }
 
 // evictedMsg tells the manager a worker dropped a cached file to stay

@@ -399,6 +399,7 @@ func (w *Worker) reconnect(old *conn) bool {
 		Memory:       w.memory,
 		TransferAddr: w.ts.Addr(),
 		DiskLimit:    w.diskLimit,
+		Preemptible:  w.preemptible,
 		Inventory:    inv,
 	}})
 	return true

@@ -121,7 +121,7 @@ func (c *Config) defaults() {
 		c.FS = params.VAST
 	}
 	if c.PreemptWindow <= 0 {
-		c.PreemptWindow = 10 * time.Minute
+		c.PreemptWindow = params.DefaultPreemptWindow
 	}
 }
 
