@@ -1,7 +1,7 @@
 # Convenience targets; everything is plain `go` underneath.
 # Run `make help` for the list.
 
-.PHONY: help check test race chaos chaos-ha chaos-pool gate bench bench-sched bench-recovery bench-warm bench-ha bench-gate bench-pool journal-fuzz verify paper examples tidy
+.PHONY: help check test race chaos chaos-ha chaos-pool chaos-foreman gate bench bench-sched bench-recovery bench-warm bench-ha bench-gate bench-pool bench-foreman journal-fuzz verify paper examples tidy
 
 help:                 ## list targets
 	@grep -E '^[a-z]+: *##' $(MAKEFILE_LIST) | awk -F': *## *' '{printf "  %-10s %s\n", $$1, $$2}'
@@ -28,6 +28,9 @@ chaos-ha:             ## availability suite: hot-standby failover soak + split-b
 chaos-pool:           ## elasticity suite: autoscaled pool riding through a graceful drain + a blown grace window
 	go test -race -count=1 -v -run 'TestChaosElasticPreemptionSoak' .
 
+chaos-foreman:        ## federation suite: foreman killed mid-run, workers re-home to a sibling shard, bit-identical finish
+	go test -race -count=1 -v -run TestChaosForemanKillRehome .
+
 gate:                 ## multi-tenant front door: race-enabled gate unit suite + two-tenant HTTP e2e smoke
 	go test -race -count=1 ./internal/gate/
 	go test -race -count=1 -v -run TestGateTwoTenantE2E .
@@ -52,6 +55,9 @@ bench-gate:           ## multi-tenant gate: submissions/sec + p50/p99 submit-to-
 
 bench-pool:           ## elastic vs fixed pools under preemption: makespan, re-executed work, pool size over time
 	go run ./cmd/vinebench -scale 0.25 pool
+
+bench-foreman:        ## hierarchical foremen: tiny-task dispatch throughput flat vs 2/4-foreman trees + cross-shard bytes
+	go run ./cmd/vinebench -scale 0.25 foreman
 
 journal-fuzz:         ## journal frame-corruption fuzz with randomized seeds (pin one with JOURNAL_FUZZ_SEED=n)
 	JOURNAL_FUZZ_SEED=$${JOURNAL_FUZZ_SEED:-0} go test -count=8 -v -run TestFrameCorruptionFuzz ./internal/journal/

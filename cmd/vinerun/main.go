@@ -38,6 +38,7 @@ import (
 	"hepvine/internal/coffea"
 	"hepvine/internal/dag"
 	"hepvine/internal/daskvine"
+	"hepvine/internal/foreman"
 	"hepvine/internal/ha"
 	"hepvine/internal/journal"
 	"hepvine/internal/obs"
@@ -65,19 +66,24 @@ func main() {
 	standby := flag.String("standby", "", "run as a hot standby that takes over on this address when the primary's lease lapses (requires -journal)")
 	poolMin := flag.Int("pool-min", 1, "with -pool-max: autoscaled pool floor")
 	poolMax := flag.Int("pool-max", 0, "autoscale an in-process worker pool between -pool-min and this instead of the fixed -workers pool (0 = fixed)")
+	foremen := flag.Int("foremen", 0, "run federated: a root manager over this many foreman shards instead of a flat worker pool")
+	workersPerForeman := flag.Int("workers-per-foreman", 2, "with -foremen, in-process workers started in each shard")
 	flag.Parse()
 
-	if err := run(*processor, *data, *generate, *fileset, *chunk, *fanIn, *workers, *cores, *minWorkers, *mode, *hoist, *timeout, *trace, *metrics, *journalDir, *standby, *poolMin, *poolMax); err != nil {
+	if err := run(*processor, *data, *generate, *fileset, *chunk, *fanIn, *workers, *cores, *minWorkers, *mode, *hoist, *timeout, *trace, *metrics, *journalDir, *standby, *poolMin, *poolMax, *foremen, *workersPerForeman); err != nil {
 		log.Fatalf("vinerun: %v", err)
 	}
 }
 
 func run(processor, data, generate, filesetPath string, chunkSize int64, fanIn, nWorkers, cores, minWorkers int,
 	mode string, hoist bool, timeout time.Duration, tracePath string, dumpMetrics bool, journalDir, standbyAddr string,
-	poolMin, poolMax int) error {
+	poolMin, poolMax, foremen, workersPerForeman int) error {
 
 	if standbyAddr != "" && journalDir == "" {
 		return fmt.Errorf("-standby requires -journal (the directory whose journal and lease it watches)")
+	}
+	if foremen > 0 && (standbyAddr != "" || journalDir != "" || poolMax > 0) {
+		return fmt.Errorf("-foremen is incompatible with -standby, -journal, and -pool-max")
 	}
 
 	apps.RegisterProcessors()
@@ -165,7 +171,36 @@ func run(processor, data, generate, filesetPath string, chunkSize int64, fanIn, 
 	}
 	var mgr *vine.Manager
 	var jr *journal.Journal
+	var fed *foreman.LocalFederation
 	switch {
+	case foremen > 0:
+		// Federated run: a root manager leases task batches to foreman
+		// shards, each with its own scheduler and in-process worker pool;
+		// cross-shard inputs ride root-brokered peer-transfer tickets.
+		fed, err = foreman.NewLocalFederation(foreman.LocalConfig{
+			Foremen:           foremen,
+			WorkersPerForeman: workersPerForeman,
+			CoresPerWorker:    cores,
+			RootOptions:       []vine.Option{vine.WithRecorder(rec)},
+			LocalOptions: func(int) []vine.Option {
+				return []vine.Option{
+					vine.WithPeerTransfers(true),
+					vine.WithLibrary(daskvine.LibraryName, hoist),
+					vine.WithRecorder(rec),
+				}
+			},
+			WorkerOptions: func(shard, n int) []vine.Option {
+				return []vine.Option{vine.WithRecorder(rec)}
+			},
+		})
+		if err != nil {
+			return err
+		}
+		defer fed.Stop()
+		mgr = fed.Root
+		nWorkers, minWorkers = 0, foremen
+		fmt.Printf("federated: root %s over %d foremen x %d workers x %d cores\n",
+			mgr.Addr(), foremen, workersPerForeman, cores)
 	case standbyAddr != "":
 		// Hot standby: tail the primary's journal and lease; on takeover
 		// the standby's manager comes up warm and this process drives the
@@ -278,7 +313,7 @@ func run(processor, data, generate, filesetPath string, chunkSize int64, fanIn, 
 	if nWorkers > need {
 		need = nWorkers
 	}
-	if nWorkers == 0 {
+	if nWorkers == 0 && fed == nil {
 		fmt.Printf("waiting for %d external vineworker(s) to connect...\n", need)
 	}
 	if err := mgr.WaitForWorkers(need, 10*time.Minute); err != nil {
@@ -308,6 +343,15 @@ func run(processor, data, generate, filesetPath string, chunkSize int64, fanIn, 
 		ups, downs := scaler.ScaleEvents()
 		fmt.Printf("elasticity: pool peaked at %d workers (%d scale-ups, %d drains), %d preemptions, %d sole-replica offloads\n",
 			scaler.Peak(), ups, downs, st.Preemptions, st.SoleReplicaOffloads)
+	}
+	if fed != nil {
+		fst := mgr.FederationStats()
+		fmt.Printf("federation: %d task leases in %d batched frames; %d cross-shard transfers (%.1f MB)\n",
+			fst.LeaseGrants, fst.LeaseBatches, fst.CrossShard, float64(fst.CrossShardBytes)/1e6)
+		for _, sh := range fst.Shards {
+			fmt.Printf("  shard %-12s %5d tasks, %4d cached files, backlog %d\n",
+				sh.Name, sh.TasksDone, sh.CachedFiles, sh.Backlog)
+		}
 	}
 
 	if tracePath != "" {

@@ -3,11 +3,13 @@ package gate
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"net/url"
 	"strconv"
+	"sync"
 	"time"
 )
 
@@ -19,10 +21,20 @@ import (
 type Client struct {
 	// Base is the gate's root URL, e.g. "http://127.0.0.1:9123".
 	Base string
+	// Fallbacks are further gate endpoints (e.g. the hot standby, or the
+	// sibling gates of a federated deployment) tried in order when the
+	// current one is unreachable or draining. The client redials through
+	// the whole address list and then sticks with whichever endpoint
+	// answered, so a manager failover costs one extra round trip, not a
+	// reconfiguration.
+	Fallbacks []string
 	// Tenant rides in the X-Vine-Tenant header ("" = anon).
 	Tenant string
 	// HTTP overrides the transport (nil = http.DefaultClient).
 	HTTP *http.Client
+
+	mu  sync.Mutex
+	cur int // index into {Base, Fallbacks...} of the last endpoint that answered
 }
 
 func (c *Client) httpClient() *http.Client {
@@ -32,31 +44,64 @@ func (c *Client) httpClient() *http.Client {
 	return http.DefaultClient
 }
 
-// do runs one request and decodes a JSON reply into out (nil = discard).
-func (c *Client) do(method, path string, body io.Reader, out any) error {
-	req, err := http.NewRequest(method, c.Base+path, body)
-	if err != nil {
-		return err
+// eachEndpoint runs fn against the gate address list, starting at the
+// endpoint that last answered. A transport error or a 503 (a draining
+// gate hands its traffic to the standby) rotates to the next address;
+// any other reply — success or a real application error like 429/404 —
+// pins the endpoint and is returned as-is.
+func (c *Client) eachEndpoint(fn func(base string) error) error {
+	eps := append([]string{c.Base}, c.Fallbacks...)
+	c.mu.Lock()
+	start := c.cur % len(eps)
+	c.mu.Unlock()
+	var lastErr error
+	for i := 0; i < len(eps); i++ {
+		idx := (start + i) % len(eps)
+		err := fn(eps[idx])
+		var se *StatusError
+		if err == nil || (errors.As(err, &se) && se.Code != http.StatusServiceUnavailable) {
+			c.mu.Lock()
+			c.cur = idx
+			c.mu.Unlock()
+			return err
+		}
+		lastErr = err
 	}
-	if c.Tenant != "" {
-		req.Header.Set(TenantHeader, c.Tenant)
-	}
-	if body != nil && method == http.MethodPost {
-		req.Header.Set("Content-Type", "application/json")
-	}
-	resp, err := c.httpClient().Do(req)
-	if err != nil {
-		return err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode/100 != 2 {
-		return decodeError(resp)
-	}
-	if out == nil {
-		io.Copy(io.Discard, resp.Body)
-		return nil
-	}
-	return json.NewDecoder(resp.Body).Decode(out)
+	return lastErr
+}
+
+// do runs one request — redialing through the endpoint list on failover —
+// and decodes a JSON reply into out (nil = discard).
+func (c *Client) do(method, path string, body []byte, out any) error {
+	return c.eachEndpoint(func(base string) error {
+		var rd io.Reader
+		if body != nil {
+			rd = bytes.NewReader(body)
+		}
+		req, err := http.NewRequest(method, base+path, rd)
+		if err != nil {
+			return err
+		}
+		if c.Tenant != "" {
+			req.Header.Set(TenantHeader, c.Tenant)
+		}
+		if body != nil && method == http.MethodPost {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		resp, err := c.httpClient().Do(req)
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode/100 != 2 {
+			return decodeError(resp)
+		}
+		if out == nil {
+			io.Copy(io.Discard, resp.Body)
+			return nil
+		}
+		return json.NewDecoder(resp.Body).Decode(out)
+	})
 }
 
 // decodeError turns a non-2xx reply into a *StatusError, carrying the
@@ -95,7 +140,7 @@ func (c *Client) Submit(session string, req SubmitRequest) (SubmitResponse, erro
 		return SubmitResponse{}, err
 	}
 	var resp SubmitResponse
-	err = c.do(http.MethodPost, "/v1/sessions/"+url.PathEscape(session)+"/tasks", bytes.NewReader(body), &resp)
+	err = c.do(http.MethodPost, "/v1/sessions/"+url.PathEscape(session)+"/tasks", body, &resp)
 	return resp, err
 }
 
@@ -133,29 +178,34 @@ func (c *Client) Events(session string, since int64, wait time.Duration) ([]Even
 // Declare uploads an input buffer and returns its cachename.
 func (c *Client) Declare(data []byte) (DeclareResponse, error) {
 	var resp DeclareResponse
-	err := c.do(http.MethodPost, "/v1/files", bytes.NewReader(data), &resp)
+	err := c.do(http.MethodPost, "/v1/files", data, &resp)
 	return resp, err
 }
 
 // Fetch downloads result bytes by cachename (lineage-regenerating if
 // the cluster lost them).
 func (c *Client) Fetch(name string) ([]byte, error) {
-	req, err := http.NewRequest(http.MethodGet, c.Base+"/v1/result?name="+url.QueryEscape(name), nil)
-	if err != nil {
-		return nil, err
-	}
-	if c.Tenant != "" {
-		req.Header.Set(TenantHeader, c.Tenant)
-	}
-	resp, err := c.httpClient().Do(req)
-	if err != nil {
-		return nil, err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode/100 != 2 {
-		return nil, decodeError(resp)
-	}
-	return io.ReadAll(resp.Body)
+	var data []byte
+	err := c.eachEndpoint(func(base string) error {
+		req, err := http.NewRequest(http.MethodGet, base+"/v1/result?name="+url.QueryEscape(name), nil)
+		if err != nil {
+			return err
+		}
+		if c.Tenant != "" {
+			req.Header.Set(TenantHeader, c.Tenant)
+		}
+		resp, err := c.httpClient().Do(req)
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode/100 != 2 {
+			return decodeError(resp)
+		}
+		data, err = io.ReadAll(resp.Body)
+		return err
+	})
+	return data, err
 }
 
 // Stats fetches the service-wide stats snapshot.

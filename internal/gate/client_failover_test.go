@@ -1,0 +1,81 @@
+package gate
+
+import (
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// TestClientFailoverRedial drives the client's manager-address-list
+// redial: a draining or dead primary rotates the client to the next
+// endpoint transparently, while real application errors (404) stay
+// pinned to the answering gate instead of being retried elsewhere.
+func TestClientFailoverRedial(t *testing.T) {
+	g1 := newGate(t, 1, 2, Config{})
+	g2 := newGate(t, 1, 2, Config{})
+	srv1 := httptest.NewServer(g1.Handler())
+	defer srv1.Close()
+	srv2 := httptest.NewServer(g2.Handler())
+	defer srv2.Close()
+
+	c := &Client{Base: srv1.URL, Fallbacks: []string{srv2.URL}, Tenant: "alice"}
+
+	// Healthy primary serves and pins.
+	if _, err := c.OpenSession("fo"); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.cur; got != 0 {
+		t.Fatalf("client pinned to endpoint %d, want primary", got)
+	}
+
+	// Drain the primary: its 503 should rotate the very next call onto
+	// the standby without surfacing an error to the caller.
+	if err := g1.Drain(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.OpenSession("fo2"); err != nil {
+		t.Fatalf("open through failover: %v", err)
+	}
+	if got := c.cur; got != 1 {
+		t.Fatalf("client pinned to endpoint %d, want standby", got)
+	}
+	// The standby really owns the session, and work flows end to end.
+	resp, err := c.Submit("fo2", SubmitRequest{Tasks: []TaskSpec{echoSpec("t1", "hello")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.WaitTask("fo2", resp.Tasks[0].ID, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != "done" {
+		t.Fatalf("task on standby: state %s (%s)", st.State, st.Error)
+	}
+	direct := &Client{Base: srv2.URL, Tenant: "alice"}
+	if _, err := direct.SessionStatus("fo2"); err != nil {
+		t.Fatalf("standby does not own failover session: %v", err)
+	}
+
+	// A real application error is returned as-is and does not rotate.
+	_, err = c.TaskStatus("fo2", "bogus")
+	var se *StatusError
+	if !errors.As(err, &se) || se.Code != http.StatusNotFound {
+		t.Fatalf("expected 404 from pinned endpoint, got %v", err)
+	}
+	if got := c.cur; got != 1 {
+		t.Fatalf("404 rotated the client to endpoint %d", got)
+	}
+
+	// Transport-level death of the primary: a fresh client whose Base no
+	// longer listens still reaches the cluster through its fallback list.
+	srv1.Close()
+	c2 := &Client{Base: srv1.URL, Fallbacks: []string{srv2.URL}, Tenant: "alice"}
+	if _, err := c2.OpenSession("fo3"); err != nil {
+		t.Fatalf("open with dead primary: %v", err)
+	}
+	if got := c2.cur; got != 1 {
+		t.Fatalf("client pinned to endpoint %d after dead primary", got)
+	}
+}

@@ -74,6 +74,7 @@ const (
 	KindTaskFail Kind = "task_fail" // a task failed terminally
 	KindFileDecl Kind = "file_decl" // a file was declared at the manager
 	KindUnlink   Kind = "unlink"    // a cachename was unlinked cluster-wide
+	KindLease    Kind = "lease"     // a task was leased to a foreman (informational)
 )
 
 // FileRef names one task input: the in-sandbox name and the cachename that

@@ -102,6 +102,16 @@ const (
 	EvWorkerPreempt EventType = "worker_preempt" // Worker, Dur=grace window, Detail=origin
 	EvWorkerDrain   EventType = "worker_drain"   // Worker, Detail=step (offload cachename / released)
 	EvPoolScale     EventType = "pool_scale"     // Attempt=new size, Detail=direction + signal
+
+	// Federation vocabulary: a foreman is a subordinate manager owning its
+	// own worker pool; a lease grant is one batched frame of tasks handed
+	// to a foreman; a cross-shard transfer is a peer-transfer ticket the
+	// root brokered so a shard pulls bytes straight from another shard's
+	// worker (or the root's staging area) without the payload crossing
+	// the root's NIC.
+	EvForemanJoin        EventType = "foreman_join"         // Worker=foreman name, Detail=shard summary
+	EvLeaseGrant         EventType = "lease_grant"          // Worker=foreman, Attempt=tasks in batch
+	EvCrossShardTransfer EventType = "cross_shard_transfer" // Task, Worker=dest foreman, Src=source addr, Bytes
 )
 
 // Event is one trace record. T is the offset from the trace epoch

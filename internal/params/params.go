@@ -297,3 +297,28 @@ var DefaultGateQueueWeight = 1.0
 // DefaultGateDrainTimeout mirrors how long a shutting-down gate waits for
 // in-flight sessions to finish before abandoning the drain.
 var DefaultGateDrainTimeout = 30 * time.Second
+
+// ---- manager federation (internal/foreman — hierarchical foremen) ----
+
+// DefaultForemanFanout mirrors the default number of foremen a federated
+// run stands up when the caller asks for federation without sizing it.
+// Two shards is the smallest topology that exercises every cross-shard
+// path (peer tickets, re-homing, lease replay) while still fitting on a
+// laptop-scale loopback cluster.
+var DefaultForemanFanout = 2
+
+// DefaultLeaseBatch mirrors how many task leases the root coalesces into
+// one frame to a foreman. Batching is where the dispatch-throughput win
+// over a flat manager comes from: one length+CRC+JSON envelope amortized
+// over many tiny tasks. 64 keeps a batch well under a heartbeat interval
+// even at paper-scale task rates while cutting per-task frame overhead
+// by more than an order of magnitude.
+var DefaultLeaseBatch = 64
+
+// DefaultForemanReportEvery mirrors the foreman's aggregation window:
+// completions, replica addresses, and backlog accumulate locally and
+// ship upward at this cadence (or immediately once a full lease batch
+// has finished). Short enough that the root's view lags a shard by well
+// under a heartbeat; long enough that a 10k-task burst reports in
+// hundreds of frames, not 10k.
+var DefaultForemanReportEvery = 200 * time.Millisecond

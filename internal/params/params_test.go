@@ -98,3 +98,24 @@ func TestElasticityDefaults(t *testing.T) {
 		t.Fatalf("tasks per worker = %d", DefaultPoolTasksPerWorker)
 	}
 }
+
+func TestFederationDefaults(t *testing.T) {
+	// Pin the federation mirrors: vine's lease batching and the foreman's
+	// report cadence are the two knobs the bench sweeps; drifting them
+	// silently would invalidate cross-PR throughput comparisons.
+	if DefaultForemanFanout != 2 {
+		t.Fatalf("DefaultForemanFanout = %d", DefaultForemanFanout)
+	}
+	if DefaultLeaseBatch != 64 {
+		t.Fatalf("DefaultLeaseBatch = %d", DefaultLeaseBatch)
+	}
+	if DefaultForemanReportEvery != 200*time.Millisecond {
+		t.Fatalf("DefaultForemanReportEvery = %v", DefaultForemanReportEvery)
+	}
+	// A report window at or above the 2s heartbeat would make the root
+	// think a busy foreman went quiet; keep an order of magnitude of
+	// headroom under vine's default liveness ping.
+	if DefaultForemanReportEvery >= 2*time.Second/4 {
+		t.Fatalf("report window %v too close to the heartbeat", DefaultForemanReportEvery)
+	}
+}

@@ -286,6 +286,20 @@ func Random(seed uint64) *Policy {
 	}
 }
 
+// Federate is the root-side policy of a two-level federation: the
+// "workers" it places onto are foremen, each summarizing a whole shard.
+// Locality still leads — a shard already caching the inputs avoids a
+// cross-shard peer transfer — but the tie-break is free capacity, which
+// at shard granularity is a backlog signal: leases flow to the least
+// loaded shard. No stability term: foremen are not preemptible.
+func Federate() *Policy {
+	return &Policy{
+		Name:    "federate",
+		Filters: []Filter{FitFilter{}, ExcludeFilter{}, DrainFilter{}},
+		Scorers: []Scorer{LocalBytesScorer{}, FreeCoresScorer{}},
+	}
+}
+
 // ByName resolves a policy by its registry name. The seed only affects
 // the random policy.
 func ByName(name string, seed uint64) (*Policy, error) {
@@ -298,6 +312,8 @@ func ByName(name string, seed uint64) (*Policy, error) {
 		return Spread(), nil
 	case "random":
 		return Random(seed), nil
+	case "federate":
+		return Federate(), nil
 	}
 	return nil, fmt.Errorf("sched: unknown policy %q (have %v)", name, Names())
 }
@@ -305,5 +321,5 @@ func ByName(name string, seed uint64) (*Policy, error) {
 // Names lists the stock policies in presentation order: the default
 // first, then the alternatives.
 func Names() []string {
-	return []string{"locality", "binpack", "spread", "random"}
+	return []string{"locality", "binpack", "spread", "random", "federate"}
 }

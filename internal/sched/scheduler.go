@@ -333,6 +333,14 @@ func (s *Scheduler) Assign(now int64, place func(Assignment)) int {
 	maxFree := s.maxFreeCores()
 	s.blocked = s.blocked[:0]
 	for {
+		if maxFree <= 0 {
+			// Cluster saturated: every task needs at least one core, so
+			// nothing can place. Ending the round here leaves the heap
+			// intact — draining thousands of queued tasks through the
+			// blocked stash just to push them back made each Assign call
+			// on a busy manager linear in backlog size.
+			break
+		}
 		q := s.nextQueue()
 		if q == nil {
 			break

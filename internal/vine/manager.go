@@ -330,7 +330,13 @@ type managerMetrics struct {
 	failovers        *obs.Counter
 	preemptions      *obs.Counter
 	soleOffloads     *obs.Counter
+	leaseGrants      *obs.Counter
+	leaseBatches     *obs.Counter
+	foremanReports   *obs.Counter
+	crossShard       *obs.Counter
+	crossShardBytes  *obs.Counter
 	poolSize         *obs.Gauge
+	foremenActive    *obs.Gauge
 	execSeconds      *obs.Histogram
 	queueWait        *obs.Histogram
 	takeoverLatency  *obs.Histogram
@@ -362,7 +368,13 @@ func newManagerMetrics(reg *obs.Registry) managerMetrics {
 		failovers:        reg.Counter("vine_failovers_total"),
 		preemptions:      reg.Counter("vine_preemptions_total"),
 		soleOffloads:     reg.Counter("vine_sole_replica_offloads_total"),
+		leaseGrants:      reg.Counter("vine_lease_grants_total"),
+		leaseBatches:     reg.Counter("vine_lease_batches_total"),
+		foremanReports:   reg.Counter("vine_foreman_reports_total"),
+		crossShard:       reg.Counter("vine_cross_shard_transfers_total"),
+		crossShardBytes:  reg.Counter("vine_cross_shard_bytes_total"),
 		poolSize:         reg.Gauge("vine_pool_size"),
+		foremenActive:    reg.Gauge("vine_foremen_active"),
 		execSeconds:      reg.Histogram("vine_task_exec_seconds"),
 		queueWait:        reg.Histogram("vine_task_queue_wait_seconds"),
 		takeoverLatency:  reg.Histogram("vine_takeover_latency_seconds"),
@@ -398,6 +410,17 @@ type workerState struct {
 	// pendingSources records in-flight inbound transfers and which worker
 	// serves each, so source capacity frees on completion or loss.
 	pendingSources []srcRecord
+	// Federation: foreman marks a subordinate manager registered over the
+	// same protocol. Its cache map tracks which files its whole shard
+	// holds; shardAddr maps each of those to the shard-local transfer
+	// address serving it (the payload of a peer-transfer ticket). leaseBuf
+	// coalesces leases within one scheduling pass; backlog is the shard's
+	// last-reported leased-but-not-terminal count.
+	foreman   bool
+	shardAddr map[CacheName]string
+	leaseBuf  []leaseEntryWire
+	backlog   int
+	doneCount int // completions accepted from this worker or shard
 }
 
 // fileState tracks replicas of one cachename.
@@ -409,6 +432,16 @@ type fileState struct {
 	mgrPath    string
 	mgrData    []byte
 	refWaiters []*taskRecord // staging tasks waiting for this file
+	// External replicas (a foreman's view of a peer-transfer ticket):
+	// addresses outside this manager's own cluster known to serve the
+	// file. ext rotates on staging retries; extBad holds addresses
+	// quarantined after serving bytes that failed their checksum. wasExt
+	// marks a file that ever had external sources, so exhausting them
+	// fast-fails the consumer (reporting the loss upward) instead of
+	// waiting on a producer this manager never had.
+	ext    []string
+	extBad []string
+	wasExt bool
 }
 
 // taskRecord is the manager-side task bookkeeping.
@@ -460,6 +493,10 @@ type pendingTransfer struct {
 // params.DefaultTransferAttempts.
 const maxTransferAttempts = 3
 
+// defaultLeaseBatch bounds how many leases ride in one frame to a
+// foreman. Mirrored as params.DefaultLeaseBatch.
+const defaultLeaseBatch = 64
+
 // Manager is the TaskVine manager: it accepts workers, schedules tasks
 // where their data lives, orchestrates peer transfers, and re-runs work
 // lost to preempted workers.
@@ -482,6 +519,7 @@ type Manager struct {
 	backoffBase     time.Duration
 	backoffMax      time.Duration
 	recoveryTimeout time.Duration
+	ctrlOverhead    time.Duration // modelled cost per task-path control frame
 
 	stopC chan struct{} // closed by Stop; exits the monitor goroutine
 
@@ -519,13 +557,17 @@ type Manager struct {
 	workers   map[int]*workerState
 	files     map[CacheName]*fileState
 	tasks     map[int]*taskRecord
-	sched     *sched.Scheduler // ready set + worker index; guarded by mu
+	waiting   map[int]*taskRecord // tasks in TaskWaiting, indexed so completions don't scan the whole table
+	sched     *sched.Scheduler    // ready set + worker index; guarded by mu
 	queueMet  map[string]*obs.Counter
 	completed []int // task ids completed but not yet returned by WaitAny
 	queuedTx  []pendingTransfer
 	nextWID   int
 	nextTID   int
 	stopped   bool
+	// leaseFlushArmed is true while the one-shot lease microbatch timer
+	// is pending (see flushLeasesLocked).
+	leaseFlushArmed bool
 	// fenced is set (one-way) when the leadership lease is lost: the
 	// manager stays up for queries but never dispatches again, so a
 	// paused-then-resumed old primary cannot split-brain the cluster.
@@ -567,6 +609,7 @@ func NewManager(options ...Option) (*Manager, error) {
 		met:             newManagerMetrics(reg),
 		nc:              c.netConfig(),
 		hbInterval:      c.hbInterval,
+		ctrlOverhead:    c.controlOverhead,
 		hbTimeout:       c.hbTimeout,
 		taskDeadline:    c.taskDeadline,
 		backoffBase:     c.backoffBase,
@@ -578,6 +621,7 @@ func NewManager(options ...Option) (*Manager, error) {
 		workers:         make(map[int]*workerState),
 		files:           make(map[CacheName]*fileState),
 		tasks:           make(map[int]*taskRecord),
+		waiting:         make(map[int]*taskRecord),
 		sched:           sched.New(c.schedPolicy, c.queues...),
 		queueMet:        make(map[string]*obs.Counter),
 		start:           time.Now(),
@@ -1020,8 +1064,10 @@ func (m *Manager) FetchBytes(name CacheName) ([]byte, error) {
 		sort.Ints(ids)
 		for _, wid := range ids {
 			if w := m.workers[wid]; w != nil && w.alive {
-				addr, src, srcName = w.transferAddr, wid, w.name
-				break
+				if a := m.replicaAddrLocked(w, name); a != "" {
+					addr, src, srcName = a, wid, w.name
+					break
+				}
 			}
 		}
 		if addr == "" {
@@ -1165,9 +1211,13 @@ func (m *Manager) handleWorker(cc *conn) {
 		cores:        hello.Cores,
 		memory:       hello.Memory,
 		preemptible:  hello.Preemptible,
+		foreman:      hello.Foreman,
 		cache:        make(map[CacheName]bool),
 		alive:        true,
 		lastSeen:     time.Now(),
+	}
+	if w.foreman {
+		w.shardAddr = make(map[CacheName]string)
 	}
 	m.workers[id] = w
 	m.sched.WorkerJoin(id, hello.Cores, hello.Memory)
@@ -1175,6 +1225,9 @@ func (m *Manager) handleWorker(cc *conn) {
 		m.sched.SetWorkerAttrs(id, true, false)
 	}
 	m.met.poolSize.Set(int64(m.liveWorkersLocked()))
+	if w.foreman {
+		m.met.foremenActive.Set(int64(m.foremenActiveLocked()))
+	}
 	// Ingest the cache inventory: every surviving entry the manager knows
 	// about becomes a replica again, so completed work is never re-staged
 	// just because a connection (or the manager itself) bounced. Unknown
@@ -1187,12 +1240,21 @@ func (m *Manager) handleWorker(cc *conn) {
 		if fs == nil || (fs.size != 0 && fs.size != e.Size) {
 			continue
 		}
+		if w.foreman && e.Addr == "" {
+			// A shard replica the root cannot ticket is useless — worse,
+			// counting it would satisfy hasSource while leaseLocked can
+			// never build a ticket for it. Leave it unacknowledged.
+			continue
+		}
 		if fs.size == 0 {
 			fs.size = e.Size
 		}
 		fs.workers[id] = true
 		w.cache[cn] = true
 		w.cacheBytes += e.Size
+		if w.foreman {
+			w.shardAddr[cn] = e.Addr
+		}
 		m.sched.FileCached(id, e.CacheName, e.Size)
 		known = append(known, e.CacheName)
 	}
@@ -1200,12 +1262,20 @@ func (m *Manager) handleWorker(cc *conn) {
 		m.promoteWaitersLocked()
 	}
 	libs := append([]LibrarySpec(nil), m.opts.InstallLibraries...)
+	if w.foreman {
+		// Foremen install libraries on their own shard workers; the root
+		// only leases tasks to them.
+		libs = nil
+	}
 	m.notifyLocked()
 	m.mu.Unlock()
 	m.met.workersJoined.Inc()
 	joinDetail := strconv.Itoa(w.cores) + " cores"
 	if len(hello.Inventory) > 0 {
 		joinDetail += fmt.Sprintf(", %d/%d cached files recognized", len(known), len(hello.Inventory))
+	}
+	if w.foreman {
+		m.rec.Emit(obs.Event{Type: obs.EvForemanJoin, Worker: w.name, Detail: joinDetail})
 	}
 	m.rec.Emit(obs.Event{Type: obs.EvWorkerJoin, Worker: w.name, Detail: joinDetail})
 	if len(hello.Inventory) > 0 {
@@ -1244,6 +1314,10 @@ func (m *Manager) handleWorker(cc *conn) {
 			if msg.TaskDone != nil {
 				m.onTaskDone(id, msg.TaskDone)
 			}
+		case msgReport:
+			if msg.Report != nil {
+				m.onForemanReport(id, msg.Report)
+			}
 		case msgTransferDone:
 			if msg.TransferDone != nil {
 				m.onTransferDone(id, msg.TransferDone)
@@ -1280,7 +1354,7 @@ func (m *Manager) hasSourceLocked(name CacheName) bool {
 	if !ok {
 		return false
 	}
-	if fs.onManager {
+	if fs.onManager || len(fs.ext) > 0 {
 		return true
 	}
 	for wid := range fs.workers {
@@ -1292,6 +1366,11 @@ func (m *Manager) hasSourceLocked(name CacheName) bool {
 }
 
 func (m *Manager) setTaskState(rec *taskRecord, s TaskState) {
+	if s == TaskWaiting {
+		m.waiting[rec.id] = rec
+	} else if rec.state == TaskWaiting {
+		delete(m.waiting, rec.id)
+	}
 	rec.state = s
 	rec.handle.mu.Lock()
 	rec.handle.state = s
@@ -1330,6 +1409,7 @@ func (m *Manager) scheduleLocked() {
 		}
 	})
 	m.pumpTransfersLocked()
+	m.flushLeasesLocked()
 }
 
 // QueueStats snapshots the per-queue scheduler state: pending depth,
@@ -1382,6 +1462,13 @@ func (m *Manager) assignLocked(rec *taskRecord, a sched.Assignment) {
 		m.rec.Emit(obs.Event{Type: obs.EvSchedDecision, Task: rec.label(), Worker: w.name, Dur: wait, Detail: reason})
 		m.rec.Emit(obs.Event{Type: obs.EvTaskDispatch, Task: rec.label(), Worker: w.name, Attempt: rec.retries, Dur: wait, Detail: reason})
 	}
+	if w.foreman {
+		// Two-level placement: the root picked the shard; the foreman's own
+		// scheduler picks the worker. No staging here — missing inputs ride
+		// the lease as peer-transfer tickets the shard resolves itself.
+		m.leaseLocked(rec, w)
+		return
+	}
 	rec.pending = make(map[CacheName]bool)
 	for _, in := range rec.spec.Inputs {
 		if !w.cache[in.CacheName] {
@@ -1401,8 +1488,26 @@ func (m *Manager) assignLocked(rec *taskRecord, a sched.Assignment) {
 }
 
 // queueTransferLocked picks a source for name→dest and either issues the
-// put_url or defers it until the source has transfer capacity.
+// put_url or defers it until the source has transfer capacity. At most one
+// transfer per (file, destination) is ever outstanding: a second task
+// staging the same input to the same worker rides the first transfer —
+// onTransferDone unblocks every refWaiter on the pair. Issuing a duplicate
+// put_url would race two concurrent fetches of one cachename on the
+// worker, and a task dispatched against the first completion could read
+// the file mid-rewrite by the second.
 func (m *Manager) queueTransferLocked(name CacheName, dest int) {
+	for _, tx := range m.queuedTx {
+		if tx.name == name && tx.dest == dest {
+			return
+		}
+	}
+	if w := m.workers[dest]; w != nil {
+		for _, sr := range w.pendingSources {
+			if sr.name == name {
+				return
+			}
+		}
+	}
 	src := m.pickSourceLocked(name, dest)
 	m.queuedTx = append(m.queuedTx, pendingTransfer{name: name, dest: dest, source: src})
 	m.pumpTransfersLocked()
@@ -1427,7 +1532,7 @@ func (m *Manager) pickSourceLocked(name CacheName, dest int) int {
 			if wid == dest {
 				continue
 			}
-			if w := m.workers[wid]; w != nil && w.alive && w.outbound < bestLoad {
+			if w := m.workers[wid]; w != nil && w.alive && w.outbound < bestLoad && m.replicaAddrLocked(w, name) != "" {
 				best, bestLoad = wid, w.outbound
 			}
 		}
@@ -1440,8 +1545,13 @@ func (m *Manager) pickSourceLocked(name CacheName, dest int) int {
 	}
 	// No manager copy: any live worker replica even without peer mode
 	// (this is how results migrate when strictly necessary).
+	ids := make([]int, 0, len(fs.workers))
 	for wid := range fs.workers {
-		if w := m.workers[wid]; w != nil && w.alive && wid != dest {
+		ids = append(ids, wid)
+	}
+	sort.Ints(ids)
+	for _, wid := range ids {
+		if w := m.workers[wid]; w != nil && w.alive && wid != dest && m.replicaAddrLocked(w, name) != "" {
 			return wid
 		}
 	}
@@ -1468,7 +1578,7 @@ func (m *Manager) pumpTransfersLocked() {
 				src = m.pickSourceLocked(tx.name, tx.dest)
 			}
 		}
-		var addr string
+		var addr, extAddr string
 		if src >= 0 {
 			sw := m.workers[src]
 			if sw.outbound >= m.opts.TransferCapPerSource {
@@ -1476,7 +1586,7 @@ func (m *Manager) pumpTransfersLocked() {
 				alt := m.pickSourceLocked(tx.name, tx.dest)
 				if alt != src && alt >= 0 && m.workers[alt].outbound < m.opts.TransferCapPerSource {
 					src = alt
-					addr = m.workers[alt].transferAddr
+					addr = m.replicaAddrLocked(m.workers[alt], tx.name)
 				} else if alt == -1 && fs.onManager {
 					src = -1
 				} else {
@@ -1486,11 +1596,18 @@ func (m *Manager) pumpTransfersLocked() {
 				}
 			}
 			if addr == "" && src >= 0 {
-				addr = m.workers[src].transferAddr
+				addr = m.replicaAddrLocked(m.workers[src], tx.name)
 			}
 		}
 		if src < 0 {
-			if !fs.onManager {
+			if fs.onManager {
+				addr = m.ts.Addr()
+			} else if extAddr = m.extAddrLocked(fs, tx.attempts); extAddr != "" {
+				// A foreman staging a ticketed input: the bytes come from
+				// outside this manager's own cluster, straight off the
+				// source shard's worker.
+				addr = extAddr
+			} else {
 				// Every replica vanished while the transfer sat queued.
 				// The staging tasks waiting on it must not be left
 				// parked: route them through the task-retry path, which
@@ -1503,13 +1620,16 @@ func (m *Manager) pumpTransfersLocked() {
 				}
 				continue
 			}
-			addr = m.ts.Addr()
 		} else {
 			m.workers[src].outbound++
 		}
 		srcName := "manager"
 		if src >= 0 {
 			srcName = m.workers[src].name
+			m.met.peerTransfers.Inc()
+			m.met.peerBytes.Add(fs.size)
+		} else if extAddr != "" {
+			srcName = extAddr
 			m.met.peerTransfers.Inc()
 			m.met.peerBytes.Add(fs.size)
 		} else {
@@ -1521,16 +1641,19 @@ func (m *Manager) pumpTransfersLocked() {
 			CacheName: string(tx.name), Addr: addr, Size: fs.size,
 		}})
 		// Remember who served it so capacity frees on completion.
-		dw.pendingSources = append(dw.pendingSources, srcRecord{name: tx.name, source: src, attempts: tx.attempts, offload: tx.offload})
+		dw.pendingSources = append(dw.pendingSources, srcRecord{name: tx.name, source: src, extAddr: extAddr, attempts: tx.attempts, offload: tx.offload})
 	}
 	m.queuedTx = still
 }
 
 // srcRecord pairs an in-flight inbound transfer with the worker serving it
-// and the attempt count carried over from the queued transfer.
+// and the attempt count carried over from the queued transfer. extAddr is
+// set when the source is an external (cross-shard) address rather than a
+// worker of this manager.
 type srcRecord struct {
 	name     CacheName
 	source   int
+	extAddr  string
 	attempts int
 	offload  bool
 }
@@ -1572,6 +1695,7 @@ func (m *Manager) dispatchLocked(rec *taskRecord) {
 	for _, out := range rec.spec.Outputs {
 		d.Outputs = append(d.Outputs, fileRefWire{Name: out, CacheName: string(rec.handle.outputs[out])})
 	}
+	m.controlFrameLocked()
 	w.conn.send(&message{Type: msgDispatch, Dispatch: d})
 }
 
@@ -1761,6 +1885,15 @@ func (m *Manager) reviveProducersLocked(rec *taskRecord) {
 		}
 		fs := m.files[in.CacheName]
 		if fs == nil || fs.producer < 0 {
+			if fs != nil && fs.wasExt {
+				// A foreman's ticketed input whose external sources are all
+				// exhausted or quarantined: this manager never had the
+				// producer, so waiting is hopeless. Fail fast — the lease
+				// failure (with its Lost report) sends the root up its own
+				// lineage ladder, which re-runs the producer shard-side.
+				m.failLocked(rec, fmt.Errorf("vine: external input %s lost (sources exhausted)", in.CacheName))
+				return
+			}
 			continue // declared file with no source: unrecoverable here
 		}
 		if m.tasks[fs.producer] == nil {
@@ -1773,10 +1906,12 @@ func (m *Manager) reviveProducersLocked(rec *taskRecord) {
 }
 
 // promoteWaitersLocked moves Waiting tasks whose inputs are now all
-// available to Ready.
+// available to Ready. It walks only the waiting index — completions are
+// the hot path, and scanning every record (mostly Done late in a run)
+// per completion made busy managers quadratic in workload size.
 func (m *Manager) promoteWaitersLocked() {
-	for _, rec := range m.tasks {
-		if rec.state == TaskWaiting && m.inputsAvailableLocked(rec) {
+	for _, rec := range m.waiting {
+		if m.inputsAvailableLocked(rec) {
 			m.enqueueReadyLocked(rec)
 		}
 	}
@@ -1787,6 +1922,24 @@ func (m *Manager) promoteWaitersLocked() {
 func (m *Manager) onTaskDone(wid int, msg *taskDoneMsg) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	m.controlFrameLocked()
+	m.onTaskDoneLocked(wid, msg)
+}
+
+// controlFrameLocked charges the modelled per-control-frame cost inside
+// the manager lock, serializing frame handling the way a production
+// manager's single-threaded event loop does. A no-op unless the manager
+// was built WithControlOverhead.
+func (m *Manager) controlFrameLocked() {
+	if m.ctrlOverhead > 0 {
+		time.Sleep(m.ctrlOverhead)
+	}
+}
+
+// onTaskDoneLocked folds one completion into the task and replica tables —
+// the worker recv loop calls it through onTaskDone, a foreman report calls
+// it once per aggregated lease result (requires m.mu).
+func (m *Manager) onTaskDoneLocked(wid int, msg *taskDoneMsg) {
 	rec := m.tasks[msg.TaskID]
 	if rec == nil {
 		return
@@ -1838,6 +1991,9 @@ func (m *Manager) onTaskDone(wid int, msg *taskDoneMsg) {
 	}
 	if !wasDone {
 		m.met.tasksDone.Inc()
+		if w != nil {
+			w.doneCount++
+		}
 		m.met.execSeconds.Observe(time.Duration(msg.ExecNanos).Seconds())
 		rec.handle.mu.Lock()
 		rec.handle.execTime = time.Duration(msg.ExecNanos)
@@ -1860,7 +2016,9 @@ func (m *Manager) onTaskDone(wid int, msg *taskDoneMsg) {
 		Type: obs.EvTaskDone, Task: rec.label(), Worker: workerNameOf(w),
 		Attempt: rec.retries, Dur: time.Duration(msg.ExecNanos),
 	})
-	if m.opts.ReturnOutputs && w != nil {
+	if m.opts.ReturnOutputs && w != nil && !w.foreman {
+		// Foreman outputs are pulled through their reported shard addresses
+		// (FetchBytes path), not the foreman's control link.
 		addr, wname := w.transferAddr, w.name
 		for cnStr := range msg.OutputSizes {
 			cn := CacheName(cnStr)
@@ -1905,7 +2063,7 @@ func (m *Manager) replicateLocked(cn CacheName) {
 				break
 			}
 			w := m.workers[id]
-			if w == nil || !w.alive || w.draining || w.cache[cn] {
+			if w == nil || !w.alive || w.draining || w.foreman || w.cache[cn] {
 				continue
 			}
 			if (pass == 0) == w.preemptible {
@@ -1957,10 +2115,10 @@ func (m *Manager) onTransferDone(wid int, msg *transferDoneMsg) {
 	name := CacheName(msg.CacheName)
 	// Free the source's outbound slot, remembering who served the transfer
 	// and how many attempts this file has burned reaching this worker.
-	srcName, srcID, attempts, offload := "manager", -1, 0, false
+	srcName, srcID, extAddr, attempts, offload := "manager", -1, "", 0, false
 	for i, sr := range w.pendingSources {
 		if sr.name == name {
-			srcID, attempts, offload = sr.source, sr.attempts, sr.offload
+			srcID, extAddr, attempts, offload = sr.source, sr.extAddr, sr.attempts, sr.offload
 			if sr.source >= 0 {
 				if sw := m.workers[sr.source]; sw != nil {
 					srcName = sw.name
@@ -1968,6 +2126,8 @@ func (m *Manager) onTransferDone(wid int, msg *transferDoneMsg) {
 						sw.outbound--
 					}
 				}
+			} else if sr.extAddr != "" {
+				srcName = sr.extAddr
 			}
 			w.pendingSources = append(w.pendingSources[:i], w.pendingSources[i+1:]...)
 			break
@@ -2018,7 +2178,11 @@ func (m *Manager) onTransferDone(wid int, msg *transferDoneMsg) {
 		if msg.Corrupt {
 			m.met.corruptTransfers.Inc()
 			m.rec.Emit(obs.Event{Type: obs.EvFileCorrupt, Src: srcName, Dst: w.name, Detail: string(name) + ": " + msg.Error})
-			m.quarantineReplicaLocked(name, srcID)
+			if extAddr != "" {
+				m.quarantineExternalLocked(name, extAddr)
+			} else {
+				m.quarantineReplicaLocked(name, srcID)
+			}
 		}
 		var victims []*taskRecord
 		if fs != nil {
@@ -2249,7 +2413,7 @@ func (m *Manager) offloadSoleReplicasLocked(w *workerState) {
 		for pass := 0; pass < 2 && dest < 0; pass++ {
 			for _, id := range m.sched.WorkerIDs() {
 				ow := m.workers[id]
-				if id == w.id || ow == nil || !ow.alive || ow.draining || ow.cache[cn] {
+				if id == w.id || ow == nil || !ow.alive || ow.draining || ow.foreman || ow.cache[cn] {
 					continue
 				}
 				if (pass == 0) == ow.preemptible {
@@ -2341,6 +2505,12 @@ func (m *Manager) workerLostLocked(wid int) {
 	m.sched.WorkerLost(wid)
 	m.met.workersLost.Inc()
 	m.met.poolSize.Set(int64(m.liveWorkersLocked()))
+	if w.foreman {
+		m.met.foremenActive.Set(int64(m.foremenActiveLocked()))
+		w.shardAddr = nil
+		w.leaseBuf = nil
+		w.backlog = 0
+	}
 	m.rec.Emit(obs.Event{Type: obs.EvWorkerLost, Worker: w.name})
 
 	// Free outbound slots of sources serving this worker.

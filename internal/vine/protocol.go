@@ -32,17 +32,19 @@ import (
 type message struct {
 	Type string `json:"type"`
 
-	Hello        *helloMsg        `json:"hello,omitempty"`
-	Dispatch     *dispatchMsg     `json:"dispatch,omitempty"`
-	TaskDone     *taskDoneMsg     `json:"task_done,omitempty"`
-	PutURL       *putURLMsg       `json:"put_url,omitempty"`
-	TransferDone *transferDoneMsg `json:"transfer_done,omitempty"`
-	Library      *libraryMsg      `json:"library,omitempty"`
-	Unlink       *unlinkMsg       `json:"unlink,omitempty"`
-	Evicted      *evictedMsg      `json:"evicted,omitempty"`
-	InventoryAck *inventoryAckMsg `json:"inventory_ack,omitempty"`
-	Takeover     *takeoverMsg     `json:"takeover,omitempty"`
-	Draining     *drainingMsg     `json:"draining,omitempty"`
+	Hello        *helloMsg         `json:"hello,omitempty"`
+	Dispatch     *dispatchMsg      `json:"dispatch,omitempty"`
+	TaskDone     *taskDoneMsg      `json:"task_done,omitempty"`
+	PutURL       *putURLMsg        `json:"put_url,omitempty"`
+	TransferDone *transferDoneMsg  `json:"transfer_done,omitempty"`
+	Library      *libraryMsg       `json:"library,omitempty"`
+	Unlink       *unlinkMsg        `json:"unlink,omitempty"`
+	Evicted      *evictedMsg       `json:"evicted,omitempty"`
+	InventoryAck *inventoryAckMsg  `json:"inventory_ack,omitempty"`
+	Takeover     *takeoverMsg      `json:"takeover,omitempty"`
+	Draining     *drainingMsg      `json:"draining,omitempty"`
+	Lease        *leaseBatchMsg    `json:"lease,omitempty"`
+	Report       *foremanReportMsg `json:"report,omitempty"`
 }
 
 // Message type tags.
@@ -73,6 +75,13 @@ const (
 	// total silence — catching stalls TCP alone never reports.
 	msgPing = "ping"
 	msgPong = "pong"
+
+	// Federation. A foreman registers like a worker (hello with
+	// Foreman=true), then the root speaks leases downward and the foreman
+	// speaks aggregated reports upward — both batched, so the root's
+	// control-plane frame rate scales with shard count, not task count.
+	msgLease  = "lease"
+	msgReport = "report"
 )
 
 // helloMsg is the worker's registration. Inventory lists the cachenames the
@@ -86,13 +95,17 @@ type helloMsg struct {
 	TransferAddr string           `json:"transfer_addr"`
 	DiskLimit    int64            `json:"disk_limit"` // bytes; 0 = unlimited
 	Preemptible  bool             `json:"preemptible,omitempty"`
+	Foreman      bool             `json:"foreman,omitempty"` // subordinate manager, not a worker
 	Inventory    []inventoryEntry `json:"inventory,omitempty"`
 }
 
 // inventoryEntry names one surviving cache entry in a hello handshake.
+// Addr is set only by foremen: the shard-local transfer address serving
+// the entry, without which the root could not ticket it to other shards.
 type inventoryEntry struct {
 	CacheName string `json:"cachename"`
 	Size      int64  `json:"size"`
+	Addr      string `json:"addr,omitempty"`
 }
 
 // inventoryAckMsg is the manager's answer to a hello inventory: which
@@ -190,6 +203,76 @@ type drainingMsg struct {
 type evictedMsg struct {
 	CacheName string `json:"cachename"`
 	Size      int64  `json:"size"`
+}
+
+// ticketWire is a peer-transfer ticket the root attaches to a lease: one
+// address known to serve the named input, so the shard pulls bytes
+// worker-to-worker (or from the root's staging area) and the payload
+// never crosses the root's NIC. The CRC ride-along is implicit — every
+// transfer stream already carries CRC-32C end to end, so a ticket that
+// serves bad bytes surfaces as Corrupt in the lease report and the root
+// quarantines that replica before re-issuing.
+type ticketWire struct {
+	CacheName string `json:"cachename"`
+	Addr      string `json:"addr"`
+	Size      int64  `json:"size"`
+}
+
+// leaseEntryWire is one task leased to a foreman: the dispatch payload
+// plus the peer-transfer tickets for inputs the shard does not yet hold.
+type leaseEntryWire struct {
+	TaskID  int           `json:"task_id"`
+	Mode    string        `json:"mode"`
+	Library string        `json:"library"`
+	Func    string        `json:"func"`
+	Args    []byte        `json:"args,omitempty"`
+	Inputs  []fileRefWire `json:"inputs,omitempty"`
+	Outputs []fileRefWire `json:"outputs,omitempty"`
+	Cores   int           `json:"cores"`
+	Memory  int64         `json:"memory,omitempty"`
+	Tickets []ticketWire  `json:"tickets,omitempty"`
+}
+
+// leaseBatchMsg coalesces many leases into one frame. Batching is the
+// federation's dispatch-throughput lever: one envelope amortized over up
+// to DefaultLeaseBatch tiny tasks.
+type leaseBatchMsg struct {
+	Leases []leaseEntryWire `json:"leases"`
+}
+
+// lostReplicaWire reports a replica the shard found missing or corrupt
+// while staging a lease input, so the root can purge (and on corruption
+// quarantine) the source it ticketed.
+type lostReplicaWire struct {
+	CacheName string `json:"cachename"`
+	Addr      string `json:"addr"`
+	Corrupt   bool   `json:"corrupt,omitempty"`
+}
+
+// leaseDoneWire is one finished lease inside a foreman report. OutputAddrs
+// maps each produced cachename to the shard-local transfer address now
+// serving it; InputAddrs does the same for ticketed inputs the shard
+// pulled and now caches — both feed the root's cross-shard replica table
+// so future tickets point into this shard.
+type leaseDoneWire struct {
+	TaskID      int               `json:"task_id"`
+	OK          bool              `json:"ok"`
+	Error       string            `json:"error,omitempty"`
+	OutputSizes map[string]int64  `json:"output_sizes,omitempty"`
+	OutputAddrs map[string]string `json:"output_addrs,omitempty"`
+	InputAddrs  map[string]string `json:"input_addrs,omitempty"`
+	InputSizes  map[string]int64  `json:"input_sizes,omitempty"`
+	Lost        []lostReplicaWire `json:"lost,omitempty"`
+	ExecNanos   int64             `json:"exec_nanos"`
+	SetupNanos  int64             `json:"setup_nanos"`
+}
+
+// foremanReportMsg is the foreman's aggregated upward flow: every lease
+// that finished since the last report, plus current backlog (tasks leased
+// but not yet terminal) so the root's placement sees shard pressure.
+type foremanReportMsg struct {
+	Done    []leaseDoneWire `json:"done,omitempty"`
+	Backlog int             `json:"backlog"`
 }
 
 const maxFrame = 64 << 20 // 64 MB control-message cap

@@ -87,6 +87,10 @@ func (s *ReplayState) Apply(r journal.Record) {
 		delete(s.files, CacheName(r.CacheName))
 	case journal.KindDispatch:
 		// Dispatches are observability records; placement is not replayed.
+	case journal.KindLease:
+		// Leases replay like dispatches: the root re-runs unfinished tasks
+		// from their definitions, so a dead foreman's in-flight leases are
+		// simply re-leased by the resumed (or standby) manager.
 	}
 }
 

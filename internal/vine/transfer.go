@@ -8,6 +8,7 @@ import (
 	"io"
 	"net"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"sync"
@@ -242,11 +243,15 @@ func (nc netConfig) fetchBytes(addr string, name CacheName, label string) ([]byt
 // so a crashed transfer never leaves a corrupt cache entry. Returns size
 // and verified payload CRC-32C.
 func (nc netConfig) fetchToFile(addr string, name CacheName, path, label string) (int64, uint32, error) {
-	tmp := path + ".part"
-	f, err := os.Create(tmp)
+	// The temp name must be unique per fetch, not derived from path alone:
+	// two concurrent fetches of the same cachename sharing one ".part"
+	// inode would truncate each other, and the first rename could publish
+	// the second fetch's half-written bytes.
+	f, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".part-")
 	if err != nil {
 		return 0, 0, err
 	}
+	tmp := f.Name()
 	n, crc, err := nc.fetch(addr, name, f, label)
 	cerr := f.Close()
 	if err == nil {

@@ -460,6 +460,42 @@ func TestPeerTransfer(t *testing.T) {
 	}
 }
 
+// TestSharedInputStagedOnce pins the one-transfer-per-(file,destination)
+// invariant: several tasks needing the same input on the same worker ride
+// one staging transfer. Duplicate concurrent put_urls used to race two
+// fetches onto one cache path — the second fetch's truncate could be
+// published by the first's rename, and a task dispatched in that window
+// read zero bytes.
+func TestSharedInputStagedOnce(t *testing.T) {
+	m, _ := newCluster(t, 1, 4)
+	payload := []byte("shared-staging-payload")
+	cn := m.DeclareBuffer(payload)
+	var hs []*TaskHandle
+	for i := 0; i < 4; i++ {
+		h, err := m.Submit(Task{
+			Mode: ModeTask, Library: "testlib", Func: "concat", Args: []byte{byte('a' + i)},
+			Inputs:  []FileRef{{Name: "in", CacheName: cn}},
+			Outputs: []string{"out"},
+			Cores:   1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		hs = append(hs, h)
+	}
+	for i, h := range hs {
+		if err := h.Wait(10 * time.Second); err != nil {
+			t.Fatalf("task %d: %v", i, err)
+		}
+		if got := fetchOutput(t, m, h, "out"); !bytes.Equal(got, payload) {
+			t.Fatalf("task %d read %q, want %q", i, got, payload)
+		}
+	}
+	if st := m.Stats(); st.ManagerTransfers != 1 {
+		t.Fatalf("shared input staged %d times, want exactly 1: %+v", st.ManagerTransfers, st)
+	}
+}
+
 func TestWorkQueueModeRoutesThroughManager(t *testing.T) {
 	m, _ := newCluster(t, 2, 1, WithPeerTransfers(false), WithReturnOutputs(true))
 	p, err := m.SubmitFunc(ModeTask, "testlib", "bigout", nil, "out")
